@@ -1,0 +1,47 @@
+"""Ablation: the number of priorities N in the policy set {N, t, b}.
+
+With few priorities, random requests from different plan levels collapse
+into one class and selective eviction loses its ordering information;
+Equation (1)'s compression branch handles plans deeper than the range.
+This ablation runs Q21 (two distinct random classes in the paper) under
+several N and reports the priorities observed.
+"""
+
+from conftest import publish
+
+from repro.harness.configs import build_database
+from repro.harness.report import format_table
+from repro.storage.qos import PolicySet
+from repro.tpch.queries import query_builder
+from repro.tpch.workload import load_tpch
+
+
+def _run(runner, n: int):
+    config = runner.config("hstorage", runner.settings.scale)
+    config = config.with_(policy_set=PolicySet(n_priorities=n))
+    db = build_database(config)
+    load_tpch(db, data=runner.data(runner.settings.scale))
+    result = db.run_query(query_builder(21), label="Q21", collect=False)
+    priorities = sorted(result.stats.by_priority)
+    return result.sim_seconds, priorities
+
+
+def test_ablation_priority_count(benchmark, runner):
+    ns = (4, 7, 12)
+
+    def experiment():
+        return {n: _run(runner, n) for n in ns}
+
+    outcome = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    publish(
+        "ablation_priorities",
+        format_table(
+            ["N", "Q21 (s)", "random priorities used"],
+            [[n, v[0], str(v[1])] for n, v in outcome.items()],
+            "Ablation — priority count N",
+        ),
+    )
+    # N=4 leaves a single random priority (range [2, 2]): classes collapse.
+    assert len(outcome[4][1]) == 1
+    # The default N=7 separates the two random classes of Q21.
+    assert len(outcome[7][1]) == 2

@@ -1,0 +1,47 @@
+"""Ablation: the write-buffer fraction ``b`` (paper Section 4.2.4).
+
+The paper sets b = 10% for OLAP.  This ablation runs RF1 + a query mix
+under different fractions and reports the update-stream time and the
+number of write-buffer flushes.
+"""
+
+from conftest import publish
+
+from repro.harness.configs import build_database
+from repro.harness.report import format_table
+from repro.storage.qos import PolicySet
+from repro.tpch.queries import query_builder
+from repro.tpch.refresh import rf1_builder
+from repro.tpch.workload import load_tpch
+
+
+def _run(runner, fraction: float) -> tuple[float, int]:
+    config = runner.config("hstorage", runner.settings.scale)
+    config = config.with_(
+        policy_set=PolicySet(write_buffer_fraction=fraction)
+    )
+    db = build_database(config)
+    meta = load_tpch(db, data=runner.data(runner.settings.scale))
+    rf = db.run_query(rf1_builder(meta), label="RF1", collect=False)
+    db.run_query(query_builder(9), label="Q9", collect=False)
+    cache = db.storage.backend.cache
+    return rf.sim_seconds, cache.write_buffer_flushes
+
+
+def test_ablation_write_buffer_fraction(benchmark, runner):
+    fractions = (0.0, 0.10, 0.30)
+
+    def experiment():
+        return {f: _run(runner, f) for f in fractions}
+
+    outcome = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    publish(
+        "ablation_write_buffer",
+        format_table(
+            ["b", "RF1 (s)", "flushes"],
+            [[f, v[0], v[1]] for f, v in outcome.items()],
+            "Ablation — write-buffer fraction",
+        ),
+    )
+    # A tiny buffer flushes more often than the paper's 10% setting.
+    assert outcome[0.0][1] >= outcome[0.10][1]

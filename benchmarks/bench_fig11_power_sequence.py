@@ -1,0 +1,27 @@
+"""Figure 11: per-query times when packed into one power-test sequence."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig11_table8_sequence
+
+
+def test_fig11_power_sequence(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(
+            shared_cache, "sequence", lambda: fig11_table8_sequence(runner)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig11_power_sequence", result.render())
+
+    # hStorage-DB shows clear improvements for most queries (paper §6.3.4).
+    improved = sum(
+        1
+        for label, per in result.per_query.items()
+        if per["hstorage"] < per["hdd"] * 0.95
+    )
+    assert improved >= 8, f"only {improved} steps improved"
+    # ... and it never blows up a query catastrophically.
+    for label, per in result.per_query.items():
+        assert per["hstorage"] < per["hdd"] * 2.0 + 0.5, label

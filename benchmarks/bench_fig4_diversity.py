@@ -1,0 +1,29 @@
+"""Figure 4: diversity of request types across the 22 TPC-H queries."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig4_diversity
+from repro.storage.requests import RequestType
+
+
+def test_fig4_request_diversity(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(
+            shared_cache, "fig4", lambda: fig4_diversity(runner)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig4_diversity", result.render())
+
+    shares = result.request_share
+    # The paper's premise: queries issue I/O of *different* types.
+    assert shares[1]["sequential"] > 0.9, "Q1 must be sequential-dominated"
+    assert shares[6]["sequential"] > 0.9, "Q6 must be sequential-dominated"
+    assert shares[9]["random"] > 0.5, "Q9 must be random-dominated"
+    assert (
+        result.block_share[18]["temp"] > 0.2
+    ), "Q18 must carry substantial temp data"
+    # Every query classifies 100% of its traffic.
+    for qid, per_type in shares.items():
+        assert abs(sum(per_type.values()) - 1.0) < 1e-9, qid

@@ -1,0 +1,24 @@
+"""Figure 5: execution times of sequential-request queries (Q1/Q5/Q11/Q19)."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig5_sequential
+
+
+def test_fig5_sequential_queries(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(
+            shared_cache, "fig5", lambda: fig5_sequential(runner)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig5_sequential", result.render())
+
+    for qid, per in result.seconds.items():
+        # (1) The SSD advantage is "not obvious" for sequential queries.
+        assert per["hdd"] / per["ssd"] < 3.0, qid
+        # (2) LRU pays an allocation overhead over HDD-only (paper: 16-25%).
+        assert per["lru"] > per["hdd"] * 1.02, qid
+        # (3) hStorage-DB avoids that overhead (Rule 1): within 2% of HDD.
+        assert per["hstorage"] <= per["hdd"] * 1.02, qid

@@ -1,0 +1,28 @@
+"""Figure 6: execution times of random-request queries (Q9/Q21)."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig6_random
+
+
+def test_fig6_random_queries(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(shared_cache, "fig6", lambda: fig6_random(runner)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig6_random", result.render())
+
+    for qid, per in result.seconds.items():
+        # (1) The SSD advantage is obvious (paper: 7.2x / 3.9x).
+        assert per["hdd"] / per["ssd"] > 3.0, qid
+        # (2) Both caches dramatically beat HDD-only.
+        assert per["lru"] < per["hdd"] * 0.75, qid
+        assert per["hstorage"] < per["hdd"] * 0.75, qid
+    # (3) For Q9, hStorage-DB matches LRU (within 10%).
+    q9 = result.seconds[9]
+    assert q9["hstorage"] < q9["lru"] * 1.10
+    # (4) For Q21, hStorage-DB slightly underperforms LRU (Section 6.3.2):
+    # LRU benefits from caching the sequentially-scanned lineitem blocks.
+    q21 = result.seconds[21]
+    assert q21["hstorage"] > q21["lru"]

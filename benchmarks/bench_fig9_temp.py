@@ -1,0 +1,23 @@
+"""Figure 9: execution time of the temp-data query Q18."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig9_temp
+
+
+def test_fig9_temp_query(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(shared_cache, "fig9", lambda: fig9_temp(runner)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig9_temp", result.render())
+
+    per = result.seconds[18]
+    # Paper's three observations for Q18:
+    # (1) the SSD advantage is clear (1.45x there);
+    assert per["hdd"] / per["ssd"] > 1.2
+    # (2) LRU improves over HDD-only, but not dramatically;
+    assert per["lru"] < per["hdd"]
+    # (3) hStorage-DB beats LRU by keeping temp data for its whole lifetime.
+    assert per["hstorage"] < per["lru"]

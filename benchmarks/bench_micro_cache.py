@@ -1,0 +1,47 @@
+"""Microbenchmarks: raw operation throughput of the cache implementations.
+
+These use pytest-benchmark conventionally (many rounds) since they
+measure real CPU cost of the placement engines, not simulated time.
+"""
+
+import random
+
+from repro.storage import LRUCache, PolicySet, PriorityCache, QoSPolicy
+
+_PSET = PolicySet()
+_POLICIES = [
+    QoSPolicy.with_priority(1),
+    QoSPolicy.with_priority(2),
+    QoSPolicy.with_priority(5),
+    _PSET.sequential_policy(),
+    _PSET.update_policy(),
+]
+
+
+def _drive_priority_cache():
+    cache = PriorityCache(1024, _PSET)
+    rng = random.Random(7)
+    for i in range(20_000):
+        lbn = rng.randrange(4096)
+        cache.access_block(
+            lbn, write=(i % 7 == 0), policy=_POLICIES[i % len(_POLICIES)]
+        )
+    return cache.occupancy
+
+
+def _drive_lru_cache():
+    cache = LRUCache(1024)
+    rng = random.Random(7)
+    for i in range(20_000):
+        cache.access_block(rng.randrange(4096), write=(i % 7 == 0), policy=None)
+    return cache.occupancy
+
+
+def test_priority_cache_throughput(benchmark):
+    occupancy = benchmark(_drive_priority_cache)
+    assert occupancy == 1024
+
+
+def test_lru_cache_throughput(benchmark):
+    occupancy = benchmark(_drive_lru_cache)
+    assert occupancy == 1024

@@ -1,0 +1,19 @@
+"""Table 4: cache statistics for sequential requests under LRU."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig5_sequential, table4_lru_sequential
+
+
+def test_table4_lru_sequential_stats(benchmark, runner, shared_cache):
+    fig5 = compute_once(shared_cache, "fig5", lambda: fig5_sequential(runner))
+    result = benchmark.pedantic(
+        lambda: table4_lru_sequential(runner, fig5), rounds=1, iterations=1
+    )
+    publish("table4_lru_sequential", result.render())
+
+    # The paper's point: caching sequential data brings a negligible hit
+    # ratio (at most 0.3% in the paper).
+    for qid, counts in result.rows.items():
+        assert counts.blocks > 0, qid
+        assert counts.hit_ratio < 0.05, (qid, counts)

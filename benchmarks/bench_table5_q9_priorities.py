@@ -1,0 +1,23 @@
+"""Table 5: Q9's per-priority cache statistics under hStorage-DB."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig6_random, table5_q9_priorities
+
+
+def test_table5_q9_priority_stats(benchmark, runner, shared_cache):
+    fig6 = compute_once(shared_cache, "fig6", lambda: fig6_random(runner))
+    result = benchmark.pedantic(
+        lambda: table5_q9_priorities(runner, fig6), rounds=1, iterations=1
+    )
+    publish("table5_q9_priorities", result.render())
+
+    rows = result.sections["hstorage"]
+    by_label = {row.label: row for row in rows}
+    # Two distinct priorities are assigned (supplier deeper than orders).
+    assert len(by_label) == 2
+    # The bulk random traffic (orders) is served with a high hit ratio
+    # (paper: 89%).
+    bulk = max(rows, key=lambda r: r.blocks)
+    assert bulk.blocks > 0
+    assert bulk.ratio > 0.6, bulk

@@ -1,0 +1,26 @@
+"""Table 6: Q21's cache statistics, hStorage-DB vs LRU."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig6_random, table6_q21
+
+
+def test_table6_q21_stats(benchmark, runner, shared_cache):
+    fig6 = compute_once(shared_cache, "fig6", lambda: fig6_random(runner))
+    result = benchmark.pedantic(
+        lambda: table6_q21(runner, fig6), rounds=1, iterations=1
+    )
+    publish("table6_q21", result.render())
+
+    hst = {row.label: row for row in result.sections["hstorage"]}
+    lru = {row.label: row for row in result.sections["lru"]}
+
+    # Both deliver a high hit ratio for the top random priority (orders).
+    top = [l for l in hst if l.startswith("Priority")][0]
+    assert hst[top].ratio > 0.5
+    assert lru[top].ratio > 0.5
+    # But LRU beats hStorage-DB on the lineitem-related classes
+    # (Section 6.3.2): the lower priority and the sequential blocks.
+    low = [l for l in hst if l.startswith("Priority")][1]
+    assert lru[low].ratio > hst[low].ratio
+    assert lru["Sequential"].ratio > hst["Sequential"].ratio

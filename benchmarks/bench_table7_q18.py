@@ -1,0 +1,22 @@
+"""Table 7: Q18's cache hit statistics (sequential vs temp reads)."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import fig9_temp, table7_q18
+
+
+def test_table7_q18_stats(benchmark, runner, shared_cache):
+    fig9 = compute_once(shared_cache, "fig9", lambda: fig9_temp(runner))
+    result = benchmark.pedantic(
+        lambda: table7_q18(runner, fig9), rounds=1, iterations=1
+    )
+    publish("table7_q18", result.render())
+
+    hst = {row.label: row for row in result.sections["hstorage"]}
+    lru = {row.label: row for row in result.sections["lru"]}
+    # hStorage-DB: temp reads are 100% hits — cached for their lifetime.
+    assert hst["Temp. read"].ratio == 1.0
+    # LRU cannot keep temp data long enough (paper: 1.8%).
+    assert lru["Temp. read"].ratio < hst["Temp. read"].ratio
+    # Sequential data is not cached by hStorage-DB (paper: 0%).
+    assert hst["Sequential"].ratio < 0.05

@@ -1,0 +1,28 @@
+"""Table 8: total execution time of the power-test sequence."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import PAPER_TABLE8, fig11_table8_sequence
+
+
+def test_table8_sequence_totals(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(
+            shared_cache, "sequence", lambda: fig11_table8_sequence(runner)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("table8_sequence_total", result.render())
+
+    totals = result.totals
+    # Ordering: SSD-only < hStorage-DB < HDD-only (paper: 24k < 39k < 86k).
+    assert totals["ssd"] < totals["hstorage"] < totals["hdd"]
+    # hStorage-DB improves significantly over the baseline (paper: 2.2x).
+    measured = totals["hdd"] / totals["hstorage"]
+    paper = PAPER_TABLE8["hdd"] / PAPER_TABLE8["hstorage"]
+    assert measured > 1.3, f"sequence speedup {measured:.2f}x too small"
+    print(
+        f"\nsequence speedup hdd/hstorage: measured {measured:.2f}x, "
+        f"paper {paper:.2f}x"
+    )

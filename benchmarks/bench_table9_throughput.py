@@ -1,0 +1,21 @@
+"""Table 9: the TPC-H throughput test (3 query streams + 1 update stream)."""
+
+from conftest import compute_once, publish
+
+from repro.harness.experiments import table9_throughput
+
+
+def test_table9_throughput(benchmark, runner, shared_cache):
+    result = benchmark.pedantic(
+        lambda: compute_once(
+            shared_cache, "throughput", lambda: table9_throughput(runner)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("table9_throughput", result.render())
+
+    qph = {k: r.queries_per_hour for k, r in result.results.items()}
+    # Paper ordering: HDD-only < LRU < hStorage-DB < SSD-only
+    # (13 < 28 < 43 < 114).
+    assert qph["hdd"] < qph["lru"] < qph["hstorage"] < qph["ssd"]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale can be lowered for smoke runs: ``REPRO_BENCH_SCALE=0.2 pytest
+benchmarks/ --benchmark-only``.  Experiment outputs are printed and also
+written to ``benchmarks/results/`` so figures/tables survive the run.
+
+Expensive experiments are computed once per session and shared between
+the figure bench and its dependent table benches (e.g. Figure 6 feeds
+Tables 5 and 6), mirroring how the paper derives tables from the same
+runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import ExperimentRunner, RunnerSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return ExperimentRunner(RunnerSettings(scale=scale))
+
+
+@pytest.fixture(scope="session")
+def shared_cache() -> dict:
+    """Session-wide memo for experiment results shared across benches."""
+    return {}
+
+
+def compute_once(cache: dict, key: str, fn):
+    if key not in cache:
+        cache[key] = fn()
+    return cache[key]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

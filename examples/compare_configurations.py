@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare the four storage configurations on one query (mini Figure 6).
+
+Runs any TPC-H query (default Q9) under HDD-only, LRU, hStorage-DB and
+SSD-only, each on a fresh database, and prints the execution times and
+cache statistics side by side.
+
+Run:  python examples/compare_configurations.py [query-number]
+"""
+
+import sys
+
+from repro.harness.configs import CONFIG_LABELS, CONFIG_NAMES, StorageConfig, build_database
+from repro.tpch.datagen import generate
+from repro.tpch.queries import query_builder, query_label
+from repro.tpch.workload import load_tpch
+
+SCALE = 0.3
+
+
+def main() -> None:
+    qid = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    data = generate(scale=SCALE)
+
+    print(f"{query_label(qid)} under the four configurations "
+          f"(scale {SCALE}, fresh cold cache each):\n")
+    print(f"{'configuration':14s} {'time (s)':>9s} {'cache hits':>11s} "
+          f"{'blocks':>8s}")
+    baseline = None
+    for kind in CONFIG_NAMES:
+        config = StorageConfig(
+            kind=kind, cache_blocks=700, bufferpool_pages=64,
+            work_mem_rows=750,
+        )
+        db = build_database(config)
+        load_tpch(db, data=data)
+        res = db.run_query(query_builder(qid), label=query_label(qid))
+        total = res.stats.total
+        if baseline is None:
+            baseline = res.sim_seconds
+        print(
+            f"{CONFIG_LABELS[kind]:14s} {res.sim_seconds:9.3f} "
+            f"{total.cache_hits:11d} {total.blocks:8d}"
+            f"   ({baseline / res.sim_seconds:4.1f}x vs HDD-only)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Using the hybrid storage system directly, without the DBMS.
+
+Demonstrates the Differentiated Storage Services idea on a synthetic
+trace: a hot random working set is protected from a huge sequential flood
+by request classification, while a plain LRU cache lets the flood evict
+everything.  This is the paper's core mechanism in ~60 lines.
+
+Run:  python examples/custom_policy_cache.py
+"""
+
+import random
+
+from repro.sim.params import SimulationParameters
+from repro.storage import (
+    CachedBackend,
+    Device,
+    DeviceSpec,
+    IOOp,
+    IORequest,
+    LRUCache,
+    PolicySet,
+    PriorityCache,
+    QoSPolicy,
+    RequestType,
+    StorageSystem,
+)
+
+HOT_BLOCKS = 512          # randomly re-read working set
+FLOOD_BLOCKS = 200_000    # one huge sequential scan
+CACHE_BLOCKS = 1024
+
+
+def build_system(kind: str) -> StorageSystem:
+    params = SimulationParameters()
+    ssd = Device(DeviceSpec.ssd_from_params(params))
+    hdd = Device(DeviceSpec.hdd_from_params(params))
+    pset = PolicySet()
+    if kind == "priority":
+        cache = PriorityCache(CACHE_BLOCKS, pset)
+    else:
+        cache = LRUCache(CACHE_BLOCKS)
+    return StorageSystem(CachedBackend(cache, ssd, hdd, params))
+
+
+def drive(system: StorageSystem) -> None:
+    pset = PolicySet()
+    hot_policy = QoSPolicy.with_priority(2)      # Rule 2: random requests
+    seq_policy = pset.sequential_policy()        # Rule 1: non-caching
+    rng = random.Random(42)
+
+    def hot_read():
+        lba = 1_000_000 + rng.randrange(HOT_BLOCKS)
+        system.submit(IORequest(
+            lba=lba, nblocks=1, op=IOOp.READ,
+            policy=hot_policy, rtype=RequestType.RANDOM, query_id=1,
+        ))
+
+    # Warm the working set, then interleave hot reads with a megascan.
+    for _ in range(4 * HOT_BLOCKS):
+        hot_read()
+    scanned = 0
+    while scanned < FLOOD_BLOCKS:
+        system.submit(IORequest(
+            lba=scanned, nblocks=32, op=IOOp.READ,
+            policy=seq_policy, rtype=RequestType.SEQUENTIAL, query_id=2,
+        ))
+        scanned += 32
+        hot_read()
+
+
+def main() -> None:
+    for kind in ("priority", "lru"):
+        system = build_system(kind)
+        drive(system)
+        hot = system.stats.query(1).type_counts(RequestType.RANDOM)
+        print(
+            f"{kind:8s}  hot-read hit ratio {hot.hit_ratio:6.1%}   "
+            f"total time {system.now:7.2f} simulated s"
+        )
+    print("\nThe priority cache keeps the hot set resident through the "
+          "flood;\nthe LRU cache lets 200k sequential blocks churn it away.")
+
+
+if __name__ == "__main__":
+    main()

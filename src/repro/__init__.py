@@ -1,0 +1,56 @@
+"""hStorage-DB reproduction (VLDB 2012, Luo et al.).
+
+A heterogeneity-aware DBMS storage-management framework over a simulated
+hybrid SSD/HDD storage system, with a TPC-H-style workload substrate and a
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro.harness.configs import hstorage_config
+    from repro.db.engine import Database
+    from repro.tpch.workload import load_tpch
+    from repro.tpch.queries import QUERIES
+
+    db = Database.from_config(hstorage_config(cache_blocks=4096))
+    load_tpch(db, scale=0.05)
+    result = db.run_query(QUERIES[9])
+    print(result.sim_seconds, result.rows[:3])
+"""
+
+from repro.core import (
+    ConcurrencyRegistry,
+    PolicyAssignmentTable,
+    SemanticInfo,
+    priority_for_level,
+)
+from repro.sim import SimClock, SimulationParameters
+from repro.storage import (
+    IOOp,
+    IORequest,
+    LRUCache,
+    PolicySet,
+    PriorityCache,
+    QoSPolicy,
+    RequestType,
+    StorageSystem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConcurrencyRegistry",
+    "IOOp",
+    "IORequest",
+    "LRUCache",
+    "PolicyAssignmentTable",
+    "PolicySet",
+    "PriorityCache",
+    "QoSPolicy",
+    "RequestType",
+    "SemanticInfo",
+    "SimClock",
+    "SimulationParameters",
+    "StorageSystem",
+    "priority_for_level",
+]

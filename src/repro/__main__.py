@@ -1,0 +1,124 @@
+"""Command-line interface: run queries and experiments from a shell.
+
+Usage::
+
+    python -m repro query 9 --config hstorage --scale 0.3
+    python -m repro explain 21 --scale 0.1
+    python -m repro experiment fig6 --scale 0.5
+    python -m repro sequence --config hstorage --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.levels import compute_effective_levels
+from repro.harness import ExperimentRunner, RunnerSettings
+from repro.harness.configs import CONFIG_NAMES
+from repro.storage.requests import RequestType
+from repro.tpch.queries import QUERY_IDS, query_builder, query_label
+
+_EXPERIMENTS = {
+    "fig4": "fig4_diversity",
+    "fig5": "fig5_sequential",
+    "fig6": "fig6_random",
+    "fig9": "fig9_temp",
+    "fig11": "fig11_table8_sequence",
+    "fig12": "fig12_concurrency",
+    "table4": "table4_lru_sequential",
+    "table5": "table5_q9_priorities",
+    "table6": "table6_q21",
+    "table7": "table7_q18",
+    "table9": "table9_throughput",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="hStorage-DB reproduction toolkit"
+    )
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="mini scale factor (default 0.3)")
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="run one TPC-H query")
+    q.add_argument("number", type=int, choices=QUERY_IDS)
+    q.add_argument("--config", choices=CONFIG_NAMES, default="hstorage")
+
+    e = sub.add_parser("explain", help="print a query plan with levels")
+    e.add_argument("number", type=int, choices=QUERY_IDS)
+
+    x = sub.add_parser("experiment", help="reproduce one table/figure")
+    x.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    s = sub.add_parser("sequence", help="run the power-test sequence")
+    s.add_argument("--config", choices=CONFIG_NAMES, default="hstorage")
+    return parser
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(RunnerSettings(scale=args.scale, seed=args.seed))
+
+
+def _cmd_query(args) -> int:
+    runner = _runner(args)
+    db, _ = runner.fresh_database(args.config)
+    result = db.run_query(
+        query_builder(args.number), label=query_label(args.number)
+    )
+    print(f"{result.label} under {args.config}: {result.row_count} rows, "
+          f"{result.sim_seconds:.4f} simulated seconds")
+    for rtype in RequestType:
+        counts = result.stats.by_type.get(rtype)
+        if counts and counts.requests:
+            print(f"  {rtype.value:12s} requests={counts.requests:6d} "
+                  f"blocks={counts.blocks:8d} hits={counts.cache_hits:8d}")
+    for priority, counts in sorted(result.stats.by_priority.items()):
+        print(f"  priority {priority}: {counts.cache_hits}/{counts.blocks} "
+              f"hits ({counts.hit_ratio:.0%})")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    runner = _runner(args)
+    db, _ = runner.fresh_database("hstorage")
+    plan = query_builder(args.number)(db)
+    levels = compute_effective_levels(plan)
+    print(plan.explain(levels=levels))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import experiments as mod
+
+    runner = _runner(args)
+    fn = getattr(mod, _EXPERIMENTS[args.name])
+    print(fn(runner).render())
+    return 0
+
+
+def _cmd_sequence(args) -> int:
+    runner = _runner(args)
+    results = runner.run_sequence(args.config)
+    total = sum(r.sim_seconds for r in results)
+    for r in results:
+        print(f"  {r.label:5s} {r.sim_seconds:9.4f} s")
+    print(f"total: {total:.3f} simulated seconds under {args.config}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "query": _cmd_query,
+        "explain": _cmd_explain,
+        "experiment": _cmd_experiment,
+        "sequence": _cmd_sequence,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

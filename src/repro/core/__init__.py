@@ -1,0 +1,42 @@
+"""hStorage-DB core: semantic classification and QoS policy assignment.
+
+This package is the paper's primary contribution — the machinery that
+bridges the semantic gap between the DBMS and the storage system:
+
+* :mod:`repro.core.semantics` — the semantic information model;
+* :mod:`repro.core.classify` — request classification (Section 4.1);
+* :mod:`repro.core.levels` — plan levels + blocking-operator recalculation;
+* :mod:`repro.core.priority` — Equation (1);
+* :mod:`repro.core.rules` — Rules 1–5 (Table 1);
+* :mod:`repro.core.registry` — shared state for concurrent queries (Rule 5);
+* :mod:`repro.core.assignment` — the storage manager's policy table.
+"""
+
+from repro.core.assignment import PolicyAssignmentTable
+from repro.core.classify import classify
+from repro.core.levels import (
+    compute_effective_levels,
+    compute_raw_levels,
+    iter_nodes,
+    level_of,
+)
+from repro.core.priority import priority_for_level
+from repro.core.registry import ConcurrencyRegistry, RandomOperatorRef
+from repro.core.rules import assign_policy
+from repro.core.semantics import AccessPattern, ContentType, SemanticInfo
+
+__all__ = [
+    "AccessPattern",
+    "ConcurrencyRegistry",
+    "ContentType",
+    "PolicyAssignmentTable",
+    "RandomOperatorRef",
+    "SemanticInfo",
+    "assign_policy",
+    "classify",
+    "compute_effective_levels",
+    "compute_raw_levels",
+    "iter_nodes",
+    "level_of",
+    "priority_for_level",
+]

@@ -1,0 +1,34 @@
+"""Request classification (Section 4.1).
+
+Maps :class:`~repro.core.semantics.SemanticInfo` plus the I/O direction to
+one of the paper's request types: sequential, random, temporary data,
+update — plus the TRIM of deleted temporary data.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import AccessPattern, ContentType, SemanticInfo
+from repro.storage.requests import IOOp, RequestType
+
+
+def classify(sem: SemanticInfo, op: IOOp) -> RequestType:
+    """Classify one request.
+
+    Precedence mirrors the paper's rules: the lifetime event (delete) and
+    content type (temporary data) dominate, then update writes, then the
+    optimizer's access pattern.
+    """
+    if op is IOOp.TRIM or sem.is_delete:
+        return RequestType.TRIM_TEMP
+    if sem.content_type is ContentType.TEMP:
+        return (
+            RequestType.TEMP_WRITE if op is IOOp.WRITE else RequestType.TEMP_READ
+        )
+    if op is IOOp.WRITE:
+        return RequestType.UPDATE
+    # Reads issued while executing an update statement (index descents,
+    # heap lookups) are ordinary random/sequential reads; only the writes
+    # themselves are "update requests" in the paper's sense (Rule 4).
+    if sem.pattern is AccessPattern.SEQUENTIAL:
+        return RequestType.SEQUENTIAL
+    return RequestType.RANDOM

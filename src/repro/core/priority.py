@@ -1,0 +1,41 @@
+"""Equation (1): mapping an operator's plan level to a caching priority.
+
+Random requests are mapped onto the consecutive priority range
+``[n1, n2]``.  With ``Lgap = lhigh - llow`` the level spread of random
+operators and ``Cprio = n2 - n1`` the size of the range::
+
+    p(i) = n1                                  if Cprio = 0 or Lgap = 0
+    p(i) = n1 + (i - llow)                     if Cprio >= Lgap
+    p(i) = n1 + floor(Cprio * (i-llow)/Lgap)   if Cprio < Lgap
+
+The last branch compresses deep plans onto the available priorities, so
+operators at neighbouring levels may share one priority.
+"""
+
+from __future__ import annotations
+
+
+def priority_for_level(
+    level: int, llow: int, lhigh: int, n1: int, n2: int
+) -> int:
+    """Priority for a random-access operator at ``level``.
+
+    ``llow``/``lhigh`` are the lowest/highest levels over all random-access
+    operators in scope (one query plan, or the global registry under
+    concurrency).  ``[n1, n2]`` is the available priority range.
+    """
+    if n2 < n1:
+        raise ValueError(f"empty priority range [{n1}, {n2}]")
+    if lhigh < llow:
+        raise ValueError(f"invalid level range [{llow}, {lhigh}]")
+    if not llow <= level <= lhigh:
+        # Clamp defensively: a stale registry entry must not crash a query.
+        level = min(max(level, llow), lhigh)
+
+    c_prio = n2 - n1
+    l_gap = lhigh - llow
+    if c_prio == 0 or l_gap == 0:
+        return n1
+    if c_prio >= l_gap:
+        return n1 + (level - llow)
+    return n1 + (c_prio * (level - llow)) // l_gap

@@ -1,0 +1,119 @@
+"""Global structures for concurrent priority assignment (Rule 5).
+
+PostgreSQL being multi-process, the paper keeps a small shared-memory
+region holding, for all running queries:
+
+* a hash table ``H<oid, list<(level, count)>>`` — how many operators, at
+  which plan levels, currently access each object (table or index);
+* ``gl_low`` / ``gl_high`` — the global minimum ``llow`` / maximum ``lhigh``
+  over the running queries' random-access operators.
+
+All structures are updated on query start and end.  The priority of a
+random request for object ``oid`` is computed by Equation (1) with the
+global level bounds and the *minimum* level at which any running operator
+accesses ``oid`` — i.e. the highest of the per-query priorities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.core.priority import priority_for_level
+from repro.storage.qos import PolicySet
+
+
+@dataclass(frozen=True)
+class RandomOperatorRef:
+    """One random-access operator registered for the duration of a query."""
+
+    oid: int
+    level: int
+
+
+class ConcurrencyRegistry:
+    """Shared bookkeeping for Rule 5; also used for single queries."""
+
+    def __init__(self) -> None:
+        self._object_levels: dict[int, Counter] = defaultdict(Counter)
+        self._query_ops: dict[int, list[RandomOperatorRef]] = {}
+        self._query_bounds: dict[int, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def register_query(
+        self, query_id: int, random_ops: list[RandomOperatorRef]
+    ) -> None:
+        """Record a starting query's random-access operators."""
+        if query_id in self._query_ops:
+            raise ValueError(f"query {query_id} already registered")
+        self._query_ops[query_id] = list(random_ops)
+        for op in random_ops:
+            self._object_levels[op.oid][op.level] += 1
+        if random_ops:
+            levels = [op.level for op in random_ops]
+            self._query_bounds[query_id] = (min(levels), max(levels))
+
+    def unregister_query(self, query_id: int) -> None:
+        """Remove a finished query's contribution."""
+        ops = self._query_ops.pop(query_id, None)
+        if ops is None:
+            return
+        self._query_bounds.pop(query_id, None)
+        for op in ops:
+            counter = self._object_levels[op.oid]
+            counter[op.level] -= 1
+            if counter[op.level] <= 0:
+                del counter[op.level]
+            if not counter:
+                del self._object_levels[op.oid]
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def active_queries(self) -> int:
+        return len(self._query_ops)
+
+    @property
+    def gl_low(self) -> int | None:
+        """Global lowest level over all running queries' random operators."""
+        if not self._query_bounds:
+            return None
+        return min(low for low, _ in self._query_bounds.values())
+
+    @property
+    def gl_high(self) -> int | None:
+        """Global highest level over all running queries' random operators."""
+        if not self._query_bounds:
+            return None
+        return max(high for _, high in self._query_bounds.values())
+
+    def min_level_for(self, oid: int) -> int | None:
+        """Lowest level at which any running operator accesses ``oid``."""
+        counter = self._object_levels.get(oid)
+        if not counter:
+            return None
+        return min(counter)
+
+    def priority_for(
+        self,
+        oid: int | None,
+        policy_set: PolicySet,
+        fallback_level: int | None = None,
+    ) -> int:
+        """Caching priority for a random request to ``oid`` (Rules 2 and 5).
+
+        Falls back to ``fallback_level`` (the issuing operator's own level)
+        when the object is not registered, and to the highest available
+        random priority when no level information exists at all.
+        """
+        n1, n2 = policy_set.random_priority_range
+        low, high = self.gl_low, self.gl_high
+        if low is None or high is None:
+            return n1
+        level = self.min_level_for(oid) if oid is not None else None
+        if level is None:
+            level = fallback_level
+        if level is None:
+            return n1
+        return priority_for_level(level, low, high, n1, n2)

@@ -1,0 +1,61 @@
+"""The five policy-assignment rules (Section 4, Table 1).
+
+=============================  ==============  ======
+Request type                   Priority        Rule
+=============================  ==============  ======
+temporary data requests        1               Rule 3
+random requests                2 .. N-2        Rules 2, 5
+sequential requests            N-1             Rule 1
+TRIM to temporary data         N               Rule 3
+updates                        write buffer    Rule 4
+=============================  ==============  ======
+
+Rule 1  — sequential requests get "non-caching and non-eviction": HDDs
+serve sequential streams at SSD-comparable bandwidth, so caching them
+wastes SSD capacity.
+
+Rule 2  — random requests get priorities by plan level through
+Equation (1): operators lower in the (blocking-adjusted) plan tree get
+higher priorities.
+
+Rule 3  — temporary data is cached at the highest priority during its
+lifetime and TRIMmed (non-caching and eviction) at its end.
+
+Rule 4  — updates go to the write buffer so they never touch the HDD
+synchronously.
+
+Rule 5  — under concurrency, random requests to a shared object take the
+highest priority any running query would give it, via the global registry.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import classify
+from repro.core.registry import ConcurrencyRegistry
+from repro.core.semantics import SemanticInfo
+from repro.storage.qos import PolicySet, QoSPolicy
+from repro.storage.requests import IOOp, RequestType
+
+
+def assign_policy(
+    sem: SemanticInfo,
+    op: IOOp,
+    policy_set: PolicySet,
+    registry: ConcurrencyRegistry,
+) -> tuple[QoSPolicy, RequestType]:
+    """Map one request's semantics to (QoS policy, request type)."""
+    rtype = classify(sem, op)
+
+    if rtype is RequestType.TRIM_TEMP:
+        return policy_set.eviction_policy(), rtype  # Rule 3 (lifetime end)
+    if rtype in (RequestType.TEMP_READ, RequestType.TEMP_WRITE):
+        return policy_set.temp_policy(), rtype  # Rule 3
+    if rtype is RequestType.UPDATE:
+        return policy_set.update_policy(), rtype  # Rule 4
+    if rtype is RequestType.SEQUENTIAL:
+        return policy_set.sequential_policy(), rtype  # Rule 1
+    # Rule 2 within one query; Rule 5 resolves concurrent plans.
+    priority = registry.priority_for(
+        sem.oid, policy_set, fallback_level=sem.level
+    )
+    return QoSPolicy.with_priority(priority), rtype

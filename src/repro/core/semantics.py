@@ -1,0 +1,123 @@
+"""Semantic information attached to DBMS I/O (Sections 1.1 and 4.1).
+
+A conventional storage manager strips everything except the physical shape
+of a request (LBA, direction, size).  hStorage-DB keeps the pieces that
+matter for placement:
+
+* **content type** — regular table, index, or temporary data;
+* **access pattern** — sequential or random, as decided by the optimizer;
+* **plan level** — the (blocking-adjusted) level of the issuing operator in
+  its query plan tree, which drives the priority of random requests;
+* **lifetime events** — the deletion of temporary data (TRIM).
+
+A :class:`SemanticInfo` travels from the executor through the buffer pool
+into the storage manager, which maps it to a QoS policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ContentType(enum.Enum):
+    """What kind of database object a request touches."""
+
+    TABLE = "table"
+    INDEX = "index"
+    TEMP = "temp"
+
+
+class AccessPattern(enum.Enum):
+    """The optimizer-determined behaviour of the request stream."""
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class SemanticInfo:
+    """Everything the storage manager needs to classify one request.
+
+    ``level`` is the *effective* plan level of the issuing operator (after
+    blocking-operator recalculation); it is only meaningful for random
+    requests.  ``is_update`` marks writes from update statements / dirty
+    page writeback of regular data.  ``is_delete`` marks the lifetime-end
+    of temporary data (mapped to TRIM).
+    """
+
+    content_type: ContentType
+    pattern: AccessPattern
+    oid: int | None = None
+    level: int | None = None
+    query_id: int | None = None
+    is_update: bool = False
+    is_delete: bool = False
+
+    @classmethod
+    def table_scan(cls, oid: int, query_id: int | None = None) -> "SemanticInfo":
+        """Sequential scan over a regular table."""
+        return cls(
+            content_type=ContentType.TABLE,
+            pattern=AccessPattern.SEQUENTIAL,
+            oid=oid,
+            query_id=query_id,
+        )
+
+    @classmethod
+    def random_access(
+        cls,
+        content_type: ContentType,
+        oid: int,
+        level: int,
+        query_id: int | None = None,
+    ) -> "SemanticInfo":
+        """Random access from an index-scan operator at ``level``."""
+        return cls(
+            content_type=content_type,
+            pattern=AccessPattern.RANDOM,
+            oid=oid,
+            level=level,
+            query_id=query_id,
+        )
+
+    @classmethod
+    def temp_data(
+        cls, oid: int | None = None, query_id: int | None = None
+    ) -> "SemanticInfo":
+        """Temporary data in its generation or consumption phase."""
+        return cls(
+            content_type=ContentType.TEMP,
+            pattern=AccessPattern.SEQUENTIAL,
+            oid=oid,
+            query_id=query_id,
+        )
+
+    @classmethod
+    def temp_delete(
+        cls, oid: int | None = None, query_id: int | None = None
+    ) -> "SemanticInfo":
+        """End of a temporary file's lifetime (becomes TRIM)."""
+        return cls(
+            content_type=ContentType.TEMP,
+            pattern=AccessPattern.SEQUENTIAL,
+            oid=oid,
+            query_id=query_id,
+            is_delete=True,
+        )
+
+    @classmethod
+    def update(
+        cls,
+        content_type: ContentType,
+        oid: int | None = None,
+        query_id: int | None = None,
+    ) -> "SemanticInfo":
+        """A write of regular data (update stream / dirty writeback)."""
+        return cls(
+            content_type=content_type,
+            pattern=AccessPattern.RANDOM,
+            oid=oid,
+            query_id=query_id,
+            is_update=True,
+        )

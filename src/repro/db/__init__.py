@@ -1,0 +1,37 @@
+"""Mini-DBMS substrate: the instrumented "PostgreSQL" of the reproduction.
+
+Catalog, heap files, B+tree indexes, a buffer pool that forwards semantic
+information, a storage manager with the policy assignment table, a
+temp-file manager with TRIM-on-delete, and an iterator-model executor.
+"""
+
+from repro.db.catalog import Catalog, Index, Relation
+from repro.db.engine import Database, QueryExecution, QueryResult
+from repro.db.errors import (
+    CatalogError,
+    ExecutionError,
+    ReproError,
+    StorageLayoutError,
+)
+from repro.db.plan import ExecutionContext, PlanNode
+from repro.db.tuples import Column, Schema, date_to_days, days_to_date, schema
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "Database",
+    "ExecutionContext",
+    "ExecutionError",
+    "Index",
+    "PlanNode",
+    "QueryExecution",
+    "QueryResult",
+    "Relation",
+    "ReproError",
+    "Schema",
+    "StorageLayoutError",
+    "date_to_days",
+    "days_to_date",
+    "schema",
+]

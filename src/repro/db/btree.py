@@ -1,0 +1,272 @@
+"""Page-based B+tree index.
+
+Nodes are pages of the index file, accessed through the buffer pool so
+every descent issues (potentially) random index I/O — the request stream
+an "index scan" operator produces in the paper.  Duplicate keys are
+supported by ordering entries on ``(key, rid)``.
+
+Deletion is lazy (the entry is removed from its leaf without rebalancing),
+the standard production shortcut (PostgreSQL reclaims space in VACUUM);
+RF2's delete volume is far too small to unbalance the tree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.bufferpool import BufferPool
+from repro.db.errors import StorageLayoutError
+from repro.db.heap import Rid
+from repro.db.pages import DbFile
+
+
+class BTreeNode:
+    """One node page.  Leaves hold (key, rid); internals hold separators."""
+
+    __slots__ = ("leaf", "keys", "rids", "children", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.keys: list = []
+        self.rids: list[Rid] = []  # leaves only
+        self.children: list[int] = []  # internals only: child page numbers
+        self.next_leaf: int | None = None
+
+
+class BTree:
+    """B+tree over (key, rid) pairs with duplicate-key support."""
+
+    def __init__(self, file: DbFile, order: int = 128) -> None:
+        if order < 4:
+            raise StorageLayoutError("btree order must be >= 4")
+        self.file = file
+        self.order = order
+        self.root_pageno: int | None = None
+        self.entry_count = 0
+
+    # ----------------------------------------------------------- bulk build
+
+    def bulk_load(self, pairs: Iterable[tuple[object, Rid]]) -> int:
+        """Build the tree bottom-up from (key, rid) pairs, outside
+        measurement (same rationale as heap bulk load)."""
+        entries = sorted(pairs)
+        if self.entry_count:
+            raise StorageLayoutError("bulk_load requires an empty tree")
+        if not entries:
+            # Keep an empty leaf so lookups have a root to visit.
+            root = BTreeNode(leaf=True)
+            self.root_pageno = self.file.allocate_page(root)
+            return 0
+
+        fanout = self.order
+        # Build the leaf level.
+        leaf_pagenos: list[int] = []
+        leaf_first_keys: list = []
+        for start in range(0, len(entries), fanout):
+            chunk = entries[start : start + fanout]
+            node = BTreeNode(leaf=True)
+            node.keys = [key for key, _ in chunk]
+            node.rids = [rid for _, rid in chunk]
+            pageno = self.file.allocate_page(node)
+            if leaf_pagenos:
+                self.file.page(leaf_pagenos[-1]).next_leaf = pageno
+            leaf_pagenos.append(pageno)
+            leaf_first_keys.append(node.keys[0])
+
+        # Build internal levels until a single root remains.
+        level_pagenos = leaf_pagenos
+        level_keys = leaf_first_keys
+        while len(level_pagenos) > 1:
+            parent_pagenos: list[int] = []
+            parent_keys: list = []
+            for start in range(0, len(level_pagenos), fanout):
+                child_pages = level_pagenos[start : start + fanout]
+                child_keys = level_keys[start : start + fanout]
+                node = BTreeNode(leaf=False)
+                node.children = list(child_pages)
+                node.keys = list(child_keys[1:])  # separators
+                pageno = self.file.allocate_page(node)
+                parent_pagenos.append(pageno)
+                parent_keys.append(child_keys[0])
+            level_pagenos = parent_pagenos
+            level_keys = parent_keys
+        self.root_pageno = level_pagenos[0]
+        self.entry_count = len(entries)
+        return len(entries)
+
+    # -------------------------------------------------------------- lookups
+
+    def _node(self, pool: BufferPool, pageno: int, sem: SemanticInfo) -> BTreeNode:
+        return pool.get_page(self.file, pageno, sem)
+
+    def _descend_to_leaf(
+        self, pool: BufferPool, key, sem: SemanticInfo
+    ) -> tuple[int, BTreeNode]:
+        """Descend to the *first* leaf that may contain ``key``.
+
+        Uses ``bisect_left`` so that duplicate keys spanning several leaves
+        are found from their first occurrence; forward iteration over the
+        leaf chain covers the rest of the run.
+        """
+        if self.root_pageno is None:
+            raise StorageLayoutError("btree has no root (not built)")
+        pageno = self.root_pageno
+        node = self._node(pool, pageno, sem)
+        while not node.leaf:
+            child_idx = bisect.bisect_left(node.keys, key)
+            pageno = node.children[child_idx]
+            node = self._node(pool, pageno, sem)
+        return pageno, node
+
+    def search(
+        self, pool: BufferPool, key, sem: SemanticInfo
+    ) -> Iterator[Rid]:
+        """All rids with exactly ``key`` (duplicates included)."""
+        for _key, rid in self.range_scan(pool, key, key, sem):
+            yield rid
+
+    def range_scan(
+        self, pool: BufferPool, lo, hi, sem: SemanticInfo
+    ) -> Iterator[tuple[object, Rid]]:
+        """(key, rid) pairs with lo <= key <= hi; lo/hi of None = open end."""
+        if self.root_pageno is None:
+            return
+        probe = lo if lo is not None else _MINUS_INF
+        pageno, node = self._descend_to_leaf(pool, probe, sem)
+        idx = 0 if lo is None else bisect.bisect_left(node.keys, lo)
+        while True:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if hi is not None and key > hi:
+                    return
+                yield key, node.rids[idx]
+                idx += 1
+            if node.next_leaf is None:
+                return
+            node = self._node(pool, node.next_leaf, sem)
+            idx = 0
+
+    # -------------------------------------------------------------- mutation
+
+    def insert(self, pool: BufferPool, key, rid: Rid, sem: SemanticInfo) -> None:
+        """Insert one entry, splitting nodes as needed (RF1 path)."""
+        if self.root_pageno is None:
+            root = BTreeNode(leaf=True)
+            self.root_pageno = pool.new_page(self.file, root, sem)
+        path: list[tuple[int, BTreeNode, int]] = []  # (pageno, node, child_idx)
+        pageno = self.root_pageno
+        node = self._node(pool, pageno, sem)
+        while not node.leaf:
+            child_idx = bisect.bisect_right(node.keys, key)
+            path.append((pageno, node, child_idx))
+            pageno = node.children[child_idx]
+            node = self._node(pool, pageno, sem)
+
+        pos = bisect.bisect_left(_entry_keys(node), (key, rid))
+        node.keys.insert(pos, key)
+        node.rids.insert(pos, rid)
+        pool.mark_dirty(self.file, pageno, sem)
+        self.entry_count += 1
+
+        # Split upwards while nodes overflow.
+        while len(node.keys) > self.order:
+            sep_key, new_pageno = self._split(pool, pageno, node, sem)
+            if not path:
+                new_root = BTreeNode(leaf=False)
+                new_root.keys = [sep_key]
+                new_root.children = [pageno, new_pageno]
+                self.root_pageno = pool.new_page(self.file, new_root, sem)
+                return
+            parent_pageno, parent, child_idx = path.pop()
+            parent.keys.insert(child_idx, sep_key)
+            parent.children.insert(child_idx + 1, new_pageno)
+            pool.mark_dirty(self.file, parent_pageno, sem)
+            pageno, node = parent_pageno, parent
+
+    def _split(
+        self, pool: BufferPool, pageno: int, node: BTreeNode, sem: SemanticInfo
+    ) -> tuple[object, int]:
+        """Split an overflowing node; returns (separator key, new pageno)."""
+        mid = len(node.keys) // 2
+        sibling = BTreeNode(leaf=node.leaf)
+        if node.leaf:
+            sep_key = node.keys[mid]
+            sibling.keys = node.keys[mid:]
+            sibling.rids = node.rids[mid:]
+            node.keys = node.keys[:mid]
+            node.rids = node.rids[:mid]
+            new_pageno = pool.new_page(self.file, sibling, sem)
+            sibling.next_leaf = node.next_leaf
+            node.next_leaf = new_pageno
+        else:
+            sep_key = node.keys[mid]
+            sibling.keys = node.keys[mid + 1 :]
+            sibling.children = node.children[mid + 1 :]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+            new_pageno = pool.new_page(self.file, sibling, sem)
+        pool.mark_dirty(self.file, pageno, sem)
+        return sep_key, new_pageno
+
+    def delete(self, pool: BufferPool, key, rid: Rid, sem: SemanticInfo) -> bool:
+        """Lazily remove one (key, rid) entry; True if found."""
+        if self.root_pageno is None:
+            return False
+        pageno, node = self._descend_to_leaf(pool, key, sem)
+        while True:
+            idx = bisect.bisect_left(node.keys, key)
+            # Walk duplicates within this leaf looking for the exact rid.
+            while idx < len(node.keys) and node.keys[idx] == key:
+                if node.rids[idx] == rid:
+                    del node.keys[idx]
+                    del node.rids[idx]
+                    self.entry_count -= 1
+                    pool.mark_dirty(self.file, pageno, sem)
+                    return True
+                idx += 1
+            # Duplicates may continue on the next leaf.
+            if (
+                idx >= len(node.keys)
+                and node.next_leaf is not None
+            ):
+                next_pageno = node.next_leaf
+                next_node = self._node(pool, next_pageno, sem)
+                if next_node.keys and next_node.keys[0] == key:
+                    pageno, node = next_pageno, next_node
+                    continue
+            return False
+
+    # --------------------------------------------------------------- helpers
+
+    def height(self, pool: BufferPool, sem: SemanticInfo) -> int:
+        """Tree height in levels (1 = just a leaf)."""
+        if self.root_pageno is None:
+            return 0
+        levels = 1
+        node = self._node(pool, self.root_pageno, sem)
+        while not node.leaf:
+            node = self._node(pool, node.children[0], sem)
+            levels += 1
+        return levels
+
+
+class _MinusInf:
+    """Sorts below every key."""
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return True
+
+    def __gt__(self, other) -> bool:
+        return False
+
+
+_MINUS_INF = _MinusInf()
+
+
+def _entry_keys(node: BTreeNode) -> list:
+    """(key, rid) view of a leaf for bisect."""
+    return list(zip(node.keys, node.rids))

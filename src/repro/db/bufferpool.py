@@ -1,0 +1,204 @@
+"""DBMS buffer pool with semantic pass-through.
+
+The paper instruments PostgreSQL so that buffer-pool requests carry the
+semantic information collected in the optimizer/executor down to the
+storage manager.  This buffer pool does the same: every page access takes
+a :class:`~repro.core.semantics.SemanticInfo`, which is forwarded on a
+miss (read path) and remembered per-frame for the writeback path (dirty
+evictions classify as updates for regular data, as temp writes for
+temporary data — Rules 4 and 3 respectively).
+
+Replacement is LRU.  PostgreSQL uses clock-sweep; at the storage layer the
+difference is immaterial for the studied effects (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.pages import DbFile, FileKind
+from repro.db.storage_manager import StorageManager
+
+
+@dataclass
+class Frame:
+    file: DbFile
+    pageno: int
+    page: object
+    dirty: bool = False
+    dirty_query: int | None = None
+
+
+class BufferPool:
+    """Fixed-capacity page cache between the executor and storage."""
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        storage_manager: StorageManager,
+        read_ahead_pages: int | None = None,
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one page")
+        self.capacity = capacity_pages
+        self.storage_manager = storage_manager
+        self.read_ahead = (
+            read_ahead_pages
+            if read_ahead_pages is not None
+            else storage_manager.params.read_ahead_pages
+        )
+        self._frames: OrderedDict[tuple[int, int], Frame] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # --------------------------------------------------------------- reads
+
+    def get_page(self, file: DbFile, pageno: int, sem: SemanticInfo):
+        """Fetch one page, charging storage I/O on a miss."""
+        key = (file.fileid, pageno)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(key)
+            return frame.page
+        self.misses += 1
+        self.storage_manager.read_pages(file, pageno, 1, sem)
+        page = file.page(pageno)
+        self._admit(Frame(file, pageno, page))
+        return page
+
+    def get_range(self, file: DbFile, start: int, count: int, sem: SemanticInfo):
+        """Yield pages ``[start, start+count)``, batching missing runs.
+
+        Misses within one read-ahead window are fetched with a single
+        multi-block request per contiguous missing run, which is how a
+        sequential scan turns into few large I/O requests.
+        """
+        window = max(self.read_ahead, 1)
+        end = start + count
+        pos = start
+        while pos < end:
+            batch_end = min(pos + window, end)
+            self._fault_in_range(file, pos, batch_end, sem)
+            for pageno in range(pos, batch_end):
+                key = (file.fileid, pageno)
+                frame = self._frames.get(key)
+                if frame is None:
+                    # Evicted by our own read-ahead (pool smaller than the
+                    # window): re-read the single page.
+                    yield self.get_page(file, pageno, sem)
+                else:
+                    self._frames.move_to_end(key)
+                    yield frame.page
+            pos = batch_end
+
+    def _fault_in_range(
+        self, file: DbFile, start: int, end: int, sem: SemanticInfo
+    ) -> None:
+        run_start: int | None = None
+        for pageno in range(start, end):
+            missing = (file.fileid, pageno) not in self._frames
+            if missing:
+                self.misses += 1
+                if run_start is None:
+                    run_start = pageno
+            else:
+                self.hits += 1
+            if not missing and run_start is not None:
+                self._read_run(file, run_start, pageno - run_start, sem)
+                run_start = None
+        if run_start is not None:
+            self._read_run(file, run_start, end - run_start, sem)
+
+    def _read_run(
+        self, file: DbFile, start: int, count: int, sem: SemanticInfo
+    ) -> None:
+        self.storage_manager.read_pages(file, start, count, sem)
+        for pageno in range(start, start + count):
+            self._admit(Frame(file, pageno, file.page(pageno)))
+
+    # --------------------------------------------------------------- writes
+
+    def new_page(self, file: DbFile, page, sem: SemanticInfo) -> int:
+        """Allocate a fresh page dirty in the pool (written on eviction)."""
+        pageno = file.allocate_page(page)
+        self._admit(
+            Frame(file, pageno, page, dirty=True, dirty_query=sem.query_id)
+        )
+        return pageno
+
+    def mark_dirty(self, file: DbFile, pageno: int, sem: SemanticInfo) -> None:
+        """Mark an (already resident) page dirty."""
+        key = (file.fileid, pageno)
+        frame = self._frames.get(key)
+        if frame is None:
+            # Page was evicted between read and modify; re-admit it.
+            self.get_page(file, pageno, sem)
+            frame = self._frames[key]
+        frame.dirty = True
+        frame.dirty_query = sem.query_id
+
+    # ------------------------------------------------------------- lifecycle
+
+    def drop_file(self, file: DbFile) -> int:
+        """Discard every frame of a (deleted) file without writeback."""
+        keys = [key for key in self._frames if key[0] == file.fileid]
+        for key in keys:
+            del self._frames[key]
+        return len(keys)
+
+    def flush_all(self) -> int:
+        """Write back every dirty frame (checkpoint); returns pages written."""
+        written = 0
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._writeback(frame)
+                written += 1
+        return written
+
+    def clear(self) -> None:
+        """Empty the pool (cold-cache experiment resets); flushes first."""
+        self.flush_all()
+        self._frames.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    # ------------------------------------------------------------- internals
+
+    def _admit(self, frame: Frame) -> None:
+        key = (frame.file.fileid, frame.pageno)
+        if key in self._frames:
+            # Keep the existing frame's dirty state; refresh recency.
+            existing = self._frames[key]
+            existing.dirty = existing.dirty or frame.dirty
+            self._frames.move_to_end(key)
+            return
+        while len(self._frames) >= self.capacity:
+            _, victim = self._frames.popitem(last=False)
+            if victim.dirty:
+                self._writeback(victim)
+        self._frames[key] = frame
+
+    def _writeback(self, frame: Frame) -> None:
+        sem = self._writeback_semantics(frame)
+        # Dirty-page writeback is background-writer work: it must reach
+        # storage (and take its place in the cache) but is off the critical
+        # path of whichever query triggered the eviction.
+        self.storage_manager.write_page(
+            frame.file, frame.pageno, sem, async_hint=True
+        )
+        frame.dirty = False
+
+    @staticmethod
+    def _writeback_semantics(frame: Frame) -> SemanticInfo:
+        file = frame.file
+        if file.kind is FileKind.TEMP:
+            return SemanticInfo.temp_data(oid=file.oid, query_id=frame.dirty_query)
+        content = (
+            ContentType.INDEX if file.kind is FileKind.INDEX else ContentType.TABLE
+        )
+        return SemanticInfo.update(content, oid=file.oid, query_id=frame.dirty_query)

@@ -1,0 +1,98 @@
+"""Catalog: relations, indexes, object ids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.btree import BTree
+from repro.db.errors import CatalogError
+from repro.db.heap import HeapFile
+from repro.db.tuples import Schema
+
+
+@dataclass
+class Relation:
+    """A regular table."""
+
+    name: str
+    oid: int
+    schema: Schema
+    heap: HeapFile
+    indexes: list["Index"] = field(default_factory=list)
+
+    def cols(self) -> dict[str, int]:
+        """Column-name to tuple-position map for plan builders."""
+        return {c.name: i for i, c in enumerate(self.schema.columns)}
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+    def index_on(self, column: str) -> "Index":
+        for index in self.indexes:
+            if index.column == column:
+                return index
+        raise CatalogError(f"{self.name} has no index on {column!r}")
+
+
+@dataclass
+class Index:
+    """A B+tree index over one column of a relation."""
+
+    name: str
+    oid: int
+    table: Relation
+    column: str
+    key_pos: int
+    btree: BTree
+
+
+class Catalog:
+    """Name -> object resolution plus oid allocation."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._indexes: dict[str, Index] = {}
+        self._next_oid = 1000  # user objects start at 1000, PostgreSQL-style
+
+    def allocate_oid(self) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def add_relation(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise CatalogError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+
+    def add_index(self, index: Index) -> None:
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self._indexes[index.name] = index
+        index.table.indexes.append(index)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"no relation named {name!r}") from None
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index named {name!r}") from None
+
+    @property
+    def relations(self) -> list[Relation]:
+        return list(self._relations.values())
+
+    @property
+    def indexes(self) -> list[Index]:
+        return list(self._indexes.values())
+
+    def total_heap_pages(self) -> int:
+        return sum(rel.heap.num_pages for rel in self.relations)
+
+    def total_index_pages(self) -> int:
+        return sum(ix.btree.file.num_pages for ix in self.indexes)

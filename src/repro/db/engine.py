@@ -1,0 +1,254 @@
+"""The Database facade: DDL, loading, query execution, concurrency.
+
+This is the hStorage-DB "DBMS server": it owns the catalog, buffer pool,
+storage manager (with its policy assignment table), temp-file manager and
+the Rule-5 registry, and it drives query plans through the executor.
+
+Concurrent workloads (the paper's Section 6.4 throughput test) are
+simulated by *cooperative interleaving*: each stream's plan is advanced a
+quantum of tuples at a time in round-robin order over one shared storage
+system and one shared registry, reproducing both device-level interference
+and concurrent policy assignment without OS threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.assignment import PolicyAssignmentTable
+from repro.core.levels import compute_effective_levels, iter_nodes
+from repro.core.registry import RandomOperatorRef
+from repro.db.bufferpool import BufferPool
+from repro.db.catalog import Catalog, Index, Relation
+from repro.db.errors import ExecutionError
+from repro.db.heap import HeapFile
+from repro.db.btree import BTree
+from repro.db.pages import FileKind
+from repro.db.plan import PULSE, ExecutionContext, PlanNode
+from repro.db.storage_manager import StorageManager
+from repro.db.temp import TempFileManager
+from repro.db.tuples import Schema
+from repro.sim.params import SimulationParameters
+from repro.storage.stats import QueryStats
+from repro.storage.system import StorageSystem
+
+PlanBuilder = Callable[["Database"], PlanNode]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution."""
+
+    query_id: int
+    label: str
+    rows: list[tuple]
+    sim_seconds: float
+    stats: QueryStats
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class QueryExecution:
+    """A query being advanced cooperatively (concurrent workloads)."""
+
+    def __init__(
+        self, db: "Database", plan: PlanNode, label: str, collect: bool
+    ) -> None:
+        self.db = db
+        self.plan = plan
+        self.label = label
+        self.collect = collect
+        self.query_id = db._next_query_id()
+        self.rows: list[tuple] = []
+        self.started_at = db.clock.now
+        self.finished_at: float | None = None
+
+        levels = compute_effective_levels(plan)
+        refs: list[RandomOperatorRef] = []
+        for node in iter_nodes(plan):
+            refs.extend(node.random_refs(levels[id(node)]))
+        db.registry.register_query(self.query_id, refs)
+
+        self.ctx = ExecutionContext(
+            pool=db.pool,
+            temp=db.temp,
+            clock=db.clock,
+            params=db.params,
+            query_id=self.query_id,
+            work_mem_rows=db.work_mem_rows,
+            levels=levels,
+        )
+        self._iterator = plan.execute(self.ctx)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    def step(self, quantum: int = 64) -> bool:
+        """Advance up to ``quantum`` items; returns False once exhausted.
+
+        Items are output rows *or* scheduling pulses emitted inside
+        blocking operator phases — both count against the quantum, so
+        co-running queries interleave at I/O-ish granularity.
+        """
+        if self.done:
+            return False
+        for _ in range(quantum):
+            try:
+                row = next(self._iterator)
+            except StopIteration:
+                self._finish()
+                return False
+            if self.collect and row is not PULSE:
+                self.rows.append(row)
+        return True
+
+    def run_to_completion(self) -> None:
+        while self.step(4096):
+            pass
+
+    def _finish(self) -> None:
+        self.ctx.flush_cpu()
+        self.db.registry.unregister_query(self.query_id)
+        self.db.temp.cleanup_query(self.query_id)
+        self.finished_at = self.db.clock.now
+
+    def result(self) -> QueryResult:
+        if not self.done:
+            raise ExecutionError(f"query {self.label!r} has not finished")
+        return QueryResult(
+            query_id=self.query_id,
+            label=self.label,
+            rows=self.rows,
+            sim_seconds=self.finished_at - self.started_at,
+            stats=self.db.storage.stats.query(self.query_id),
+        )
+
+
+class Database:
+    """A single-node DBMS over one (possibly hybrid) storage system."""
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        assignment: PolicyAssignmentTable,
+        params: SimulationParameters | None = None,
+        bufferpool_pages: int = 256,
+        work_mem_rows: int = 5000,
+        btree_order: int = 128,
+        use_trim: bool = True,
+    ) -> None:
+        self.storage = storage
+        self.assignment = assignment
+        self.params = params if params is not None else SimulationParameters()
+        self.work_mem_rows = work_mem_rows
+        self.btree_order = btree_order
+
+        self.catalog = Catalog()
+        self.registry = assignment.registry
+        self.storage_manager = StorageManager(storage, assignment, self.params)
+        self.pool = BufferPool(bufferpool_pages, self.storage_manager)
+        self.temp = TempFileManager(self.storage_manager, self.pool, use_trim)
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, name: str, schema: Schema) -> Relation:
+        oid = self.catalog.allocate_oid()
+        file = self.storage_manager.create_file(FileKind.HEAP, oid=oid)
+        heap = HeapFile(
+            file, schema, schema.rows_per_page(self.params.block_size)
+        )
+        relation = Relation(name=name, oid=oid, schema=schema, heap=heap)
+        self.catalog.add_relation(relation)
+        return relation
+
+    def create_index(self, name: str, table_name: str, column: str) -> Index:
+        relation = self.catalog.relation(table_name)
+        key_pos = relation.schema.idx(column)
+        oid = self.catalog.allocate_oid()
+        file = self.storage_manager.create_file(FileKind.INDEX, oid=oid)
+        btree = BTree(file, order=self.btree_order)
+        index = Index(
+            name=name,
+            oid=oid,
+            table=relation,
+            column=column,
+            key_pos=key_pos,
+            btree=btree,
+        )
+        # Build bottom-up from the existing heap contents (out of band).
+        pairs = (
+            (row[key_pos], (pageno, slot))
+            for pageno, page in enumerate(relation.heap.file.pages)
+            for slot, row in page.live_rows()
+        )
+        btree.bulk_load(pairs)
+        self.catalog.add_index(index)
+        return index
+
+    def bulk_load(self, table_name: str, rows: Iterable[tuple]) -> int:
+        """Load rows outside measurement (restores a prepared image)."""
+        return self.catalog.relation(table_name).heap.bulk_load(rows)
+
+    # -------------------------------------------------------------- queries
+
+    def _next_query_id(self) -> int:
+        self._query_counter += 1
+        return self._query_counter
+
+    def build_plan(self, plan_or_builder) -> PlanNode:
+        if isinstance(plan_or_builder, PlanNode):
+            return plan_or_builder
+        plan = plan_or_builder(self)
+        if not isinstance(plan, PlanNode):
+            raise ExecutionError("plan builder did not return a PlanNode")
+        return plan
+
+    def start_query(
+        self, plan_or_builder, label: str = "query", collect: bool = True
+    ) -> QueryExecution:
+        plan = self.build_plan(plan_or_builder)
+        return QueryExecution(self, plan, label, collect)
+
+    def run_query(
+        self, plan_or_builder, label: str = "query", collect: bool = True
+    ) -> QueryResult:
+        """Run one query to completion; returns rows, simulated time, stats."""
+        execution = self.start_query(plan_or_builder, label, collect)
+        execution.run_to_completion()
+        return execution.result()
+
+    def run_concurrent(
+        self,
+        workloads: list[tuple[str, PlanBuilder]],
+        quantum: int = 64,
+        collect: bool = False,
+    ) -> list[QueryResult]:
+        """Co-run several queries with round-robin tuple quanta."""
+        executions = [
+            self.start_query(builder, label, collect)
+            for label, builder in workloads
+        ]
+        active = list(executions)
+        while active:
+            active = [ex for ex in active if ex.step(quantum)]
+        return [ex.result() for ex in executions]
+
+    # ---------------------------------------------------------------- admin
+
+    @property
+    def clock(self):
+        return self.storage.clock
+
+    def reset_measurements(self) -> None:
+        """Zero clock and statistics (after loading, before an experiment)."""
+        self.clock.reset()
+        self.storage.stats.reset()
+
+    def database_pages(self) -> int:
+        """Total heap + index pages (for sizing caches in experiments)."""
+        return self.catalog.total_heap_pages() + self.catalog.total_index_pages()

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the mini-DBMS."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate relation/index, schema mismatch."""
+
+
+class ExecutionError(ReproError):
+    """Query execution failed (bad plan shape, operator misuse)."""
+
+
+class StorageLayoutError(ReproError):
+    """Inconsistent page/extent bookkeeping."""

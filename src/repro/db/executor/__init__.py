@@ -1,0 +1,23 @@
+"""Iterator-model executor operators."""
+
+from repro.db.executor.agg import HashAggregate, StreamAggregate
+from repro.db.executor.join import Hash, HashJoin, NestedLoopIndexJoin
+from repro.db.executor.misc import Filter, Limit, Materialize, Project, TopN
+from repro.db.executor.scan import IndexScan, SeqScan
+from repro.db.executor.sort import Sort
+
+__all__ = [
+    "Filter",
+    "Hash",
+    "HashAggregate",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "Materialize",
+    "NestedLoopIndexJoin",
+    "Project",
+    "SeqScan",
+    "Sort",
+    "StreamAggregate",
+    "TopN",
+]

@@ -1,0 +1,156 @@
+"""Aggregation operators.
+
+``HashAggregate`` is the hybrid hash aggregation: groups stay in memory
+until the group count exceeds ``work_mem``; rows for *new* groups then
+spill to temp partitions (grace-style) while resident groups keep
+aggregating in place.  This is the "hash" operator that generates the
+temporary data dominating the paper's Q18 (Figure 10).
+
+``StreamAggregate`` aggregates grouped (sorted) input — or everything into
+a single group when ``group_key`` is None — without materialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.db.executor.join import _new_partitions, _route
+from repro.db.exprs import AggSpec, AggState
+from repro.db.plan import PULSE, PULSE_EVERY, ExecutionContext, PlanNode
+
+KeyFn = Callable[[tuple], object]
+GroupProj = Callable[[object, tuple], tuple]
+"""(group key, aggregate results) -> output row."""
+
+
+def _default_group_proj(key, results: tuple) -> tuple:
+    if isinstance(key, tuple):
+        return key + results
+    return (key,) + results
+
+
+class HashAggregate(PlanNode):
+    """Blocking hash aggregation with grace-style spilling."""
+
+    is_blocking = True
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_key: KeyFn,
+        aggs: list[AggSpec],
+        having: Callable[[tuple], bool] | None = None,
+        project: GroupProj | None = None,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(child, label=label or "HashAggregate")
+        self.group_key = group_key
+        self.aggs = aggs
+        self.having = having
+        self.project = project if project is not None else _default_group_proj
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        groups: dict[object, AggState] = {}
+        partitions = None
+        group_key, aggs = self.group_key, self.aggs
+        seen = 0
+        for row in self.children[0].execute(ctx):
+            if row is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick()
+            seen += 1
+            if seen % PULSE_EVERY == 0:
+                yield PULSE
+            key = group_key(row)
+            state = groups.get(key)
+            if state is None:
+                if partitions is None and len(groups) >= ctx.work_mem_rows:
+                    partitions = _new_partitions(ctx)
+                if partitions is not None:
+                    _route(partitions, group_key, row)
+                    continue
+                state = groups[key] = AggState(aggs)
+            state.add(row)
+
+        yield from self._emit(groups)
+        if partitions is not None:
+            for part in partitions:
+                part.finish_writing()
+            for part in partitions:
+                yield from self._aggregate(ctx, part.read_all())
+                part.delete()  # end of this partition's temp lifetime
+
+    def _aggregate(self, ctx: ExecutionContext, rows) -> Iterator[tuple]:
+        groups: dict[object, AggState] = {}
+        group_key = self.group_key
+        seen = 0
+        for row in rows:
+            ctx.cpu_tick()
+            seen += 1
+            if seen % PULSE_EVERY == 0:
+                yield PULSE
+            key = group_key(row)
+            state = groups.get(key)
+            if state is None:
+                state = groups[key] = AggState(self.aggs)
+            state.add(row)
+        yield from self._emit(groups)
+
+    def _emit(self, groups: dict) -> Iterator[tuple]:
+        for key, state in groups.items():
+            out = self.project(key, state.results())
+            if self.having is not None and not self.having(out):
+                continue
+            yield out
+
+
+class StreamAggregate(PlanNode):
+    """Aggregation over grouped input (or a single group)."""
+
+    is_blocking = True
+
+    def __init__(
+        self,
+        child: PlanNode,
+        aggs: list[AggSpec],
+        group_key: KeyFn | None = None,
+        project: GroupProj | None = None,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(child, label=label or "StreamAggregate")
+        self.group_key = group_key
+        self.aggs = aggs
+        self.project = project if project is not None else _default_group_proj
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        if self.group_key is None:
+            state = AggState(self.aggs)
+            seen_any = False
+            for row in self.children[0].execute(ctx):
+                if row is PULSE:
+                    yield PULSE
+                    continue
+                ctx.cpu_tick()
+                state.add(row)
+                seen_any = True
+            if seen_any:
+                yield state.results()
+            return
+
+        current_key = None
+        state: AggState | None = None
+        for row in self.children[0].execute(ctx):
+            if row is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick()
+            key = self.group_key(row)
+            if state is None or key != current_key:
+                if state is not None:
+                    yield self.project(current_key, state.results())
+                current_key = key
+                state = AggState(self.aggs)
+            state.add(row)
+        if state is not None:
+            yield self.project(current_key, state.results())

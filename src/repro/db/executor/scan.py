@@ -1,0 +1,128 @@
+"""Scan operators: sequential heap scans and B+tree index scans."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.registry import RandomOperatorRef
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.catalog import Index, Relation
+from repro.db.plan import PULSE, PULSE_EVERY, ExecutionContext, PlanNode
+
+Pred = Callable[[tuple], bool]
+Proj = Callable[[tuple], tuple]
+
+
+class SeqScan(PlanNode):
+    """Full table scan: sequential requests (Rule 1 traffic)."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        pred: Pred | None = None,
+        project: Proj | None = None,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(label=label or f"SeqScan({relation.name})")
+        self.relation = relation
+        self.pred = pred
+        self.project = project
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        sem = SemanticInfo.table_scan(self.relation.oid, query_id=ctx.query_id)
+        pred, project = self.pred, self.project
+        seen = 0
+        for _, row in self.relation.heap.scan(ctx.pool, sem):
+            ctx.cpu_tick()
+            seen += 1
+            if seen % PULSE_EVERY == 0:
+                yield PULSE
+            if pred is not None and not pred(row):
+                continue
+            yield project(row) if project is not None else row
+
+
+class IndexScan(PlanNode):
+    """B+tree range/point scan plus (optionally) heap fetches.
+
+    Both the index pages and the fetched table pages are random requests
+    issued by this operator, at the operator's effective plan level — the
+    paper's "requests to access a table and its corresponding index are
+    all random" (Section 4.2.2).
+    """
+
+    def __init__(
+        self,
+        index: Index,
+        lo=None,
+        hi=None,
+        pred: Pred | None = None,
+        project: Proj | None = None,
+        fetch: bool = True,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(
+            label=label or f"IndexScan({index.table.name}.{index.column})"
+        )
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.pred = pred
+        self.project = project
+        self.fetch = fetch
+
+    def random_refs(self, level: int) -> list[RandomOperatorRef]:
+        refs = [RandomOperatorRef(self.index.oid, level)]
+        if self.fetch:
+            refs.append(RandomOperatorRef(self.index.table.oid, level))
+        return refs
+
+    def _semantics(self, ctx: ExecutionContext) -> tuple[SemanticInfo, SemanticInfo]:
+        level = ctx.level(self)
+        sem_index = SemanticInfo.random_access(
+            ContentType.INDEX, self.index.oid, level, query_id=ctx.query_id
+        )
+        sem_table = SemanticInfo.random_access(
+            ContentType.TABLE, self.index.table.oid, level, query_id=ctx.query_id
+        )
+        return sem_index, sem_table
+
+    def _emit(
+        self, ctx: ExecutionContext, lo, hi, sem_index: SemanticInfo,
+        sem_table: SemanticInfo,
+    ) -> Iterator[tuple]:
+        heap = self.index.table.heap
+        pred, project = self.pred, self.project
+        for _key, rid in self.index.btree.range_scan(ctx.pool, lo, hi, sem_index):
+            ctx.cpu_tick()
+            if self.fetch:
+                row = heap.fetch(ctx.pool, rid, sem_table)
+                if row is None:  # deleted since the entry was made
+                    continue
+            else:
+                row = (_key, rid)
+            if pred is not None and not pred(row):
+                continue
+            yield row
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        sem_index, sem_table = self._semantics(ctx)
+        project = self.project
+        seen = 0
+        for row in self._emit(ctx, self.lo, self.hi, sem_index, sem_table):
+            seen += 1
+            if seen % PULSE_EVERY == 0:
+                yield PULSE
+            yield project(row) if project is not None else row
+
+    def probe(self, ctx: ExecutionContext, key) -> list[tuple]:
+        """Point probe used as the inner side of a nested-loop join.
+
+        Returns plain rows (no pulses, no projection); the join applies
+        its own pair projection.
+        """
+        sem_index, sem_table = self._semantics(ctx)
+        rows = list(self._emit(ctx, key, key, sem_index, sem_table))
+        if self.project is not None:
+            rows = [self.project(row) for row in rows]
+        return rows

@@ -1,0 +1,130 @@
+"""Plan nodes and the execution context.
+
+Plan trees are built programmatically by the workload layer (there is no
+SQL parser — DESIGN.md §6); every node implements the iterator model via a
+generator-returning :meth:`PlanNode.execute`.  Nodes satisfy the
+:class:`repro.core.levels.PlanLike` protocol, so the core level algorithms
+apply directly, and random-access operators report the (oid, level) pairs
+that Rule 5's registry needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.registry import RandomOperatorRef
+from repro.db.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.bufferpool import BufferPool
+    from repro.db.temp import TempFileManager
+    from repro.sim.clock import SimClock
+    from repro.sim.params import SimulationParameters
+
+_CPU_FLUSH_TUPLES = 512
+
+
+class _Pulse:
+    """Scheduling pulse: a non-row item operators emit periodically.
+
+    Blocking operators (hash builds, sorts, aggregations) consume their
+    entire input before producing the first row; without pulses, a
+    co-running query would execute such a phase atomically and the
+    concurrency experiments (paper Section 6.4) would interleave nothing.
+    Operators yield ``PULSE`` every few hundred processed items and pass
+    through pulses from their children; the scheduler counts them against
+    a query's quantum, and the engine filters them out of results.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pulse>"
+
+
+PULSE = _Pulse()
+
+PULSE_EVERY = 256
+"""Items processed between pulses inside heavy operator loops."""
+
+
+def rows_only(items):
+    """Filter pulses out of an operator's output stream."""
+    return (item for item in items if item is not PULSE)
+
+
+@dataclass
+class ExecutionContext:
+    """Per-query runtime state threaded through the operators."""
+
+    pool: "BufferPool"
+    temp: "TempFileManager"
+    clock: "SimClock"
+    params: "SimulationParameters"
+    query_id: int
+    work_mem_rows: int
+    levels: dict[int, int] = field(default_factory=dict)
+    _pending_cpu_tuples: int = 0
+
+    def level(self, node: "PlanNode") -> int:
+        """Effective plan level of a node (0 when levels are not computed)."""
+        return self.levels.get(id(node), 0)
+
+    def cpu_tick(self, tuples: int = 1) -> None:
+        """Charge modelled CPU time for processed tuples (batched)."""
+        self._pending_cpu_tuples += tuples
+        if self._pending_cpu_tuples >= _CPU_FLUSH_TUPLES:
+            self.flush_cpu()
+
+    def flush_cpu(self) -> None:
+        if self._pending_cpu_tuples:
+            self.clock.advance(
+                self._pending_cpu_tuples * self.params.cpu_s_per_tuple
+            )
+            self._pending_cpu_tuples = 0
+
+
+class PlanNode:
+    """Base class for all operators."""
+
+    is_blocking = False
+
+    def __init__(self, *children: "PlanNode", label: str | None = None) -> None:
+        self._children = list(children)
+        self.label = label if label is not None else type(self).__name__
+
+    @property
+    def children(self) -> list["PlanNode"]:
+        return self._children
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def random_refs(self, level: int) -> list[RandomOperatorRef]:
+        """(oid, level) pairs this operator contributes to Rule 5's registry."""
+        del level
+        return []
+
+    # ----------------------------------------------------------------- debug
+
+    def explain(self, indent: int = 0, levels: dict[int, int] | None = None) -> str:
+        """Readable plan tree, optionally annotated with effective levels."""
+        mark = ""
+        if levels is not None and id(self) in levels:
+            mark = f"  [level {levels[id(self)]}]"
+        lines = ["  " * indent + self.label + mark]
+        for child in self._children:
+            lines.append(child.explain(indent + 1, levels))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label!r})"
+
+
+def require_children(node: PlanNode, count: int) -> None:
+    if len(node.children) != count:
+        raise ExecutionError(
+            f"{node.label} needs exactly {count} child(ren), "
+            f"got {len(node.children)}"
+        )

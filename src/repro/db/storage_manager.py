@@ -1,0 +1,113 @@
+"""The DBMS storage manager, extended with the policy assignment table.
+
+In a stock DBMS this layer strips all semantics from a page request and
+emits bare block I/O.  In hStorage-DB it consults the
+:class:`~repro.core.assignment.PolicyAssignmentTable` and embeds the
+resulting QoS policy (plus the request-type classification used by the
+statistics layer) into each request before submitting it to the storage
+system — Section 2's architecture, faithfully.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import PolicyAssignmentTable
+from repro.core.semantics import SemanticInfo
+from repro.db.pages import DbFile, FileKind
+from repro.sim.params import SimulationParameters
+from repro.storage.block import ExtentAllocator, ExtentMap
+from repro.storage.requests import IOOp, IORequest
+from repro.storage.system import StorageSystem
+
+
+class StorageManager:
+    """Translates page I/O into classified block I/O."""
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        assignment: PolicyAssignmentTable,
+        params: SimulationParameters,
+        extent_allocator: ExtentAllocator | None = None,
+    ) -> None:
+        self.storage = storage
+        self.assignment = assignment
+        self.params = params
+        self.allocator = (
+            extent_allocator if extent_allocator is not None else ExtentAllocator()
+        )
+        self._next_fileid = 0
+
+    # ------------------------------------------------------------- file mgmt
+
+    TEMP_CHUNK_PAGES = 64
+    """Extent chunk for temp files: small, so TRIM footprints stay tight."""
+
+    def create_file(self, kind: FileKind, oid: int | None = None) -> DbFile:
+        fileid = self._next_fileid
+        self._next_fileid += 1
+        chunk = self.TEMP_CHUNK_PAGES if kind is FileKind.TEMP else None
+        return DbFile(
+            fileid, kind, ExtentMap(self.allocator, chunk_pages=chunk), oid=oid
+        )
+
+    # ------------------------------------------------------------------ I/O
+
+    def read_pages(
+        self, file: DbFile, pageno: int, count: int, sem: SemanticInfo
+    ) -> None:
+        """Charge the I/O for reading ``count`` pages starting at ``pageno``.
+
+        One request per LBA-contiguous run (runs split only at extent
+        boundaries), so a sequential scan issues few large requests while
+        random point reads issue single-block requests — the distinction
+        behind Figure 4a (requests) vs Figure 4b (blocks).
+        """
+        for lba, nblocks in file.extent_map.contiguous_run(pageno, count):
+            self._submit(lba, nblocks, IOOp.READ, sem, file)
+
+    def write_page(
+        self,
+        file: DbFile,
+        pageno: int,
+        sem: SemanticInfo,
+        async_hint: bool = False,
+    ) -> None:
+        """Charge the I/O for writing one page."""
+        self._submit(
+            file.lba_of(pageno), 1, IOOp.WRITE, sem, file, async_hint=async_hint
+        )
+
+    def trim_file(self, file: DbFile, sem: SemanticInfo) -> None:
+        """Issue TRIM over the file's entire LBA footprint (EXT4-style)."""
+        for extent in file.extent_map.extents:
+            self._submit(extent.start, extent.length, IOOp.TRIM, sem, file)
+
+    def evict_scan_file(self, file: DbFile, sem: SemanticInfo) -> None:
+        """Legacy-FS TRIM workaround (Section 4.2.3): sequentially re-read
+        the file with the "non-caching and eviction" priority so the cache
+        demotes its blocks."""
+        for extent in file.extent_map.extents:
+            self._submit(extent.start, extent.length, IOOp.READ, sem, file)
+
+    def _submit(
+        self,
+        lba: int,
+        nblocks: int,
+        op: IOOp,
+        sem: SemanticInfo,
+        file: DbFile,
+        async_hint: bool = False,
+    ) -> None:
+        policy, rtype = self.assignment.assign(sem, op)
+        self.storage.submit(
+            IORequest(
+                lba=lba,
+                nblocks=nblocks,
+                op=op,
+                policy=policy,
+                rtype=rtype,
+                query_id=sem.query_id,
+                oid=sem.oid if sem.oid is not None else file.oid,
+                async_hint=async_hint,
+            )
+        )

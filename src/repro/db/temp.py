@@ -1,0 +1,147 @@
+"""Temporary data management (Section 4.2.3).
+
+Temporary data has a two-phase lifetime: a *generation* phase (one write
+stream) and a *consumption* phase (one or more read streams), after which
+the file is deleted.  The manager:
+
+* routes generation/consumption through the buffer pool with temp
+  semantics (priority 1 under hStorage-DB);
+* on delete, drops the file's resident frames (no writeback of deleted
+  data) and issues TRIM (the "non-caching and eviction" priority) so the
+  cache releases its blocks promptly — modelling an EXT4-style file system;
+* alternatively supports the paper's legacy-FS workaround: a sequential
+  re-read of the file with the eviction priority (``use_trim=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.semantics import SemanticInfo
+from repro.db.bufferpool import BufferPool
+from repro.db.errors import ExecutionError
+from repro.db.pages import DbFile, FileKind, HeapPage
+from repro.db.storage_manager import StorageManager
+
+TEMP_ROWS_PER_PAGE = 64
+"""Rows per temp page: spill rows are wide (joined tuples), so the
+estimate is conservative."""
+
+
+class SpillFile:
+    """One temporary file: append rows, read them back, delete."""
+
+    def __init__(
+        self, manager: "TempFileManager", file: DbFile, query_id: int | None
+    ) -> None:
+        self._manager = manager
+        self.file = file
+        self.query_id = query_id
+        self.row_count = 0
+        self._open_page: HeapPage | None = None
+        self._writing = True
+        self._deleted = False
+
+    # ------------------------------------------------------------ generation
+
+    def append(self, row) -> None:
+        if not self._writing:
+            raise ExecutionError("append after finish_writing")
+        if self._deleted:
+            raise ExecutionError("append to a deleted spill file")
+        sem = SemanticInfo.temp_data(oid=self.file.oid, query_id=self.query_id)
+        if self._open_page is None or self._open_page.full:
+            self._open_page = HeapPage(TEMP_ROWS_PER_PAGE)
+            self._manager.pool.new_page(self.file, self._open_page, sem)
+        self._open_page.append(row)
+        self.row_count += 1
+
+    def finish_writing(self) -> None:
+        """End the generation phase."""
+        self._open_page = None
+        self._writing = False
+
+    # ----------------------------------------------------------- consumption
+
+    def read_all(self) -> Iterator:
+        """One consumption read stream over all spilled rows."""
+        if self._deleted:
+            raise ExecutionError("read of a deleted spill file")
+        if self._writing:
+            self.finish_writing()
+        sem = SemanticInfo.temp_data(oid=self.file.oid, query_id=self.query_id)
+        pool = self._manager.pool
+        npages = self.file.num_pages
+        if npages == 0:
+            return
+        for page in pool.get_range(self.file, 0, npages, sem):
+            for _, row in page.live_rows():
+                yield row
+
+    # --------------------------------------------------------------- cleanup
+
+    def delete(self) -> None:
+        """End of lifetime: drop frames and release cache blocks."""
+        if self._deleted:
+            return
+        self._deleted = True
+        self._manager._delete(self)
+
+    @property
+    def deleted(self) -> bool:
+        return self._deleted
+
+
+class TempFileManager:
+    """Creates and destroys spill files; tracks leaks per query."""
+
+    def __init__(
+        self,
+        storage_manager: StorageManager,
+        pool: BufferPool,
+        use_trim: bool = True,
+    ) -> None:
+        self.storage_manager = storage_manager
+        self.pool = pool
+        self.use_trim = use_trim
+        self._live: dict[int, SpillFile] = {}
+        self.created = 0
+        self.deleted = 0
+
+    def create(self, query_id: int | None = None) -> SpillFile:
+        file = self.storage_manager.create_file(FileKind.TEMP)
+        file.oid = -file.fileid  # negative oids mark temp objects
+        spill = SpillFile(self, file, query_id)
+        self._live[file.fileid] = spill
+        self.created += 1
+        return spill
+
+    def _delete(self, spill: SpillFile) -> None:
+        self.pool.drop_file(spill.file)
+        sem = SemanticInfo.temp_delete(
+            oid=spill.file.oid, query_id=spill.query_id
+        )
+        if spill.file.extent_map.extents:
+            if self.use_trim:
+                self.storage_manager.trim_file(spill.file, sem)
+            else:
+                # Legacy-FS workaround: sequential re-read at the
+                # "non-caching and eviction" priority.
+                self.storage_manager.evict_scan_file(spill.file, sem)
+        self._live.pop(spill.file.fileid, None)
+        self.deleted += 1
+
+    def cleanup_query(self, query_id: int | None) -> int:
+        """Delete any spill files a finished query left behind."""
+        leaked = [
+            spill
+            for spill in self._live.values()
+            if spill.query_id == query_id
+        ]
+        for spill in leaked:
+            spill.delete()
+        return len(leaked)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)

@@ -1,0 +1,28 @@
+"""Benchmark harness: configurations, runner and per-figure experiments."""
+
+from repro.harness.configs import (
+    CONFIG_LABELS,
+    CONFIG_NAMES,
+    StorageConfig,
+    build_database,
+    build_storage,
+    hdd_only_config,
+    hstorage_config,
+    lru_config,
+    ssd_only_config,
+)
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+
+__all__ = [
+    "CONFIG_LABELS",
+    "CONFIG_NAMES",
+    "ExperimentRunner",
+    "RunnerSettings",
+    "StorageConfig",
+    "build_database",
+    "build_storage",
+    "hdd_only_config",
+    "hstorage_config",
+    "lru_config",
+    "ssd_only_config",
+]

@@ -1,0 +1,125 @@
+"""The four storage configurations of the evaluation (Section 6.3).
+
+=============  ===========================================================
+HDD-only       baseline: every request served by the hard disk
+LRU            SSD cache managed by a single LRU stack (monitoring-based)
+hStorage-DB    SSD cache with priority groups, policies delivered per
+               request (the paper's system)
+SSD-only       ideal case: every request served by the SSD
+=============  ===========================================================
+
+Each factory assembles a fresh storage stack plus the policy assignment
+table.  The Differentiated Storage Services protocol is backward
+compatible: a classification-enabled DBMS embeds the QoS policy in every
+request, and legacy backends (direct devices, the LRU cache) simply ignore
+it (Section 5).  Classification is therefore always on; only the priority
+cache acts on it.  This is also what lets the statistics layer report
+per-priority breakdowns under LRU, as the paper does in Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.assignment import PolicyAssignmentTable
+from repro.core.registry import ConcurrencyRegistry
+from repro.db.engine import Database
+from repro.sim.params import SimulationParameters
+from repro.storage.backends import CachedBackend, DirectBackend
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.lru_cache import LRUCache
+from repro.storage.priority_cache import PriorityCache
+from repro.storage.qos import PolicySet
+from repro.storage.system import StorageSystem
+
+CONFIG_NAMES = ("hdd", "lru", "hstorage", "ssd")
+CONFIG_LABELS = {
+    "hdd": "HDD-only",
+    "lru": "LRU",
+    "hstorage": "hStorage-DB",
+    "ssd": "SSD-only",
+}
+
+
+@dataclass
+class StorageConfig:
+    """Everything needed to build a :class:`~repro.db.engine.Database`."""
+
+    kind: str
+    cache_blocks: int = 4096
+    params: SimulationParameters = field(default_factory=SimulationParameters)
+    policy_set: PolicySet = field(default_factory=PolicySet)
+    bufferpool_pages: int = 256
+    work_mem_rows: int = 5000
+    btree_order: int = 128
+    use_trim: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONFIG_NAMES:
+            raise ValueError(
+                f"unknown config kind {self.kind!r}; choose from {CONFIG_NAMES}"
+            )
+
+    @property
+    def label(self) -> str:
+        return CONFIG_LABELS[self.kind]
+
+    def with_(self, **changes) -> "StorageConfig":
+        return replace(self, **changes)
+
+
+def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmentTable]:
+    """Assemble the storage system + assignment table for a configuration."""
+    params = config.params
+    hdd = Device(DeviceSpec.hdd_from_params(params))
+    ssd = Device(DeviceSpec.ssd_from_params(params))
+    assignment = PolicyAssignmentTable(
+        policy_set=config.policy_set,
+        registry=ConcurrencyRegistry(),
+    )
+    if config.kind == "hdd":
+        backend = DirectBackend(hdd)
+    elif config.kind == "ssd":
+        backend = DirectBackend(ssd)
+    elif config.kind == "lru":
+        backend = CachedBackend(
+            LRUCache(config.cache_blocks), ssd, hdd, params
+        )
+    else:  # hstorage
+        backend = CachedBackend(
+            PriorityCache(config.cache_blocks, config.policy_set),
+            ssd,
+            hdd,
+            params,
+        )
+    return StorageSystem(backend), assignment
+
+
+def build_database(config: StorageConfig) -> Database:
+    """A ready-to-load Database under the given configuration."""
+    storage, assignment = build_storage(config)
+    return Database(
+        storage,
+        assignment,
+        params=config.params,
+        bufferpool_pages=config.bufferpool_pages,
+        work_mem_rows=config.work_mem_rows,
+        btree_order=config.btree_order,
+        use_trim=config.use_trim,
+    )
+
+
+def hdd_only_config(**kw) -> StorageConfig:
+    return StorageConfig(kind="hdd", **kw)
+
+
+def ssd_only_config(**kw) -> StorageConfig:
+    return StorageConfig(kind="ssd", **kw)
+
+
+def lru_config(cache_blocks: int = 4096, **kw) -> StorageConfig:
+    return StorageConfig(kind="lru", cache_blocks=cache_blocks, **kw)
+
+
+def hstorage_config(cache_blocks: int = 4096, **kw) -> StorageConfig:
+    return StorageConfig(kind="hstorage", cache_blocks=cache_blocks, **kw)

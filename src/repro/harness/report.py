@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results (tables and figure series)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Align a list-of-rows into a monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_ratio(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}x"
+
+
+def percentage(numerator: float, denominator: float) -> str:
+    if not denominator:
+        return "0%"
+    return f"{100.0 * numerator / denominator:.1f}%"
+
+
+def bullet_list(items: Iterable[str]) -> str:
+    return "\n".join(f"  * {item}" for item in items)

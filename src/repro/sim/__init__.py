@@ -1,0 +1,12 @@
+"""Discrete simulation support: clock and tunable parameters.
+
+The simulator replaces the paper's physical testbed (two Xeon machines,
+iSCSI, Intel Open Storage Toolkit).  All timing knobs live in
+:class:`~repro.sim.params.SimulationParameters`; simulated time is kept by
+:class:`~repro.sim.clock.SimClock`.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.params import SimulationParameters
+
+__all__ = ["SimClock", "SimulationParameters"]

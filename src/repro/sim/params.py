@@ -1,0 +1,121 @@
+"""All simulator tunables in one frozen dataclass.
+
+Defaults are derived from the paper's hardware (Section 6.1):
+
+* HDD: Seagate Cheetah 15.7K RPM 300 GB — ~150 MB/s sequential transfer,
+  ~5.5 ms per random read (avg seek + half-rotation at 15 000 RPM),
+  ~6.0 ms per random write.
+* SSD: Intel 320 Series 300 GB — Table 2 of the paper: 270 / 205 MB/s
+  sequential read/write, 39.5 K / 23 K random read/write IOPS.
+
+The two behavioural knobs that are *not* direct hardware numbers are:
+
+* ``alloc_overlap`` — the fraction of an SSD cache-fill write charged on the
+  critical path of a synchronous read allocation.  The paper observed LRU
+  slowing sequential scans down by 16–25 % versus HDD-only (Section 6.3.1);
+  a partially overlapped fill (default 0.30) reproduces that band without
+  per-query tuning.
+* ``cpu_us_per_tuple`` — modelled CPU cost per tuple processed, so that
+  scan-dominated queries are not purely I/O bound (the paper notes the SSD
+  advantage is "not obvious" for sequential queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MB = 1000 * 1000
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Tunable constants for the storage/DBMS simulation."""
+
+    block_size: int = 8192
+    """Bytes per block; one block == one DBMS page (PostgreSQL default)."""
+
+    # --- HDD model (Seagate Cheetah 15.7K) ---------------------------------
+    hdd_seq_read_mb_s: float = 150.0
+    hdd_seq_write_mb_s: float = 150.0
+    hdd_rand_read_ms: float = 5.5
+    hdd_rand_write_ms: float = 6.0
+
+    # --- SSD model (Intel 320 Series, Table 2 of the paper) ----------------
+    ssd_seq_read_mb_s: float = 270.0
+    ssd_seq_write_mb_s: float = 205.0
+    ssd_rand_read_iops: float = 39_500.0
+    ssd_rand_write_iops: float = 23_000.0
+
+    # --- cache behaviour ----------------------------------------------------
+    alloc_overlap: float = 0.30
+    """Fraction of the SSD fill-write charged synchronously on read allocation."""
+
+    sync_dirty_eviction: bool = False
+    """If True, dirty-victim writebacks block the request (paper: async)."""
+
+    # --- DBMS cost model ----------------------------------------------------
+    cpu_us_per_tuple: float = 0.8
+    """Simulated CPU microseconds charged per tuple produced by an operator."""
+
+    read_ahead_pages: int = 32
+    """Pages batched into one I/O request by sequential scans."""
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if not 0.0 <= self.alloc_overlap <= 1.0:
+            raise ValueError("alloc_overlap must be within [0, 1]")
+        if self.cpu_us_per_tuple < 0:
+            raise ValueError("cpu_us_per_tuple must be non-negative")
+        if self.read_ahead_pages < 1:
+            raise ValueError("read_ahead_pages must be >= 1")
+        for field in (
+            "hdd_seq_read_mb_s",
+            "hdd_seq_write_mb_s",
+            "hdd_rand_read_ms",
+            "hdd_rand_write_ms",
+            "ssd_seq_read_mb_s",
+            "ssd_seq_write_mb_s",
+            "ssd_rand_read_iops",
+            "ssd_rand_write_iops",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    # --- derived per-block service times (seconds) -------------------------
+
+    @property
+    def hdd_seq_read_s(self) -> float:
+        return self.block_size / (self.hdd_seq_read_mb_s * _MB)
+
+    @property
+    def hdd_seq_write_s(self) -> float:
+        return self.block_size / (self.hdd_seq_write_mb_s * _MB)
+
+    @property
+    def hdd_rand_read_s(self) -> float:
+        return self.hdd_rand_read_ms / 1000.0
+
+    @property
+    def hdd_rand_write_s(self) -> float:
+        return self.hdd_rand_write_ms / 1000.0
+
+    @property
+    def ssd_seq_read_s(self) -> float:
+        return self.block_size / (self.ssd_seq_read_mb_s * _MB)
+
+    @property
+    def ssd_seq_write_s(self) -> float:
+        return self.block_size / (self.ssd_seq_write_mb_s * _MB)
+
+    @property
+    def ssd_rand_read_s(self) -> float:
+        return 1.0 / self.ssd_rand_read_iops
+
+    @property
+    def ssd_rand_write_s(self) -> float:
+        return 1.0 / self.ssd_rand_write_iops
+
+    @property
+    def cpu_s_per_tuple(self) -> float:
+        return self.cpu_us_per_tuple / 1_000_000.0

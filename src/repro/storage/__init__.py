@@ -1,0 +1,48 @@
+"""Hybrid storage system substrate.
+
+Reproduces the paper's storage prototype: a two-level hierarchy with an
+SSD cache (priority-managed or LRU) over HDDs, fed by block requests that
+carry QoS policies over the Differentiated Storage Services protocol.
+"""
+
+from repro.storage.backends import CachedBackend, DirectBackend, StorageBackend
+from repro.storage.block import Extent, ExtentAllocator, ExtentMap
+from repro.storage.cache_base import (
+    BlockCache,
+    BlockOutcome,
+    CacheAction,
+    Eviction,
+)
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.lru_cache import LRUCache
+from repro.storage.priority_cache import PriorityCache
+from repro.storage.qos import PolicySet, QoSPolicy
+from repro.storage.requests import IOOp, IORequest, RequestType
+from repro.storage.stats import Counts, QueryStats, StatsCollector
+from repro.storage.system import StorageSystem
+
+__all__ = [
+    "BlockCache",
+    "BlockOutcome",
+    "CacheAction",
+    "CachedBackend",
+    "Counts",
+    "Device",
+    "DeviceSpec",
+    "DirectBackend",
+    "Eviction",
+    "Extent",
+    "ExtentAllocator",
+    "ExtentMap",
+    "IOOp",
+    "IORequest",
+    "LRUCache",
+    "PolicySet",
+    "PriorityCache",
+    "QoSPolicy",
+    "QueryStats",
+    "RequestType",
+    "StatsCollector",
+    "StorageBackend",
+    "StorageSystem",
+]

@@ -1,0 +1,112 @@
+"""Logical block address space management.
+
+Each database file (heap, index, temporary) is mapped onto the storage
+system's LBA space in contiguous *extents*, allocated in fixed-size chunks
+so files can grow.  LBA contiguity is what the device model uses to decide
+whether an access is sequential, so extent layout is the bridge between
+DBMS-level sequentiality (a table scan) and device-level sequentiality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_EXTENT_PAGES = 512
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of logical blocks ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(f"invalid extent ({self.start}, {self.length})")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def __contains__(self, lba: int) -> bool:
+        return self.start <= lba < self.end
+
+
+class ExtentAllocator:
+    """Bump allocator handing out contiguous extents from one LBA space."""
+
+    def __init__(self, extent_pages: int = DEFAULT_EXTENT_PAGES) -> None:
+        if extent_pages < 1:
+            raise ValueError("extent_pages must be >= 1")
+        self._extent_pages = extent_pages
+        self._next_lba = 0
+
+    @property
+    def extent_pages(self) -> int:
+        return self._extent_pages
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Total blocks handed out so far."""
+        return self._next_lba
+
+    def allocate(self, length: int | None = None) -> Extent:
+        """Allocate a new extent (default chunk size if unspecified)."""
+        length = self._extent_pages if length is None else length
+        extent = Extent(self._next_lba, length)
+        self._next_lba += length
+        return extent
+
+
+@dataclass
+class ExtentMap:
+    """Page-number to LBA mapping for one growable file.
+
+    ``chunk_pages`` overrides the allocator's default extent size — small
+    chunks for short-lived temp files keep their TRIM footprint tight.
+    """
+
+    allocator: ExtentAllocator
+    chunk_pages: int | None = None
+    extents: list[Extent] = field(default_factory=list)
+
+    @property
+    def _chunk(self) -> int:
+        return (
+            self.chunk_pages
+            if self.chunk_pages is not None
+            else self.allocator.extent_pages
+        )
+
+    def lba_of(self, pageno: int) -> int:
+        """LBA of ``pageno``, growing the file if it is one past the end."""
+        if pageno < 0:
+            raise ValueError(f"negative page number: {pageno}")
+        chunk = self._chunk
+        while pageno >= len(self.extents) * chunk:
+            self.extents.append(self.allocator.allocate(chunk))
+        extent = self.extents[pageno // chunk]
+        return extent.start + pageno % chunk
+
+    def contiguous_run(self, pageno: int, count: int) -> list[tuple[int, int]]:
+        """Split ``[pageno, pageno+count)`` into LBA-contiguous (lba, n) runs."""
+        runs: list[tuple[int, int]] = []
+        remaining = count
+        page = pageno
+        chunk = self._chunk
+        while remaining > 0:
+            lba = self.lba_of(page)
+            in_extent = chunk - (page % chunk)
+            n = min(remaining, in_extent)
+            runs.append((lba, n))
+            page += n
+            remaining -= n
+        return runs
+
+    def all_lbas(self) -> list[int]:
+        """Every LBA this file currently owns (used for TRIM on delete)."""
+        lbas: list[int] = []
+        for extent in self.extents:
+            lbas.extend(range(extent.start, extent.end))
+        return lbas

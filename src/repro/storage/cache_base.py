@@ -1,0 +1,79 @@
+"""Common cache vocabulary: the six actions of Section 5.1 and outcomes.
+
+Caches are *placement* engines only — they decide what happens to each
+block and report it as a :class:`BlockOutcome`; the storage backend turns
+outcomes into device accesses and service time.  This split keeps policy
+logic (paper Section 5.1) independent from the timing model.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.storage.qos import QoSPolicy
+
+
+class CacheAction(enum.Enum):
+    """The six actions a cache may perform on a request (Section 5.1)."""
+
+    HIT = "hit"
+    READ_ALLOCATION = "read-allocation"
+    WRITE_ALLOCATION = "write-allocation"
+    BYPASS = "bypass"
+    REALLOCATION = "re-allocation"
+    EVICTION = "eviction"
+    # Auxiliary outcomes (not among the paper's six, needed for bookkeeping):
+    TRIM = "trim"
+    WRITE_BUFFER_FLUSH = "write-buffer-flush"
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A block leaving the cache; dirty blocks must reach the HDD."""
+
+    lbn: int
+    dirty: bool
+
+
+@dataclass
+class BlockOutcome:
+    """What the cache did for one block of one request."""
+
+    lbn: int
+    hit: bool
+    actions: list[CacheAction] = field(default_factory=list)
+    evictions: list[Eviction] = field(default_factory=list)
+    flushed: list[Eviction] = field(default_factory=list)
+
+    def has(self, action: CacheAction) -> bool:
+        return action in self.actions
+
+
+class BlockCache(ABC):
+    """Interface shared by the priority cache and the LRU baseline."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("cache capacity must be >= 1 block")
+        self.capacity = capacity_blocks
+
+    @abstractmethod
+    def access_block(
+        self, lbn: int, *, write: bool, policy: QoSPolicy | None
+    ) -> BlockOutcome:
+        """Serve one block access and report the placement decision."""
+
+    @abstractmethod
+    def trim(self, lbn: int) -> BlockOutcome:
+        """Handle a TRIM for one block."""
+
+    @abstractmethod
+    def contains(self, lbn: int) -> bool:
+        """True if ``lbn`` currently resides in the cache."""
+
+    @property
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Number of blocks currently cached."""

@@ -1,0 +1,76 @@
+"""Baseline LRU cache — the paper's "LRU" configuration.
+
+This models the classical monitoring-based storage cache the paper compares
+against: a single LRU stack over the whole SSD, allocate-on-miss for both
+reads and writes, no knowledge of request semantics.  The QoS policy inside
+requests is ignored (Differentiated Storage Services is backward compatible
+with legacy systems, Section 5), and TRIM is ignored as well — the paper's
+Section 4.2.3 discussion of stale temporary data in a legacy cache is
+exactly this behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.cache_base import (
+    BlockCache,
+    BlockOutcome,
+    CacheAction,
+    Eviction,
+)
+from repro.storage.qos import QoSPolicy
+
+
+@dataclass
+class _Entry:
+    lbn: int
+    dirty: bool
+
+
+class LRUCache(BlockCache):
+    """Single-stack least-recently-used cache, policy-oblivious."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        super().__init__(capacity_blocks)
+        self._stack: OrderedDict[int, _Entry] = OrderedDict()
+
+    def contains(self, lbn: int) -> bool:
+        return lbn in self._stack
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._stack)
+
+    def access_block(
+        self, lbn: int, *, write: bool, policy: QoSPolicy | None
+    ) -> BlockOutcome:
+        del policy  # semantics invisible to a legacy cache
+        entry = self._stack.get(lbn)
+        outcome = BlockOutcome(lbn=lbn, hit=entry is not None)
+
+        if entry is not None:
+            outcome.actions.append(CacheAction.HIT)
+            if write:
+                entry.dirty = True
+            self._stack.move_to_end(lbn)
+            return outcome
+
+        if len(self._stack) >= self.capacity:
+            victim_lbn, victim = self._stack.popitem(last=False)
+            outcome.evictions.append(Eviction(lbn=victim_lbn, dirty=victim.dirty))
+            outcome.actions.append(CacheAction.EVICTION)
+
+        self._stack[lbn] = _Entry(lbn=lbn, dirty=write)
+        outcome.actions.append(
+            CacheAction.WRITE_ALLOCATION if write else CacheAction.READ_ALLOCATION
+        )
+        return outcome
+
+    def trim(self, lbn: int) -> BlockOutcome:
+        """Legacy storage: TRIM is not understood and has no effect."""
+        return BlockOutcome(lbn=lbn, hit=False)
+
+    def check_invariants(self) -> None:
+        assert len(self._stack) <= self.capacity, "over capacity"

@@ -1,0 +1,266 @@
+"""The priority-managed SSD cache (paper Section 5).
+
+Cached blocks are organised into ``N`` priority groups, each managed by
+LRU, plus a *write-buffer* group for update-written data.  Placement is
+driven by two decisions:
+
+* **Selective allocation** — a block whose request priority ``k`` is below
+  the non-caching threshold ``t`` is cached if there is free space, or if
+  some in-cache block has priority number >= ``k`` (equal or lower
+  priority), which is then evicted.  Otherwise the access bypasses the
+  cache.
+* **Selective eviction** — the victim comes from the *highest-numbered*
+  (lowest-priority) non-empty group; within the group the LRU block is
+  chosen.
+
+Special priorities:
+
+* ``N-1`` ("non-caching and non-eviction") never allocates and never
+  changes the priority of an already-cached block.
+* ``N``   ("non-caching and eviction") never allocates; on a hit it demotes
+  the block to group ``N`` so it becomes the preferred eviction victim.
+* the write buffer "wins" space over any priority; once its share exceeds
+  the fraction ``b`` of the cache, the whole buffer is flushed to the HDD.
+
+Metadata mirrors Section 5.2: a hash table ``lbn -> (group, dirty)``; the
+physical block number of the paper's ``<pbn, prio>`` pair is implicit
+because the simulator does not lay blocks out on a real SSD.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.cache_base import (
+    BlockCache,
+    BlockOutcome,
+    CacheAction,
+    Eviction,
+)
+from repro.storage.qos import PolicySet, QoSPolicy
+
+_WRITE_BUFFER_GROUP = 0
+"""Internal group id for write-buffered blocks (outranks priority 1)."""
+
+
+@dataclass
+class _Entry:
+    lbn: int
+    group: int
+    dirty: bool
+
+
+class PriorityCache(BlockCache):
+    """Priority-group cache with selective allocation and eviction."""
+
+    def __init__(self, capacity_blocks: int, policy_set: PolicySet) -> None:
+        super().__init__(capacity_blocks)
+        self.policy_set = policy_set
+        self._lookup: dict[int, _Entry] = {}
+        self._groups: dict[int, OrderedDict[int, _Entry]] = {
+            g: OrderedDict()
+            for g in range(_WRITE_BUFFER_GROUP, policy_set.n_priorities + 1)
+        }
+        self.write_buffer_flushes = 0
+
+    # ------------------------------------------------------------------ API
+
+    def contains(self, lbn: int) -> bool:
+        return lbn in self._lookup
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._lookup)
+
+    def group_of(self, lbn: int) -> int | None:
+        """Priority group of a cached block (0 = write buffer), else None."""
+        entry = self._lookup.get(lbn)
+        return entry.group if entry is not None else None
+
+    def group_sizes(self) -> dict[int, int]:
+        return {g: len(members) for g, members in self._groups.items()}
+
+    @property
+    def write_buffer_blocks(self) -> int:
+        return len(self._groups[_WRITE_BUFFER_GROUP])
+
+    def access_block(
+        self, lbn: int, *, write: bool, policy: QoSPolicy | None
+    ) -> BlockOutcome:
+        if policy is None:
+            # Legacy/unclassified traffic: the protocol is backward
+            # compatible; treat as non-caching, non-eviction.
+            policy = self.policy_set.sequential_policy()
+        if policy.write_buffer:
+            return self._access_write_buffer(lbn, write=write)
+        assert policy.priority is not None
+        return self._access_with_priority(lbn, policy.priority, write=write)
+
+    def trim(self, lbn: int) -> BlockOutcome:
+        """Invalidate a block: deleted data is dropped without writeback."""
+        outcome = BlockOutcome(lbn=lbn, hit=False)
+        entry = self._lookup.pop(lbn, None)
+        if entry is not None:
+            del self._groups[entry.group][lbn]
+            outcome.actions.append(CacheAction.TRIM)
+        return outcome
+
+    # ------------------------------------------------------- priority path
+
+    def _access_with_priority(
+        self, lbn: int, priority: int, *, write: bool
+    ) -> BlockOutcome:
+        pset = self.policy_set
+        entry = self._lookup.get(lbn)
+        outcome = BlockOutcome(lbn=lbn, hit=entry is not None)
+
+        if entry is not None:
+            outcome.actions.append(CacheAction.HIT)
+            if write:
+                entry.dirty = True
+            self._touch(entry)
+            # Re-allocation: adopt the new priority unless the request is
+            # "non-caching and non-eviction", which never alters layout.
+            if (
+                priority != pset.non_caching_non_eviction
+                and priority != entry.group
+            ):
+                self._move_to_group(entry, priority)
+                outcome.actions.append(CacheAction.REALLOCATION)
+            return outcome
+
+        # Miss.  Non-caching priorities bypass.
+        if priority >= pset.non_caching_threshold:
+            outcome.actions.append(CacheAction.BYPASS)
+            return outcome
+
+        victim = self._make_room(min_group=priority)
+        if victim is _NO_SPACE:
+            outcome.actions.append(CacheAction.BYPASS)
+            return outcome
+        if victim is not None:
+            outcome.evictions.append(victim)
+            outcome.actions.append(CacheAction.EVICTION)
+
+        self._insert(lbn, priority, dirty=write)
+        outcome.actions.append(
+            CacheAction.WRITE_ALLOCATION if write else CacheAction.READ_ALLOCATION
+        )
+        return outcome
+
+    # ---------------------------------------------------- write-buffer path
+
+    def _access_write_buffer(self, lbn: int, *, write: bool) -> BlockOutcome:
+        entry = self._lookup.get(lbn)
+        outcome = BlockOutcome(lbn=lbn, hit=entry is not None)
+
+        if entry is not None:
+            outcome.actions.append(CacheAction.HIT)
+            if write:
+                entry.dirty = True
+            self._touch(entry)
+            if entry.group != _WRITE_BUFFER_GROUP:
+                self._move_to_group(entry, _WRITE_BUFFER_GROUP)
+                outcome.actions.append(CacheAction.REALLOCATION)
+        else:
+            # The write buffer wins space over any priority.
+            victim = self._make_room(min_group=None)
+            if victim is _NO_SPACE:
+                # Cache is full of write-buffered blocks: flush first.
+                outcome.flushed.extend(self._flush_write_buffer())
+                outcome.actions.append(CacheAction.WRITE_BUFFER_FLUSH)
+                victim = None
+            if victim is not None:
+                outcome.evictions.append(victim)
+                outcome.actions.append(CacheAction.EVICTION)
+            self._insert(lbn, _WRITE_BUFFER_GROUP, dirty=write)
+            outcome.actions.append(
+                CacheAction.WRITE_ALLOCATION if write else CacheAction.READ_ALLOCATION
+            )
+
+        if self._write_buffer_over_limit():
+            outcome.flushed.extend(self._flush_write_buffer())
+            outcome.actions.append(CacheAction.WRITE_BUFFER_FLUSH)
+        return outcome
+
+    def _write_buffer_over_limit(self) -> bool:
+        limit = self.policy_set.write_buffer_fraction * self.capacity
+        return len(self._groups[_WRITE_BUFFER_GROUP]) > limit
+
+    def _flush_write_buffer(self) -> list[Eviction]:
+        """Empty the write buffer; dirty blocks must be written to the HDD."""
+        flushed: list[Eviction] = []
+        group = self._groups[_WRITE_BUFFER_GROUP]
+        for lbn, entry in list(group.items()):
+            flushed.append(Eviction(lbn=lbn, dirty=entry.dirty))
+            del self._lookup[lbn]
+        group.clear()
+        self.write_buffer_flushes += 1
+        return flushed
+
+    # ------------------------------------------------------------ internals
+
+    def _touch(self, entry: _Entry) -> None:
+        self._groups[entry.group].move_to_end(entry.lbn)
+
+    def _move_to_group(self, entry: _Entry, group: int) -> None:
+        del self._groups[entry.group][entry.lbn]
+        entry.group = group
+        self._groups[group][entry.lbn] = entry
+
+    def _insert(self, lbn: int, group: int, *, dirty: bool) -> None:
+        entry = _Entry(lbn=lbn, group=group, dirty=dirty)
+        self._lookup[lbn] = entry
+        self._groups[group][lbn] = entry
+
+    def _make_room(self, *, min_group: int | None):
+        """Find space for one block.
+
+        Returns ``None`` if there is free space, an :class:`Eviction` if a
+        victim was removed, or the :data:`_NO_SPACE` sentinel if no block of
+        acceptable priority exists (selective allocation fails -> bypass).
+
+        ``min_group`` is the incoming priority ``k``: only blocks in groups
+        >= ``k`` may be displaced.  ``None`` means "any non-write-buffer
+        group" (the write-buffer path).
+        """
+        if len(self._lookup) < self.capacity:
+            return None
+        victim_group = self._lowest_priority_nonempty_group()
+        if victim_group is None:
+            return _NO_SPACE
+        if min_group is not None and victim_group < min_group:
+            return _NO_SPACE
+        lbn, entry = self._groups[victim_group].popitem(last=False)
+        del self._lookup[lbn]
+        return Eviction(lbn=lbn, dirty=entry.dirty)
+
+    def _lowest_priority_nonempty_group(self) -> int | None:
+        """Highest-numbered non-empty group, excluding the write buffer."""
+        for g in range(self.policy_set.n_priorities, _WRITE_BUFFER_GROUP, -1):
+            if self._groups[g]:
+                return g
+        return None
+
+    def check_invariants(self) -> None:
+        """Internal consistency (used by property-based tests)."""
+        assert len(self._lookup) <= self.capacity, "over capacity"
+        total = sum(len(g) for g in self._groups.values())
+        assert total == len(self._lookup), "groups and lookup disagree"
+        for g, members in self._groups.items():
+            for lbn, entry in members.items():
+                assert entry.group == g, "entry in wrong group"
+                assert self._lookup.get(lbn) is entry, "dangling entry"
+
+
+class _NoSpace:
+    """Sentinel: selective allocation found no evictable block."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<no-space>"
+
+
+_NO_SPACE = _NoSpace()

@@ -1,0 +1,141 @@
+"""QoS policies of the hybrid storage system (Section 3 of the paper).
+
+The storage system's capabilities are abstracted as a set of *caching
+priorities* defined by the 3-tuple ``{N, t, b}``:
+
+* ``N``  — total number of priorities; smaller number = higher priority
+  (a better chance to be cached).
+* ``t``  — the non-caching threshold.  Requests with priority >= t never
+  cause a block to be cached.  The paper fixes ``t = N - 1``, yielding two
+  non-caching priorities: ``N-1`` ("non-caching and non-eviction") and
+  ``N`` ("non-caching and eviction").
+* ``b``  — the write-buffer share of the cache.  "Write buffer" is a special
+  priority: an update request can win cache space over a request of any
+  other priority; once write-buffered data exceeds ``b`` of the cache, the
+  buffer is flushed to the HDD.
+
+A :class:`QoSPolicy` is what travels inside each I/O request over the
+Differentiated Storage Services protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QoSPolicy:
+    """Policy carried by one I/O request.
+
+    Exactly one of the two shapes is valid:
+
+    * a caching priority: ``priority`` in ``[1, N]``, ``write_buffer=False``;
+    * the write-buffer policy: ``priority is None``, ``write_buffer=True``.
+    """
+
+    priority: int | None = None
+    write_buffer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.write_buffer and self.priority is not None:
+            raise ValueError("write-buffer policy must not carry a priority")
+        if not self.write_buffer and self.priority is None:
+            raise ValueError("a QoS policy needs a priority or write_buffer")
+        if self.priority is not None and self.priority < 1:
+            raise ValueError(f"priority must be >= 1, got {self.priority}")
+
+    @classmethod
+    def with_priority(cls, priority: int) -> "QoSPolicy":
+        return cls(priority=priority)
+
+    @classmethod
+    def for_write_buffer(cls) -> "QoSPolicy":
+        return cls(priority=None, write_buffer=True)
+
+    def __str__(self) -> str:
+        if self.write_buffer:
+            return "write-buffer"
+        return f"priority-{self.priority}"
+
+
+@dataclass(frozen=True)
+class PolicySet:
+    """The ``{N, t, b}`` tuple advertised by the storage system.
+
+    The default ``N=7`` gives the random-request range ``[2, 5]`` — the
+    exact range used in the paper's worked example (Figure 2) — with
+    priority 1 reserved for temporary data, 6 = ``N-1`` for sequential
+    requests (non-caching, non-eviction) and 7 = ``N`` for eviction
+    requests / TRIM.
+    """
+
+    n_priorities: int = 7
+    non_caching_threshold: int | None = None
+    write_buffer_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.n_priorities < 4:
+            # Needs at least: temp(1), one random, N-1 and N.
+            raise ValueError("a policy set needs at least 4 priorities")
+        if self.non_caching_threshold is None:
+            object.__setattr__(
+                self, "non_caching_threshold", self.n_priorities - 1
+            )
+        t = self.non_caching_threshold
+        if not 0 <= t <= self.n_priorities:
+            raise ValueError(
+                f"threshold t={t} out of range [0, {self.n_priorities}]"
+            )
+        if not 0.0 <= self.write_buffer_fraction <= 1.0:
+            raise ValueError("write_buffer_fraction must be within [0, 1]")
+
+    # --- named priorities (Table 1 of the paper) ---------------------------
+
+    @property
+    def temp_priority(self) -> int:
+        """Priority of temporary-data reads and writes (the highest)."""
+        return 1
+
+    @property
+    def non_caching_non_eviction(self) -> int:
+        """Priority ``N-1``: sequential requests; leaves the cache as-is."""
+        return self.n_priorities - 1
+
+    @property
+    def non_caching_eviction(self) -> int:
+        """Priority ``N``: lets data leave the cache, never enter it."""
+        return self.n_priorities
+
+    @property
+    def random_priority_range(self) -> tuple[int, int]:
+        """Inclusive ``[n1, n2]`` range available to random requests."""
+        return (2, self.n_priorities - 2)
+
+    # --- policy constructors ------------------------------------------------
+
+    def sequential_policy(self) -> QoSPolicy:
+        return QoSPolicy.with_priority(self.non_caching_non_eviction)
+
+    def temp_policy(self) -> QoSPolicy:
+        return QoSPolicy.with_priority(self.temp_priority)
+
+    def eviction_policy(self) -> QoSPolicy:
+        return QoSPolicy.with_priority(self.non_caching_eviction)
+
+    def update_policy(self) -> QoSPolicy:
+        return QoSPolicy.for_write_buffer()
+
+    def random_policy(self, priority: int) -> QoSPolicy:
+        n1, n2 = self.random_priority_range
+        if not n1 <= priority <= n2:
+            raise ValueError(
+                f"random priority {priority} outside range [{n1}, {n2}]"
+            )
+        return QoSPolicy.with_priority(priority)
+
+    def is_cacheable(self, policy: QoSPolicy) -> bool:
+        """True if this policy may cause a block to enter the cache."""
+        if policy.write_buffer:
+            return True
+        assert policy.priority is not None
+        return policy.priority < self.non_caching_threshold

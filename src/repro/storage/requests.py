@@ -1,0 +1,82 @@
+"""Block-level I/O requests with embedded semantic classification.
+
+This is the reproduction of the Differentiated Storage Services protocol
+(Mesnier et al., SOSP'11) as used by the paper: an ordinary block request
+(LBA, length, direction) extended with a QoS policy and a classification
+tag.  Legacy backends (HDD-only, SSD-only, plain LRU cache) simply ignore
+the extra fields, which mirrors the protocol's backward compatibility.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.storage.qos import QoSPolicy
+
+
+class IOOp(enum.Enum):
+    """Direction of a block request."""
+
+    READ = "read"
+    WRITE = "write"
+    TRIM = "trim"
+
+
+class RequestType(enum.Enum):
+    """The paper's request classification (Section 4.1).
+
+    ``TEMP_READ``/``TEMP_WRITE`` are both "temporary data requests";
+    they are kept distinct because the evaluation tables report
+    temp reads separately (Table 7).
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+    TEMP_READ = "temp-read"
+    TEMP_WRITE = "temp-write"
+    UPDATE = "update"
+    TRIM_TEMP = "trim"
+
+    @property
+    def is_temp(self) -> bool:
+        return self in (RequestType.TEMP_READ, RequestType.TEMP_WRITE)
+
+
+@dataclass
+class IORequest:
+    """One request as delivered to the storage system.
+
+    ``lba``/``nblocks`` describe a contiguous block range.  ``policy`` and
+    ``rtype`` are the DSS payload (may be ``None`` for unclassified legacy
+    traffic).  ``query_id``/``oid`` identify the issuing query and database
+    object purely for statistics.
+    """
+
+    lba: int
+    nblocks: int
+    op: IOOp
+    policy: QoSPolicy | None = None
+    rtype: RequestType | None = None
+    query_id: int | None = None
+    oid: int | None = None
+    tag: str | None = field(default=None)
+    async_hint: bool = False
+    """True for writes that are off the critical path (dirty-page
+    writeback by the DBMS background writer): their device time is charged
+    to the background accumulator, but cache placement still happens."""
+
+    def __post_init__(self) -> None:
+        if self.lba < 0:
+            raise ValueError(f"negative LBA: {self.lba}")
+        if self.nblocks < 1:
+            raise ValueError(f"request must cover >= 1 block: {self.nblocks}")
+
+    @property
+    def lbas(self) -> range:
+        """The block numbers covered by this request."""
+        return range(self.lba, self.lba + self.nblocks)
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is IOOp.WRITE

@@ -1,0 +1,121 @@
+"""I/O and cache statistics, aggregated the way the paper reports them.
+
+The evaluation tables slice cache behaviour three ways:
+
+* by request type (Figure 4: % of requests / % of blocks per type);
+* by assigned priority (Tables 5 and 6: "Priority 2" / "Priority 3" rows);
+* by special type rows ("Sequential", "Temp. read" in Tables 6 and 7).
+
+One :class:`StatsCollector` records every request with its classification
+(which the DBMS attaches regardless of whether the backend honours it, so
+LRU runs report the same buckets — exactly how the paper presents Table 6
+for LRU).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.storage.cache_base import BlockOutcome
+from repro.storage.requests import IOOp, IORequest, RequestType
+
+
+@dataclass
+class Counts:
+    """Counters for one bucket."""
+
+    requests: int = 0
+    blocks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def merge(self, other: "Counts") -> None:
+        self.requests += other.requests
+        self.blocks += other.blocks
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+
+@dataclass
+class QueryStats:
+    """Per-query I/O statistics."""
+
+    by_type: dict[RequestType, Counts] = field(
+        default_factory=lambda: defaultdict(Counts)
+    )
+    by_priority: dict[int, Counts] = field(
+        default_factory=lambda: defaultdict(Counts)
+    )
+    total: Counts = field(default_factory=Counts)
+
+    def type_counts(self, rtype: RequestType) -> Counts:
+        return self.by_type[rtype]
+
+    def priority_counts(self, priority: int) -> Counts:
+        return self.by_priority[priority]
+
+    def request_share(self, rtype: RequestType) -> float:
+        """Fraction of I/O *requests* of the given type (Figure 4a)."""
+        return (
+            self.by_type[rtype].requests / self.total.requests
+            if self.total.requests
+            else 0.0
+        )
+
+    def block_share(self, rtype: RequestType) -> float:
+        """Fraction of served *blocks* of the given type (Figure 4b)."""
+        return (
+            self.by_type[rtype].blocks / self.total.blocks
+            if self.total.blocks
+            else 0.0
+        )
+
+
+class StatsCollector:
+    """Aggregates request/block/cache-hit counters per query and globally."""
+
+    def __init__(self) -> None:
+        self.per_query: dict[int | None, QueryStats] = defaultdict(QueryStats)
+        self.overall = QueryStats()
+
+    def record(self, request: IORequest, outcomes: list[BlockOutcome]) -> None:
+        hits = sum(1 for o in outcomes if o.hit)
+        misses = len(outcomes) - hits
+        delta = Counts(
+            requests=1,
+            blocks=request.nblocks,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+        rtype = request.rtype
+        if rtype is None:
+            rtype = _fallback_type(request)
+        for stats in (self.per_query[request.query_id], self.overall):
+            stats.by_type[rtype].merge(delta)
+            stats.total.merge(delta)
+            if (
+                rtype is RequestType.RANDOM
+                and request.policy is not None
+                and request.policy.priority is not None
+            ):
+                stats.by_priority[request.policy.priority].merge(delta)
+
+    def query(self, query_id: int | None) -> QueryStats:
+        return self.per_query[query_id]
+
+    def reset(self) -> None:
+        self.per_query.clear()
+        self.overall = QueryStats()
+
+
+def _fallback_type(request: IORequest) -> RequestType:
+    """Classify unlabelled traffic by direction only (legacy streams)."""
+    if request.op is IOOp.TRIM:
+        return RequestType.TRIM_TEMP
+    return RequestType.UPDATE if request.is_write else RequestType.RANDOM

@@ -1,0 +1,41 @@
+"""The storage system facade: request dispatch, clock, statistics.
+
+This is the boundary the DBMS storage manager talks to — the simulated
+equivalent of the iSCSI target running Intel's Open Storage Toolkit in the
+paper's testbed.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock
+from repro.storage.backends import StorageBackend
+from repro.storage.cache_base import BlockOutcome
+from repro.storage.requests import IORequest
+from repro.storage.stats import StatsCollector
+
+
+class StorageSystem:
+    """Accepts classified block requests, advances time, records stats."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        clock: SimClock | None = None,
+        stats: StatsCollector | None = None,
+    ) -> None:
+        self.backend = backend
+        self.clock = clock if clock is not None else SimClock()
+        self.stats = stats if stats is not None else StatsCollector()
+
+    def submit(self, request: IORequest) -> list[BlockOutcome]:
+        """Serve a request synchronously; returns per-block outcomes."""
+        sync, background, outcomes = self.backend.submit(request)
+        self.clock.advance(sync)
+        if background:
+            self.clock.charge_background(background)
+        self.stats.record(request, outcomes)
+        return outcomes
+
+    @property
+    def now(self) -> float:
+        return self.clock.now

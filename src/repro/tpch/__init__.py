@@ -1,0 +1,32 @@
+"""TPC-H workload substrate: schema, data generator, 22 queries, refresh
+functions and stream orderings."""
+
+from repro.tpch.datagen import TPCHData, TPCHMeta, generate, table_cardinalities
+from repro.tpch.queries import QUERIES, QUERY_IDS, build_query, query_builder
+from repro.tpch.refresh import RefreshDelete, RefreshInsert, rf1_builder, rf2_builder
+from repro.tpch.schema import TABLE3_INDEXES, TABLE_SCHEMAS
+from repro.tpch.streams import POWER_ORDER, THROUGHPUT_ORDERS
+from repro.tpch.workload import load_tpch
+
+__all__ = [
+    "POWER_ORDER",
+    "QUERIES",
+    "QUERY_IDS",
+    "RefreshDelete",
+    "RefreshInsert",
+    "TABLE3_INDEXES",
+    "TABLE_SCHEMAS",
+    "THROUGHPUT_ORDERS",
+    "TPCHData",
+    "TPCHMeta",
+    "build_query",
+    "generate",
+    "load_tpch",
+    "query_builder",
+    "query_label",
+    "rf1_builder",
+    "rf2_builder",
+    "table_cardinalities",
+]
+
+from repro.tpch.queries import query_label  # noqa: E402  (re-export)

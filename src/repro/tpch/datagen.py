@@ -1,0 +1,348 @@
+"""Deterministic synthetic TPC-H data generator.
+
+Generates the paper's workload substrate at laptop scale.  ``scale=1.0``
+produces about 60 K lineitem rows (1/6000 of the paper's SF 30 testbed)
+while preserving the row-count *ratios* between tables and every value
+distribution the 22 queries' predicates rely on (dates, ship modes,
+segments, brands, name words, the 1/3 of customers without orders, ...).
+
+Everything is driven by one seeded :class:`random.Random`, so a given
+``(scale, seed)`` pair always produces the same database — experiments
+across the four storage configurations compare identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.db.tuples import date_to_days
+
+# --- TPC-H vocabulary ------------------------------------------------------
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+SHIP_INSTRUCTIONS = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+
+CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+    "JUMBO BAG", "JUMBO BOX", "JUMBO PACK", "WRAP CASE",
+]
+
+NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+    "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender",
+    "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+    "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+    "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
+    "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato",
+    "turquoise", "violet", "wheat", "white", "yellow",
+]
+
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "final", "ironic", "pending",
+    "regular", "express", "bold", "even", "silent", "slyly", "deposits",
+    "packages", "accounts", "requests", "instructions", "foxes", "ideas",
+    "theodolites", "pinto", "beans", "special", "unusual",
+]
+
+START_DATE = date_to_days("1992-01-01")
+END_DATE = date_to_days("1998-08-02")
+CURRENT_DATE = date_to_days("1995-06-17")
+
+
+@dataclass
+class TPCHMeta:
+    """Facts about a generated database that the workload layer needs."""
+
+    scale: float
+    seed: int
+    counts: dict[str, int] = field(default_factory=dict)
+    next_orderkey: int = 0
+    refresh_serial: int = 0
+    pending_batches: list[list[int]] = field(default_factory=list)
+    """Orderkey batches inserted by RF1 and not yet deleted by RF2."""
+    part_suppliers: dict[int, list[int]] = field(default_factory=dict)
+    """partkey -> its four partsupp suppliers (referential integrity for
+    lineitem generation, including RF1 inserts)."""
+
+
+@dataclass
+class TPCHData:
+    """All generated rows, ready for bulk loading."""
+
+    meta: TPCHMeta
+    tables: dict[str, list[tuple]] = field(default_factory=dict)
+
+
+def table_cardinalities(scale: float) -> dict[str, int]:
+    """Row counts per table (TPC-H proportions, scaled down 6000x)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": max(10, round(100 * scale)),
+        "part": max(40, round(2000 * scale)),
+        "customer": max(30, round(1500 * scale)),
+        "orders": max(300, round(15000 * scale)),
+        # partsupp = 4 x part; lineitem ~ 4 x orders (generated per order)
+    }
+
+
+def generate(scale: float = 0.1, seed: int = 42) -> TPCHData:
+    """Generate a full database; deterministic in (scale, seed)."""
+    rng = Random(seed)
+    counts = table_cardinalities(scale)
+    n_supplier = counts["supplier"]
+    n_part = counts["part"]
+    n_customer = counts["customer"]
+    n_orders = counts["orders"]
+
+    tables: dict[str, list[tuple]] = {}
+
+    tables["region"] = [
+        (i, name, _comment(rng, 4)) for i, name in enumerate(REGIONS)
+    ]
+    tables["nation"] = [
+        (i, name, region, _comment(rng, 4))
+        for i, (name, region) in enumerate(NATIONS)
+    ]
+    tables["supplier"] = [_supplier(rng, key) for key in range(1, n_supplier + 1)]
+    tables["part"] = [_part(rng, key) for key in range(1, n_part + 1)]
+
+    # Each part is supplied by four distinct suppliers (TPC-H referential
+    # integrity: every lineitem's (partkey, suppkey) exists in partsupp).
+    part_suppliers: dict[int, list[int]] = {}
+    partsupp_rows: list[tuple] = []
+    for partkey in range(1, n_part + 1):
+        k = min(4, n_supplier)
+        suppliers = rng.sample(range(1, n_supplier + 1), k)
+        part_suppliers[partkey] = suppliers
+        for suppkey in suppliers:
+            partsupp_rows.append(_partsupp(rng, partkey, suppkey))
+    tables["partsupp"] = partsupp_rows
+
+    tables["customer"] = [_customer(rng, key) for key in range(1, n_customer + 1)]
+
+    orders: list[tuple] = []
+    lineitems: list[tuple] = []
+    # TPC-H: only 2/3 of customers have orders.
+    active_customers = max(1, (n_customer * 2) // 3)
+    for orderkey in range(1, n_orders + 1):
+        order, lines = _order(
+            rng, orderkey, active_customers, n_part, part_suppliers
+        )
+        orders.append(order)
+        lineitems.extend(lines)
+    tables["orders"] = orders
+    tables["lineitem"] = lineitems
+
+    counts["partsupp"] = len(partsupp_rows)
+    counts["lineitem"] = len(lineitems)
+    meta = TPCHMeta(
+        scale=scale,
+        seed=seed,
+        counts=dict(counts),
+        next_orderkey=n_orders + 1,
+        part_suppliers=part_suppliers,
+    )
+    return TPCHData(meta=meta, tables=tables)
+
+
+# --- row constructors -------------------------------------------------------
+
+
+def _comment(rng: Random, words: int) -> str:
+    return " ".join(rng.choice(COMMENT_WORDS) for _ in range(words))
+
+
+def _phone(rng: Random, nationkey: int) -> str:
+    return (
+        f"{10 + nationkey}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+    )
+
+
+def _supplier(rng: Random, key: int) -> tuple:
+    nationkey = rng.randrange(25)
+    comment = _comment(rng, 4)
+    # A few suppliers carry the Q16 "Customer Complaints" marker.
+    if rng.random() < 0.05:
+        comment = "Customer Complaints " + comment
+    return (
+        key,
+        f"Supplier#{key:09d}",
+        _comment(rng, 2),
+        nationkey,
+        _phone(rng, nationkey),
+        round(rng.uniform(-999.99, 9999.99), 2),
+        comment,
+    )
+
+
+def _part(rng: Random, key: int) -> tuple:
+    name = " ".join(rng.sample(NAME_WORDS, 5))
+    mfgr_n = rng.randrange(1, 6)
+    brand = f"Brand#{mfgr_n}{rng.randrange(1, 6)}"
+    ptype = (
+        f"{rng.choice(TYPE_SYLL1)} {rng.choice(TYPE_SYLL2)} "
+        f"{rng.choice(TYPE_SYLL3)}"
+    )
+    return (
+        key,
+        name,
+        f"Manufacturer#{mfgr_n}",
+        brand,
+        ptype,
+        rng.randrange(1, 51),
+        rng.choice(CONTAINERS),
+        round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+        _comment(rng, 2),
+    )
+
+
+def _partsupp(rng: Random, partkey: int, suppkey: int) -> tuple:
+    return (
+        partkey,
+        suppkey,
+        rng.randrange(1, 10000),
+        round(rng.uniform(1.0, 1000.0), 2),
+        _comment(rng, 4),
+    )
+
+
+def _customer(rng: Random, key: int) -> tuple:
+    nationkey = rng.randrange(25)
+    return (
+        key,
+        f"Customer#{key:09d}",
+        _comment(rng, 2),
+        nationkey,
+        _phone(rng, nationkey),
+        round(rng.uniform(-999.99, 9999.99), 2),
+        rng.choice(SEGMENTS),
+        _comment(rng, 4),
+    )
+
+
+def _order(
+    rng: Random,
+    orderkey: int,
+    active_customers: int,
+    n_part: int,
+    part_suppliers: dict[int, list[int]],
+) -> tuple[tuple, list[tuple]]:
+    custkey = rng.randrange(1, active_customers + 1)
+    orderdate = rng.randrange(START_DATE, END_DATE - 151)
+    comment_words = 5
+    comment = _comment(rng, comment_words)
+    if rng.random() < 0.02:  # Q13's "special ... requests" pattern
+        comment = "special packages requests " + comment
+
+    lines: list[tuple] = []
+    totalprice = 0.0
+    all_filled = True
+    any_filled = False
+    n_lines = rng.randrange(1, 8)
+    for linenumber in range(1, n_lines + 1):
+        line, filled, price = _lineitem(
+            rng, orderkey, linenumber, orderdate, n_part, part_suppliers
+        )
+        lines.append(line)
+        totalprice += price
+        all_filled = all_filled and filled
+        any_filled = any_filled or filled
+    if all_filled:
+        status = "F"
+    elif any_filled:
+        status = "P"
+    else:
+        status = "O"
+    order = (
+        orderkey,
+        custkey,
+        status,
+        round(totalprice, 2),
+        orderdate,
+        rng.choice(PRIORITIES),
+        f"Clerk#{rng.randrange(1, 1000):09d}",
+        0,
+        comment,
+    )
+    return order, lines
+
+
+def _lineitem(
+    rng: Random,
+    orderkey: int,
+    linenumber: int,
+    orderdate: int,
+    n_part: int,
+    part_suppliers: dict[int, list[int]],
+) -> tuple[tuple, bool, float]:
+    partkey = rng.randrange(1, n_part + 1)
+    suppkey = rng.choice(part_suppliers[partkey])
+    quantity = float(rng.randrange(1, 51))
+    extendedprice = round(quantity * rng.uniform(900.0, 2000.0), 2)
+    discount = round(rng.uniform(0.0, 0.10), 2)
+    tax = round(rng.uniform(0.0, 0.08), 2)
+    shipdate = orderdate + rng.randrange(1, 122)
+    commitdate = orderdate + rng.randrange(30, 91)
+    receiptdate = shipdate + rng.randrange(1, 31)
+    filled = shipdate <= CURRENT_DATE
+    if filled:
+        returnflag = "R" if rng.random() < 0.25 else "A"
+        linestatus = "F"
+    else:
+        returnflag = "N"
+        linestatus = "O"
+    line = (
+        orderkey,
+        partkey,
+        suppkey,
+        linenumber,
+        quantity,
+        extendedprice,
+        discount,
+        tax,
+        returnflag,
+        linestatus,
+        shipdate,
+        commitdate,
+        receiptdate,
+        rng.choice(SHIP_INSTRUCTIONS),
+        rng.choice(SHIP_MODES),
+        _comment(rng, 2),
+    )
+    return line, filled, extendedprice * (1 + tax)

@@ -1,0 +1,36 @@
+"""The 22 TPC-H query plan builders.
+
+``QUERIES`` maps query number -> module; each module exposes ``QUERY_ID``,
+``TITLE`` and ``build(db) -> PlanNode``.
+"""
+
+from repro.tpch.queries import (
+    q01, q02, q03, q04, q05, q06, q07, q08, q09, q10, q11,
+    q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+)
+
+_MODULES = [
+    q01, q02, q03, q04, q05, q06, q07, q08, q09, q10, q11,
+    q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+]
+
+QUERIES = {module.QUERY_ID: module for module in _MODULES}
+QUERY_IDS = sorted(QUERIES)
+
+
+def build_query(db, query_id: int):
+    """Plan for query ``query_id`` against ``db``."""
+    return QUERIES[query_id].build(db)
+
+
+def query_builder(query_id: int):
+    """A :class:`~repro.db.engine.PlanBuilder` for ``query_id``."""
+    module = QUERIES[query_id]
+    return module.build
+
+
+def query_label(query_id: int) -> str:
+    return f"Q{query_id}"
+
+
+__all__ = ["QUERIES", "QUERY_IDS", "build_query", "query_builder", "query_label"]

@@ -1,0 +1,107 @@
+"""Q2 — Minimum Cost Supplier.
+
+Parts of a given size/type family in EUROPE, joined to the supplier
+offering the minimum supply cost.  Uses the partsupp index (random
+requests via nested loops) and a min-aggregate decorrelated through a
+shared materialisation.
+
+Deviation: the size/type predicate is relaxed (``p_size <= 15``,
+type ending in BRASS) so the query selects a sensible number of parts at
+mini scale factors.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Materialize,
+    NestedLoopIndexJoin,
+    SeqScan,
+    TopN,
+)
+from repro.db.exprs import agg_min
+from repro.tpch.queries.util import N, P, PS, R, S, ix, rel
+
+QUERY_ID = 2
+TITLE = "Minimum Cost Supplier"
+
+
+def build(db):
+    parts = SeqScan(
+        rel(db, "part"),
+        pred=lambda r: r[P["p_size"]] <= 15
+        and r[P["p_type"]].endswith("BRASS"),
+        project=lambda r: (r[P["p_partkey"]], r[P["p_mfgr"]]),
+    )
+    # (partkey, mfgr, suppkey, supplycost)
+    ps = NestedLoopIndexJoin(
+        parts,
+        IndexScan(ix(db, "partsupp_partkey")),
+        outer_key=lambda r: r[0],
+        project=lambda part, psr: (
+            part[0], part[1], psr[PS["ps_suppkey"]], psr[PS["ps_supplycost"]],
+        ),
+    )
+    # + (s_name, s_acctbal, s_address, s_phone, s_comment, s_nationkey)
+    sup = HashJoin(
+        ps,
+        Hash(
+            SeqScan(
+                rel(db, "supplier"),
+                project=lambda r: (
+                    r[S["s_suppkey"]], r[S["s_name"]], r[S["s_acctbal"]],
+                    r[S["s_address"]], r[S["s_phone"]], r[S["s_comment"]],
+                    r[S["s_nationkey"]],
+                ),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[2],
+        project=lambda left, s: left + s[1:],
+    )
+    # + (n_name, n_regionkey)
+    nat = HashJoin(
+        sup,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                project=lambda r: (
+                    r[N["n_nationkey"]], r[N["n_name"]], r[N["n_regionkey"]],
+                ),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[9],
+        project=lambda left, n: left + (n[1], n[2]),
+    )
+    eur = HashJoin(
+        nat,
+        Hash(
+            SeqScan(
+                rel(db, "region"),
+                pred=lambda r: r[R["r_name"]] == "EUROPE",
+                project=lambda r: (r[R["r_regionkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[11],
+        mode="semi",
+    )
+    mat = Materialize(eur)
+    mins = HashAggregate(
+        mat,
+        group_key=lambda r: r[0],
+        aggs=[agg_min(lambda r: r[3])],
+    )
+    best = HashJoin(
+        mat,
+        Hash(mins, key=lambda r: r[0]),
+        probe_key=lambda r: r[0],
+        join_pred=lambda row, minrow: row[3] == minrow[1],
+        project=lambda row, _min: row,
+    )
+    # ORDER BY s_acctbal desc, n_name, s_name, p_partkey LIMIT 100
+    return TopN(
+        best, key=lambda r: (-r[5], r[10], r[4], r[0]), n=100
+    )

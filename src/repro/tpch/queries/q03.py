@@ -1,0 +1,66 @@
+"""Q3 — Shipping Priority.
+
+Top 10 unshipped orders (by revenue) for the BUILDING market segment as of
+1995-03-15.  Orders are filtered sequentially; their lineitems are fetched
+through the l_orderkey index (random requests).
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    TopN,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import C, L, O, d, ix, rel
+
+QUERY_ID = 3
+TITLE = "Shipping Priority"
+
+_DATE = d("1995-03-15")
+
+
+def build(db):
+    building = SeqScan(
+        rel(db, "customer"),
+        pred=lambda r: r[C["c_mktsegment"]] == "BUILDING",
+        project=lambda r: (r[C["c_custkey"]],),
+    )
+    # (o_orderkey, o_orderdate, o_shippriority, o_custkey)
+    orders = SeqScan(
+        rel(db, "orders"),
+        pred=lambda r: r[O["o_orderdate"]] < _DATE,
+        project=lambda r: (
+            r[O["o_orderkey"]], r[O["o_orderdate"]],
+            r[O["o_shippriority"]], r[O["o_custkey"]],
+        ),
+    )
+    cust_orders = HashJoin(
+        orders,
+        Hash(building, key=lambda r: r[0]),
+        probe_key=lambda r: r[3],
+        mode="semi",
+    )
+    revenue_lines = NestedLoopIndexJoin(
+        cust_orders,
+        IndexScan(
+            ix(db, "lineitem_orderkey"),
+            pred=lambda r: r[L["l_shipdate"]] > _DATE,
+        ),
+        outer_key=lambda r: r[0],
+        project=lambda o, l: (
+            o[0], o[1], o[2],
+            l[L["l_extendedprice"]] * (1 - l[L["l_discount"]]),
+        ),
+    )
+    agg = HashAggregate(
+        revenue_lines,
+        group_key=lambda r: (r[0], r[1], r[2]),
+        aggs=[agg_sum(lambda r: r[3])],
+        project=lambda key, res: (key[0], res[0], key[1], key[2]),
+    )
+    # ORDER BY revenue desc, o_orderdate LIMIT 10
+    return TopN(agg, key=lambda r: (-r[1], r[2]), n=10)

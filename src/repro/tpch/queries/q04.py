@@ -1,0 +1,46 @@
+"""Q4 — Order Priority Checking.
+
+Orders of 1993Q3 having at least one lineitem received after its commit
+date, counted by priority.  The EXISTS subquery becomes a semi nested-loop
+join through the l_orderkey index (random requests).
+"""
+
+from repro.db.executor import (
+    HashAggregate,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_count
+from repro.tpch.queries.util import L, O, d, ix, rel
+
+QUERY_ID = 4
+TITLE = "Order Priority Checking"
+
+_LO = d("1993-07-01")
+_HI = d("1993-10-01")
+
+
+def build(db):
+    orders = SeqScan(
+        rel(db, "orders"),
+        pred=lambda r: _LO <= r[O["o_orderdate"]] < _HI,
+        project=lambda r: (r[O["o_orderkey"]], r[O["o_orderpriority"]]),
+    )
+    late = NestedLoopIndexJoin(
+        orders,
+        IndexScan(
+            ix(db, "lineitem_orderkey"),
+            pred=lambda r: r[L["l_commitdate"]] < r[L["l_receiptdate"]],
+        ),
+        outer_key=lambda r: r[0],
+        mode="semi",
+        project=lambda o, _l: o,
+    )
+    agg = HashAggregate(
+        late,
+        group_key=lambda r: r[1],
+        aggs=[agg_count()],
+    )
+    return Sort(agg, key=lambda r: r[0])

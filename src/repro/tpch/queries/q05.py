@@ -1,0 +1,94 @@
+"""Q5 — Local Supplier Volume.
+
+Revenue from lineitems where customer and supplier share an ASIA nation,
+orders from 1994.  A pure hash-join pipeline over sequential scans — one
+of the paper's sequential-dominated queries (Figure 5).
+"""
+
+from repro.db.executor import Hash, HashAggregate, HashJoin, SeqScan, Sort
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import C, L, N, O, R, S, d, rel
+
+QUERY_ID = 5
+TITLE = "Local Supplier Volume"
+
+_LO = d("1994-01-01")
+_HI = d("1995-01-01")
+
+
+def build(db):
+    # (o_orderkey, c_nationkey)
+    cust_orders = HashJoin(
+        SeqScan(
+            rel(db, "orders"),
+            pred=lambda r: _LO <= r[O["o_orderdate"]] < _HI,
+            project=lambda r: (r[O["o_orderkey"]], r[O["o_custkey"]]),
+        ),
+        Hash(
+            SeqScan(
+                rel(db, "customer"),
+                project=lambda r: (r[C["c_custkey"]], r[C["c_nationkey"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[1],
+        project=lambda o, c: (o[0], c[1]),
+    )
+    # (l_suppkey, revenue, c_nationkey)
+    lines = HashJoin(
+        SeqScan(
+            rel(db, "lineitem"),
+            project=lambda r: (
+                r[L["l_orderkey"]], r[L["l_suppkey"]],
+                r[L["l_extendedprice"]] * (1 - r[L["l_discount"]]),
+            ),
+        ),
+        Hash(cust_orders, key=lambda r: r[0]),
+        probe_key=lambda r: r[0],
+        project=lambda l, o: (l[1], l[2], o[1]),
+    )
+    # local suppliers only: s_nationkey == c_nationkey
+    local = HashJoin(
+        lines,
+        Hash(
+            SeqScan(
+                rel(db, "supplier"),
+                project=lambda r: (r[S["s_suppkey"]], r[S["s_nationkey"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[0],
+        join_pred=lambda l, s: l[2] == s[1],
+        project=lambda l, s: (s[1], l[1]),  # (nationkey, revenue)
+    )
+    named = HashJoin(
+        local,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                project=lambda r: (
+                    r[N["n_nationkey"]], r[N["n_name"]], r[N["n_regionkey"]],
+                ),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[0],
+        project=lambda l, n: (n[1], l[1], n[2]),  # (n_name, revenue, regionkey)
+    )
+    asia = HashJoin(
+        named,
+        Hash(
+            SeqScan(
+                rel(db, "region"),
+                pred=lambda r: r[R["r_name"]] == "ASIA",
+                project=lambda r: (r[R["r_regionkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[2],
+        mode="semi",
+    )
+    agg = HashAggregate(
+        asia, group_key=lambda r: r[0], aggs=[agg_sum(lambda r: r[1])]
+    )
+    return Sort(agg, key=lambda r: -r[1])

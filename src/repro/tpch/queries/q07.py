@@ -1,0 +1,103 @@
+"""Q7 — Volume Shipping.
+
+Trade volume between FRANCE and GERMANY, by year.  The order of each
+qualifying lineitem is fetched through the o_orderkey index (random
+requests) after supplier-nation filtering shrinks the stream.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import C, L, N, O, S, d, ix, rel, year_of
+
+QUERY_ID = 7
+TITLE = "Volume Shipping"
+
+_LO = d("1995-01-01")
+_HI = d("1996-12-31")
+_PAIR = ("FRANCE", "GERMANY")
+
+
+def build(db):
+    # (l_orderkey, l_suppkey, volume, shipyear)
+    lines = SeqScan(
+        rel(db, "lineitem"),
+        pred=lambda r: _LO <= r[L["l_shipdate"]] <= _HI,
+        project=lambda r: (
+            r[L["l_orderkey"]], r[L["l_suppkey"]],
+            r[L["l_extendedprice"]] * (1 - r[L["l_discount"]]),
+            year_of(r[L["l_shipdate"]]),
+        ),
+    )
+    # + supp_nation name
+    supplied = HashJoin(
+        lines,
+        Hash(
+            SeqScan(
+                rel(db, "supplier"),
+                project=lambda r: (r[S["s_suppkey"]], r[S["s_nationkey"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[1],
+        project=lambda l, s: (l[0], l[2], l[3], s[1]),
+    )
+    supp_nation = HashJoin(
+        supplied,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                pred=lambda r: r[N["n_name"]] in _PAIR,
+                project=lambda r: (r[N["n_nationkey"]], r[N["n_name"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        project=lambda l, n: (l[0], l[1], l[2], n[1]),
+    )
+    # (volume, shipyear, supp_nation, o_custkey) via random orders lookups
+    with_orders = NestedLoopIndexJoin(
+        supp_nation,
+        IndexScan(ix(db, "orders_orderkey")),
+        outer_key=lambda r: r[0],
+        project=lambda l, o: (l[1], l[2], l[3], o[O["o_custkey"]]),
+    )
+    with_cust = HashJoin(
+        with_orders,
+        Hash(
+            SeqScan(
+                rel(db, "customer"),
+                project=lambda r: (r[C["c_custkey"]], r[C["c_nationkey"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        project=lambda l, c: (l[0], l[1], l[2], c[1]),
+    )
+    both_nations = HashJoin(
+        with_cust,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                pred=lambda r: r[N["n_name"]] in _PAIR,
+                project=lambda r: (r[N["n_nationkey"]], r[N["n_name"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        join_pred=lambda l, n: n[1] != l[2],  # opposite nations only
+        project=lambda l, n: (l[2], n[1], l[1], l[0]),
+    )
+    agg = HashAggregate(
+        both_nations,
+        group_key=lambda r: (r[0], r[1], r[2]),
+        aggs=[agg_sum(lambda r: r[3])],
+    )
+    return Sort(agg, key=lambda r: (r[0], r[1], r[2]))

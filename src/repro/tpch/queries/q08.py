@@ -1,0 +1,127 @@
+"""Q8 — National Market Share.
+
+BRAZIL's share of AMERICA-region revenue for one part type across
+1995-1996.  Starts from a narrow part filter, walks the l_partkey and
+o_orderkey indexes (random requests), then hash-joins the dimensions.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import C, L, N, O, P, R, S, d, ix, rel, year_of
+
+QUERY_ID = 8
+TITLE = "National Market Share"
+
+_LO = d("1995-01-01")
+_HI = d("1996-12-31")
+
+
+def build(db):
+    parts = SeqScan(
+        rel(db, "part"),
+        pred=lambda r: r[P["p_type"]] == "ECONOMY ANODIZED STEEL",
+        project=lambda r: (r[P["p_partkey"]],),
+    )
+    # (l_orderkey, l_suppkey, volume)
+    lines = NestedLoopIndexJoin(
+        parts,
+        IndexScan(ix(db, "lineitem_partkey")),
+        outer_key=lambda r: r[0],
+        project=lambda _p, l: (
+            l[L["l_orderkey"]], l[L["l_suppkey"]],
+            l[L["l_extendedprice"]] * (1 - l[L["l_discount"]]),
+        ),
+    )
+    # + (orderyear, o_custkey)
+    with_orders = NestedLoopIndexJoin(
+        lines,
+        IndexScan(
+            ix(db, "orders_orderkey"),
+            pred=lambda r: _LO <= r[O["o_orderdate"]] <= _HI,
+        ),
+        outer_key=lambda r: r[0],
+        project=lambda l, o: (
+            l[1], l[2], year_of(o[O["o_orderdate"]]), o[O["o_custkey"]],
+        ),
+    )
+    with_cust = HashJoin(
+        with_orders,
+        Hash(
+            SeqScan(
+                rel(db, "customer"),
+                project=lambda r: (r[C["c_custkey"]], r[C["c_nationkey"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        project=lambda l, c: (l[0], l[1], l[2], c[1]),
+    )
+    with_cnat = HashJoin(
+        with_cust,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                project=lambda r: (r[N["n_nationkey"]], r[N["n_regionkey"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        project=lambda l, n: (l[0], l[1], l[2], n[1]),
+    )
+    america = HashJoin(
+        with_cnat,
+        Hash(
+            SeqScan(
+                rel(db, "region"),
+                pred=lambda r: r[R["r_name"]] == "AMERICA",
+                project=lambda r: (r[R["r_regionkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        mode="semi",
+    )
+    # + supplier nation name
+    with_snat = HashJoin(
+        HashJoin(
+            america,
+            Hash(
+                SeqScan(
+                    rel(db, "supplier"),
+                    project=lambda r: (r[S["s_suppkey"]], r[S["s_nationkey"]]),
+                ),
+                key=lambda r: r[0],
+            ),
+            probe_key=lambda r: r[0],
+            project=lambda l, s: (l[1], l[2], s[1]),
+        ),
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                project=lambda r: (r[N["n_nationkey"]], r[N["n_name"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[2],
+        project=lambda l, n: (l[1], l[0], n[1]),  # (year, volume, nation)
+    )
+    agg = HashAggregate(
+        with_snat,
+        group_key=lambda r: r[0],
+        aggs=[
+            agg_sum(lambda r: r[1] if r[2] == "BRAZIL" else 0.0),
+            agg_sum(lambda r: r[1]),
+        ],
+        project=lambda year, res: (
+            year, (res[0] / res[1]) if res[1] else 0.0,
+        ),
+    )
+    return Sort(agg, key=lambda r: r[0])

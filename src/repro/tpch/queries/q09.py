@@ -1,0 +1,96 @@
+"""Q9 — Product Type Profit Measure (the paper's Figure 7 query).
+
+Profit by nation and year over parts whose name contains "green".  The
+plan mirrors the paper's: lineitem and part/partsupp flow through
+sequential scans and hash joins, while **supplier** and **orders** are
+randomly accessed through their indexes — supplier's index scan sits
+deeper in the plan, so under Rule 2 supplier traffic gets Priority 2 and
+orders traffic Priority 3 (Table 5 of the paper).
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import L, N, O, P, PS, S, ix, rel, year_of
+
+QUERY_ID = 9
+TITLE = "Product Type Profit Measure"
+
+
+def build(db):
+    green_parts = SeqScan(
+        rel(db, "part"),
+        pred=lambda r: "green" in r[P["p_name"]],
+        project=lambda r: (r[P["p_partkey"]],),
+    )
+    # (l_orderkey, l_partkey, l_suppkey, l_quantity, gross)
+    lines = HashJoin(
+        SeqScan(
+            rel(db, "lineitem"),
+            project=lambda r: (
+                r[L["l_orderkey"]], r[L["l_partkey"]], r[L["l_suppkey"]],
+                r[L["l_quantity"]],
+                r[L["l_extendedprice"]] * (1 - r[L["l_discount"]]),
+            ),
+        ),
+        Hash(green_parts, key=lambda r: r[0]),
+        probe_key=lambda r: r[1],
+        mode="semi",
+    )
+    # + ps_supplycost (composite-key hash join against a partsupp scan)
+    with_ps = HashJoin(
+        lines,
+        Hash(
+            SeqScan(
+                rel(db, "partsupp"),
+                project=lambda r: (
+                    r[PS["ps_partkey"]], r[PS["ps_suppkey"]],
+                    r[PS["ps_supplycost"]],
+                ),
+            ),
+            key=lambda r: (r[0], r[1]),
+        ),
+        probe_key=lambda r: (r[1], r[2]),
+        project=lambda l, ps: (
+            l[0], l[2], l[4] - ps[2] * l[3],  # (orderkey, suppkey, amount)
+        ),
+    )
+    # + s_nationkey via the supplier index (random; deeper level)
+    with_supp = NestedLoopIndexJoin(
+        with_ps,
+        IndexScan(ix(db, "supplier_suppkey")),
+        outer_key=lambda r: r[1],
+        project=lambda l, s: (l[0], l[2], s[S["s_nationkey"]]),
+    )
+    # + o_orderdate via the orders index (random; higher level)
+    with_orders = NestedLoopIndexJoin(
+        with_supp,
+        IndexScan(ix(db, "orders_orderkey")),
+        outer_key=lambda r: r[0],
+        project=lambda l, o: (l[1], l[2], year_of(o[O["o_orderdate"]])),
+    )
+    named = HashJoin(
+        with_orders,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                project=lambda r: (r[N["n_nationkey"]], r[N["n_name"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[1],
+        project=lambda l, n: (n[1], l[2], l[0]),  # (nation, year, amount)
+    )
+    agg = HashAggregate(
+        named,
+        group_key=lambda r: (r[0], r[1]),
+        aggs=[agg_sum(lambda r: r[2])],
+    )
+    return Sort(agg, key=lambda r: (r[0], -r[1]))

@@ -1,0 +1,77 @@
+"""Q10 — Returned Item Reporting.
+
+Revenue lost to returned items for 1993Q4 orders: a filtered sequential
+orders scan drives random lineitem index lookups, then customer/nation
+hash joins; top 20 customers by lost revenue.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    TopN,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import C, L, N, O, d, ix, rel
+
+QUERY_ID = 10
+TITLE = "Returned Item Reporting"
+
+_LO = d("1993-10-01")
+_HI = d("1994-01-01")
+
+
+def build(db):
+    orders = SeqScan(
+        rel(db, "orders"),
+        pred=lambda r: _LO <= r[O["o_orderdate"]] < _HI,
+        project=lambda r: (r[O["o_orderkey"]], r[O["o_custkey"]]),
+    )
+    # (o_custkey, revenue)
+    returned = NestedLoopIndexJoin(
+        orders,
+        IndexScan(
+            ix(db, "lineitem_orderkey"),
+            pred=lambda r: r[L["l_returnflag"]] == "R",
+        ),
+        outer_key=lambda r: r[0],
+        project=lambda o, l: (
+            o[1], l[L["l_extendedprice"]] * (1 - l[L["l_discount"]]),
+        ),
+    )
+    with_cust = HashJoin(
+        returned,
+        Hash(
+            SeqScan(
+                rel(db, "customer"),
+                project=lambda r: (
+                    r[C["c_custkey"]], r[C["c_name"]], r[C["c_acctbal"]],
+                    r[C["c_phone"]], r[C["c_address"]], r[C["c_nationkey"]],
+                ),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[0],
+        project=lambda l, c: (c[0], c[1], c[2], c[3], c[4], c[5], l[1]),
+    )
+    named = HashJoin(
+        with_cust,
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                project=lambda r: (r[N["n_nationkey"]], r[N["n_name"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[5],
+        project=lambda l, n: l[:5] + (n[1], l[6]),
+    )
+    agg = HashAggregate(
+        named,
+        group_key=lambda r: r[:6],
+        aggs=[agg_sum(lambda r: r[6])],
+    )
+    return TopN(agg, key=lambda r: -r[6], n=20)

@@ -1,0 +1,75 @@
+"""Q11 — Important Stock Identification (sequential-dominated, Figure 5).
+
+GERMANY's partsupp value by part, keeping parts whose stock value exceeds
+a fixed fraction of the national total.  One partsupp scan is shared (via
+materialisation) between the per-part aggregate and the grand total.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    Materialize,
+    Project,
+    SeqScan,
+    Sort,
+    StreamAggregate,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import (
+    N,
+    PS,
+    S,
+    ScalarThresholdFilter,
+    rel,
+)
+
+QUERY_ID = 11
+TITLE = "Important Stock Identification"
+
+FRACTION = 0.001
+"""TPC-H uses 0.0001/SF; fixed here for mini scale factors (see DESIGN.md)."""
+
+
+def build(db):
+    german_suppliers = HashJoin(
+        SeqScan(
+            rel(db, "supplier"),
+            project=lambda r: (r[S["s_suppkey"]], r[S["s_nationkey"]]),
+        ),
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                pred=lambda r: r[N["n_name"]] == "GERMANY",
+                project=lambda r: (r[N["n_nationkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[1],
+        mode="semi",
+    )
+    # (ps_partkey, value)
+    german_ps = HashJoin(
+        SeqScan(
+            rel(db, "partsupp"),
+            project=lambda r: (
+                r[PS["ps_partkey"]], r[PS["ps_suppkey"]],
+                r[PS["ps_supplycost"]] * r[PS["ps_availqty"]],
+            ),
+        ),
+        Hash(german_suppliers, key=lambda r: r[0]),
+        probe_key=lambda r: r[1],
+        mode="semi",
+    )
+    mat = Materialize(german_ps)
+    per_part = HashAggregate(
+        mat, group_key=lambda r: r[0], aggs=[agg_sum(lambda r: r[2])]
+    )
+    total = StreamAggregate(
+        Project(mat, fn=lambda r: (r[2],)),
+        aggs=[agg_sum(lambda r: r[0])],
+    )
+    important = ScalarThresholdFilter(
+        per_part, total, pred=lambda row, tot: row[1] > tot * FRACTION
+    )
+    return Sort(important, key=lambda r: -r[1])

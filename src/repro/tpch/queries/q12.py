@@ -1,0 +1,50 @@
+"""Q12 — Shipping Modes and Order Priority.
+
+Late lineitems shipped by MAIL/SHIP in 1994, classified by the priority of
+their orders — fetched through the o_orderkey index (random requests).
+"""
+
+from repro.db.executor import (
+    HashAggregate,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import L, O, d, ix, rel
+
+QUERY_ID = 12
+TITLE = "Shipping Modes and Order Priority"
+
+_LO = d("1994-01-01")
+_HI = d("1995-01-01")
+_HIGH = ("1-URGENT", "2-HIGH")
+
+
+def build(db):
+    lines = SeqScan(
+        rel(db, "lineitem"),
+        pred=lambda r: (
+            r[L["l_shipmode"]] in ("MAIL", "SHIP")
+            and r[L["l_commitdate"]] < r[L["l_receiptdate"]]
+            and r[L["l_shipdate"]] < r[L["l_commitdate"]]
+            and _LO <= r[L["l_receiptdate"]] < _HI
+        ),
+        project=lambda r: (r[L["l_orderkey"]], r[L["l_shipmode"]]),
+    )
+    with_orders = NestedLoopIndexJoin(
+        lines,
+        IndexScan(ix(db, "orders_orderkey")),
+        outer_key=lambda r: r[0],
+        project=lambda l, o: (l[1], o[O["o_orderpriority"]]),
+    )
+    agg = HashAggregate(
+        with_orders,
+        group_key=lambda r: r[0],
+        aggs=[
+            agg_sum(lambda r: 1 if r[1] in _HIGH else 0),
+            agg_sum(lambda r: 0 if r[1] in _HIGH else 1),
+        ],
+    )
+    return Sort(agg, key=lambda r: r[0])

@@ -1,0 +1,47 @@
+"""Q13 — Customer Distribution.
+
+Histogram of orders-per-customer (excluding "special requests" orders),
+including customers with no orders: a left outer hash join whose build
+side (filtered orders) exceeds work_mem and spills — temporary data.
+"""
+
+from repro.db.executor import Hash, HashAggregate, HashJoin, SeqScan, Sort
+from repro.db.exprs import agg_count
+from repro.tpch.queries.util import C, O, rel
+
+QUERY_ID = 13
+TITLE = "Customer Distribution"
+
+
+def _not_special(comment: str) -> bool:
+    pos = comment.find("special")
+    return pos < 0 or "requests" not in comment[pos:]
+
+
+def build(db):
+    orders = SeqScan(
+        rel(db, "orders"),
+        pred=lambda r: _not_special(r[O["o_comment"]]),
+        project=lambda r: (r[O["o_custkey"]], r[O["o_orderkey"]]),
+    )
+    joined = HashJoin(
+        SeqScan(
+            rel(db, "customer"),
+            project=lambda r: (r[C["c_custkey"]],),
+        ),
+        Hash(orders, key=lambda r: r[0]),
+        probe_key=lambda r: r[0],
+        mode="left",
+        project=lambda c, o: (c[0], o[1] if o is not None else None),
+    )
+    per_customer = HashAggregate(
+        joined,
+        group_key=lambda r: r[0],
+        aggs=[agg_count(lambda r: r[1])],  # NULL orderkeys don't count
+    )
+    histogram = HashAggregate(
+        per_customer,
+        group_key=lambda r: r[1],
+        aggs=[agg_count()],
+    )
+    return Sort(histogram, key=lambda r: (-r[1], -r[0]))

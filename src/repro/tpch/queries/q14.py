@@ -1,0 +1,48 @@
+"""Q14 — Promotion Effect.
+
+Share of September-1995 revenue from PROMO parts: one filtered lineitem
+scan hash-joined with part (sequential traffic).
+"""
+
+from repro.db.executor import Hash, HashJoin, Project, SeqScan, StreamAggregate
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import L, P, d, rel
+
+QUERY_ID = 14
+TITLE = "Promotion Effect"
+
+_LO = d("1995-09-01")
+_HI = d("1995-10-01")
+
+
+def build(db):
+    lines = SeqScan(
+        rel(db, "lineitem"),
+        pred=lambda r: _LO <= r[L["l_shipdate"]] < _HI,
+        project=lambda r: (
+            r[L["l_partkey"]],
+            r[L["l_extendedprice"]] * (1 - r[L["l_discount"]]),
+        ),
+    )
+    joined = HashJoin(
+        lines,
+        Hash(
+            SeqScan(
+                rel(db, "part"),
+                project=lambda r: (r[P["p_partkey"]], r[P["p_type"]]),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[0],
+        project=lambda l, p: (l[1], p[1]),
+    )
+    sums = StreamAggregate(
+        joined,
+        aggs=[
+            agg_sum(lambda r: r[0] if r[1].startswith("PROMO") else 0.0),
+            agg_sum(lambda r: r[0]),
+        ],
+    )
+    return Project(
+        sums, fn=lambda r: (100.0 * r[0] / r[1] if r[1] else 0.0,)
+    )

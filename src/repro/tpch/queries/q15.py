@@ -1,0 +1,59 @@
+"""Q15 — Top Supplier.
+
+The supplier(s) with maximum 1996Q1 revenue: the revenue "view" is
+materialised once, its maximum taken as a scalar, and the winners joined
+to supplier through the s_suppkey index.
+"""
+
+from repro.db.executor import (
+    HashAggregate,
+    IndexScan,
+    Materialize,
+    NestedLoopIndexJoin,
+    Project,
+    SeqScan,
+    Sort,
+    StreamAggregate,
+)
+from repro.db.exprs import agg_max, agg_sum
+from repro.tpch.queries.util import L, S, ScalarThresholdFilter, d, ix, rel
+
+QUERY_ID = 15
+TITLE = "Top Supplier"
+
+_LO = d("1996-01-01")
+_HI = d("1996-04-01")
+_EPS = 1e-6
+
+
+def build(db):
+    revenue = HashAggregate(
+        SeqScan(
+            rel(db, "lineitem"),
+            pred=lambda r: _LO <= r[L["l_shipdate"]] < _HI,
+            project=lambda r: (
+                r[L["l_suppkey"]],
+                r[L["l_extendedprice"]] * (1 - r[L["l_discount"]]),
+            ),
+        ),
+        group_key=lambda r: r[0],
+        aggs=[agg_sum(lambda r: r[1])],
+    )
+    mat = Materialize(revenue)
+    max_revenue = StreamAggregate(
+        Project(mat, fn=lambda r: (r[1],)),
+        aggs=[agg_max(lambda r: r[0])],
+    )
+    winners = ScalarThresholdFilter(
+        mat, max_revenue, pred=lambda row, mx: row[1] >= mx - _EPS
+    )
+    with_supplier = NestedLoopIndexJoin(
+        winners,
+        IndexScan(ix(db, "supplier_suppkey")),
+        outer_key=lambda r: r[0],
+        project=lambda rev, s: (
+            s[S["s_suppkey"]], s[S["s_name"]], s[S["s_address"]],
+            s[S["s_phone"]], rev[1],
+        ),
+    )
+    return Sort(with_supplier, key=lambda r: r[0])

@@ -1,0 +1,70 @@
+"""Q16 — Parts/Supplier Relationship.
+
+Supplier counts per (brand, type, size) for a filtered part family,
+excluding complained-about suppliers; partsupp rows arrive through the
+ps_partkey index (random requests).
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_count
+from repro.tpch.queries.util import P, PS, S, ix, rel
+
+QUERY_ID = 16
+TITLE = "Parts/Supplier Relationship"
+
+_SIZES = {49, 14, 23, 45, 19, 3, 36, 9}
+
+
+def build(db):
+    parts = SeqScan(
+        rel(db, "part"),
+        pred=lambda r: (
+            r[P["p_brand"]] != "Brand#45"
+            and not r[P["p_type"]].startswith("MEDIUM POLISHED")
+            and r[P["p_size"]] in _SIZES
+        ),
+        project=lambda r: (
+            r[P["p_partkey"]], r[P["p_brand"]], r[P["p_type"]], r[P["p_size"]],
+        ),
+    )
+    # (brand, type, size, ps_suppkey)
+    with_ps = NestedLoopIndexJoin(
+        parts,
+        IndexScan(ix(db, "partsupp_partkey")),
+        outer_key=lambda r: r[0],
+        project=lambda p, psr: (p[1], p[2], p[3], psr[PS["ps_suppkey"]]),
+    )
+    clean = HashJoin(
+        with_ps,
+        Hash(
+            SeqScan(
+                rel(db, "supplier"),
+                pred=lambda r: r[S["s_comment"]].startswith(
+                    "Customer Complaints"
+                ),
+                project=lambda r: (r[S["s_suppkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        mode="anti",
+    )
+    distinct = HashAggregate(
+        clean,
+        group_key=lambda r: (r[0], r[1], r[2], r[3]),
+        aggs=[agg_count()],
+    )
+    counts = HashAggregate(
+        distinct,
+        group_key=lambda r: (r[0], r[1], r[2]),
+        aggs=[agg_count()],
+    )
+    return Sort(counts, key=lambda r: (-r[3], r[0], r[1], r[2]))

@@ -1,0 +1,62 @@
+"""Q17 — Small-Quantity-Order Revenue (random-request heavy).
+
+For one brand/container family, revenue from lineitems below 20% of the
+part's average quantity.  Lineitems are reached through the l_partkey
+index; the correlated average is decorrelated through a shared
+materialisation.
+
+Deviation: the container predicate is relaxed to the MED family so the
+query touches a sensible number of parts at mini scale factors.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Materialize,
+    NestedLoopIndexJoin,
+    Project,
+    SeqScan,
+    StreamAggregate,
+)
+from repro.db.exprs import agg_avg, agg_sum
+from repro.tpch.queries.util import L, P, ix, rel
+
+QUERY_ID = 17
+TITLE = "Small-Quantity-Order Revenue"
+
+
+def build(db):
+    parts = SeqScan(
+        rel(db, "part"),
+        pred=lambda r: (
+            r[P["p_brand"]] == "Brand#23"
+            and r[P["p_container"]].startswith("MED")
+        ),
+        project=lambda r: (r[P["p_partkey"]],),
+    )
+    # (partkey, quantity, extendedprice)
+    lines = NestedLoopIndexJoin(
+        parts,
+        IndexScan(ix(db, "lineitem_partkey")),
+        outer_key=lambda r: r[0],
+        project=lambda p, l: (
+            p[0], l[L["l_quantity"]], l[L["l_extendedprice"]],
+        ),
+    )
+    mat = Materialize(lines)
+    averages = HashAggregate(
+        mat, group_key=lambda r: r[0], aggs=[agg_avg(lambda r: r[1])]
+    )
+    small = HashJoin(
+        mat,
+        Hash(averages, key=lambda r: r[0]),
+        probe_key=lambda r: r[0],
+        join_pred=lambda line, avg: line[1] < 0.2 * avg[1],
+        project=lambda line, _avg: (line[2],),
+    )
+    total = StreamAggregate(small, aggs=[agg_sum(lambda r: r[0])])
+    return Project(
+        total, fn=lambda r: ((r[0] or 0.0) / 7.0,)
+    )

@@ -1,0 +1,60 @@
+"""Q19 — Discounted Revenue (sequential-dominated, Figure 5).
+
+Revenue from air-shipped, in-person-delivered lineitems matching one of
+three brand/container/quantity families — a lineitem sequential scan hash
+joined with part under a disjunctive join predicate.
+"""
+
+from repro.db.executor import Hash, HashJoin, SeqScan, StreamAggregate
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import L, P, rel
+
+QUERY_ID = 19
+TITLE = "Discounted Revenue"
+
+_SM = ("SM CASE", "SM BOX", "SM PACK", "SM PKG")
+_MED = ("MED BAG", "MED BOX", "MED PKG", "MED PACK")
+_LG = ("LG CASE", "LG BOX", "LG PACK", "LG PKG")
+
+
+def _family_match(line, part) -> bool:
+    quantity = line[1]
+    brand, container, size = part[1], part[2], part[3]
+    if brand == "Brand#12" and container in _SM and 1 <= quantity <= 11:
+        return 1 <= size <= 5
+    if brand == "Brand#23" and container in _MED and 10 <= quantity <= 20:
+        return 1 <= size <= 10
+    if brand == "Brand#34" and container in _LG and 20 <= quantity <= 30:
+        return 1 <= size <= 15
+    return False
+
+
+def build(db):
+    lines = SeqScan(
+        rel(db, "lineitem"),
+        pred=lambda r: (
+            r[L["l_shipmode"]] in ("AIR", "REG AIR")
+            and r[L["l_shipinstruct"]] == "DELIVER IN PERSON"
+        ),
+        project=lambda r: (
+            r[L["l_partkey"]], r[L["l_quantity"]],
+            r[L["l_extendedprice"]] * (1 - r[L["l_discount"]]),
+        ),
+    )
+    joined = HashJoin(
+        lines,
+        Hash(
+            SeqScan(
+                rel(db, "part"),
+                project=lambda r: (
+                    r[P["p_partkey"]], r[P["p_brand"]],
+                    r[P["p_container"]], r[P["p_size"]],
+                ),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[0],
+        join_pred=_family_match,
+        project=lambda l, _p: (l[2],),
+    )
+    return StreamAggregate(joined, aggs=[agg_sum(lambda r: r[0])])

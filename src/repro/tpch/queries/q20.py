@@ -1,0 +1,88 @@
+"""Q20 — Potential Part Promotion.
+
+CANADA suppliers holding excess stock of "forest" parts: partsupp rows
+through the ps_partkey index (random), a spilled lineitem aggregation
+(temp data), and semi joins back to supplier.
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    NestedLoopIndexJoin,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_sum
+from repro.tpch.queries.util import L, N, PS, S, d, ix, rel
+
+QUERY_ID = 20
+TITLE = "Potential Part Promotion"
+
+_LO = d("1994-01-01")
+_HI = d("1995-01-01")
+
+
+def build(db):
+    forest_parts = SeqScan(
+        rel(db, "part"),
+        pred=lambda r: r[1].startswith("forest"),  # p_name
+        project=lambda r: (r[0],),  # p_partkey
+    )
+    # (ps_partkey, ps_suppkey, ps_availqty)
+    ps = NestedLoopIndexJoin(
+        forest_parts,
+        IndexScan(ix(db, "partsupp_partkey")),
+        outer_key=lambda r: r[0],
+        project=lambda _p, psr: (
+            psr[PS["ps_partkey"]], psr[PS["ps_suppkey"]],
+            psr[PS["ps_availqty"]],
+        ),
+    )
+    # shipped quantity per (partkey, suppkey) in 1994 -> spills to temp
+    shipped = HashAggregate(
+        SeqScan(
+            rel(db, "lineitem"),
+            pred=lambda r: _LO <= r[L["l_shipdate"]] < _HI,
+            project=lambda r: (
+                r[L["l_partkey"]], r[L["l_suppkey"]], r[L["l_quantity"]],
+            ),
+        ),
+        group_key=lambda r: (r[0], r[1]),
+        aggs=[agg_sum(lambda r: r[2])],
+    )
+    excess = HashJoin(
+        ps,
+        Hash(shipped, key=lambda r: (r[0], r[1])),
+        probe_key=lambda r: (r[0], r[1]),
+        join_pred=lambda psr, sh: psr[2] > 0.5 * sh[2],
+        project=lambda psr, _sh: (psr[1],),  # suppkey
+    )
+    canada_suppliers = HashJoin(
+        SeqScan(
+            rel(db, "supplier"),
+            project=lambda r: (
+                r[S["s_suppkey"]], r[S["s_name"]], r[S["s_address"]],
+                r[S["s_nationkey"]],
+            ),
+        ),
+        Hash(
+            SeqScan(
+                rel(db, "nation"),
+                pred=lambda r: r[N["n_name"]] == "CANADA",
+                project=lambda r: (r[N["n_nationkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[3],
+        mode="semi",
+    )
+    result = HashJoin(
+        canada_suppliers,
+        Hash(excess, key=lambda r: r[0]),
+        probe_key=lambda r: r[0],
+        mode="semi",
+        project=lambda s, _e: (s[1], s[2]),
+    )
+    return Sort(result, key=lambda r: r[0])

@@ -1,0 +1,68 @@
+"""Q22 — Global Sales Opportunity.
+
+Well-funded customers from seven country codes with no orders: an
+average-balance InitPlan over a shared customer materialisation, then an
+anti hash join against an orders scan whose build side spills (temp data).
+"""
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    Materialize,
+    Project,
+    SeqScan,
+    Sort,
+    StreamAggregate,
+)
+from repro.db.exprs import agg_avg, agg_count, agg_sum
+from repro.tpch.queries.util import C, O, ScalarThresholdFilter, rel
+
+QUERY_ID = 22
+TITLE = "Global Sales Opportunity"
+
+_CODES = ("13", "31", "23", "29", "30", "18", "17")
+
+
+def _code(phone: str) -> str:
+    return phone[:2]
+
+
+def build(db):
+    candidates = Materialize(
+        SeqScan(
+            rel(db, "customer"),
+            pred=lambda r: (
+                _code(r[C["c_phone"]]) in _CODES
+                and r[C["c_acctbal"]] > 0.0
+            ),
+            project=lambda r: (
+                r[C["c_custkey"]], _code(r[C["c_phone"]]), r[C["c_acctbal"]],
+            ),
+        )
+    )
+    avg_balance = StreamAggregate(
+        Project(candidates, fn=lambda r: (r[2],)),
+        aggs=[agg_avg(lambda r: r[0])],
+    )
+    wealthy = ScalarThresholdFilter(
+        candidates, avg_balance, pred=lambda row, avg: row[2] > avg
+    )
+    no_orders = HashJoin(
+        wealthy,
+        Hash(
+            SeqScan(
+                rel(db, "orders"),
+                project=lambda r: (r[O["o_custkey"]],),
+            ),
+            key=lambda r: r[0],
+        ),
+        probe_key=lambda r: r[0],
+        mode="anti",
+    )
+    agg = HashAggregate(
+        no_orders,
+        group_key=lambda r: r[1],
+        aggs=[agg_count(), agg_sum(lambda r: r[2])],
+    )
+    return Sort(agg, key=lambda r: r[0])

@@ -1,0 +1,162 @@
+"""TPC-H refresh functions RF1 (inserts) and RF2 (deletes).
+
+Both are implemented as plan nodes so they integrate with the engine's
+query lifecycle and the cooperative scheduler (the throughput test's
+update stream interleaves with the query streams at tuple granularity).
+
+Their storage traffic is what Rule 4 governs: heap/index page *writes*
+carry the write-buffer policy, while the index descents and heap lookups
+they perform are ordinary random reads.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Iterator
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.engine import Database
+from repro.db.plan import ExecutionContext, PlanNode
+from repro.tpch.datagen import TPCHMeta, _order
+
+RF_FRACTION = 0.001
+"""Fraction of orders inserted/deleted per refresh (TPC-H: SF*1500 of
+SF*1_500_000 orders = 0.1%)."""
+
+
+def _update_sems(db: Database, ctx_query_id: int):
+    orders = db.catalog.relation("orders")
+    lineitem = db.catalog.relation("lineitem")
+    sems = {
+        "orders": SemanticInfo.update(
+            ContentType.TABLE, orders.oid, query_id=ctx_query_id
+        ),
+        "lineitem": SemanticInfo.update(
+            ContentType.TABLE, lineitem.oid, query_id=ctx_query_id
+        ),
+    }
+    for index in orders.indexes + lineitem.indexes:
+        sems[index.name] = SemanticInfo.update(
+            ContentType.INDEX, index.oid, query_id=ctx_query_id
+        )
+    return orders, lineitem, sems
+
+
+class RefreshInsert(PlanNode):
+    """RF1: insert a batch of new orders and their lineitems."""
+
+    def __init__(
+        self, db: Database, meta: TPCHMeta, count: int | None = None
+    ) -> None:
+        super().__init__(label="RF1")
+        self.db = db
+        self.meta = meta
+        self.count = (
+            count
+            if count is not None
+            else max(1, round(meta.counts["orders"] * RF_FRACTION))
+        )
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        meta = self.meta
+        rng = Random(meta.seed * 7919 + meta.refresh_serial)
+        meta.refresh_serial += 1
+        db, pool = self.db, ctx.pool
+        orders, lineitem, sems = _update_sems(db, ctx.query_id)
+        active_customers = max(1, (meta.counts["customer"] * 2) // 3)
+        n_part = meta.counts["part"]
+
+        batch: list[int] = []
+        for _ in range(self.count):
+            orderkey = meta.next_orderkey
+            meta.next_orderkey += 1
+            order, lines = _order(
+                rng, orderkey, active_customers, n_part, meta.part_suppliers
+            )
+            ctx.cpu_tick(1 + len(lines))
+            rid = orders.heap.insert(pool, order, sems["orders"])
+            for index in orders.indexes:
+                index.btree.insert(
+                    pool, order[index.key_pos], rid, sems[index.name]
+                )
+            for line in lines:
+                line_rid = lineitem.heap.insert(pool, line, sems["lineitem"])
+                for index in lineitem.indexes:
+                    index.btree.insert(
+                        pool, line[index.key_pos], line_rid, sems[index.name]
+                    )
+            batch.append(orderkey)
+            yield (orderkey,)
+        meta.pending_batches.append(batch)
+
+
+class RefreshDelete(PlanNode):
+    """RF2: delete the oldest batch RF1 inserted (orders + lineitems)."""
+
+    def __init__(self, db: Database, meta: TPCHMeta) -> None:
+        super().__init__(label="RF2")
+        self.db = db
+        self.meta = meta
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        meta = self.meta
+        if not meta.pending_batches:
+            return
+        batch = meta.pending_batches.pop(0)
+        db, pool = self.db, ctx.pool
+        orders, lineitem, sems = _update_sems(db, ctx.query_id)
+        orders_index = orders.index_on("o_orderkey")
+        lineitem_index = lineitem.index_on("l_orderkey")
+        read_sem_o = SemanticInfo.random_access(
+            ContentType.INDEX, orders_index.oid, 0, query_id=ctx.query_id
+        )
+        read_sem_l = SemanticInfo.random_access(
+            ContentType.INDEX, lineitem_index.oid, 0, query_id=ctx.query_id
+        )
+        fetch_sem = SemanticInfo.random_access(
+            ContentType.TABLE, lineitem.oid, 0, query_id=ctx.query_id
+        )
+
+        for orderkey in batch:
+            ctx.cpu_tick()
+            # Delete the order's lineitems (found through the index).
+            line_rids = list(
+                lineitem_index.btree.search(pool, orderkey, read_sem_l)
+            )
+            for rid in line_rids:
+                row = lineitem.heap.fetch(pool, rid, fetch_sem)
+                if row is None:
+                    continue
+                lineitem.heap.delete(pool, rid, sems["lineitem"])
+                for index in lineitem.indexes:
+                    index.btree.delete(
+                        pool, row[index.key_pos], rid, sems[index.name]
+                    )
+            # Delete the order itself.
+            order_rids = list(
+                orders_index.btree.search(pool, orderkey, read_sem_o)
+            )
+            for rid in order_rids:
+                orders.heap.delete(pool, rid, sems["orders"])
+                orders_index.btree.delete(
+                    pool, orderkey, rid, sems[orders_index.name]
+                )
+            yield (orderkey,)
+
+
+def rf1_builder(meta: TPCHMeta, count: int | None = None):
+    """Plan builder for RF1 (usable anywhere a query builder is)."""
+
+    def build(db: Database) -> RefreshInsert:
+        return RefreshInsert(db, meta, count)
+
+    return build
+
+
+def rf2_builder(meta: TPCHMeta):
+    """Plan builder for RF2."""
+
+    def build(db: Database) -> RefreshDelete:
+        return RefreshDelete(db, meta)
+
+    return build

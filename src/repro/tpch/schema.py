@@ -1,0 +1,127 @@
+"""TPC-H schema: the eight tables and the nine indexes of Table 3."""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+from repro.db.tuples import Schema, schema
+
+REGION = schema(
+    ("r_regionkey", "int"),
+    ("r_name", "str", 12),
+    ("r_comment", "str", 40),
+)
+
+NATION = schema(
+    ("n_nationkey", "int"),
+    ("n_name", "str", 16),
+    ("n_regionkey", "int"),
+    ("n_comment", "str", 40),
+)
+
+SUPPLIER = schema(
+    ("s_suppkey", "int"),
+    ("s_name", "str", 18),
+    ("s_address", "str", 20),
+    ("s_nationkey", "int"),
+    ("s_phone", "str", 15),
+    ("s_acctbal", "float"),
+    ("s_comment", "str", 40),
+)
+
+CUSTOMER = schema(
+    ("c_custkey", "int"),
+    ("c_name", "str", 18),
+    ("c_address", "str", 20),
+    ("c_nationkey", "int"),
+    ("c_phone", "str", 15),
+    ("c_acctbal", "float"),
+    ("c_mktsegment", "str", 10),
+    ("c_comment", "str", 40),
+)
+
+PART = schema(
+    ("p_partkey", "int"),
+    ("p_name", "str", 35),
+    ("p_mfgr", "str", 14),
+    ("p_brand", "str", 10),
+    ("p_type", "str", 25),
+    ("p_size", "int"),
+    ("p_container", "str", 10),
+    ("p_retailprice", "float"),
+    ("p_comment", "str", 14),
+)
+
+PARTSUPP = schema(
+    ("ps_partkey", "int"),
+    ("ps_suppkey", "int"),
+    ("ps_availqty", "int"),
+    ("ps_supplycost", "float"),
+    ("ps_comment", "str", 40),
+)
+
+ORDERS = schema(
+    ("o_orderkey", "int"),
+    ("o_custkey", "int"),
+    ("o_orderstatus", "str", 1),
+    ("o_totalprice", "float"),
+    ("o_orderdate", "date"),
+    ("o_orderpriority", "str", 15),
+    ("o_clerk", "str", 15),
+    ("o_shippriority", "int"),
+    ("o_comment", "str", 38),
+)
+
+LINEITEM = schema(
+    ("l_orderkey", "int"),
+    ("l_partkey", "int"),
+    ("l_suppkey", "int"),
+    ("l_linenumber", "int"),
+    ("l_quantity", "float"),
+    ("l_extendedprice", "float"),
+    ("l_discount", "float"),
+    ("l_tax", "float"),
+    ("l_returnflag", "str", 1),
+    ("l_linestatus", "str", 1),
+    ("l_shipdate", "date"),
+    ("l_commitdate", "date"),
+    ("l_receiptdate", "date"),
+    ("l_shipinstruct", "str", 25),
+    ("l_shipmode", "str", 10),
+    ("l_comment", "str", 20),
+)
+
+TABLE_SCHEMAS: dict[str, Schema] = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+#: Table 3 of the paper: the nine indexes built for TPC-H.
+TABLE3_INDEXES: list[tuple[str, str, str]] = [
+    ("lineitem_partkey", "lineitem", "l_partkey"),
+    ("lineitem_orderkey", "lineitem", "l_orderkey"),
+    ("orders_orderkey", "orders", "o_orderkey"),
+    ("partsupp_partkey", "partsupp", "ps_partkey"),
+    ("part_partkey", "part", "p_partkey"),
+    ("customer_custkey", "customer", "c_custkey"),
+    ("supplier_suppkey", "supplier", "s_suppkey"),
+    ("region_regionkey", "region", "r_regionkey"),
+    ("nation_nationkey", "nation", "n_nationkey"),
+]
+
+
+def create_tpch_tables(db: Database) -> None:
+    """CREATE TABLE for all eight relations."""
+    for name, table_schema in TABLE_SCHEMAS.items():
+        db.create_table(name, table_schema)
+
+
+def create_tpch_indexes(db: Database) -> None:
+    """CREATE INDEX for the nine indexes of Table 3 (run after loading)."""
+    for index_name, table, column in TABLE3_INDEXES:
+        db.create_index(index_name, table, column)

@@ -1,0 +1,43 @@
+"""TPC-H stream orderings: the power test and throughput-test streams.
+
+``POWER_ORDER`` is the TPC-H specification's query ordering for stream 0,
+used by the paper's "sequence of queries" experiment (Section 6.3.4,
+Figure 11): RF1 first, the 22 queries in the prescribed order, RF2 last.
+
+``THROUGHPUT_ORDERS`` are per-stream permutations for the throughput test
+(Section 6.4).  The exact permutations do not change any conclusion —
+each stream simply runs all 22 queries in a distinct order, per the
+specification's Appendix A scheme.
+"""
+
+from __future__ import annotations
+
+#: TPC-H spec ordering for stream 00 (the power test).
+POWER_ORDER: list[int] = [
+    14, 2, 9, 20, 6, 17, 18, 8, 21, 13, 3, 22, 16, 4, 11, 15, 1, 10, 19,
+    5, 7, 12,
+]
+
+#: Query orderings for throughput streams 1..N.
+THROUGHPUT_ORDERS: dict[int, list[int]] = {
+    1: [21, 3, 18, 5, 11, 7, 6, 20, 17, 12, 16, 15, 13, 10, 2, 8, 14, 19,
+        9, 22, 1, 4],
+    2: [6, 17, 14, 16, 19, 10, 9, 2, 15, 8, 5, 22, 12, 7, 13, 18, 1, 4,
+        20, 3, 11, 21],
+    3: [8, 5, 4, 6, 17, 7, 1, 18, 22, 14, 9, 10, 15, 11, 20, 2, 21, 19,
+        13, 16, 12, 3],
+    4: [5, 21, 14, 19, 15, 17, 12, 6, 4, 9, 8, 16, 11, 2, 10, 18, 1, 13,
+        7, 22, 3, 20],
+}
+
+
+def validate_orderings() -> None:
+    """Each ordering must be a permutation of 1..22."""
+    expected = set(range(1, 23))
+    orderings = [POWER_ORDER, *THROUGHPUT_ORDERS.values()]
+    for ordering in orderings:
+        if set(ordering) != expected or len(ordering) != 22:
+            raise ValueError(f"not a permutation of 1..22: {ordering}")
+
+
+validate_orderings()

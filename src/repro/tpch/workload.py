@@ -1,0 +1,46 @@
+"""Workload assembly: schema + data + indexes, ready for experiments."""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+from repro.tpch.datagen import TPCHData, TPCHMeta, generate
+from repro.tpch.schema import create_tpch_indexes, create_tpch_tables
+
+#: Load order: referenced tables first (purely cosmetic; no FK enforcement).
+_LOAD_ORDER = [
+    "region", "nation", "supplier", "customer", "part", "partsupp",
+    "orders", "lineitem",
+]
+
+
+def load_tpch(
+    db: Database,
+    scale: float = 0.1,
+    seed: int = 42,
+    data: "TPCHData | None" = None,
+) -> TPCHMeta:
+    """Create the schema, load generated data, build Table 3's indexes.
+
+    Loading is out-of-band (no simulated I/O); the measurement clock and
+    statistics are reset afterwards so experiments start from a loaded,
+    cold-cache database — the paper's starting condition.
+
+    Pass a pre-generated ``data`` to load the identical database into
+    several configurations without re-running the generator; each load
+    gets its own (mutable) :class:`TPCHMeta` copy.
+    """
+    if data is None:
+        data = generate(scale=scale, seed=seed)
+    create_tpch_tables(db)
+    for table in _LOAD_ORDER:
+        db.bulk_load(table, data.tables[table])
+    create_tpch_indexes(db)
+    db.reset_measurements()
+    source = data.meta
+    return TPCHMeta(
+        scale=source.scale,
+        seed=source.seed,
+        counts=dict(source.counts),
+        next_orderkey=source.next_orderkey,
+        part_suppliers=source.part_suppliers,
+    )

@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_query_command(self, capsys):
+        assert main(["--scale", "0.05", "query", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Q6" in out
+        assert "sequential" in out
+
+    def test_query_with_config(self, capsys):
+        assert main(["--scale", "0.05", "query", "1", "--config", "ssd"]) == 0
+        assert "under ssd" in capsys.readouterr().out
+
+    def test_explain_command(self, capsys):
+        assert main(["--scale", "0.05", "explain", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "IndexScan(supplier.s_suppkey)" in out
+        assert "level" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["--scale", "0.05", "experiment", "table5"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_sequence_command(self, capsys):
+        assert main(["--scale", "0.05", "sequence", "--config", "ssd"]) == 0
+        out = capsys.readouterr().out
+        assert "RF1" in out and "total:" in out
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "23"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

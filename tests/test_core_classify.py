@@ -1,0 +1,72 @@
+"""Unit tests for request classification (Section 4.1)."""
+
+import pytest
+
+from repro.core import SemanticInfo, classify
+from repro.core.semantics import AccessPattern, ContentType
+from repro.storage import IOOp, RequestType
+
+
+class TestClassification:
+    def test_sequential_table_scan(self):
+        sem = SemanticInfo.table_scan(oid=10)
+        assert classify(sem, IOOp.READ) is RequestType.SEQUENTIAL
+
+    def test_random_index_access(self):
+        sem = SemanticInfo.random_access(ContentType.INDEX, oid=11, level=0)
+        assert classify(sem, IOOp.READ) is RequestType.RANDOM
+
+    def test_random_table_access(self):
+        sem = SemanticInfo.random_access(ContentType.TABLE, oid=10, level=1)
+        assert classify(sem, IOOp.READ) is RequestType.RANDOM
+
+    def test_temp_read_and_write(self):
+        sem = SemanticInfo.temp_data(oid=99)
+        assert classify(sem, IOOp.READ) is RequestType.TEMP_READ
+        assert classify(sem, IOOp.WRITE) is RequestType.TEMP_WRITE
+
+    def test_temp_delete_is_trim(self):
+        sem = SemanticInfo.temp_delete(oid=99)
+        assert classify(sem, IOOp.TRIM) is RequestType.TRIM_TEMP
+        # Even a read issued for the legacy-FS workaround counts as TRIM-class.
+        assert classify(sem, IOOp.READ) is RequestType.TRIM_TEMP
+
+    def test_update_write(self):
+        sem = SemanticInfo.update(ContentType.TABLE, oid=10)
+        assert classify(sem, IOOp.WRITE) is RequestType.UPDATE
+
+    def test_plain_write_to_regular_data_is_update(self):
+        """Dirty-page writeback of a table page classifies as update."""
+        sem = SemanticInfo.table_scan(oid=10)
+        assert classify(sem, IOOp.WRITE) is RequestType.UPDATE
+
+    def test_temp_takes_precedence_over_update_flag(self):
+        sem = SemanticInfo(
+            content_type=ContentType.TEMP,
+            pattern=AccessPattern.RANDOM,
+            is_update=True,
+        )
+        assert classify(sem, IOOp.WRITE) is RequestType.TEMP_WRITE
+
+
+class TestSemanticInfoConstructors:
+    def test_table_scan_shape(self):
+        sem = SemanticInfo.table_scan(oid=5, query_id=7)
+        assert sem.content_type is ContentType.TABLE
+        assert sem.pattern is AccessPattern.SEQUENTIAL
+        assert sem.query_id == 7
+
+    def test_random_access_level(self):
+        sem = SemanticInfo.random_access(ContentType.INDEX, oid=3, level=2)
+        assert sem.level == 2
+
+    def test_temp_delete_flag(self):
+        assert SemanticInfo.temp_delete().is_delete
+
+    def test_update_flag(self):
+        assert SemanticInfo.update(ContentType.TABLE).is_update
+
+    def test_frozen(self):
+        sem = SemanticInfo.table_scan(oid=1)
+        with pytest.raises(Exception):
+            sem.oid = 2

@@ -1,0 +1,140 @@
+"""Unit tests for plan-level computation, including the Figure 2 example."""
+
+from dataclasses import dataclass, field
+
+from repro.core import compute_effective_levels, compute_raw_levels, iter_nodes
+from repro.core.levels import level_of
+
+
+@dataclass
+class Node:
+    """Minimal plan node for testing the level algorithms."""
+
+    name: str
+    kids: list = field(default_factory=list)
+    blocking: bool = False
+
+    @property
+    def children(self):
+        return self.kids
+
+    @property
+    def is_blocking(self):
+        return self.blocking
+
+
+def chain(*names):
+    """Build a left-deep chain; returns (root, {name: node})."""
+    nodes = {}
+    child = None
+    for name in reversed(names):
+        node = Node(name, kids=[child] if child else [])
+        nodes[name] = node
+        child = node
+    return child, nodes
+
+
+class TestRawLevels:
+    def test_single_node(self):
+        root = Node("root")
+        levels = compute_raw_levels(root)
+        assert levels[id(root)] == 0
+
+    def test_chain_levels(self):
+        root, nodes = chain("a", "b", "c")
+        levels = compute_raw_levels(root)
+        assert level_of(levels, nodes["a"]) == 2  # root on highest level
+        assert level_of(levels, nodes["c"]) == 0  # deepest leaf on Level 0
+
+    def test_uneven_tree_uses_longest_path(self):
+        deep_leaf = Node("deep")
+        mid = Node("mid", kids=[deep_leaf])
+        shallow_leaf = Node("shallow")
+        root = Node("root", kids=[mid, shallow_leaf])
+        levels = compute_raw_levels(root)
+        assert level_of(levels, root) == 2
+        assert level_of(levels, deep_leaf) == 0
+        assert level_of(levels, shallow_leaf) == 1  # not forced to 0
+
+
+class TestBlockingRecalculation:
+    def build_figure2_tree(self):
+        """The paper's Figure 2: 6 levels, root on Level 5, hash on Level 4.
+
+        Left spine (raw levels 0..5); the hash at Level 4 has the
+        index-scan on t.c as the probe-side sibling at raw Level 4, and the
+        root join at Level 5 above both.
+        """
+        idx_ta_0 = Node("idx t.a L0")
+        idx_ta_1 = Node("idx t.a L1", kids=[idx_ta_0])
+        rand_tb = Node("rand t.b L2", kids=[idx_ta_1])
+        join_l3 = Node("join L3", kids=[rand_tb])
+        hash_l4 = Node("hash L4", kids=[join_l3], blocking=True)
+        idx_tc = Node("idx t.c L4")
+        root = Node("root L5", kids=[hash_l4, idx_tc])
+        return root, {
+            "idx_ta_0": idx_ta_0,
+            "idx_ta_1": idx_ta_1,
+            "rand_tb": rand_tb,
+            "hash": hash_l4,
+            "idx_tc": idx_tc,
+            "root": root,
+        }
+
+    def test_figure2_raw_levels(self):
+        root, nodes = self.build_figure2_tree()
+        raw = compute_raw_levels(root)
+        assert level_of(raw, nodes["root"]) == 5
+        assert level_of(raw, nodes["hash"]) == 4
+        assert level_of(raw, nodes["idx_tc"]) == 4
+        assert level_of(raw, nodes["rand_tb"]) == 2
+        assert level_of(raw, nodes["idx_ta_0"]) == 0
+
+    def test_figure2_effective_levels(self):
+        """Caption: 'the other two operators on Level 4 and 5 are
+        re-calculated as on Level 0 and 1'."""
+        root, nodes = self.build_figure2_tree()
+        eff = compute_effective_levels(root)
+        assert level_of(eff, nodes["idx_tc"]) == 0  # t.c index scan -> L0
+        assert level_of(eff, nodes["root"]) == 1
+        # Operators inside the blocking subtree are unaffected:
+        assert level_of(eff, nodes["rand_tb"]) == 2
+        assert level_of(eff, nodes["idx_ta_0"]) == 0
+        assert level_of(eff, nodes["idx_ta_1"]) == 1
+        # The blocking operator itself keeps its level:
+        assert level_of(eff, nodes["hash"]) == 4
+
+    def test_no_blocking_means_no_shift(self):
+        root, nodes = chain("a", "b", "c")
+        raw = compute_raw_levels(root)
+        eff = compute_effective_levels(root)
+        assert raw == eff
+
+    def test_multiple_blocking_operators_take_largest_shift(self):
+        leaf = Node("leaf")
+        sort1 = Node("sort1", kids=[leaf], blocking=True)  # raw level 1
+        mid = Node("mid", kids=[sort1])
+        sort2 = Node("sort2", kids=[mid], blocking=True)  # raw level 3
+        top_leaf = Node("probe")  # raw level 3? no - sibling of sort2
+        root = Node("root", kids=[sort2, top_leaf])
+        eff = compute_effective_levels(root)
+        raw = compute_raw_levels(root)
+        assert level_of(raw, root) == 4
+        # Root is above both sorts; the larger shift (3) applies.
+        assert level_of(eff, root) == 1
+
+    def test_shift_floors_at_zero(self):
+        leaf = Node("leaf")
+        sort = Node("sort", kids=[leaf], blocking=True)
+        sibling = Node("sibling")
+        root = Node("root", kids=[sort, sibling])
+        eff = compute_effective_levels(root)
+        assert all(level >= 0 for level in eff.values())
+
+
+class TestIterNodes:
+    def test_visits_every_node_once(self):
+        root, nodes = chain("a", "b", "c", "d")
+        visited = list(iter_nodes(root))
+        assert len(visited) == 4
+        assert len({id(n) for n in visited}) == 4

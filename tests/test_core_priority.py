@@ -1,0 +1,67 @@
+"""Unit tests for Equation (1) — level-to-priority mapping."""
+
+import pytest
+
+from repro.core import priority_for_level
+
+
+class TestEquationBranches:
+    def test_zero_priority_range(self):
+        """Cprio = 0: everything maps to n1."""
+        assert priority_for_level(0, 0, 5, 3, 3) == 3
+        assert priority_for_level(5, 0, 5, 3, 3) == 3
+
+    def test_zero_level_gap(self):
+        """Lgap = 0: everything maps to n1."""
+        assert priority_for_level(4, 4, 4, 2, 5) == 2
+
+    def test_enough_priorities(self):
+        """Cprio >= Lgap: p(i) = n1 + i - llow."""
+        assert priority_for_level(0, 0, 3, 2, 5) == 2
+        assert priority_for_level(1, 0, 3, 2, 5) == 3
+        assert priority_for_level(3, 0, 3, 2, 5) == 5
+
+    def test_compressed_levels(self):
+        """Cprio < Lgap: p(i) = n1 + floor(Cprio * (i-llow)/Lgap)."""
+        # 11 levels (0..10) onto range [2, 5]: Cprio=3, Lgap=10.
+        assert priority_for_level(0, 0, 10, 2, 5) == 2
+        assert priority_for_level(5, 0, 10, 2, 5) == 3
+        assert priority_for_level(10, 0, 10, 2, 5) == 5
+
+    def test_paper_figure2_example(self):
+        """Figure 2: range [2,5]; levels 0 and 2 -> priorities 2 and 4."""
+        llow, lhigh = 0, 2
+        assert priority_for_level(0, llow, lhigh, 2, 5) == 2
+        assert priority_for_level(2, llow, lhigh, 2, 5) == 4
+
+
+class TestProperties:
+    def test_monotonic_in_level(self):
+        for llow, lhigh in [(0, 3), (0, 10), (2, 7)]:
+            previous = None
+            for level in range(llow, lhigh + 1):
+                p = priority_for_level(level, llow, lhigh, 2, 5)
+                if previous is not None:
+                    assert p >= previous
+                previous = p
+
+    def test_result_always_within_range(self):
+        for lhigh in range(0, 20):
+            for level in range(0, lhigh + 1):
+                p = priority_for_level(level, 0, lhigh, 2, 5)
+                assert 2 <= p <= 5
+
+    def test_out_of_range_level_clamped(self):
+        """A stale registry level must not escape the priority range."""
+        assert priority_for_level(99, 0, 3, 2, 5) == 5
+        assert priority_for_level(-2, 0, 3, 2, 5) == 2
+
+
+class TestValidation:
+    def test_empty_priority_range_rejected(self):
+        with pytest.raises(ValueError):
+            priority_for_level(0, 0, 1, 5, 2)
+
+    def test_invalid_level_range_rejected(self):
+        with pytest.raises(ValueError):
+            priority_for_level(0, 3, 1, 2, 5)

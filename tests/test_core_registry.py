@@ -1,0 +1,93 @@
+"""Unit tests for the concurrency registry (Rule 5)."""
+
+import pytest
+
+from repro.core import ConcurrencyRegistry, RandomOperatorRef
+from repro.storage import PolicySet
+
+PSET = PolicySet()  # random range [2, 5]
+
+
+def ref(oid, level):
+    return RandomOperatorRef(oid=oid, level=level)
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 0), ref(11, 2)])
+        assert reg.active_queries == 1
+        assert reg.min_level_for(10) == 0
+        reg.unregister_query(1)
+        assert reg.active_queries == 0
+        assert reg.min_level_for(10) is None
+
+    def test_duplicate_query_id_rejected(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [])
+        with pytest.raises(ValueError):
+            reg.register_query(1, [])
+
+    def test_unregister_unknown_is_noop(self):
+        reg = ConcurrencyRegistry()
+        reg.unregister_query(42)  # must not raise
+
+    def test_counts_are_reference_counted(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 1)])
+        reg.register_query(2, [ref(10, 1)])
+        reg.unregister_query(1)
+        assert reg.min_level_for(10) == 1  # still referenced by query 2
+        reg.unregister_query(2)
+        assert reg.min_level_for(10) is None
+
+
+class TestGlobalBounds:
+    def test_gl_low_and_high_across_queries(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 1), ref(11, 3)])
+        reg.register_query(2, [ref(12, 0), ref(13, 5)])
+        assert reg.gl_low == 0
+        assert reg.gl_high == 5
+        reg.unregister_query(2)
+        assert reg.gl_low == 1
+        assert reg.gl_high == 3
+
+    def test_bounds_empty_when_no_random_ops(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [])
+        assert reg.gl_low is None
+        assert reg.gl_high is None
+
+
+class TestPriorityResolution:
+    def test_single_query_matches_equation(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 0), ref(11, 2)])
+        assert reg.priority_for(10, PSET) == 2
+        assert reg.priority_for(11, PSET) == 4
+
+    def test_same_object_in_two_queries_takes_highest_priority(self):
+        """Rule 5: concurrent queries accessing one object -> min level."""
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 3), ref(11, 0)])
+        reg.register_query(2, [ref(10, 1)])
+        # Object 10 is at level 3 (query 1) and level 1 (query 2): level 1 wins.
+        assert reg.priority_for(10, PSET) == 3  # n1 + (1 - 0)
+
+    def test_multiple_operators_same_table_in_one_query(self):
+        """Section 4.2.2: priorities determined by the lowest-level operator."""
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 0), ref(10, 1), ref(11, 2)])
+        assert reg.priority_for(10, PSET) == 2
+
+    def test_unknown_object_uses_fallback_level(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [ref(10, 0), ref(11, 2)])
+        assert reg.priority_for(99, PSET, fallback_level=2) == 4
+
+    def test_no_information_gets_highest_random_priority(self):
+        reg = ConcurrencyRegistry()
+        assert reg.priority_for(10, PSET) == 2
+        reg.register_query(1, [ref(11, 1)])
+        assert reg.priority_for(None, PSET) == 2

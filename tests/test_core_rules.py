@@ -1,0 +1,136 @@
+"""Unit tests for Rules 1-5 and the policy assignment table (Table 1)."""
+
+from repro.core import (
+    ConcurrencyRegistry,
+    PolicyAssignmentTable,
+    RandomOperatorRef,
+    SemanticInfo,
+    assign_policy,
+)
+from repro.core.semantics import ContentType
+from repro.storage import IOOp, PolicySet, QoSPolicy, RequestType
+
+PSET = PolicySet()
+
+
+def make_registry(*ops):
+    reg = ConcurrencyRegistry()
+    reg.register_query(1, [RandomOperatorRef(oid, level) for oid, level in ops])
+    return reg
+
+
+class TestRule1Sequential:
+    def test_sequential_gets_non_caching_non_eviction(self):
+        policy, rtype = assign_policy(
+            SemanticInfo.table_scan(oid=10), IOOp.READ, PSET, ConcurrencyRegistry()
+        )
+        assert rtype is RequestType.SEQUENTIAL
+        assert policy.priority == PSET.non_caching_non_eviction
+
+
+class TestRule2Random:
+    def test_levels_map_to_priorities(self):
+        reg = make_registry((10, 0), (11, 2))
+        sem = SemanticInfo.random_access(ContentType.TABLE, oid=11, level=2)
+        policy, rtype = assign_policy(sem, IOOp.READ, PSET, reg)
+        assert rtype is RequestType.RANDOM
+        assert policy.priority == 4
+
+    def test_index_and_table_share_priority(self):
+        """Requests to a table and its index get the operator's priority."""
+        reg = make_registry((10, 1), (20, 1))  # table oid 10, index oid 20
+        for oid, ctype in [(10, ContentType.TABLE), (20, ContentType.INDEX)]:
+            sem = SemanticInfo.random_access(ctype, oid=oid, level=1)
+            policy, _ = assign_policy(sem, IOOp.READ, PSET, reg)
+            assert policy.priority == 2  # lgap == 0 -> n1
+
+
+class TestRule3Temp:
+    def test_temp_reads_and_writes_get_highest_priority(self):
+        reg = ConcurrencyRegistry()
+        sem = SemanticInfo.temp_data(oid=99)
+        for op, expected in [
+            (IOOp.READ, RequestType.TEMP_READ),
+            (IOOp.WRITE, RequestType.TEMP_WRITE),
+        ]:
+            policy, rtype = assign_policy(sem, op, PSET, reg)
+            assert rtype is expected
+            assert policy.priority == 1
+
+    def test_temp_delete_gets_non_caching_eviction(self):
+        policy, rtype = assign_policy(
+            SemanticInfo.temp_delete(oid=99), IOOp.TRIM, PSET,
+            ConcurrencyRegistry(),
+        )
+        assert rtype is RequestType.TRIM_TEMP
+        assert policy.priority == PSET.non_caching_eviction
+
+
+class TestRule4Updates:
+    def test_updates_get_write_buffer(self):
+        policy, rtype = assign_policy(
+            SemanticInfo.update(ContentType.TABLE, oid=10), IOOp.WRITE, PSET,
+            ConcurrencyRegistry(),
+        )
+        assert rtype is RequestType.UPDATE
+        assert policy.write_buffer
+
+
+class TestRule5Concurrency:
+    def test_shared_object_takes_min_level_priority(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [RandomOperatorRef(10, 4), RandomOperatorRef(11, 0)])
+        reg.register_query(2, [RandomOperatorRef(10, 0)])
+        sem = SemanticInfo.random_access(ContentType.TABLE, oid=10, level=4)
+        policy, _ = assign_policy(sem, IOOp.READ, PSET, reg)
+        assert policy.priority == 2  # level 0 from query 2 wins
+
+    def test_sequential_unaffected_by_concurrency(self):
+        reg = ConcurrencyRegistry()
+        reg.register_query(1, [RandomOperatorRef(10, 0)])
+        policy, _ = assign_policy(
+            SemanticInfo.table_scan(oid=10), IOOp.READ, PSET, reg
+        )
+        assert policy.priority == PSET.non_caching_non_eviction
+
+
+class TestPolicyAssignmentTable:
+    def test_assign_returns_policy_and_type(self):
+        table = PolicyAssignmentTable(policy_set=PSET)
+        policy, rtype = table.assign(SemanticInfo.table_scan(oid=1), IOOp.READ)
+        assert policy.priority == PSET.non_caching_non_eviction
+        assert rtype is RequestType.SEQUENTIAL
+
+    def test_disabled_table_returns_no_policy_but_classifies(self):
+        table = PolicyAssignmentTable(policy_set=PSET, enabled=False)
+        policy, rtype = table.assign(SemanticInfo.table_scan(oid=1), IOOp.READ)
+        assert policy is None
+        assert rtype is RequestType.SEQUENTIAL
+
+    def test_overrides_for_ablation(self):
+        """e.g. 'cache sequential data too' ablation."""
+        table = PolicyAssignmentTable(
+            policy_set=PSET,
+            overrides={RequestType.SEQUENTIAL: QoSPolicy.with_priority(5)},
+        )
+        policy, _ = table.assign(SemanticInfo.table_scan(oid=1), IOOp.READ)
+        assert policy.priority == 5
+
+    def test_table1_summary(self):
+        """The complete Table 1 mapping."""
+        table = PolicyAssignmentTable(policy_set=PSET)
+        reg = table.registry
+        reg.register_query(7, [RandomOperatorRef(50, 0), RandomOperatorRef(51, 1)])
+        cases = [
+            (SemanticInfo.temp_data(), IOOp.READ, 1),
+            (SemanticInfo.temp_data(), IOOp.WRITE, 1),
+            (SemanticInfo.random_access(ContentType.TABLE, 50, 0), IOOp.READ, 2),
+            (SemanticInfo.random_access(ContentType.INDEX, 51, 1), IOOp.READ, 3),
+            (SemanticInfo.table_scan(60), IOOp.READ, 6),
+            (SemanticInfo.temp_delete(), IOOp.TRIM, 7),
+        ]
+        for sem, op, expected_priority in cases:
+            policy, _ = table.assign(sem, op)
+            assert policy.priority == expected_priority, (sem, op)
+        policy, _ = table.assign(SemanticInfo.update(ContentType.TABLE), IOOp.WRITE)
+        assert policy.write_buffer

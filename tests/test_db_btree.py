@@ -1,0 +1,142 @@
+"""Unit tests for the page-based B+tree."""
+
+import random
+
+import pytest
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db import schema
+from tests.helpers import make_database
+
+SEM = SemanticInfo.random_access(ContentType.INDEX, 999, 0, query_id=1)
+UPD = SemanticInfo.update(ContentType.INDEX, 999, query_id=1)
+
+
+@pytest.fixture
+def db():
+    return make_database(btree_order=8)  # tiny order -> deep trees
+
+
+@pytest.fixture
+def indexed(db):
+    rel = db.create_table("t", schema(("id", "int"), ("val", "str", 8)))
+    rel.heap.bulk_load((i, f"v{i}") for i in range(1000))
+    index = db.create_index("t_id", "t", "id")
+    return rel, index
+
+
+class TestBulkLoad:
+    def test_every_key_findable(self, db, indexed):
+        _, index = indexed
+        for key in (0, 1, 499, 998, 999):
+            rids = list(index.btree.search(db.pool, key, SEM))
+            assert len(rids) == 1, key
+
+    def test_missing_key_returns_nothing(self, db, indexed):
+        _, index = indexed
+        assert list(index.btree.search(db.pool, 12345, SEM)) == []
+
+    def test_entry_count(self, indexed):
+        _, index = indexed
+        assert index.btree.entry_count == 1000
+
+    def test_tree_is_multilevel_with_tiny_order(self, db, indexed):
+        _, index = indexed
+        assert index.btree.height(db.pool, SEM) >= 3
+
+    def test_bulk_load_requires_empty_tree(self, db, indexed):
+        _, index = indexed
+        from repro.db.errors import StorageLayoutError
+
+        with pytest.raises(StorageLayoutError):
+            index.btree.bulk_load([(1, (0, 0))])
+
+    def test_empty_bulk_load_gives_searchable_tree(self, db):
+        rel = db.create_table("empty", schema(("id", "int")))
+        index = db.create_index("empty_id", "empty", "id")
+        assert list(index.btree.search(db.pool, 7, SEM)) == []
+
+
+class TestRangeScan:
+    def test_range_is_sorted_and_complete(self, db, indexed):
+        _, index = indexed
+        got = [k for k, _ in index.btree.range_scan(db.pool, 100, 199, SEM)]
+        assert got == list(range(100, 200))
+
+    def test_open_ended_ranges(self, db, indexed):
+        _, index = indexed
+        low = [k for k, _ in index.btree.range_scan(db.pool, None, 4, SEM)]
+        assert low == [0, 1, 2, 3, 4]
+        high = [k for k, _ in index.btree.range_scan(db.pool, 995, None, SEM)]
+        assert high == [995, 996, 997, 998, 999]
+
+    def test_full_scan_via_leaf_chain(self, db, indexed):
+        _, index = indexed
+        got = [k for k, _ in index.btree.range_scan(db.pool, None, None, SEM)]
+        assert got == sorted(got)
+        assert len(got) == 1000
+
+
+class TestInsert:
+    def test_insert_then_search(self, db, indexed):
+        rel, index = indexed
+        index.btree.insert(db.pool, 5000, (99, 0), UPD)
+        assert list(index.btree.search(db.pool, 5000, SEM)) == [(99, 0)]
+
+    def test_inserts_cause_splits_and_stay_sorted(self, db):
+        rel = db.create_table("s", schema(("id", "int")))
+        index = db.create_index("s_id", "s", "id")
+        keys = list(range(200))
+        rng = random.Random(3)
+        rng.shuffle(keys)
+        for i, key in enumerate(keys):
+            index.btree.insert(db.pool, key, (i, 0), UPD)
+        got = [k for k, _ in index.btree.range_scan(db.pool, None, None, SEM)]
+        assert got == list(range(200))
+
+    def test_duplicate_keys_supported(self, db, indexed):
+        _, index = indexed
+        index.btree.insert(db.pool, 42, (500, 1), UPD)
+        index.btree.insert(db.pool, 42, (500, 2), UPD)
+        rids = set(index.btree.search(db.pool, 42, SEM))
+        assert len(rids) == 3  # original + 2 duplicates
+
+
+class TestDelete:
+    def test_delete_specific_rid(self, db, indexed):
+        _, index = indexed
+        index.btree.insert(db.pool, 42, (500, 1), UPD)
+        original = next(iter(index.btree.search(db.pool, 42, SEM)))
+        assert index.btree.delete(db.pool, 42, (500, 1), UPD)
+        remaining = list(index.btree.search(db.pool, 42, SEM))
+        assert remaining == [original]
+
+    def test_delete_missing_returns_false(self, db, indexed):
+        _, index = indexed
+        assert not index.btree.delete(db.pool, 42, (777, 7), UPD)
+        assert not index.btree.delete(db.pool, 424242, (0, 0), UPD)
+
+    def test_delete_updates_entry_count(self, db, indexed):
+        _, index = indexed
+        rid = next(iter(index.btree.search(db.pool, 7, SEM)))
+        index.btree.delete(db.pool, 7, rid, UPD)
+        assert index.btree.entry_count == 999
+
+    def test_delete_duplicates_across_leaf_boundary(self, db):
+        rel = db.create_table("d", schema(("id", "int")))
+        index = db.create_index("d_id", "d", "id")
+        # 20 duplicates of one key with order 8 spread over several leaves.
+        for i in range(20):
+            index.btree.insert(db.pool, 1, (i, 0), UPD)
+        assert index.btree.delete(db.pool, 1, (19, 0), UPD)
+        assert len(list(index.btree.search(db.pool, 1, SEM))) == 19
+
+
+class TestIO:
+    def test_descent_charges_random_reads_on_cold_pool(self, db, indexed):
+        _, index = indexed
+        db.pool.clear()
+        db.reset_measurements()
+        list(index.btree.search(db.pool, 500, SEM))
+        stats = db.storage.stats.overall
+        assert stats.total.blocks >= index.btree.height(db.pool, SEM) - 1

@@ -1,0 +1,140 @@
+"""Unit tests for the buffer pool: LRU behaviour, writeback semantics."""
+
+import pytest
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db import schema
+from repro.db.pages import FileKind, HeapPage
+from repro.storage.requests import RequestType
+from tests.helpers import make_database
+
+
+@pytest.fixture
+def db():
+    return make_database(bufferpool_pages=8)
+
+
+@pytest.fixture
+def file(db):
+    f = db.storage_manager.create_file(FileKind.HEAP, oid=50)
+    for _ in range(32):
+        f.allocate_page(HeapPage(4))
+    return f
+
+
+SEM = SemanticInfo.random_access(ContentType.TABLE, 50, 0, query_id=1)
+
+
+class TestReadPath:
+    def test_hit_after_miss(self, db, file):
+        db.pool.get_page(file, 0, SEM)
+        misses = db.pool.misses
+        db.pool.get_page(file, 0, SEM)
+        assert db.pool.misses == misses  # second access is a pool hit
+        assert db.pool.hits >= 1
+
+    def test_capacity_enforced(self, db, file):
+        for pageno in range(32):
+            db.pool.get_page(file, pageno, SEM)
+        assert db.pool.resident_pages <= 8
+
+    def test_lru_eviction_order(self, db, file):
+        for pageno in range(8):
+            db.pool.get_page(file, pageno, SEM)
+        db.pool.get_page(file, 0, SEM)  # page 0 becomes MRU
+        db.pool.get_page(file, 20, SEM)  # evicts page 1 (the LRU)
+        assert (file.fileid, 1) not in db.pool._frames
+        assert (file.fileid, 0) in db.pool._frames
+
+    def test_get_range_batches_one_request_per_run(self, db, file):
+        db.reset_measurements()
+        list(db.pool.get_range(file, 0, 8, SEM))
+        stats = db.storage.stats.overall
+        assert stats.total.requests == 1
+        assert stats.total.blocks == 8
+
+    def test_get_range_skips_resident_pages(self, db, file):
+        db.pool.get_page(file, 2, SEM)
+        db.reset_measurements()
+        list(db.pool.get_range(file, 0, 5, SEM))
+        stats = db.storage.stats.overall
+        # Two runs: [0,1] and [3,4] — page 2 was already resident.
+        assert stats.total.requests == 2
+        assert stats.total.blocks == 4
+
+
+class TestWritePath:
+    def test_dirty_eviction_writes_back_as_update(self, db, file):
+        db.pool.get_page(file, 0, SEM)
+        db.pool.mark_dirty(file, 0, SEM)
+        db.reset_measurements()
+        for pageno in range(1, 10):  # force eviction of page 0
+            db.pool.get_page(file, pageno, SEM)
+        stats = db.storage.stats.overall
+        update = stats.by_type.get(RequestType.UPDATE)
+        assert update is not None and update.blocks >= 1
+
+    def test_temp_pages_write_back_as_temp(self, db):
+        temp_file = db.storage_manager.create_file(FileKind.TEMP, oid=-1)
+        sem = SemanticInfo.temp_data(oid=-1, query_id=1)
+        for i in range(10):
+            db.pool.new_page(temp_file, HeapPage(4), sem)
+        db.reset_measurements()
+        db.pool.flush_all()
+        stats = db.storage.stats.overall
+        temp = stats.by_type.get(RequestType.TEMP_WRITE)
+        assert temp is not None and temp.blocks >= 1
+
+    def test_flush_all_cleans_everything(self, db, file):
+        db.pool.get_page(file, 0, SEM)
+        db.pool.mark_dirty(file, 0, SEM)
+        written = db.pool.flush_all()
+        assert written == 1
+        assert db.pool.flush_all() == 0  # second flush: nothing dirty
+
+    def test_mark_dirty_readmits_evicted_page(self, db, file):
+        db.pool.get_page(file, 0, SEM)
+        for pageno in range(1, 12):
+            db.pool.get_page(file, pageno, SEM)
+        # Page 0 has been evicted; mark_dirty must re-admit, not crash.
+        db.pool.mark_dirty(file, 0, SEM)
+        assert db.pool.flush_all() >= 1
+
+    def test_writebacks_are_asynchronous(self, db, file):
+        """Dirty writeback is background-writer work (async_hint)."""
+        db.pool.get_page(file, 0, SEM)
+        db.pool.mark_dirty(file, 0, SEM)
+        before = db.clock.now
+        db.pool.flush_all()
+        assert db.clock.now == before  # no foreground time
+        assert db.clock.background > 0
+
+
+class TestDropFile:
+    def test_drop_discards_frames_without_writeback(self, db, file):
+        db.pool.get_page(file, 0, SEM)
+        db.pool.mark_dirty(file, 0, SEM)
+        bg_before = db.clock.background
+        dropped = db.pool.drop_file(file)
+        assert dropped == 1
+        assert db.clock.background == bg_before  # dirty data discarded
+        assert db.pool.resident_pages == 0
+
+    def test_drop_only_touches_own_file(self, db, file):
+        other = db.storage_manager.create_file(FileKind.HEAP, oid=51)
+        other.allocate_page(HeapPage(4))
+        db.pool.get_page(file, 0, SEM)
+        db.pool.get_page(
+            other, 0,
+            SemanticInfo.random_access(ContentType.TABLE, 51, 0, query_id=1),
+        )
+        db.pool.drop_file(file)
+        assert db.pool.resident_pages == 1
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self, db):
+        from repro.db.bufferpool import BufferPool
+
+        with pytest.raises(ValueError):
+            BufferPool(0, db.storage_manager)

@@ -1,0 +1,145 @@
+"""Unit tests for the catalog, aggregates and plan-node plumbing."""
+
+import pytest
+
+from repro.db import CatalogError, schema
+from repro.db.exprs import (
+    AggSpec,
+    AggState,
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
+from repro.db.errors import ExecutionError
+from repro.db.plan import PULSE, PlanNode, rows_only
+from tests.helpers import make_database
+
+
+class TestCatalog:
+    def test_oids_are_unique_and_increasing(self):
+        db = make_database()
+        a = db.create_table("a", schema(("x", "int")))
+        b = db.create_table("b", schema(("x", "int")))
+        assert b.oid > a.oid >= 1000
+
+    def test_relation_and_index_lookup(self):
+        db = make_database()
+        db.create_table("a", schema(("x", "int")))
+        db.create_index("a_x", "a", "x")
+        assert db.catalog.relation("a").name == "a"
+        assert db.catalog.index("a_x").column == "x"
+        with pytest.raises(CatalogError):
+            db.catalog.relation("zzz")
+        with pytest.raises(CatalogError):
+            db.catalog.index("zzz")
+
+    def test_duplicate_index_rejected(self):
+        db = make_database()
+        db.create_table("a", schema(("x", "int")))
+        db.create_index("a_x", "a", "x")
+        with pytest.raises(CatalogError):
+            db.create_index("a_x", "a", "x")
+
+    def test_index_on_unknown_column_rejected(self):
+        db = make_database()
+        db.create_table("a", schema(("x", "int")))
+        with pytest.raises(CatalogError):
+            db.create_index("a_y", "a", "y")
+
+    def test_cols_map(self):
+        db = make_database()
+        rel = db.create_table("a", schema(("x", "int"), ("y", "float")))
+        assert rel.cols() == {"x": 0, "y": 1}
+
+
+class TestAggregates:
+    def test_sum_ignores_none(self):
+        state = AggState([agg_sum(lambda r: r[0])])
+        for value in (1.0, None, 2.0):
+            state.add((value,))
+        assert state.results() == (3.0,)
+
+    def test_count_star_vs_count_expr(self):
+        state = AggState([agg_count(), agg_count(lambda r: r[0])])
+        for value in (1, None, 3):
+            state.add((value,))
+        assert state.results() == (3, 2)
+
+    def test_min_max(self):
+        state = AggState([agg_min(lambda r: r[0]), agg_max(lambda r: r[0])])
+        for value in (5, -2, 9):
+            state.add((value,))
+        assert state.results() == (-2, 9)
+
+    def test_avg(self):
+        state = AggState([agg_avg(lambda r: r[0])])
+        for value in (2.0, 4.0):
+            state.add((value,))
+        assert state.results() == (3.0,)
+
+    def test_empty_aggregates(self):
+        state = AggState([
+            agg_sum(lambda r: r[0]), agg_avg(lambda r: r[0]),
+            agg_min(lambda r: r[0]), agg_count(),
+        ])
+        assert state.results() == (None, None, None, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExecutionError):
+            AggSpec("median", lambda r: r[0])
+
+    def test_sum_requires_expression(self):
+        with pytest.raises(ExecutionError):
+            AggSpec("sum", None)
+
+
+class TestPlanNode:
+    def test_explain_renders_tree(self):
+        leaf = PlanNode(label="leaf")
+        root = PlanNode(leaf, label="root")
+        text = root.explain()
+        assert text.splitlines() == ["root", "  leaf"]
+
+    def test_explain_with_levels(self):
+        leaf = PlanNode(label="leaf")
+        root = PlanNode(leaf, label="root")
+        levels = {id(root): 1, id(leaf): 0}
+        assert "[level 1]" in root.explain(levels=levels)
+
+    def test_rows_only_filters_pulses(self):
+        items = [(1,), PULSE, (2,), PULSE, PULSE, (3,)]
+        assert list(rows_only(items)) == [(1,), (2,), (3,)]
+
+    def test_execute_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(PlanNode(label="x").execute(None))
+
+
+class TestCpuAccounting:
+    def test_cpu_ticks_advance_clock(self):
+        from repro.db.plan import ExecutionContext
+
+        db = make_database()
+        ctx = ExecutionContext(
+            pool=db.pool, temp=db.temp, clock=db.clock, params=db.params,
+            query_id=1, work_mem_rows=100,
+        )
+        before = db.clock.now
+        ctx.cpu_tick(10_000)  # above the flush threshold
+        assert db.clock.now > before
+        expected = 10_000 * db.params.cpu_s_per_tuple
+        assert db.clock.now - before == pytest.approx(expected)
+
+    def test_flush_cpu_drains_remainder(self):
+        from repro.db.plan import ExecutionContext
+
+        db = make_database()
+        ctx = ExecutionContext(
+            pool=db.pool, temp=db.temp, clock=db.clock, params=db.params,
+            query_id=1, work_mem_rows=100,
+        )
+        ctx.cpu_tick(3)
+        ctx.flush_cpu()
+        assert db.clock.now == pytest.approx(3 * db.params.cpu_s_per_tuple)

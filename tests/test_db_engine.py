@@ -1,0 +1,134 @@
+"""Unit tests for the Database facade: DDL, queries, concurrency."""
+
+import pytest
+
+from repro.db import CatalogError, schema
+from repro.db.executor import IndexScan, SeqScan
+from tests.helpers import make_database
+
+
+@pytest.fixture
+def db():
+    database = make_database()
+    t = database.create_table("t", schema(("id", "int"), ("v", "float")))
+    t.heap.bulk_load((i, float(i)) for i in range(300))
+    database.create_index("t_id", "t", "id")
+    return database
+
+
+class TestDDL:
+    def test_create_table_registers_in_catalog(self, db):
+        rel = db.catalog.relation("t")
+        assert rel.row_count == 300
+        assert rel.oid >= 1000
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("t", schema(("x", "int")))
+
+    def test_create_index_builds_over_existing_rows(self, db):
+        index = db.catalog.index("t_id")
+        assert index.btree.entry_count == 300
+
+    def test_index_on_lookup(self, db):
+        rel = db.catalog.relation("t")
+        assert rel.index_on("id").name == "t_id"
+        with pytest.raises(CatalogError):
+            rel.index_on("v")
+
+    def test_database_pages_counts_heap_and_index(self, db):
+        assert db.database_pages() > 0
+
+
+class TestRunQuery:
+    def test_result_carries_rows_time_stats(self, db):
+        res = db.run_query(SeqScan(db.catalog.relation("t")), label="scan")
+        assert res.row_count == 300
+        assert res.sim_seconds > 0
+        assert res.stats.total.blocks > 0
+        assert res.label == "scan"
+
+    def test_builder_callable_accepted(self, db):
+        res = db.run_query(lambda d: SeqScan(d.catalog.relation("t")))
+        assert res.row_count == 300
+
+    def test_bad_builder_rejected(self, db):
+        from repro.db.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.run_query(lambda d: "not a plan")
+
+    def test_collect_false_discards_rows(self, db):
+        res = db.run_query(SeqScan(db.catalog.relation("t")), collect=False)
+        assert res.rows == []
+        assert res.sim_seconds > 0
+
+    def test_query_ids_increment(self, db):
+        r1 = db.run_query(SeqScan(db.catalog.relation("t")), collect=False)
+        r2 = db.run_query(SeqScan(db.catalog.relation("t")), collect=False)
+        assert r2.query_id == r1.query_id + 1
+
+    def test_registry_cleaned_after_query(self, db):
+        plan = IndexScan(db.catalog.index("t_id"), lo=0, hi=10)
+        db.run_query(plan, collect=False)
+        assert db.registry.active_queries == 0
+
+    def test_temp_files_cleaned_after_query(self, db):
+        from repro.db.executor import Hash, HashJoin
+
+        plan = HashJoin(
+            SeqScan(db.catalog.relation("t")),
+            Hash(SeqScan(db.catalog.relation("t")), key=lambda r: r[0]),
+            probe_key=lambda r: r[0],
+        )
+        db.run_query(plan, collect=False)
+        assert db.temp.live_count == 0
+
+    def test_result_before_finish_rejected(self, db):
+        from repro.db.errors import ExecutionError
+
+        execution = db.start_query(SeqScan(db.catalog.relation("t")))
+        with pytest.raises(ExecutionError):
+            execution.result()
+
+
+class TestConcurrency:
+    def test_concurrent_results_match_isolated(self, db):
+        builder = lambda d: SeqScan(d.catalog.relation("t"))  # noqa: E731
+        isolated = db.run_query(builder).rows
+        results = db.run_concurrent(
+            [("s1", builder), ("s2", builder)], collect=True
+        )
+        assert [r.rows for r in results] == [isolated, isolated]
+
+    def test_concurrent_executions_interleave_time(self, db):
+        """Each co-runner's elapsed time includes the other's work."""
+        builder = lambda d: SeqScan(d.catalog.relation("t"))  # noqa: E731
+        db.pool.clear()
+        solo = db.run_query(builder, collect=False).sim_seconds
+        db.pool.clear()
+        results = db.run_concurrent(
+            [("s1", builder), ("s2", builder)], quantum=16
+        )
+        assert all(r.sim_seconds > solo * 0.8 for r in results)
+
+    def test_rule5_registry_spans_concurrent_queries(self, db):
+        """While two index queries co-run, the registry sees both."""
+        observed = []
+
+        def probe_builder(d):
+            plan = IndexScan(d.catalog.index("t_id"), lo=0, hi=250)
+            return plan
+
+        ex1 = db.start_query(probe_builder, "q1")
+        ex2 = db.start_query(probe_builder, "q2")
+        assert db.registry.active_queries == 2
+        ex1.run_to_completion()
+        ex2.run_to_completion()
+        assert db.registry.active_queries == 0
+
+    def test_reset_measurements(self, db):
+        db.run_query(SeqScan(db.catalog.relation("t")), collect=False)
+        db.reset_measurements()
+        assert db.clock.now == 0.0
+        assert db.storage.stats.overall.total.requests == 0

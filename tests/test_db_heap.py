@@ -1,0 +1,105 @@
+"""Unit tests for heap files: bulk load, scan, fetch, insert, delete."""
+
+import pytest
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db import schema
+from tests.helpers import make_database
+
+
+@pytest.fixture
+def db():
+    return make_database()
+
+
+@pytest.fixture
+def table(db):
+    rel = db.create_table("t", schema(("id", "int"), ("name", "str", 10)))
+    rel.heap.bulk_load((i, f"n{i}") for i in range(500))
+    return rel
+
+
+def scan_sem(rel):
+    return SemanticInfo.table_scan(rel.oid, query_id=1)
+
+
+def rand_sem(rel):
+    return SemanticInfo.random_access(ContentType.TABLE, rel.oid, 0, query_id=1)
+
+
+def upd_sem(rel):
+    return SemanticInfo.update(ContentType.TABLE, rel.oid, query_id=1)
+
+
+class TestBulkLoadAndScan:
+    def test_row_count(self, table):
+        assert table.heap.row_count == 500
+
+    def test_scan_returns_all_rows_in_order(self, db, table):
+        rows = [row for _, row in table.heap.scan(db.pool, scan_sem(table))]
+        assert len(rows) == 500
+        assert rows[0] == (0, "n0")
+        assert rows[-1] == (499, "n499")
+
+    def test_scan_yields_valid_rids(self, db, table):
+        for rid, row in table.heap.scan(db.pool, scan_sem(table)):
+            fetched = table.heap.fetch(db.pool, rid, rand_sem(table))
+            assert fetched == row
+            break
+
+    def test_bulk_load_charges_no_io(self, db):
+        rel = db.create_table("fresh", schema(("a", "int")))
+        before = db.clock.now
+        rel.heap.bulk_load(((i,) for i in range(1000)))
+        assert db.clock.now == before
+
+    def test_scan_empty_table(self, db):
+        rel = db.create_table("empty", schema(("a", "int")))
+        assert list(rel.heap.scan(db.pool, scan_sem(rel))) == []
+
+
+class TestFetch:
+    def test_fetch_by_rid(self, db, table):
+        rid = (2, 3)  # page 2, slot 3
+        row = table.heap.fetch(db.pool, rid, rand_sem(table))
+        pageno, slot = rid
+        assert row[0] == pageno * table.heap.rows_per_page + slot
+
+    def test_fetch_charges_storage_io_on_pool_miss(self, db, table):
+        db.pool.clear()
+        before = db.clock.now
+        table.heap.fetch(db.pool, (0, 0), rand_sem(table))
+        assert db.clock.now > before
+
+
+class TestInsertDelete:
+    def test_insert_appends(self, db, table):
+        rid = table.heap.insert(db.pool, (999, "new"), upd_sem(table))
+        assert table.heap.fetch(db.pool, rid, rand_sem(table)) == (999, "new")
+        assert table.heap.row_count == 501
+
+    def test_insert_into_empty_table_creates_page(self, db):
+        rel = db.create_table("e2", schema(("a", "int")))
+        rid = rel.heap.insert(db.pool, (1,), upd_sem(rel))
+        assert rid == (0, 0)
+
+    def test_insert_rolls_to_new_page_when_full(self, db):
+        rel = db.create_table("small", schema(("a", "int")))
+        rpp = rel.heap.rows_per_page
+        for i in range(rpp + 1):
+            rel.heap.insert(db.pool, (i,), upd_sem(rel))
+        assert rel.heap.num_pages == 2
+
+    def test_delete_tombstones_and_scan_skips(self, db, table):
+        assert table.heap.delete(db.pool, (0, 0), upd_sem(table))
+        rows = [row for _, row in table.heap.scan(db.pool, scan_sem(table))]
+        assert len(rows) == 499
+        assert (0, "n0") not in rows
+
+    def test_fetch_deleted_row_returns_none(self, db, table):
+        table.heap.delete(db.pool, (0, 0), upd_sem(table))
+        assert table.heap.fetch(db.pool, (0, 0), rand_sem(table)) is None
+
+    def test_double_delete_returns_false(self, db, table):
+        table.heap.delete(db.pool, (0, 0), upd_sem(table))
+        assert not table.heap.delete(db.pool, (0, 0), upd_sem(table))

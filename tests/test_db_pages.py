@@ -1,0 +1,77 @@
+"""Unit tests for heap pages and database files."""
+
+import pytest
+
+from repro.db.errors import StorageLayoutError
+from repro.db.pages import DbFile, FileKind, HeapPage
+from repro.storage.block import ExtentAllocator, ExtentMap
+
+
+def make_file(kind=FileKind.HEAP, chunk=8):
+    alloc = ExtentAllocator(extent_pages=chunk)
+    return DbFile(0, kind, ExtentMap(alloc), oid=42)
+
+
+class TestHeapPage:
+    def test_append_and_get(self):
+        page = HeapPage(4)
+        slot = page.append(("a", 1))
+        assert page.get(slot) == ("a", 1)
+
+    def test_full_page_rejects_append(self):
+        page = HeapPage(1)
+        page.append(("x",))
+        assert page.full
+        with pytest.raises(StorageLayoutError):
+            page.append(("y",))
+
+    def test_delete_tombstones(self):
+        page = HeapPage(4)
+        slot = page.append(("row",))
+        assert page.delete(slot)
+        assert page.get(slot) is None
+        assert not page.delete(slot)  # double delete is a no-op
+
+    def test_live_rows_skips_deleted(self):
+        page = HeapPage(4)
+        page.append(("a",))
+        s = page.append(("b",))
+        page.append(("c",))
+        page.delete(s)
+        assert [row for _, row in page.live_rows()] == [("a",), ("c",)]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageLayoutError):
+            HeapPage(0)
+
+
+class TestDbFile:
+    def test_allocate_page_assigns_sequential_numbers(self):
+        f = make_file()
+        assert f.allocate_page(HeapPage(4)) == 0
+        assert f.allocate_page(HeapPage(4)) == 1
+        assert f.num_pages == 2
+
+    def test_page_lookup(self):
+        f = make_file()
+        page = HeapPage(4)
+        pageno = f.allocate_page(page)
+        assert f.page(pageno) is page
+
+    def test_missing_page_raises(self):
+        f = make_file()
+        with pytest.raises(StorageLayoutError):
+            f.page(3)
+
+    def test_lba_mapping_is_contiguous_within_chunk(self):
+        f = make_file(chunk=8)
+        for _ in range(8):
+            f.allocate_page(HeapPage(1))
+        lbas = [f.lba_of(i) for i in range(8)]
+        assert lbas == list(range(lbas[0], lbas[0] + 8))
+
+    def test_allocation_materialises_lba_eagerly(self):
+        """Every allocated page must be TRIM-able."""
+        f = make_file(chunk=4)
+        f.allocate_page(HeapPage(1))
+        assert len(f.extent_map.extents) == 1

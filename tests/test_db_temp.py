@@ -1,0 +1,114 @@
+"""Unit tests for the temp-file manager: lifetime, TRIM, workaround."""
+
+import pytest
+
+from repro.db.errors import ExecutionError
+from repro.storage.requests import RequestType
+from tests.helpers import make_database
+
+
+@pytest.fixture
+def db():
+    return make_database(bufferpool_pages=8)
+
+
+class TestLifecycle:
+    def test_write_read_roundtrip(self, db):
+        spill = db.temp.create(query_id=1)
+        rows = [(i, i * 2) for i in range(500)]
+        for row in rows:
+            spill.append(row)
+        spill.finish_writing()
+        assert list(spill.read_all()) == rows
+
+    def test_read_autocloses_write_phase(self, db):
+        spill = db.temp.create(query_id=1)
+        spill.append((1,))
+        assert list(spill.read_all()) == [(1,)]
+
+    def test_append_after_finish_rejected(self, db):
+        spill = db.temp.create(query_id=1)
+        spill.append((1,))
+        spill.finish_writing()
+        with pytest.raises(ExecutionError):
+            spill.append((2,))
+
+    def test_read_after_delete_rejected(self, db):
+        spill = db.temp.create(query_id=1)
+        spill.append((1,))
+        spill.delete()
+        with pytest.raises(ExecutionError):
+            list(spill.read_all())
+
+    def test_double_delete_is_noop(self, db):
+        spill = db.temp.create(query_id=1)
+        spill.append((1,))
+        spill.delete()
+        spill.delete()
+        assert db.temp.deleted == 1
+
+    def test_empty_spill_file(self, db):
+        spill = db.temp.create(query_id=1)
+        assert list(spill.read_all()) == []
+        spill.delete()
+
+
+class TestStorageEffects:
+    def test_spill_generates_temp_writes(self, db):
+        """Generation phase: a write stream at priority 1."""
+        spill = db.temp.create(query_id=1)
+        for i in range(1000):  # >> pool, forces evictions
+            spill.append((i,))
+        spill.finish_writing()
+        counts = db.storage.stats.overall.by_type.get(RequestType.TEMP_WRITE)
+        assert counts is not None and counts.blocks > 0
+
+    def test_delete_issues_trim(self, db):
+        spill = db.temp.create(query_id=1)
+        for i in range(1000):
+            spill.append((i,))
+        spill.finish_writing()
+        spill.delete()
+        counts = db.storage.stats.overall.by_type.get(RequestType.TRIM_TEMP)
+        assert counts is not None and counts.blocks > 0
+
+    def test_trim_releases_cache_blocks(self, db):
+        spill = db.temp.create(query_id=1)
+        for i in range(1000):
+            spill.append((i,))
+        spill.finish_writing()
+        cache = db.storage.backend.cache
+        assert cache.occupancy > 0  # temp blocks cached at priority 1
+        spill.delete()
+        assert cache.occupancy == 0
+
+    def test_legacy_workaround_demotes_blocks(self):
+        """use_trim=False: the sequential eviction-scan workaround."""
+        db = make_database(use_trim=False, bufferpool_pages=8)
+        spill = db.temp.create(query_id=1)
+        for i in range(1000):
+            spill.append((i,))
+        spill.finish_writing()
+        cache = db.storage.backend.cache
+        resident_before = cache.occupancy
+        assert resident_before > 0
+        spill.delete()
+        # Blocks got demoted to the eviction group, not invalidated...
+        demoted = cache.group_sizes()[db.assignment.policy_set.non_caching_eviction]
+        assert demoted == cache.occupancy > 0
+        # ...and the workaround itself cost (sequential) read time.
+        counts = db.storage.stats.overall.by_type.get(RequestType.TRIM_TEMP)
+        assert counts is not None and counts.blocks > 0
+
+
+class TestQueryCleanup:
+    def test_cleanup_query_deletes_leaks(self, db):
+        a = db.temp.create(query_id=7)
+        b = db.temp.create(query_id=7)
+        other = db.temp.create(query_id=8)
+        a.append((1,))
+        b.append((2,))
+        other.append((3,))
+        assert db.temp.cleanup_query(7) == 2
+        assert db.temp.live_count == 1
+        assert not other.deleted

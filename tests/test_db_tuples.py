@@ -1,0 +1,68 @@
+"""Unit tests for schemas, columns and date handling."""
+
+import pytest
+
+from repro.db import CatalogError, Column, Schema, date_to_days, days_to_date, schema
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1992-01-01") == 0
+
+    def test_roundtrip(self):
+        for text in ("1994-06-30", "1998-08-02", "1992-12-31"):
+            assert days_to_date(date_to_days(text)) == text
+
+    def test_ordering_matches_calendar(self):
+        assert date_to_days("1995-01-01") < date_to_days("1995-06-17")
+
+    def test_leap_year_1992(self):
+        assert date_to_days("1993-01-01") == 366
+
+
+class TestColumn:
+    def test_int_width(self):
+        assert Column("a", "int").byte_width == 8
+
+    def test_string_needs_width(self):
+        with pytest.raises(CatalogError):
+            Column("s", "str")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("x", "blob")
+
+
+class TestSchema:
+    def test_idx_lookup(self):
+        s = schema(("a", "int"), ("b", "str", 10))
+        assert s.idx("a") == 0
+        assert s.idx("b") == 1
+        assert "a" in s
+        assert "z" not in s
+
+    def test_unknown_column_raises(self):
+        s = schema(("a", "int"))
+        with pytest.raises(CatalogError):
+            s.idx("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", "int"), Column("a", "float")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_rows_per_page_reasonable(self):
+        s = schema(("a", "int"), ("b", "str", 100))
+        rpp = s.rows_per_page(8192)
+        assert 1 <= rpp <= 8192 // s.row_bytes + 1
+
+    def test_wide_row_still_fits_one_per_page(self):
+        s = schema(("blob", "str", 100_000))
+        assert s.rows_per_page(8192) == 1
+
+    def test_names(self):
+        s = schema(("x", "int"), ("y", "date"))
+        assert s.names == ["x", "y"]

@@ -1,0 +1,70 @@
+"""Unit tests for the baseline LRU cache."""
+
+import pytest
+
+from repro.storage import CacheAction, LRUCache, PolicySet, QoSPolicy
+
+
+@pytest.fixture
+def cache() -> LRUCache:
+    return LRUCache(4)
+
+
+class TestLRUBehaviour:
+    def test_allocate_on_read_miss(self, cache):
+        out = cache.access_block(1, write=False, policy=None)
+        assert not out.hit
+        assert out.has(CacheAction.READ_ALLOCATION)
+        assert cache.contains(1)
+
+    def test_allocate_on_write_miss(self, cache):
+        out = cache.access_block(1, write=True, policy=None)
+        assert out.has(CacheAction.WRITE_ALLOCATION)
+
+    def test_lru_eviction_order(self, cache):
+        for lbn in range(4):
+            cache.access_block(lbn, write=False, policy=None)
+        cache.access_block(0, write=False, policy=None)  # 0 becomes MRU
+        out = cache.access_block(99, write=False, policy=None)
+        assert out.evictions[0].lbn == 1
+
+    def test_dirty_eviction_flagged(self, cache):
+        cache.access_block(0, write=True, policy=None)
+        for lbn in range(1, 5):
+            out = cache.access_block(lbn, write=False, policy=None)
+        assert out.evictions[0].lbn == 0
+        assert out.evictions[0].dirty
+
+    def test_policies_are_ignored(self, cache):
+        """A legacy cache caches sequential data too (Section 6.3.1)."""
+        seq = PolicySet().sequential_policy()
+        out = cache.access_block(1, write=False, policy=seq)
+        assert out.has(CacheAction.READ_ALLOCATION)
+        assert cache.contains(1)
+
+    def test_trim_is_ignored(self, cache):
+        """Legacy storage does not understand TRIM (Section 4.2.3)."""
+        cache.access_block(1, write=True, policy=None)
+        out = cache.trim(1)
+        assert not out.actions
+        assert cache.contains(1)
+
+    def test_capacity_respected(self, cache):
+        for lbn in range(100):
+            cache.access_block(lbn, write=False, policy=None)
+            cache.check_invariants()
+        assert cache.occupancy == 4
+
+    def test_hit_updates_recency_and_dirty(self, cache):
+        cache.access_block(1, write=False, policy=None)
+        out = cache.access_block(1, write=True, policy=None)
+        assert out.hit
+        # Fill to evict; block 1 must come out dirty eventually.
+        evictions = []
+        for lbn in range(2, 7):
+            evictions += cache.access_block(lbn, write=False, policy=None).evictions
+        assert any(ev.lbn == 1 and ev.dirty for ev in evictions)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)

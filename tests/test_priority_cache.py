@@ -1,0 +1,211 @@
+"""Unit tests for the priority-managed cache (paper Section 5.1)."""
+
+import pytest
+
+from repro.storage import CacheAction, PolicySet, PriorityCache, QoSPolicy
+
+
+@pytest.fixture
+def pset() -> PolicySet:
+    return PolicySet()  # N=7, t=6, b=10%
+
+
+@pytest.fixture
+def cache(pset) -> PriorityCache:
+    return PriorityCache(8, pset)
+
+
+def prio(k: int) -> QoSPolicy:
+    return QoSPolicy.with_priority(k)
+
+
+def fill(cache: PriorityCache, priority: int, lbns) -> None:
+    for lbn in lbns:
+        cache.access_block(lbn, write=False, policy=prio(priority))
+
+
+class TestBasicAllocation:
+    def test_miss_then_hit(self, cache):
+        first = cache.access_block(1, write=False, policy=prio(2))
+        assert not first.hit
+        assert first.has(CacheAction.READ_ALLOCATION)
+        second = cache.access_block(1, write=False, policy=prio(2))
+        assert second.hit
+        assert second.has(CacheAction.HIT)
+
+    def test_write_allocation_marks_dirty(self, cache):
+        out = cache.access_block(5, write=True, policy=prio(1))
+        assert out.has(CacheAction.WRITE_ALLOCATION)
+        fill(cache, 1, range(100, 107))  # cache now full (capacity 8)
+        # The next insertion evicts the LRU of group 1, which is block 5.
+        out2 = cache.access_block(200, write=False, policy=prio(1))
+        assert out2.evictions == [out2.evictions[0]]
+        assert out2.evictions[0].lbn == 5
+        assert out2.evictions[0].dirty is True
+
+    def test_unclassified_traffic_treated_as_non_caching(self, cache):
+        out = cache.access_block(9, write=False, policy=None)
+        assert out.has(CacheAction.BYPASS)
+        assert not cache.contains(9)
+
+
+class TestRule1NonCachingNonEviction:
+    def test_sequential_requests_never_allocate(self, cache, pset):
+        out = cache.access_block(1, write=False, policy=pset.sequential_policy())
+        assert out.has(CacheAction.BYPASS)
+        assert cache.occupancy == 0
+
+    def test_sequential_hit_preserves_priority(self, cache, pset):
+        """A cached block touched sequentially keeps its old priority."""
+        cache.access_block(1, write=False, policy=prio(3))
+        out = cache.access_block(1, write=False, policy=pset.sequential_policy())
+        assert out.hit
+        assert not out.has(CacheAction.REALLOCATION)
+        assert cache.group_of(1) == 3
+
+
+class TestNonCachingEviction:
+    def test_eviction_priority_never_allocates(self, cache, pset):
+        out = cache.access_block(1, write=False, policy=pset.eviction_policy())
+        assert out.has(CacheAction.BYPASS)
+        assert not cache.contains(1)
+
+    def test_eviction_priority_demotes_cached_block(self, cache, pset):
+        cache.access_block(1, write=False, policy=prio(2))
+        out = cache.access_block(1, write=False, policy=pset.eviction_policy())
+        assert out.hit
+        assert out.has(CacheAction.REALLOCATION)
+        assert cache.group_of(1) == pset.non_caching_eviction
+
+    def test_demoted_block_is_first_victim(self, cache, pset):
+        fill(cache, 2, range(8))
+        cache.access_block(3, write=False, policy=pset.eviction_policy())
+        out = cache.access_block(100, write=False, policy=prio(5))
+        assert out.evictions and out.evictions[0].lbn == 3
+
+
+class TestSelectiveAllocation:
+    def test_lower_priority_cannot_displace_higher(self, cache):
+        fill(cache, 2, range(8))  # cache full of priority-2 blocks
+        out = cache.access_block(100, write=False, policy=prio(4))
+        assert out.has(CacheAction.BYPASS)
+        assert not cache.contains(100)
+
+    def test_equal_priority_displaces_lru(self, cache):
+        fill(cache, 3, range(8))
+        out = cache.access_block(100, write=False, policy=prio(3))
+        assert out.has(CacheAction.EVICTION)
+        assert out.evictions[0].lbn == 0
+        assert cache.contains(100)
+
+    def test_higher_priority_displaces_lower(self, cache):
+        fill(cache, 5, range(8))
+        out = cache.access_block(100, write=False, policy=prio(2))
+        assert out.has(CacheAction.EVICTION)
+        assert cache.contains(100)
+        assert cache.group_of(100) == 2
+
+
+class TestSelectiveEviction:
+    def test_victim_from_lowest_priority_group(self, cache):
+        fill(cache, 2, range(4))
+        fill(cache, 5, range(10, 14))
+        out = cache.access_block(100, write=False, policy=prio(3))
+        assert out.evictions[0].lbn == 10  # LRU of the priority-5 group
+
+    def test_lru_within_group(self, cache):
+        fill(cache, 4, [7, 8, 9, 10])
+        cache.access_block(7, write=False, policy=prio(4))  # 7 becomes MRU
+        fill(cache, 2, range(20, 24))  # fill the rest of the cache
+        out = cache.access_block(100, write=False, policy=prio(2))
+        assert out.evictions[0].lbn == 8  # 8 is now LRU of group 4
+
+
+class TestReallocation:
+    def test_hit_with_new_priority_moves_group(self, cache):
+        cache.access_block(1, write=False, policy=prio(4))
+        out = cache.access_block(1, write=False, policy=prio(2))
+        assert out.hit and out.has(CacheAction.REALLOCATION)
+        assert cache.group_of(1) == 2
+
+    def test_hit_same_priority_no_reallocation(self, cache):
+        cache.access_block(1, write=False, policy=prio(4))
+        out = cache.access_block(1, write=False, policy=prio(4))
+        assert out.hit and not out.has(CacheAction.REALLOCATION)
+
+
+class TestWriteBuffer:
+    def test_update_wins_over_any_priority(self, pset):
+        cache = PriorityCache(20, pset)  # b=10% -> buffer holds 2 blocks
+        fill(cache, 1, range(20))  # full of highest-priority blocks
+        out = cache.access_block(100, write=True, policy=pset.update_policy())
+        assert out.has(CacheAction.EVICTION)
+        assert out.evictions[0].lbn == 0  # LRU priority-1 block displaced
+        assert cache.contains(100)
+
+    def test_flush_when_over_fraction(self, pset):
+        # capacity 20, b=10% -> flush when the buffer exceeds 2 blocks
+        cache = PriorityCache(20, pset)
+        cache.access_block(1, write=True, policy=pset.update_policy())
+        cache.access_block(2, write=True, policy=pset.update_policy())
+        out = cache.access_block(3, write=True, policy=pset.update_policy())
+        assert out.has(CacheAction.WRITE_BUFFER_FLUSH)
+        flushed = {ev.lbn for ev in out.flushed}
+        assert flushed == {1, 2, 3}
+        assert all(ev.dirty for ev in out.flushed)
+        assert cache.write_buffer_blocks == 0
+        assert cache.write_buffer_flushes == 1
+
+    def test_flushed_blocks_leave_cache(self, pset):
+        cache = PriorityCache(20, pset)
+        for lbn in (1, 2, 3):
+            cache.access_block(lbn, write=True, policy=pset.update_policy())
+        assert not cache.contains(1)
+
+    def test_write_buffer_hit_reallocates(self, pset):
+        cache = PriorityCache(20, pset)
+        cache.access_block(1, write=False, policy=prio(3))
+        out = cache.access_block(1, write=True, policy=pset.update_policy())
+        assert out.hit and out.has(CacheAction.REALLOCATION)
+        assert cache.write_buffer_blocks == 1
+
+    def test_tiny_cache_flushes_write_buffer_immediately(self, cache, pset):
+        """With capacity 8 and b=10% the buffer limit is < 1 block, so
+        every write-buffered block is flushed as soon as it lands."""
+        out = cache.access_block(1, write=True, policy=pset.update_policy())
+        assert out.has(CacheAction.WRITE_BUFFER_FLUSH)
+        assert cache.write_buffer_blocks == 0
+
+
+class TestTrim:
+    def test_trim_removes_block(self, cache):
+        cache.access_block(1, write=True, policy=prio(1))
+        out = cache.trim(1)
+        assert out.has(CacheAction.TRIM)
+        assert not cache.contains(1)
+
+    def test_trim_discards_dirty_data_without_writeback(self, cache):
+        cache.access_block(1, write=True, policy=prio(1))
+        out = cache.trim(1)
+        assert not out.evictions  # deleted data needs no writeback
+
+    def test_trim_of_absent_block_is_noop(self, cache):
+        out = cache.trim(42)
+        assert not out.has(CacheAction.TRIM)
+
+
+class TestInvariants:
+    def test_capacity_never_exceeded(self, cache, pset):
+        policies = [prio(1), prio(2), prio(5), pset.update_policy(),
+                    pset.sequential_policy(), pset.eviction_policy()]
+        for i in range(200):
+            cache.access_block(
+                i % 31, write=(i % 3 == 0), policy=policies[i % len(policies)]
+            )
+            cache.check_invariants()
+
+    def test_group_sizes_sum_to_occupancy(self, cache):
+        fill(cache, 2, range(3))
+        fill(cache, 4, range(10, 12))
+        sizes = cache.group_sizes()
+        assert sum(sizes.values()) == cache.occupancy == 5

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for the cache placement engines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    CacheAction,
+    LRUCache,
+    PolicySet,
+    PriorityCache,
+    QoSPolicy,
+)
+
+PSET = PolicySet()
+
+_policies = st.sampled_from(
+    [
+        QoSPolicy.with_priority(1),
+        QoSPolicy.with_priority(2),
+        QoSPolicy.with_priority(3),
+        QoSPolicy.with_priority(5),
+        PSET.sequential_policy(),
+        PSET.eviction_policy(),
+        PSET.update_policy(),
+        None,
+    ]
+)
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # lbn
+        st.booleans(),  # write?
+        _policies,
+        st.booleans(),  # trim instead of access?
+    ),
+    max_size=400,
+)
+
+
+@given(ops=_ops, capacity=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_priority_cache_invariants(ops, capacity):
+    """Occupancy, group membership and lookup stay consistent forever."""
+    cache = PriorityCache(capacity, PSET)
+    for lbn, write, policy, trim in ops:
+        if trim:
+            cache.trim(lbn)
+        else:
+            cache.access_block(lbn, write=write, policy=policy)
+        cache.check_invariants()
+        assert cache.occupancy <= capacity
+
+
+@given(ops=_ops, capacity=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_lru_cache_invariants(ops, capacity):
+    cache = LRUCache(capacity)
+    for lbn, write, policy, trim in ops:
+        if trim:
+            cache.trim(lbn)
+        else:
+            cache.access_block(lbn, write=write, policy=policy)
+        cache.check_invariants()
+        assert cache.occupancy <= capacity
+
+
+@given(ops=_ops)
+@settings(max_examples=60, deadline=None)
+def test_non_caching_policies_never_allocate(ops):
+    """Blocks touched only by non-caching priorities never enter the cache."""
+    cache = PriorityCache(32, PSET)
+    non_caching_only: set[int] = set()
+    cached_ever: set[int] = set()
+    for lbn, write, policy, trim in ops:
+        if trim:
+            cache.trim(lbn)
+            continue
+        cache.access_block(lbn, write=write, policy=policy)
+        if policy is not None and not policy.write_buffer and (
+            policy.priority >= PSET.non_caching_threshold
+        ):
+            if lbn not in cached_ever:
+                non_caching_only.add(lbn)
+        else:
+            cached_ever.add(lbn)
+            non_caching_only.discard(lbn)
+    for lbn in non_caching_only:
+        assert not cache.contains(lbn)
+
+
+@given(
+    hot=st.integers(min_value=1, max_value=8),
+    flood=st.integers(min_value=50, max_value=300),
+)
+@settings(max_examples=30, deadline=None)
+def test_priority_protection_property(hot, flood):
+    """High-priority blocks survive any volume of lower-priority traffic."""
+    cache = PriorityCache(16, PSET)
+    for lbn in range(hot):
+        cache.access_block(lbn, write=False, policy=QoSPolicy.with_priority(2))
+    for i in range(flood):
+        cache.access_block(
+            1000 + i, write=False, policy=QoSPolicy.with_priority(5)
+        )
+    for lbn in range(hot):
+        assert cache.contains(lbn), f"hot block {lbn} was evicted by flood"
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200)
+)
+@settings(max_examples=50, deadline=None)
+def test_lru_eviction_is_least_recent(keys):
+    """After any access sequence, the cache holds the most recent distinct
+    keys (the defining LRU property)."""
+    capacity = 8
+    cache = LRUCache(capacity)
+    for key in keys:
+        cache.access_block(key, write=False, policy=None)
+    recent_distinct: list[int] = []
+    for key in reversed(keys):
+        if key not in recent_distinct:
+            recent_distinct.append(key)
+        if len(recent_distinct) == capacity:
+            break
+    for key in recent_distinct:
+        assert cache.contains(key)

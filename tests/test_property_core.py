@@ -1,0 +1,142 @@
+"""Property-based tests for Equation (1), levels and the registry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConcurrencyRegistry,
+    RandomOperatorRef,
+    compute_effective_levels,
+    compute_raw_levels,
+    priority_for_level,
+)
+from repro.storage import PolicySet
+
+
+@given(
+    lhigh=st.integers(min_value=0, max_value=30),
+    n1=st.integers(min_value=1, max_value=10),
+    width=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=200, deadline=None)
+def test_priority_function_bounds_and_monotonicity(lhigh, n1, width):
+    n2 = n1 + width
+    previous = None
+    for level in range(0, lhigh + 1):
+        p = priority_for_level(level, 0, lhigh, n1, n2)
+        assert n1 <= p <= n2
+        if previous is not None:
+            assert p >= previous
+        previous = p
+    # Endpoints: the lowest level maps to n1.  The highest maps to
+    # n1 + Lgap when the range is wide enough (Cprio >= Lgap), and is
+    # compressed onto exactly n2 otherwise — i.e. min(n2, n1 + lhigh).
+    assert priority_for_level(0, 0, lhigh, n1, n2) == n1
+    if lhigh > 0 and width > 0:
+        assert priority_for_level(lhigh, 0, lhigh, n1, n2) == min(
+            n2, n1 + lhigh
+        )
+
+
+class _Node:
+    def __init__(self, children=(), blocking=False):
+        self._children = list(children)
+        self._blocking = blocking
+
+    @property
+    def children(self):
+        return self._children
+
+    @property
+    def is_blocking(self):
+        return self._blocking
+
+
+@st.composite
+def plan_trees(draw, max_depth=5):
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    blocking = draw(st.booleans())
+    if depth == 0:
+        return _Node(blocking=blocking)
+    n_children = draw(st.integers(min_value=1, max_value=3))
+    children = [draw(plan_trees(max_depth=depth - 1)) for _ in range(n_children)]
+    return _Node(children, blocking=blocking)
+
+
+@given(tree=plan_trees())
+@settings(max_examples=100, deadline=None)
+def test_levels_are_nonnegative_and_bounded(tree):
+    raw = compute_raw_levels(tree)
+    eff = compute_effective_levels(tree)
+    assert set(raw) == set(eff)
+    for nid in raw:
+        assert 0 <= eff[nid] <= raw[nid]
+    # Some node in every segment sits at level 0; in particular the
+    # minimum effective level over the tree is 0.
+    assert min(eff.values()) == 0
+
+
+@given(tree=plan_trees())
+@settings(max_examples=100, deadline=None)
+def test_levels_without_blocking_equal_raw(tree):
+    def strip(node):
+        node._blocking = False
+        for child in node.children:
+            strip(child)
+
+    strip(tree)
+    assert compute_raw_levels(tree) == compute_effective_levels(tree)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=20),  # query id
+            st.integers(min_value=0, max_value=9),  # oid
+            st.integers(min_value=0, max_value=6),  # level
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_registry_register_unregister_roundtrip(ops):
+    """After unregistering everything, the registry is empty again."""
+    registry = ConcurrencyRegistry()
+    by_query: dict[int, list[RandomOperatorRef]] = {}
+    for qid, oid, level in ops:
+        by_query.setdefault(qid, []).append(RandomOperatorRef(oid, level))
+    for qid, refs in by_query.items():
+        registry.register_query(qid, refs)
+    # While registered: bounds cover every level.
+    all_levels = [ref.level for refs in by_query.values() for ref in refs]
+    if all_levels:
+        assert registry.gl_low == min(all_levels)
+        assert registry.gl_high == max(all_levels)
+    for qid in by_query:
+        registry.unregister_query(qid)
+    assert registry.active_queries == 0
+    assert registry.gl_low is None
+    for qid, oid, level in ops:
+        assert registry.min_level_for(oid) is None
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=6),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_registry_priority_always_in_random_range(ops):
+    pset = PolicySet()
+    registry = ConcurrencyRegistry()
+    registry.register_query(1, [RandomOperatorRef(o, l) for o, l in ops])
+    n1, n2 = pset.random_priority_range
+    for oid, _ in ops:
+        assert n1 <= registry.priority_for(oid, pset) <= n2
+    # Unknown objects also stay in range.
+    assert n1 <= registry.priority_for(999, pset, fallback_level=3) <= n2

@@ -1,0 +1,89 @@
+"""Property-based tests for B+tree, external sort and hash join."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db import schema
+from repro.db.executor import Hash, HashJoin, SeqScan, Sort
+from tests.helpers import make_database
+
+SEM = SemanticInfo.random_access(ContentType.INDEX, 1, 0, query_id=1)
+UPD = SemanticInfo.update(ContentType.INDEX, 1, query_id=1)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300)
+)
+@settings(max_examples=30, deadline=None)
+def test_btree_insert_matches_sorted_multiset(keys):
+    db = make_database(btree_order=8)
+    db.create_table("t", schema(("id", "int")))
+    index = db.create_index("t_id", "t", "id")
+    for i, key in enumerate(keys):
+        index.btree.insert(db.pool, key, (i, 0), UPD)
+    scanned = [k for k, _ in index.btree.range_scan(db.pool, None, None, SEM)]
+    assert scanned == sorted(keys)
+    assert index.btree.entry_count == len(keys)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100), max_size=200),
+    lo=st.integers(min_value=-10, max_value=110),
+    width=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_btree_range_scan_matches_filter(keys, lo, width):
+    hi = lo + width
+    db = make_database(btree_order=8)
+    db.create_table("t", schema(("id", "int")))
+    index = db.create_index("t_id", "t", "id")
+    for i, key in enumerate(keys):
+        index.btree.insert(db.pool, key, (i, 0), UPD)
+    got = [k for k, _ in index.btree.range_scan(db.pool, lo, hi, SEM)]
+    assert got == sorted(k for k in keys if lo <= k <= hi)
+
+
+@given(
+    values=st.lists(
+        st.tuples(st.integers(-500, 500), st.floats(0, 1e6)), max_size=400
+    ),
+    work_mem=st.integers(min_value=4, max_value=64),
+)
+@settings(max_examples=20, deadline=None)
+def test_external_sort_equals_sorted(values, work_mem):
+    db = make_database(work_mem_rows=work_mem)
+    rel = db.create_table("t", schema(("k", "int"), ("v", "float")))
+    rel.heap.bulk_load(values)
+    plan = Sort(SeqScan(rel), key=lambda r: (r[0], r[1]))
+    result = db.run_query(plan, label="sort")
+    assert result.rows == sorted(values, key=lambda r: (r[0], r[1]))
+    assert db.temp.live_count == 0  # spill runs always cleaned up
+
+
+@given(
+    left=st.lists(st.integers(0, 60), max_size=150),
+    right=st.lists(st.integers(0, 60), max_size=150),
+    work_mem=st.integers(min_value=4, max_value=48),
+)
+@settings(max_examples=20, deadline=None)
+def test_hash_join_equals_nested_loops(left, right, work_mem):
+    db = make_database(work_mem_rows=work_mem)
+    a = db.create_table("a", schema(("k", "int"), ("pos", "int")))
+    a.heap.bulk_load((k, i) for i, k in enumerate(left))
+    b = db.create_table("b", schema(("k", "int"), ("pos", "int")))
+    b.heap.bulk_load((k, i) for i, k in enumerate(right))
+    plan = HashJoin(
+        SeqScan(a),
+        Hash(SeqScan(b), key=lambda r: r[0]),
+        probe_key=lambda r: r[0],
+    )
+    result = db.run_query(plan, label="join")
+    expected = [
+        la + lb
+        for la in ((k, i) for i, k in enumerate(left))
+        for lb in ((k, i) for i, k in enumerate(right))
+        if la[0] == lb[0]
+    ]
+    assert sorted(result.rows) == sorted(expected)
+    assert db.temp.live_count == 0

@@ -1,0 +1,57 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+def test_clock_starts_at_zero():
+    clock = SimClock()
+    assert clock.now == 0.0
+    assert clock.background == 0.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.25)
+    assert clock.now == pytest.approx(1.75)
+
+
+def test_background_is_separate_from_foreground():
+    clock = SimClock()
+    clock.advance(1.0)
+    clock.charge_background(2.0)
+    assert clock.now == pytest.approx(1.0)
+    assert clock.background == pytest.approx(2.0)
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+    with pytest.raises(ValueError):
+        clock.charge_background(-0.1)
+
+
+def test_elapsed_since():
+    clock = SimClock()
+    clock.advance(3.0)
+    start = clock.now
+    clock.advance(2.0)
+    assert clock.elapsed_since(start) == pytest.approx(2.0)
+
+
+def test_reset_zeroes_both_accumulators():
+    clock = SimClock()
+    clock.advance(5.0)
+    clock.charge_background(1.0)
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.background == 0.0
+
+
+def test_zero_advance_is_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0

@@ -1,0 +1,73 @@
+"""Unit tests for simulation parameters and derived service times."""
+
+import pytest
+
+from repro.sim import SimulationParameters
+
+
+def test_default_block_size_is_8k():
+    assert SimulationParameters().block_size == 8192
+
+
+def test_hdd_sequential_read_time_matches_bandwidth():
+    p = SimulationParameters()
+    # 8192 bytes at 150 MB/s
+    assert p.hdd_seq_read_s == pytest.approx(8192 / 150e6)
+
+
+def test_hdd_random_read_time_matches_latency():
+    p = SimulationParameters()
+    assert p.hdd_rand_read_s == pytest.approx(0.0055)
+
+
+def test_ssd_random_iops_table2():
+    """Table 2 of the paper: 39.5K read IOPS, 23K write IOPS."""
+    p = SimulationParameters()
+    assert p.ssd_rand_read_s == pytest.approx(1 / 39_500)
+    assert p.ssd_rand_write_s == pytest.approx(1 / 23_000)
+
+
+def test_ssd_sequential_table2():
+    """Table 2 of the paper: 270 MB/s read, 205 MB/s write."""
+    p = SimulationParameters()
+    assert p.ssd_seq_read_s == pytest.approx(8192 / 270e6)
+    assert p.ssd_seq_write_s == pytest.approx(8192 / 205e6)
+
+
+def test_hdd_random_is_orders_of_magnitude_slower_than_ssd_random():
+    p = SimulationParameters()
+    assert p.hdd_rand_read_s / p.ssd_rand_read_s > 100
+
+
+def test_hdd_sequential_is_comparable_to_ssd_sequential():
+    """Section 4.2.1: HDD sequential performance is comparable to SSD."""
+    p = SimulationParameters()
+    assert p.hdd_seq_read_s / p.ssd_seq_read_s < 2.5
+
+
+def test_cpu_cost_conversion():
+    p = SimulationParameters(cpu_us_per_tuple=2.0)
+    assert p.cpu_s_per_tuple == pytest.approx(2e-6)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"block_size": 0},
+        {"alloc_overlap": 1.5},
+        {"alloc_overlap": -0.1},
+        {"cpu_us_per_tuple": -1.0},
+        {"read_ahead_pages": 0},
+        {"hdd_seq_read_mb_s": 0},
+        {"ssd_rand_read_iops": -5},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        SimulationParameters(**kwargs)
+
+
+def test_parameters_are_frozen():
+    p = SimulationParameters()
+    with pytest.raises(Exception):
+        p.block_size = 4096

@@ -1,0 +1,88 @@
+"""Unit tests for LBA extents and file extent maps."""
+
+import pytest
+
+from repro.storage import Extent, ExtentAllocator, ExtentMap
+
+
+class TestExtent:
+    def test_bounds(self):
+        e = Extent(100, 50)
+        assert e.end == 150
+        assert 100 in e
+        assert 149 in e
+        assert 150 not in e
+        assert 99 not in e
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Extent(-1, 10)
+        with pytest.raises(ValueError):
+            Extent(0, 0)
+
+
+class TestExtentAllocator:
+    def test_sequential_allocation(self):
+        alloc = ExtentAllocator(extent_pages=64)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        assert a.start == 0 and a.length == 64
+        assert b.start == 64
+        assert alloc.allocated_blocks == 128
+
+    def test_custom_length(self):
+        alloc = ExtentAllocator()
+        e = alloc.allocate(10)
+        assert e.length == 10
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator(extent_pages=0)
+
+
+class TestExtentMap:
+    def test_grows_on_demand(self):
+        alloc = ExtentAllocator(extent_pages=4)
+        emap = ExtentMap(alloc)
+        assert emap.lba_of(0) == 0
+        assert emap.lba_of(3) == 3
+        assert emap.lba_of(4) == 4  # second extent, still contiguous here
+        assert len(emap.extents) == 2
+
+    def test_pages_within_extent_are_contiguous(self):
+        alloc = ExtentAllocator(extent_pages=8)
+        emap = ExtentMap(alloc)
+        lbas = [emap.lba_of(i) for i in range(8)]
+        assert lbas == list(range(lbas[0], lbas[0] + 8))
+
+    def test_interleaved_files_get_disjoint_extents(self):
+        alloc = ExtentAllocator(extent_pages=4)
+        a = ExtentMap(alloc)
+        b = ExtentMap(alloc)
+        a.lba_of(0)
+        b.lba_of(0)
+        a.lba_of(4)  # grows a second extent for file a
+        lbas_a = {a.lba_of(i) for i in range(8)}
+        lbas_b = {b.lba_of(i) for i in range(4)}
+        assert not (lbas_a & lbas_b)
+
+    def test_contiguous_run_splits_at_extent_boundary(self):
+        alloc = ExtentAllocator(extent_pages=4)
+        a = ExtentMap(alloc)
+        b = ExtentMap(alloc)
+        a.lba_of(0)
+        b.lba_of(0)  # forces a's next extent to be non-adjacent
+        runs = a.contiguous_run(2, 4)  # pages 2..5 cross the boundary
+        assert len(runs) == 2
+        assert runs[0][1] + runs[1][1] == 4
+
+    def test_negative_page_rejected(self):
+        emap = ExtentMap(ExtentAllocator())
+        with pytest.raises(ValueError):
+            emap.lba_of(-1)
+
+    def test_all_lbas_covers_every_extent(self):
+        alloc = ExtentAllocator(extent_pages=2)
+        emap = ExtentMap(alloc)
+        emap.lba_of(5)  # forces 3 extents
+        assert len(emap.all_lbas()) == 6

@@ -1,0 +1,125 @@
+"""Unit tests for the device service-time model."""
+
+import pytest
+
+from repro.sim import SimulationParameters
+from repro.storage import Device, DeviceSpec
+
+PARAMS = SimulationParameters()
+
+
+def make_hdd() -> Device:
+    return Device(DeviceSpec.hdd_from_params(PARAMS))
+
+
+def make_ssd() -> Device:
+    return Device(DeviceSpec.ssd_from_params(PARAMS))
+
+
+class TestSequentialityDetection:
+    def test_first_access_is_random(self):
+        hdd = make_hdd()
+        t = hdd.access(100)
+        assert t == pytest.approx(PARAMS.hdd_rand_read_s)
+
+    def test_contiguous_access_is_sequential(self):
+        hdd = make_hdd()
+        hdd.access(100)
+        t = hdd.access(101)
+        assert t == pytest.approx(PARAMS.hdd_seq_read_s)
+
+    def test_short_skip_drags_at_streaming_speed(self):
+        """Drive readahead absorbs short forward gaps (no seek)."""
+        hdd = make_hdd()
+        hdd.access(100)
+        hdd.access(101)
+        t = hdd.access(103)  # skipped 102: pay 2 blocks of streaming time
+        assert t == pytest.approx(2 * PARAMS.hdd_seq_read_s)
+
+    def test_long_gap_breaks_sequentiality(self):
+        hdd = make_hdd()
+        tolerance = hdd.spec.skip_tolerance_blocks
+        hdd.access(100)
+        t = hdd.access(101 + tolerance + 1)
+        assert t == pytest.approx(PARAMS.hdd_rand_read_s)
+
+    def test_skip_at_tolerance_boundary_still_streams(self):
+        hdd = make_hdd()
+        tolerance = hdd.spec.skip_tolerance_blocks
+        hdd.access(100)
+        t = hdd.access(101 + tolerance)  # gap == tolerance exactly
+        assert t == pytest.approx((tolerance + 1) * PARAMS.hdd_seq_read_s)
+
+    def test_backward_access_is_random(self):
+        hdd = make_hdd()
+        hdd.access(100)
+        t = hdd.access(99)
+        assert t == pytest.approx(PARAMS.hdd_rand_read_s)
+
+    def test_multiblock_request_streams_after_first_block(self):
+        hdd = make_hdd()
+        t = hdd.access(0, nblocks=10)
+        expected = PARAMS.hdd_rand_read_s + 9 * PARAMS.hdd_seq_read_s
+        assert t == pytest.approx(expected)
+
+    def test_request_following_multiblock_is_sequential(self):
+        hdd = make_hdd()
+        hdd.access(0, nblocks=10)
+        t = hdd.access(10)
+        assert t == pytest.approx(PARAMS.hdd_seq_read_s)
+
+
+class TestReadsVsWrites:
+    def test_write_cost_differs_from_read(self):
+        ssd = make_ssd()
+        ssd.access(0)
+        t_seq_write = ssd.access(1, write=True)
+        assert t_seq_write == pytest.approx(PARAMS.ssd_seq_write_s)
+
+    def test_counters(self):
+        hdd = make_hdd()
+        hdd.access(0, nblocks=4)
+        hdd.access(10, nblocks=2, write=True)
+        assert hdd.blocks_read == 4
+        assert hdd.blocks_written == 2
+        assert hdd.busy_seconds > 0
+
+    def test_background_write_accounting(self):
+        hdd = make_hdd()
+        hdd.access(0, nblocks=3)  # head now at LBA 3
+        t = hdd.background_write(2)
+        assert t == pytest.approx(2 * PARAMS.hdd_rand_write_s)
+        assert hdd.blocks_written == 2
+        # Background writes must not disturb the sequential stream:
+        assert hdd.access(3) == pytest.approx(PARAMS.hdd_seq_read_s)
+
+
+class TestValidation:
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            make_hdd().access(0, nblocks=0)
+
+    def test_background_write_needs_blocks(self):
+        with pytest.raises(ValueError):
+            make_hdd().background_write(0)
+
+    def test_spec_requires_positive_times(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0.0, 1.0, 1.0, 1.0)
+
+    def test_reset_counters(self):
+        hdd = make_hdd()
+        hdd.access(0)
+        hdd.reset_counters()
+        assert hdd.blocks_read == 0
+        assert hdd.busy_seconds == 0.0
+
+
+class TestRelativeSpeeds:
+    def test_hdd_random_much_slower_than_sequential(self):
+        p = PARAMS
+        assert p.hdd_rand_read_s / p.hdd_seq_read_s > 50
+
+    def test_ssd_random_close_to_ssd_sequential(self):
+        p = PARAMS
+        assert p.ssd_rand_read_s / p.ssd_seq_read_s < 2

@@ -1,0 +1,89 @@
+"""Unit tests for QoS policies and the {N, t, b} policy set."""
+
+import pytest
+
+from repro.storage import PolicySet, QoSPolicy
+
+
+class TestQoSPolicy:
+    def test_priority_policy(self):
+        p = QoSPolicy.with_priority(3)
+        assert p.priority == 3
+        assert not p.write_buffer
+
+    def test_write_buffer_policy(self):
+        p = QoSPolicy.for_write_buffer()
+        assert p.priority is None
+        assert p.write_buffer
+
+    def test_policy_must_have_shape(self):
+        with pytest.raises(ValueError):
+            QoSPolicy()  # neither priority nor write buffer
+
+    def test_write_buffer_with_priority_rejected(self):
+        with pytest.raises(ValueError):
+            QoSPolicy(priority=2, write_buffer=True)
+
+    def test_priority_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QoSPolicy.with_priority(0)
+
+    def test_str_forms(self):
+        assert str(QoSPolicy.with_priority(4)) == "priority-4"
+        assert str(QoSPolicy.for_write_buffer()) == "write-buffer"
+
+
+class TestPolicySet:
+    def test_default_matches_paper_example(self):
+        """Default N=7 yields the random range [2, 5] used in Figure 2."""
+        ps = PolicySet()
+        assert ps.n_priorities == 7
+        assert ps.random_priority_range == (2, 5)
+        assert ps.temp_priority == 1
+        assert ps.non_caching_non_eviction == 6
+        assert ps.non_caching_eviction == 7
+
+    def test_threshold_defaults_to_n_minus_1(self):
+        """The paper sets t = N - 1 (two non-caching priorities)."""
+        ps = PolicySet(n_priorities=10)
+        assert ps.non_caching_threshold == 9
+
+    def test_named_policies(self):
+        ps = PolicySet()
+        assert ps.sequential_policy().priority == 6
+        assert ps.temp_policy().priority == 1
+        assert ps.eviction_policy().priority == 7
+        assert ps.update_policy().write_buffer
+
+    def test_random_policy_range_enforced(self):
+        ps = PolicySet()
+        assert ps.random_policy(2).priority == 2
+        assert ps.random_policy(5).priority == 5
+        with pytest.raises(ValueError):
+            ps.random_policy(1)
+        with pytest.raises(ValueError):
+            ps.random_policy(6)
+
+    def test_cacheability(self):
+        ps = PolicySet()
+        assert ps.is_cacheable(ps.temp_policy())
+        assert ps.is_cacheable(QoSPolicy.with_priority(5))
+        assert ps.is_cacheable(ps.update_policy())
+        assert not ps.is_cacheable(ps.sequential_policy())
+        assert not ps.is_cacheable(ps.eviction_policy())
+
+    def test_write_buffer_fraction_default(self):
+        """Section 4.2.4: b = 10% for OLAP workloads."""
+        assert PolicySet().write_buffer_fraction == pytest.approx(0.10)
+
+    def test_too_few_priorities_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySet(n_priorities=3)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySet(write_buffer_fraction=1.5)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PolicySet(n_priorities=7, non_caching_threshold=9)

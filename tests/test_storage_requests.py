@@ -1,0 +1,58 @@
+"""Unit tests for I/O request objects."""
+
+import pytest
+
+from repro.storage import IOOp, IORequest, QoSPolicy, RequestType
+
+
+class TestIORequest:
+    def test_lbas_range(self):
+        req = IORequest(lba=10, nblocks=4, op=IOOp.READ)
+        assert list(req.lbas) == [10, 11, 12, 13]
+
+    def test_is_write(self):
+        assert IORequest(lba=0, nblocks=1, op=IOOp.WRITE).is_write
+        assert not IORequest(lba=0, nblocks=1, op=IOOp.READ).is_write
+        assert not IORequest(lba=0, nblocks=1, op=IOOp.TRIM).is_write
+
+    def test_negative_lba_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(lba=-1, nblocks=1, op=IOOp.READ)
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(lba=0, nblocks=0, op=IOOp.READ)
+
+    def test_dss_payload_fields(self):
+        req = IORequest(
+            lba=0,
+            nblocks=1,
+            op=IOOp.READ,
+            policy=QoSPolicy.with_priority(2),
+            rtype=RequestType.RANDOM,
+            query_id=7,
+            oid=1001,
+        )
+        assert req.policy.priority == 2
+        assert req.rtype is RequestType.RANDOM
+        assert not req.async_hint  # default: on the critical path
+
+    def test_legacy_request_carries_no_payload(self):
+        req = IORequest(lba=0, nblocks=1, op=IOOp.READ)
+        assert req.policy is None
+        assert req.rtype is None
+
+
+class TestRequestType:
+    def test_temp_flag(self):
+        assert RequestType.TEMP_READ.is_temp
+        assert RequestType.TEMP_WRITE.is_temp
+        assert not RequestType.SEQUENTIAL.is_temp
+        assert not RequestType.TRIM_TEMP.is_temp
+
+    def test_values_are_stable_api(self):
+        """These strings appear in reports; changing them is breaking."""
+        assert RequestType.SEQUENTIAL.value == "sequential"
+        assert RequestType.RANDOM.value == "random"
+        assert RequestType.UPDATE.value == "update"
+        assert RequestType.TRIM_TEMP.value == "trim"

@@ -1,0 +1,93 @@
+"""Unit tests for the statistics collector."""
+
+import pytest
+
+from repro.storage import (
+    BlockOutcome,
+    Counts,
+    IOOp,
+    IORequest,
+    QoSPolicy,
+    RequestType,
+    StatsCollector,
+)
+
+
+def outcomes(hits, misses):
+    res = [BlockOutcome(lbn=i, hit=True) for i in range(hits)]
+    res += [BlockOutcome(lbn=100 + i, hit=False) for i in range(misses)]
+    return res
+
+
+def request(rtype, priority=None, query_id=1, n=1, op=IOOp.READ):
+    policy = QoSPolicy.with_priority(priority) if priority else None
+    return IORequest(
+        lba=0, nblocks=n, op=op, policy=policy, rtype=rtype, query_id=query_id
+    )
+
+
+class TestCounts:
+    def test_hit_ratio(self):
+        c = Counts(requests=1, blocks=10, cache_hits=9, cache_misses=1)
+        assert c.hit_ratio == pytest.approx(0.9)
+
+    def test_hit_ratio_empty(self):
+        assert Counts().hit_ratio == 0.0
+
+    def test_merge(self):
+        a = Counts(1, 2, 3, 4)
+        a.merge(Counts(10, 20, 30, 40))
+        assert (a.requests, a.blocks, a.cache_hits, a.cache_misses) == (
+            11, 22, 33, 44,
+        )
+
+
+class TestStatsCollector:
+    def test_by_type_accumulation(self):
+        stats = StatsCollector()
+        req = request(RequestType.SEQUENTIAL, n=32)
+        stats.record(req, outcomes(0, 32))
+        counts = stats.query(1).type_counts(RequestType.SEQUENTIAL)
+        assert counts.requests == 1
+        assert counts.blocks == 32
+        assert counts.cache_misses == 32
+
+    def test_by_priority_only_for_random(self):
+        stats = StatsCollector()
+        stats.record(request(RequestType.RANDOM, priority=2), outcomes(1, 0))
+        stats.record(request(RequestType.SEQUENTIAL, priority=6), outcomes(0, 1))
+        qstats = stats.query(1)
+        assert qstats.priority_counts(2).cache_hits == 1
+        assert 6 not in qstats.by_priority
+
+    def test_shares_for_figure4(self):
+        stats = StatsCollector()
+        stats.record(request(RequestType.SEQUENTIAL, n=30), outcomes(0, 30))
+        stats.record(request(RequestType.RANDOM, priority=2, n=1), outcomes(1, 0))
+        stats.record(request(RequestType.RANDOM, priority=2, n=1), outcomes(1, 0))
+        qstats = stats.query(1)
+        assert qstats.request_share(RequestType.RANDOM) == pytest.approx(2 / 3)
+        assert qstats.block_share(RequestType.SEQUENTIAL) == pytest.approx(30 / 32)
+
+    def test_per_query_separation(self):
+        stats = StatsCollector()
+        stats.record(request(RequestType.RANDOM, priority=2, query_id=1), outcomes(1, 0))
+        stats.record(request(RequestType.RANDOM, priority=2, query_id=2), outcomes(0, 1))
+        assert stats.query(1).total.cache_hits == 1
+        assert stats.query(2).total.cache_misses == 1
+        assert stats.overall.total.blocks == 2
+
+    def test_unlabelled_requests_fall_back(self):
+        stats = StatsCollector()
+        stats.record(
+            IORequest(lba=0, nblocks=1, op=IOOp.WRITE, query_id=None),
+            outcomes(0, 1),
+        )
+        assert stats.overall.type_counts(RequestType.UPDATE).requests == 1
+
+    def test_reset(self):
+        stats = StatsCollector()
+        stats.record(request(RequestType.RANDOM, priority=3), outcomes(1, 0))
+        stats.reset()
+        assert stats.overall.total.requests == 0
+        assert not stats.per_query

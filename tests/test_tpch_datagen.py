@@ -1,0 +1,135 @@
+"""Unit tests for the TPC-H data generator."""
+
+import pytest
+
+from repro.db.tuples import date_to_days
+from repro.tpch.datagen import (
+    NATIONS,
+    REGIONS,
+    SEGMENTS,
+    generate,
+    table_cardinalities,
+)
+from repro.tpch.queries.util import C, L, O, P, PS, S
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=0.1, seed=42)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(scale=0.05, seed=7)
+        b = generate(scale=0.05, seed=7)
+        assert a.tables["lineitem"] == b.tables["lineitem"]
+        assert a.tables["orders"] == b.tables["orders"]
+
+    def test_different_seed_different_data(self):
+        a = generate(scale=0.05, seed=7)
+        b = generate(scale=0.05, seed=8)
+        assert a.tables["lineitem"] != b.tables["lineitem"]
+
+
+class TestCardinalities:
+    def test_fixed_small_tables(self, data):
+        assert len(data.tables["region"]) == 5
+        assert len(data.tables["nation"]) == 25
+
+    def test_proportions(self, data):
+        counts = data.meta.counts
+        assert counts["partsupp"] == 4 * counts["part"]
+        # ~4 lineitems per order on average (1..7 uniform)
+        ratio = counts["lineitem"] / counts["orders"]
+        assert 3.0 < ratio < 5.0
+
+    def test_scale_zero_rejected(self):
+        with pytest.raises(ValueError):
+            table_cardinalities(0)
+
+    def test_scaling_is_roughly_linear(self):
+        small = table_cardinalities(0.1)
+        large = table_cardinalities(1.0)
+        assert large["orders"] == pytest.approx(10 * small["orders"], rel=0.2)
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_references_partsupp(self, data):
+        """Every (l_partkey, l_suppkey) must exist in partsupp (TPC-H)."""
+        ps_pairs = {
+            (r[PS["ps_partkey"]], r[PS["ps_suppkey"]])
+            for r in data.tables["partsupp"]
+        }
+        for row in data.tables["lineitem"]:
+            assert (row[L["l_partkey"]], row[L["l_suppkey"]]) in ps_pairs
+
+    def test_lineitem_references_orders(self, data):
+        orderkeys = {r[O["o_orderkey"]] for r in data.tables["orders"]}
+        for row in data.tables["lineitem"]:
+            assert row[L["l_orderkey"]] in orderkeys
+
+    def test_orders_reference_customers(self, data):
+        custkeys = {r[C["c_custkey"]] for r in data.tables["customer"]}
+        for row in data.tables["orders"]:
+            assert row[O["o_custkey"]] in custkeys
+
+    def test_a_third_of_customers_have_no_orders(self, data):
+        with_orders = {r[O["o_custkey"]] for r in data.tables["orders"]}
+        total = len(data.tables["customer"])
+        assert len(with_orders) <= (total * 2) // 3
+
+    def test_nation_regions_valid(self, data):
+        for _, name, region, _ in data.tables["nation"]:
+            assert 0 <= region < 5
+        assert [n for n, _ in NATIONS][:2] == ["ALGERIA", "ARGENTINA"]
+
+
+class TestValueDomains:
+    def test_order_dates_in_tpch_calendar(self, data):
+        lo, hi = date_to_days("1992-01-01"), date_to_days("1998-08-02")
+        for row in data.tables["orders"]:
+            assert lo <= row[O["o_orderdate"]] <= hi
+
+    def test_lineitem_date_ordering(self, data):
+        for row in data.tables["lineitem"]:
+            assert row[L["l_shipdate"]] > data.tables["orders"][0][O["o_orderdate"]] - 10_000
+            assert row[L["l_receiptdate"]] > row[L["l_shipdate"]]
+
+    def test_quantities_and_discounts(self, data):
+        for row in data.tables["lineitem"]:
+            assert 1 <= row[L["l_quantity"]] <= 50
+            assert 0.0 <= row[L["l_discount"]] <= 0.10
+            assert 0.0 <= row[L["l_tax"]] <= 0.08
+
+    def test_status_consistency(self, data):
+        """o_orderstatus must reflect its lineitems' linestatus."""
+        lines_by_order = {}
+        for row in data.tables["lineitem"]:
+            lines_by_order.setdefault(row[L["l_orderkey"]], []).append(
+                row[L["l_linestatus"]]
+            )
+        for row in data.tables["orders"]:
+            statuses = set(lines_by_order[row[O["o_orderkey"]]])
+            if statuses == {"F"}:
+                assert row[O["o_orderstatus"]] == "F"
+            elif statuses == {"O"}:
+                assert row[O["o_orderstatus"]] == "O"
+            else:
+                assert row[O["o_orderstatus"]] == "P"
+
+    def test_segments_and_names(self, data):
+        for row in data.tables["customer"]:
+            assert row[C["c_mktsegment"]] in SEGMENTS
+        for row in data.tables["part"]:
+            assert row[P["p_name"]].count(" ") == 4  # five name words
+        for row in data.tables["supplier"]:
+            assert row[S["s_suppkey"]] >= 1
+
+    def test_part_brand_shape(self, data):
+        for row in data.tables["part"]:
+            assert row[P["p_brand"]].startswith("Brand#")
+
+    def test_phone_prefix_encodes_nation(self, data):
+        for row in data.tables["customer"]:
+            prefix = int(row[C["c_phone"]][:2])
+            assert prefix == 10 + row[C["c_nationkey"]]

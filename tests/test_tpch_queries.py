@@ -1,0 +1,224 @@
+"""Correctness tests: query plans vs brute-force reference computations.
+
+Each reference is computed directly over the generated rows with plain
+Python, independently of the executor — catching both plan-shape and
+operator bugs.
+"""
+
+import pytest
+
+from repro.tpch.datagen import generate
+from repro.tpch.queries import QUERY_IDS, build_query, query_builder
+from repro.tpch.queries.util import C, L, N, O, P, PS, S, d, year_of
+from repro.tpch.workload import load_tpch
+from tests.helpers import make_database
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=SCALE, seed=42)
+
+
+@pytest.fixture(scope="module")
+def db(data):
+    database = make_database(
+        cache_blocks=512, bufferpool_pages=48, work_mem_rows=400,
+        btree_order=64,
+    )
+    load_tpch(database, data=data)
+    return database
+
+
+class TestAllQueriesRun:
+    @pytest.mark.parametrize("qid", QUERY_IDS)
+    def test_query_executes_and_is_deterministic(self, db, qid):
+        first = db.run_query(query_builder(qid), label=f"Q{qid}")
+        second = db.run_query(query_builder(qid), label=f"Q{qid}")
+        assert first.rows == second.rows
+        assert first.sim_seconds > 0
+
+
+class TestQ1Reference:
+    def test_matches_bruteforce(self, db, data):
+        cutoff = d("1998-12-01") - 90
+        expected = {}
+        for r in data.tables["lineitem"]:
+            if r[L["l_shipdate"]] > cutoff:
+                continue
+            key = (r[L["l_returnflag"]], r[L["l_linestatus"]])
+            acc = expected.setdefault(key, [0.0, 0.0, 0])
+            acc[0] += r[L["l_quantity"]]
+            acc[1] += r[L["l_extendedprice"]]
+            acc[2] += 1
+        result = db.run_query(query_builder(1), label="Q1")
+        assert len(result.rows) == len(expected)
+        for row in result.rows:
+            key = (row[0], row[1])
+            sum_qty, sum_price, count = expected[key]
+            assert row[2] == pytest.approx(sum_qty)
+            assert row[3] == pytest.approx(sum_price)
+            assert row[9] == count
+
+    def test_sorted_by_flag_status(self, db):
+        rows = db.run_query(query_builder(1), label="Q1").rows
+        keys = [(r[0], r[1]) for r in rows]
+        assert keys == sorted(keys)
+
+
+class TestQ6Reference:
+    def test_matches_bruteforce(self, db, data):
+        lo, hi = d("1994-01-01"), d("1995-01-01")
+        expected = sum(
+            r[L["l_extendedprice"]] * r[L["l_discount"]]
+            for r in data.tables["lineitem"]
+            if lo <= r[L["l_shipdate"]] < hi
+            and 0.05 <= r[L["l_discount"]] <= 0.07
+            and r[L["l_quantity"]] < 24
+        )
+        result = db.run_query(query_builder(6), label="Q6")
+        if expected:
+            assert result.rows[0][0] == pytest.approx(expected)
+        else:
+            assert result.rows == [] or result.rows[0][0] is None
+
+
+class TestQ4Reference:
+    def test_matches_bruteforce(self, db, data):
+        lo, hi = d("1993-07-01"), d("1993-10-01")
+        late_orders = {
+            r[L["l_orderkey"]]
+            for r in data.tables["lineitem"]
+            if r[L["l_commitdate"]] < r[L["l_receiptdate"]]
+        }
+        expected = {}
+        for r in data.tables["orders"]:
+            if lo <= r[O["o_orderdate"]] < hi and r[O["o_orderkey"]] in late_orders:
+                prio = r[O["o_orderpriority"]]
+                expected[prio] = expected.get(prio, 0) + 1
+        result = db.run_query(query_builder(4), label="Q4")
+        assert dict(result.rows) == expected
+
+
+class TestQ13Reference:
+    def test_matches_bruteforce(self, db, data):
+        def not_special(comment):
+            pos = comment.find("special")
+            return pos < 0 or "requests" not in comment[pos:]
+
+        per_customer = {r[C["c_custkey"]]: 0 for r in data.tables["customer"]}
+        for r in data.tables["orders"]:
+            if not_special(r[O["o_comment"]]):
+                per_customer[r[O["o_custkey"]]] += 1
+        histogram = {}
+        for count in per_customer.values():
+            histogram[count] = histogram.get(count, 0) + 1
+        result = db.run_query(query_builder(13), label="Q13")
+        assert {r[0]: r[1] for r in result.rows} == histogram
+
+
+class TestQ18Reference:
+    def test_matches_bruteforce(self, db, data):
+        qty_by_order = {}
+        for r in data.tables["lineitem"]:
+            key = r[L["l_orderkey"]]
+            qty_by_order[key] = qty_by_order.get(key, 0.0) + r[L["l_quantity"]]
+        big = {k: v for k, v in qty_by_order.items() if v > 300.0}
+        result = db.run_query(query_builder(18), label="Q18")
+        assert len(result.rows) == min(100, len(big))
+        for _name, _ck, orderkey, _od, _tp, sumqty in result.rows:
+            assert orderkey in big
+            assert sumqty == pytest.approx(big[orderkey])
+
+
+class TestQ21Reference:
+    def test_matches_bruteforce(self, db, data):
+        saudi = {
+            r[S["s_suppkey"]]: r[S["s_name"]]
+            for r in data.tables["supplier"]
+            if dict((n[0], n[1]) for n in [(x[N["n_nationkey"]], x[N["n_name"]]) for x in data.tables["nation"]])[r[S["s_nationkey"]]] == "SAUDI ARABIA"
+        }
+        f_orders = {
+            r[O["o_orderkey"]]
+            for r in data.tables["orders"]
+            if r[O["o_orderstatus"]] == "F"
+        }
+        by_order = {}
+        for r in data.tables["lineitem"]:
+            by_order.setdefault(r[L["l_orderkey"]], []).append(r)
+        counts = {}
+        for orderkey, lines in by_order.items():
+            if orderkey not in f_orders:
+                continue
+            suppliers = {r[L["l_suppkey"]] for r in lines}
+            late = {
+                r[L["l_suppkey"]]
+                for r in lines
+                if r[L["l_receiptdate"]] > r[L["l_commitdate"]]
+            }
+            if len(late) == 1 and len(suppliers) > 1:
+                (supp,) = late
+                if supp in saudi:
+                    counts[saudi[supp]] = counts.get(saudi[supp], 0) + 1
+        result = db.run_query(query_builder(21), label="Q21")
+        expected = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:100]
+        assert result.rows == expected
+
+
+class TestQ22Reference:
+    def test_matches_bruteforce(self, db, data):
+        codes = ("13", "31", "23", "29", "30", "18", "17")
+        candidates = [
+            r for r in data.tables["customer"]
+            if r[C["c_phone"]][:2] in codes and r[C["c_acctbal"]] > 0.0
+        ]
+        avg = sum(r[C["c_acctbal"]] for r in candidates) / len(candidates)
+        with_orders = {r[O["o_custkey"]] for r in data.tables["orders"]}
+        expected = {}
+        for r in candidates:
+            if r[C["c_acctbal"]] > avg and r[C["c_custkey"]] not in with_orders:
+                code = r[C["c_phone"]][:2]
+                count, total = expected.get(code, (0, 0.0))
+                expected[code] = (count + 1, total + r[C["c_acctbal"]])
+        result = db.run_query(query_builder(22), label="Q22")
+        got = {r[0]: (r[1], r[2]) for r in result.rows}
+        assert set(got) == set(expected)
+        for code, (count, total) in expected.items():
+            assert got[code][0] == count
+            assert got[code][1] == pytest.approx(total)
+
+
+class TestPlanShapes:
+    def test_q9_assigns_two_priorities(self, db):
+        """Q9's supplier/orders index scans land on adjacent priorities
+        (Table 5 of the paper)."""
+        result = db.run_query(query_builder(9), label="Q9")
+        priorities = sorted(result.stats.by_priority)
+        assert len(priorities) == 2
+        assert priorities[1] == priorities[0] + 1
+
+    def test_q18_generates_temp_data(self, db):
+        from repro.storage.requests import RequestType
+
+        result = db.run_query(query_builder(18), label="Q18")
+        temp = result.stats.by_type.get(RequestType.TEMP_WRITE)
+        assert temp is not None and temp.blocks > 0
+
+    def test_q1_is_sequential_only(self, db):
+        from repro.storage.requests import RequestType
+
+        result = db.run_query(query_builder(1), label="Q1")
+        assert RequestType.RANDOM not in result.stats.by_type
+        assert RequestType.TEMP_WRITE not in result.stats.by_type
+
+
+class TestYearHelper:
+    @pytest.mark.parametrize("text,year", [
+        ("1992-01-01", 1992),
+        ("1992-12-31", 1992),
+        ("1995-06-17", 1995),
+        ("1998-08-02", 1998),
+    ])
+    def test_year_of(self, text, year):
+        assert year_of(d(text)) == year

@@ -1,0 +1,109 @@
+"""Unit tests for RF1/RF2 refresh functions."""
+
+import pytest
+
+from repro.storage.requests import RequestType
+from repro.tpch.queries.util import L, O
+from repro.tpch.refresh import rf1_builder, rf2_builder
+from repro.tpch.workload import load_tpch
+from tests.helpers import make_database
+
+
+@pytest.fixture
+def loaded():
+    db = make_database(bufferpool_pages=64, btree_order=64)
+    meta = load_tpch(db, scale=0.05)
+    return db, meta
+
+
+class TestRF1:
+    def test_inserts_orders_and_lineitems(self, loaded):
+        db, meta = loaded
+        orders = db.catalog.relation("orders")
+        lineitem = db.catalog.relation("lineitem")
+        before_o, before_l = orders.row_count, lineitem.row_count
+        result = db.run_query(rf1_builder(meta, count=10), label="RF1")
+        assert result.row_count == 10
+        assert orders.row_count == before_o + 10
+        assert lineitem.row_count > before_l
+
+    def test_inserted_keys_are_fresh(self, loaded):
+        db, meta = loaded
+        start_key = meta.next_orderkey
+        result = db.run_query(rf1_builder(meta, count=5), label="RF1")
+        keys = [row[0] for row in result.rows]
+        assert keys == list(range(start_key, start_key + 5))
+
+    def test_indexes_updated(self, loaded):
+        db, meta = loaded
+        from repro.core.semantics import ContentType, SemanticInfo
+
+        result = db.run_query(rf1_builder(meta, count=3), label="RF1")
+        orderkey = result.rows[0][0]
+        index = db.catalog.relation("orders").index_on("o_orderkey")
+        sem = SemanticInfo.random_access(ContentType.INDEX, index.oid, 0)
+        rids = list(index.btree.search(db.pool, orderkey, sem))
+        assert len(rids) == 1
+
+    def test_writes_classified_as_updates(self, loaded):
+        db, meta = loaded
+        result = db.run_query(rf1_builder(meta, count=20), label="RF1")
+        db.pool.flush_all()  # push writebacks to storage
+        update = db.storage.stats.overall.by_type.get(RequestType.UPDATE)
+        assert update is not None and update.blocks > 0
+
+    def test_batch_recorded_for_rf2(self, loaded):
+        db, meta = loaded
+        db.run_query(rf1_builder(meta, count=4), label="RF1")
+        assert len(meta.pending_batches) == 1
+        assert len(meta.pending_batches[0]) == 4
+
+
+class TestRF2:
+    def test_deletes_what_rf1_inserted(self, loaded):
+        db, meta = loaded
+        orders = db.catalog.relation("orders")
+        lineitem = db.catalog.relation("lineitem")
+        base_o, base_l = orders.row_count, lineitem.row_count
+        db.run_query(rf1_builder(meta, count=8), label="RF1")
+        result = db.run_query(rf2_builder(meta), label="RF2")
+        assert result.row_count == 8
+        assert orders.row_count == base_o
+        assert lineitem.row_count == base_l
+        assert not meta.pending_batches
+
+    def test_rf2_without_pending_batch_is_noop(self, loaded):
+        db, meta = loaded
+        result = db.run_query(rf2_builder(meta), label="RF2")
+        assert result.row_count == 0
+
+    def test_deleted_rows_not_findable_via_index(self, loaded):
+        db, meta = loaded
+        from repro.core.semantics import ContentType, SemanticInfo
+
+        r1 = db.run_query(rf1_builder(meta, count=2), label="RF1")
+        orderkey = r1.rows[0][0]
+        db.run_query(rf2_builder(meta), label="RF2")
+        index = db.catalog.relation("orders").index_on("o_orderkey")
+        sem = SemanticInfo.random_access(ContentType.INDEX, index.oid, 0)
+        assert list(index.btree.search(db.pool, orderkey, sem)) == []
+
+    def test_rf_pairs_are_rerunnable(self, loaded):
+        db, meta = loaded
+        for _ in range(3):
+            db.run_query(rf1_builder(meta, count=3), label="RF1")
+            db.run_query(rf2_builder(meta), label="RF2")
+        assert not meta.pending_batches
+
+    def test_queries_still_correct_after_rf_cycle(self, loaded):
+        """An RF1+RF2 round-trip leaves query results unchanged."""
+        from repro.tpch.queries import query_builder
+
+        db, meta = loaded
+        before = db.run_query(query_builder(1), label="Q1").rows
+        db.run_query(rf1_builder(meta, count=10), label="RF1")
+        db.run_query(rf2_builder(meta), label="RF2")
+        after = db.run_query(query_builder(1), label="Q1").rows
+        for row_b, row_a in zip(before, after):
+            assert row_b[0] == row_a[0] and row_b[1] == row_a[1]
+            assert row_b[9] == row_a[9]  # counts identical

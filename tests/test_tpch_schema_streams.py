@@ -1,0 +1,70 @@
+"""Unit tests for the TPC-H schema, Table 3 indexes and stream orderings."""
+
+import pytest
+
+from repro.tpch.schema import TABLE3_INDEXES, TABLE_SCHEMAS
+from repro.tpch.streams import POWER_ORDER, THROUGHPUT_ORDERS, validate_orderings
+from repro.tpch.workload import load_tpch
+from tests.helpers import make_database
+
+
+class TestSchema:
+    def test_eight_tables(self):
+        assert set(TABLE_SCHEMAS) == {
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        }
+
+    def test_lineitem_has_16_columns(self):
+        assert len(TABLE_SCHEMAS["lineitem"]) == 16
+
+    def test_table3_lists_nine_indexes(self):
+        """Table 3 of the paper: exactly these nine indexes."""
+        assert len(TABLE3_INDEXES) == 9
+        columns = {(t, c) for _, t, c in TABLE3_INDEXES}
+        assert ("lineitem", "l_partkey") in columns
+        assert ("lineitem", "l_orderkey") in columns
+        assert ("orders", "o_orderkey") in columns
+        assert ("partsupp", "ps_partkey") in columns
+        assert ("part", "p_partkey") in columns
+        assert ("customer", "c_custkey") in columns
+        assert ("supplier", "s_suppkey") in columns
+        assert ("region", "r_regionkey") in columns
+        assert ("nation", "n_nationkey") in columns
+
+    def test_index_columns_exist_in_schemas(self):
+        for _, table, column in TABLE3_INDEXES:
+            assert column in TABLE_SCHEMAS[table], (table, column)
+
+    def test_load_creates_everything(self):
+        db = make_database()
+        meta = load_tpch(db, scale=0.02)
+        assert len(db.catalog.relations) == 8
+        assert len(db.catalog.indexes) == 9
+        assert db.catalog.relation("lineitem").row_count == meta.counts["lineitem"]
+
+    def test_load_resets_measurements(self):
+        db = make_database()
+        load_tpch(db, scale=0.02)
+        assert db.clock.now == 0.0
+
+
+class TestStreams:
+    def test_power_order_is_permutation(self):
+        assert sorted(POWER_ORDER) == list(range(1, 23))
+
+    def test_power_order_starts_with_q14(self):
+        """The TPC-H specification's stream-0 ordering starts 14, 2, 9..."""
+        assert POWER_ORDER[:3] == [14, 2, 9]
+
+    def test_throughput_orders_are_permutations(self):
+        for stream, order in THROUGHPUT_ORDERS.items():
+            assert sorted(order) == list(range(1, 23)), stream
+
+    def test_streams_are_distinct(self):
+        orders = list(THROUGHPUT_ORDERS.values()) + [POWER_ORDER]
+        as_tuples = {tuple(o) for o in orders}
+        assert len(as_tuples) == len(orders)
+
+    def test_validate_orderings_accepts_current(self):
+        validate_orderings()
