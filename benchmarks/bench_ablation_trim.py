@@ -8,7 +8,6 @@ by a random-heavy Q9 on one database and shows that stale temp blocks
 poison the cache when neither mechanism runs.
 """
 
-import pytest
 from conftest import publish
 
 from repro.harness.configs import build_database

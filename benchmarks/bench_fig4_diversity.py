@@ -3,7 +3,6 @@
 from conftest import compute_once, publish
 
 from repro.harness.experiments import fig4_diversity
-from repro.storage.requests import RequestType
 
 
 def test_fig4_request_diversity(benchmark, runner, shared_cache):

@@ -28,12 +28,15 @@ from repro.sim import SimClock, SimulationParameters
 from repro.storage import (
     IOOp,
     IORequest,
+    IOScheduler,
     LRUCache,
     PolicySet,
     PriorityCache,
     QoSPolicy,
     RequestType,
     StorageSystem,
+    Tier,
+    TierChain,
 )
 
 __version__ = "1.0.0"
@@ -42,6 +45,7 @@ __all__ = [
     "ConcurrencyRegistry",
     "IOOp",
     "IORequest",
+    "IOScheduler",
     "LRUCache",
     "PolicyAssignmentTable",
     "PolicySet",
@@ -52,5 +56,7 @@ __all__ = [
     "SimClock",
     "SimulationParameters",
     "StorageSystem",
+    "Tier",
+    "TierChain",
     "priority_for_level",
 ]

@@ -15,7 +15,7 @@ import sys
 
 from repro.core.levels import compute_effective_levels
 from repro.harness import ExperimentRunner, RunnerSettings
-from repro.harness.configs import CONFIG_NAMES
+from repro.harness.configs import EXTENDED_CONFIG_NAMES
 from repro.storage.requests import RequestType
 from repro.tpch.queries import QUERY_IDS, query_builder, query_label
 
@@ -45,7 +45,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     q = sub.add_parser("query", help="run one TPC-H query")
     q.add_argument("number", type=int, choices=QUERY_IDS)
-    q.add_argument("--config", choices=CONFIG_NAMES, default="hstorage")
+    q.add_argument("--config", choices=EXTENDED_CONFIG_NAMES, default="hstorage")
 
     e = sub.add_parser("explain", help="print a query plan with levels")
     e.add_argument("number", type=int, choices=QUERY_IDS)
@@ -54,7 +54,7 @@ def _build_parser() -> argparse.ArgumentParser:
     x.add_argument("name", choices=sorted(_EXPERIMENTS))
 
     s = sub.add_parser("sequence", help="run the power-test sequence")
-    s.add_argument("--config", choices=CONFIG_NAMES, default="hstorage")
+    s.add_argument("--config", choices=EXTENDED_CONFIG_NAMES, default="hstorage")
     return parser
 
 

@@ -46,3 +46,14 @@ class PolicyAssignmentTable:
         if not self.enabled:
             return None, rtype
         return policy, rtype
+
+    def admission_level(self, policy: QoSPolicy | None) -> int:
+        """Tier admission band of a policy (0 = hottest tier).
+
+        This is the table's second mapping: beyond choosing a QoS policy
+        per request, it places each policy in the tier hierarchy — band 0
+        belongs in the fastest tier of an N-tier chain, band 1 in any
+        caching tier, band 2 in none (see
+        :meth:`repro.storage.qos.PolicySet.admission_level`).
+        """
+        return self.policy_set.admission_level(policy)

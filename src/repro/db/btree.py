@@ -15,7 +15,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Iterator
 
-from repro.core.semantics import ContentType, SemanticInfo
+from repro.core.semantics import SemanticInfo
 from repro.db.bufferpool import BufferPool
 from repro.db.errors import StorageLayoutError
 from repro.db.heap import Rid

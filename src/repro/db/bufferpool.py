@@ -97,6 +97,14 @@ class BufferPool:
     def _fault_in_range(
         self, file: DbFile, start: int, end: int, sem: SemanticInfo
     ) -> None:
+        """Fault in every missing page of ``[start, end)`` with one dispatch.
+
+        The window's missing runs become one vectored read (statistics
+        still count one request per run), and the evictions the new frames
+        force are written back as one batched dispatch per victim file —
+        the batched read-ahead of DESIGN.md §6.
+        """
+        runs: list[tuple[int, int]] = []
         run_start: int | None = None
         for pageno in range(start, end):
             missing = (file.fileid, pageno) not in self._frames
@@ -107,17 +115,17 @@ class BufferPool:
             else:
                 self.hits += 1
             if not missing and run_start is not None:
-                self._read_run(file, run_start, pageno - run_start, sem)
+                runs.append((run_start, pageno - run_start))
                 run_start = None
         if run_start is not None:
-            self._read_run(file, run_start, end - run_start, sem)
-
-    def _read_run(
-        self, file: DbFile, start: int, count: int, sem: SemanticInfo
-    ) -> None:
-        self.storage_manager.read_pages(file, start, count, sem)
-        for pageno in range(start, start + count):
-            self._admit(Frame(file, pageno, file.page(pageno)))
+            runs.append((run_start, end - run_start))
+        if not runs:
+            return
+        self.storage_manager.read_pages_batch(file, runs, sem)
+        self._make_room(sum(count for _, count in runs))
+        for run_begin, count in runs:
+            for pageno in range(run_begin, run_begin + count):
+                self._admit(Frame(file, pageno, file.page(pageno)))
 
     # --------------------------------------------------------------- writes
 
@@ -150,12 +158,28 @@ class BufferPool:
         return len(keys)
 
     def flush_all(self) -> int:
-        """Write back every dirty frame (checkpoint); returns pages written."""
-        written = 0
-        for frame in self._frames.values():
-            if frame.dirty:
-                self._writeback(frame)
-                written += 1
+        """Write back every dirty frame (checkpoint); returns pages written.
+
+        Dirty frames are grouped per file into batched writes, and the
+        scheduler's writeback queue is drained afterwards, so a checkpoint
+        leaves no I/O in flight.
+        """
+        written = self._write_back_batch(
+            [frame for frame in self._frames.values() if frame.dirty]
+        )
+        self.storage_manager.drain()
+        return written
+
+    def flush_file(self, file: DbFile) -> int:
+        """Write back one file's dirty frames (spill-file generation end)."""
+        written = self._write_back_batch(
+            [
+                frame
+                for frame in self._frames.values()
+                if frame.dirty and frame.file.fileid == file.fileid
+            ]
+        )
+        self.storage_manager.drain()
         return written
 
     def clear(self) -> None:
@@ -177,21 +201,48 @@ class BufferPool:
             existing.dirty = existing.dirty or frame.dirty
             self._frames.move_to_end(key)
             return
-        while len(self._frames) >= self.capacity:
-            _, victim = self._frames.popitem(last=False)
-            if victim.dirty:
-                self._writeback(victim)
+        self._make_room(1)
         self._frames[key] = frame
 
-    def _writeback(self, frame: Frame) -> None:
-        sem = self._writeback_semantics(frame)
-        # Dirty-page writeback is background-writer work: it must reach
-        # storage (and take its place in the cache) but is off the critical
-        # path of whichever query triggered the eviction.
-        self.storage_manager.write_page(
-            frame.file, frame.pageno, sem, async_hint=True
-        )
-        frame.dirty = False
+    def _make_room(self, incoming: int) -> None:
+        """Evict enough LRU victims for ``incoming`` new frames at once.
+
+        Dirty victims are written back as one batched dispatch per file
+        (the batched dirty-page eviction of DESIGN.md §6) instead of one
+        request each.
+        """
+        overflow = len(self._frames) + incoming - self.capacity
+        if overflow <= 0:
+            return
+        victims = []
+        for _ in range(overflow):
+            if not self._frames:
+                break
+            _, victim = self._frames.popitem(last=False)
+            if victim.dirty:
+                victims.append(victim)
+        self._write_back_batch(victims)
+
+    def _write_back_batch(self, frames: list[Frame]) -> int:
+        """Write back dirty frames, one batched async dispatch per group.
+
+        Dirty-page writeback is background-writer work: it must reach
+        storage (and take its place in the cache) but is off the critical
+        path of whichever query triggered the eviction.
+        """
+        groups: dict[tuple, tuple[DbFile, SemanticInfo, list[int]]] = {}
+        for frame in frames:
+            sem = self._writeback_semantics(frame)
+            key = (frame.file.fileid, sem)
+            if key not in groups:
+                groups[key] = (frame.file, sem, [])
+            groups[key][2].append(frame.pageno)
+            frame.dirty = False
+        for file, sem, pagenos in groups.values():
+            self.storage_manager.write_pages_batch(
+                file, pagenos, sem, async_hint=True
+            )
+        return len(frames)
 
     @staticmethod
     def _writeback_semantics(frame: Frame) -> SemanticInfo:

@@ -13,7 +13,7 @@ and concurrent policy assignment without OS threads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.core.assignment import PolicyAssignmentTable
@@ -114,6 +114,9 @@ class QueryExecution:
         self.ctx.flush_cpu()
         self.db.registry.unregister_query(self.query_id)
         self.db.temp.cleanup_query(self.query_id)
+        # Settle this query's in-flight writebacks so per-query statistics
+        # and background accounting are complete when the result is read.
+        self.db.storage.drain()
         self.finished_at = self.db.clock.now
 
     def result(self) -> QueryResult:
@@ -246,6 +249,7 @@ class Database:
 
     def reset_measurements(self) -> None:
         """Zero clock and statistics (after loading, before an experiment)."""
+        self.storage.drain()
         self.clock.reset()
         self.storage.stats.reset()
 

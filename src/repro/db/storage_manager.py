@@ -62,8 +62,27 @@ class StorageManager:
         random point reads issue single-block requests — the distinction
         behind Figure 4a (requests) vs Figure 4b (blocks).
         """
-        for lba, nblocks in file.extent_map.contiguous_run(pageno, count):
-            self._submit(lba, nblocks, IOOp.READ, sem, file)
+        self.read_pages_batch(file, [(pageno, count)], sem)
+
+    def read_pages_batch(
+        self,
+        file: DbFile,
+        page_runs: list[tuple[int, int]],
+        sem: SemanticInfo,
+    ) -> None:
+        """Read several ``(pageno, count)`` runs in one scheduler dispatch.
+
+        The runs become one vectored request: statistics still count one
+        request per LBA-contiguous run, but the scheduler dispatches the
+        whole vector at once — the buffer pool's read-ahead window costs a
+        single dispatch however the window fragments.
+        """
+        segments = [
+            segment
+            for pageno, count in page_runs
+            for segment in file.extent_map.contiguous_run(pageno, count)
+        ]
+        self._submit_vector(segments, IOOp.READ, sem, file)
 
     def write_page(
         self,
@@ -76,6 +95,34 @@ class StorageManager:
         self._submit(
             file.lba_of(pageno), 1, IOOp.WRITE, sem, file, async_hint=async_hint
         )
+
+    def write_pages_batch(
+        self,
+        file: DbFile,
+        pagenos: list[int],
+        sem: SemanticInfo,
+        async_hint: bool = True,
+    ) -> None:
+        """Write a set of pages of one file in one scheduler dispatch.
+
+        Used by batched dirty-page eviction and spill-file flushes.  One
+        segment per page, matching the seed's one write request per
+        evicted page in the statistics (Figure 4a accounting); adjacent
+        pages still coalesce into longer runs at dispatch time, inside
+        the scheduler.
+        """
+        segments = [
+            segment
+            for pageno in sorted(set(pagenos))
+            for segment in file.extent_map.contiguous_run(pageno, 1)
+        ]
+        self._submit_vector(
+            segments, IOOp.WRITE, sem, file, async_hint=async_hint
+        )
+
+    def drain(self) -> None:
+        """Flush the storage scheduler's writeback queue."""
+        self.storage.drain()
 
     def trim_file(self, file: DbFile, sem: SemanticInfo) -> None:
         """Issue TRIM over the file's entire LBA footprint (EXT4-style)."""
@@ -104,6 +151,29 @@ class StorageManager:
                 lba=lba,
                 nblocks=nblocks,
                 op=op,
+                policy=policy,
+                rtype=rtype,
+                query_id=sem.query_id,
+                oid=sem.oid if sem.oid is not None else file.oid,
+                async_hint=async_hint,
+            )
+        )
+
+    def _submit_vector(
+        self,
+        segments: list[tuple[int, int]],
+        op: IOOp,
+        sem: SemanticInfo,
+        file: DbFile,
+        async_hint: bool = False,
+    ) -> None:
+        if not segments:
+            return
+        policy, rtype = self.assignment.assign(sem, op)
+        self.storage.submit(
+            IORequest.vectored(
+                segments,
+                op,
                 policy=policy,
                 rtype=rtype,
                 query_id=sem.query_id,

@@ -57,8 +57,15 @@ class SpillFile:
         self.row_count += 1
 
     def finish_writing(self) -> None:
-        """End the generation phase."""
+        """End the generation phase.
+
+        The spill's dirty pages are flushed as batched multi-page writes:
+        the generation write stream reaches storage in large sequential
+        requests instead of trickling out through later pool evictions.
+        """
         self._open_page = None
+        if self._writing and self.file.num_pages:
+            self._manager.pool.flush_file(self.file)
         self._writing = False
 
     # ----------------------------------------------------------- consumption

@@ -3,6 +3,7 @@
 from repro.harness.configs import (
     CONFIG_LABELS,
     CONFIG_NAMES,
+    EXTENDED_CONFIG_NAMES,
     StorageConfig,
     build_database,
     build_storage,
@@ -10,12 +11,14 @@ from repro.harness.configs import (
     hstorage_config,
     lru_config,
     ssd_only_config,
+    tier3_config,
 )
 from repro.harness.runner import ExperimentRunner, RunnerSettings
 
 __all__ = [
     "CONFIG_LABELS",
     "CONFIG_NAMES",
+    "EXTENDED_CONFIG_NAMES",
     "ExperimentRunner",
     "RunnerSettings",
     "StorageConfig",
@@ -25,4 +28,5 @@ __all__ = [
     "hstorage_config",
     "lru_config",
     "ssd_only_config",
+    "tier3_config",
 ]

@@ -1,4 +1,4 @@
-"""The four storage configurations of the evaluation (Section 6.3).
+"""Storage configurations: the paper's four plus N-tier extensions.
 
 =============  ===========================================================
 HDD-only       baseline: every request served by the hard disk
@@ -6,7 +6,14 @@ LRU            SSD cache managed by a single LRU stack (monitoring-based)
 hStorage-DB    SSD cache with priority groups, policies delivered per
                request (the paper's system)
 SSD-only       ideal case: every request served by the SSD
+tier3          HOT/WARM/COLD: a priority-managed NVMe tier over a
+               priority-managed SSD tier over the HDD (DESIGN.md §3)
 =============  ===========================================================
+
+The paper's four (Section 6.3) are exact two-tier special cases of the
+:class:`~repro.storage.tiers.TierChain`; ``tier3`` exercises the N-tier
+generalisation with DLM-style demotion (clean blocks evicted from the
+HOT tier waterfall into the WARM tier).
 
 Each factory assembles a fresh storage stack plus the policy assignment
 table.  The Differentiated Storage Services protocol is backward
@@ -30,14 +37,23 @@ from repro.storage.device import Device, DeviceSpec
 from repro.storage.lru_cache import LRUCache
 from repro.storage.priority_cache import PriorityCache
 from repro.storage.qos import PolicySet
+from repro.storage.scheduler import IOScheduler
 from repro.storage.system import StorageSystem
+from repro.storage.tiers import Tier, TierChain
 
 CONFIG_NAMES = ("hdd", "lru", "hstorage", "ssd")
+"""The paper's four configurations (kept stable for the figure/table
+experiments)."""
+
+EXTENDED_CONFIG_NAMES = CONFIG_NAMES + ("tier3",)
+"""Everything :func:`build_storage` understands, N-tier kinds included."""
+
 CONFIG_LABELS = {
     "hdd": "HDD-only",
     "lru": "LRU",
     "hstorage": "hStorage-DB",
     "ssd": "SSD-only",
+    "tier3": "3-tier DLM",
 }
 
 
@@ -53,11 +69,15 @@ class StorageConfig:
     work_mem_rows: int = 5000
     btree_order: int = 128
     use_trim: bool = True
+    hot_tier_blocks: int = 0
+    """NVMe (HOT) tier capacity for the ``tier3`` kind; 0 sizes it to a
+    quarter of ``cache_blocks``."""
 
     def __post_init__(self) -> None:
-        if self.kind not in CONFIG_NAMES:
+        if self.kind not in EXTENDED_CONFIG_NAMES:
             raise ValueError(
-                f"unknown config kind {self.kind!r}; choose from {CONFIG_NAMES}"
+                f"unknown config kind {self.kind!r}; "
+                f"choose from {EXTENDED_CONFIG_NAMES}"
             )
 
     @property
@@ -85,14 +105,40 @@ def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmen
         backend = CachedBackend(
             LRUCache(config.cache_blocks), ssd, hdd, params
         )
-    else:  # hstorage
+    elif config.kind == "hstorage":
         backend = CachedBackend(
             PriorityCache(config.cache_blocks, config.policy_set),
             ssd,
             hdd,
             params,
         )
-    return StorageSystem(backend), assignment
+    else:  # tier3: HOT (NVMe) > WARM (SSD) > COLD (HDD)
+        nvme = Device(DeviceSpec.nvme_from_params(params))
+        hot_blocks = config.hot_tier_blocks or max(
+            64, config.cache_blocks // 4
+        )
+        backend = TierChain(
+            [
+                Tier(
+                    nvme,
+                    PriorityCache(hot_blocks, config.policy_set),
+                    admit_level=0,
+                    demote_clean=True,
+                    name="nvme",
+                ),
+                Tier(
+                    ssd,
+                    PriorityCache(config.cache_blocks, config.policy_set),
+                    admit_level=1,
+                    name="ssd",
+                ),
+                Tier(hdd),
+            ],
+            params=params,
+            policy_set=config.policy_set,
+        )
+    scheduler = IOScheduler(backend, depth=params.writeback_queue_depth)
+    return StorageSystem(backend, scheduler=scheduler), assignment
 
 
 def build_database(config: StorageConfig) -> Database:
@@ -123,3 +169,15 @@ def lru_config(cache_blocks: int = 4096, **kw) -> StorageConfig:
 
 def hstorage_config(cache_blocks: int = 4096, **kw) -> StorageConfig:
     return StorageConfig(kind="hstorage", cache_blocks=cache_blocks, **kw)
+
+
+def tier3_config(
+    cache_blocks: int = 4096, hot_tier_blocks: int = 0, **kw
+) -> StorageConfig:
+    """HOT/WARM/COLD three-tier chain (NVMe > SSD > HDD)."""
+    return StorageConfig(
+        kind="tier3",
+        cache_blocks=cache_blocks,
+        hot_tier_blocks=hot_tier_blocks,
+        **kw,
+    )

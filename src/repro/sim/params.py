@@ -46,6 +46,12 @@ class SimulationParameters:
     ssd_rand_read_iops: float = 39_500.0
     ssd_rand_write_iops: float = 23_000.0
 
+    # --- NVMe model (HOT tier of the three-tier configurations) ------------
+    nvme_seq_read_mb_s: float = 2500.0
+    nvme_seq_write_mb_s: float = 1800.0
+    nvme_rand_read_iops: float = 400_000.0
+    nvme_rand_write_iops: float = 250_000.0
+
     # --- cache behaviour ----------------------------------------------------
     alloc_overlap: float = 0.30
     """Fraction of the SSD fill-write charged synchronously on read allocation."""
@@ -60,6 +66,10 @@ class SimulationParameters:
     read_ahead_pages: int = 32
     """Pages batched into one I/O request by sequential scans."""
 
+    writeback_queue_depth: int = 8
+    """Asynchronous writes parked in the I/O scheduler before an elevator
+    drain merges and dispatches them (DESIGN.md §4)."""
+
     def __post_init__(self) -> None:
         if self.block_size <= 0:
             raise ValueError("block_size must be positive")
@@ -69,6 +79,8 @@ class SimulationParameters:
             raise ValueError("cpu_us_per_tuple must be non-negative")
         if self.read_ahead_pages < 1:
             raise ValueError("read_ahead_pages must be >= 1")
+        if self.writeback_queue_depth < 1:
+            raise ValueError("writeback_queue_depth must be >= 1")
         for field in (
             "hdd_seq_read_mb_s",
             "hdd_seq_write_mb_s",
@@ -78,6 +90,10 @@ class SimulationParameters:
             "ssd_seq_write_mb_s",
             "ssd_rand_read_iops",
             "ssd_rand_write_iops",
+            "nvme_seq_read_mb_s",
+            "nvme_seq_write_mb_s",
+            "nvme_rand_read_iops",
+            "nvme_rand_write_iops",
         ):
             if getattr(self, field) <= 0:
                 raise ValueError(f"{field} must be positive")
@@ -115,6 +131,22 @@ class SimulationParameters:
     @property
     def ssd_rand_write_s(self) -> float:
         return 1.0 / self.ssd_rand_write_iops
+
+    @property
+    def nvme_seq_read_s(self) -> float:
+        return self.block_size / (self.nvme_seq_read_mb_s * _MB)
+
+    @property
+    def nvme_seq_write_s(self) -> float:
+        return self.block_size / (self.nvme_seq_write_mb_s * _MB)
+
+    @property
+    def nvme_rand_read_s(self) -> float:
+        return 1.0 / self.nvme_rand_read_iops
+
+    @property
+    def nvme_rand_write_s(self) -> float:
+        return 1.0 / self.nvme_rand_write_iops
 
     @property
     def cpu_s_per_tuple(self) -> float:

@@ -1,8 +1,11 @@
 """Hybrid storage system substrate.
 
-Reproduces the paper's storage prototype: a two-level hierarchy with an
-SSD cache (priority-managed or LRU) over HDDs, fed by block requests that
-carry QoS policies over the Differentiated Storage Services protocol.
+Generalises the paper's storage prototype to an N-tier hierarchy: an
+ordered :class:`TierChain` of devices (e.g. NVMe > SSD > HDD), each with
+its own placement cache and admission band, fed by block requests that
+carry QoS policies over the Differentiated Storage Services protocol and
+dispatched through a batching :class:`IOScheduler`.  The paper's two-level
+SSD-over-HDD configurations are exact special cases (DESIGN.md §3).
 """
 
 from repro.storage.backends import CachedBackend, DirectBackend, StorageBackend
@@ -18,14 +21,18 @@ from repro.storage.lru_cache import LRUCache
 from repro.storage.priority_cache import PriorityCache
 from repro.storage.qos import PolicySet, QoSPolicy
 from repro.storage.requests import IOOp, IORequest, RequestType
+from repro.storage.scheduler import BatchResult, Completion, IOScheduler
 from repro.storage.stats import Counts, QueryStats, StatsCollector
 from repro.storage.system import StorageSystem
+from repro.storage.tiers import Tier, TierChain
 
 __all__ = [
+    "BatchResult",
     "BlockCache",
     "BlockOutcome",
     "CacheAction",
     "CachedBackend",
+    "Completion",
     "Counts",
     "Device",
     "DeviceSpec",
@@ -36,6 +43,7 @@ __all__ = [
     "ExtentMap",
     "IOOp",
     "IORequest",
+    "IOScheduler",
     "LRUCache",
     "PolicySet",
     "PriorityCache",
@@ -45,4 +53,6 @@ __all__ = [
     "StatsCollector",
     "StorageBackend",
     "StorageSystem",
+    "Tier",
+    "TierChain",
 ]

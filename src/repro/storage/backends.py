@@ -1,6 +1,9 @@
 """Storage backends: how requests turn into device time.
 
-Three shapes cover the paper's four configurations (Section 6.3):
+Since the N-tier generalisation (DESIGN.md §3) all timing logic lives in
+:class:`~repro.storage.tiers.TierChain`; the classes here are the
+two-device special cases the paper evaluates, kept as first-class names
+(Section 6.3):
 
 * :class:`DirectBackend` over an HDD -> "HDD-only"; over an SSD -> "SSD-only".
 * :class:`CachedBackend` with an :class:`~repro.storage.lru_cache.LRUCache`
@@ -26,9 +29,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.sim.params import SimulationParameters
-from repro.storage.cache_base import BlockCache, BlockOutcome, CacheAction
+from repro.storage.cache_base import BlockCache, BlockOutcome
 from repro.storage.device import Device
-from repro.storage.requests import IOOp, IORequest
+from repro.storage.requests import IORequest
+from repro.storage.tiers import Tier, TierChain
 
 
 class StorageBackend(ABC):
@@ -39,30 +43,19 @@ class StorageBackend(ABC):
         """Serve ``request``; returns (sync_seconds, async_seconds, outcomes)."""
 
 
-class DirectBackend(StorageBackend):
+class DirectBackend(TierChain, StorageBackend):
     """A single device, no cache (HDD-only and SSD-only configurations)."""
 
     def __init__(self, device: Device) -> None:
-        self.device = device
+        super().__init__([Tier(device)])
 
-    def submit(self, request: IORequest) -> tuple[float, float, list[BlockOutcome]]:
-        outcomes = [
-            BlockOutcome(lbn=lbn, hit=False, actions=[CacheAction.BYPASS])
-            for lbn in request.lbas
-        ]
-        if request.op is IOOp.TRIM:
-            return 0.0, 0.0, outcomes
-        if request.is_write and request.async_hint:
-            seconds = self.device.background_write(request.nblocks)
-            return 0.0, seconds, outcomes
-        seconds = self.device.access(
-            request.lba, request.nblocks, write=request.is_write
-        )
-        return seconds, 0.0, outcomes
+    @property
+    def device(self) -> Device:
+        return self.backing.device
 
 
-class CachedBackend(StorageBackend):
-    """SSD cache (any :class:`BlockCache`) in front of an HDD."""
+class CachedBackend(TierChain, StorageBackend):
+    """A cache tier (any :class:`BlockCache`) in front of a backing HDD."""
 
     def __init__(
         self,
@@ -71,62 +64,12 @@ class CachedBackend(StorageBackend):
         hdd: Device,
         params: SimulationParameters,
     ) -> None:
-        self.cache = cache
-        self.ssd = ssd
-        self.hdd = hdd
-        self.params = params
+        super().__init__([Tier(ssd, cache), Tier(hdd)], params=params)
 
-    def submit(self, request: IORequest) -> tuple[float, float, list[BlockOutcome]]:
-        if request.op is IOOp.TRIM:
-            outcomes = [self.cache.trim(lbn) for lbn in request.lbas]
-            return 0.0, 0.0, outcomes
+    @property
+    def ssd(self) -> Device:
+        return self.tiers[0].device
 
-        write = request.is_write
-        sync = 0.0
-        background = 0.0
-        outcomes: list[BlockOutcome] = []
-        for lbn in request.lbas:
-            outcome = self.cache.access_block(
-                lbn, write=write, policy=request.policy
-            )
-            outcomes.append(outcome)
-            s, b = self._price(outcome, lbn, write)
-            sync += s
-            background += b
-        if write and request.async_hint:
-            # Background-writer traffic: placement happened above, but the
-            # device time is off the critical path.
-            background += sync
-            sync = 0.0
-        return sync, background, outcomes
-
-    def _price(
-        self, outcome: BlockOutcome, lbn: int, write: bool
-    ) -> tuple[float, float]:
-        """Device time implied by one block outcome."""
-        params = self.params
-        sync = 0.0
-        background = 0.0
-
-        if outcome.hit:
-            sync += self.ssd.access(lbn, write=write)
-        elif outcome.has(CacheAction.READ_ALLOCATION):
-            sync += self.hdd.access(lbn, write=False)
-            fill = self.ssd.access(lbn, write=True)
-            sync += params.alloc_overlap * fill
-            background += (1.0 - params.alloc_overlap) * fill
-        elif outcome.has(CacheAction.WRITE_ALLOCATION):
-            sync += self.ssd.access(lbn, write=True)
-        elif outcome.has(CacheAction.BYPASS):
-            sync += self.hdd.access(lbn, write=write)
-
-        writeback_blocks = sum(
-            1 for ev in outcome.evictions if ev.dirty
-        ) + sum(1 for ev in outcome.flushed if ev.dirty)
-        if writeback_blocks:
-            cost = self.hdd.background_write(writeback_blocks)
-            if params.sync_dirty_eviction:
-                sync += cost
-            else:
-                background += cost
-        return sync, background
+    @property
+    def hdd(self) -> Device:
+        return self.backing.device

@@ -69,6 +69,20 @@ class BlockCache(ABC):
     def trim(self, lbn: int) -> BlockOutcome:
         """Handle a TRIM for one block."""
 
+    def insert_block(
+        self, lbn: int, *, dirty: bool
+    ) -> tuple[bool, list[Eviction]]:
+        """Admit a block demoted from a faster tier.
+
+        Returns ``(inserted, evictions)``.  ``inserted`` is False when the
+        cache declines the block (e.g. selective allocation finds no
+        evictable victim), in which case the caller must demote it one
+        tier further down.  The base implementation declines everything,
+        which is the safe behaviour for caches that predate tiering.
+        """
+        del lbn, dirty
+        return False, []
+
     @abstractmethod
     def contains(self, lbn: int) -> bool:
         """True if ``lbn`` currently resides in the cache."""

@@ -59,6 +59,16 @@ class DeviceSpec:
             rand_write_s=params.ssd_rand_write_s,
         )
 
+    @classmethod
+    def nvme_from_params(cls, params: SimulationParameters) -> "DeviceSpec":
+        return cls(
+            name="nvme",
+            seq_read_s=params.nvme_seq_read_s,
+            seq_write_s=params.nvme_seq_write_s,
+            rand_read_s=params.nvme_rand_read_s,
+            rand_write_s=params.nvme_rand_write_s,
+        )
+
 
 class Device:
     """A device instance with sequentiality tracking and usage counters."""

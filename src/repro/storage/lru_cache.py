@@ -72,5 +72,21 @@ class LRUCache(BlockCache):
         """Legacy storage: TRIM is not understood and has no effect."""
         return BlockOutcome(lbn=lbn, hit=False)
 
+    def insert_block(
+        self, lbn: int, *, dirty: bool
+    ) -> tuple[bool, list[Eviction]]:
+        """Admit a block demoted from a faster tier (allocate-on-demote)."""
+        entry = self._stack.get(lbn)
+        if entry is not None:
+            entry.dirty = entry.dirty or dirty
+            self._stack.move_to_end(lbn)
+            return True, []
+        evictions: list[Eviction] = []
+        if len(self._stack) >= self.capacity:
+            victim_lbn, victim = self._stack.popitem(last=False)
+            evictions.append(Eviction(lbn=victim_lbn, dirty=victim.dirty))
+        self._stack[lbn] = _Entry(lbn=lbn, dirty=dirty)
+        return True, evictions
+
     def check_invariants(self) -> None:
         assert len(self._stack) <= self.capacity, "over capacity"

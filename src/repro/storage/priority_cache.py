@@ -106,6 +106,29 @@ class PriorityCache(BlockCache):
             outcome.actions.append(CacheAction.TRIM)
         return outcome
 
+    def insert_block(
+        self, lbn: int, *, dirty: bool
+    ) -> tuple[bool, list[Eviction]]:
+        """Admit a block demoted from a faster tier.
+
+        Demoted blocks land in the *coldest caching* group (``t - 1``):
+        they were just evicted above, so they outrank nothing that earned
+        its place here.  Selective allocation still applies — if no block
+        of equal-or-lower priority can be displaced, the demotion is
+        declined and the block falls through to the next tier.
+        """
+        group = self.policy_set.non_caching_threshold - 1
+        entry = self._lookup.get(lbn)
+        if entry is not None:
+            entry.dirty = entry.dirty or dirty
+            self._touch(entry)
+            return True, []
+        victim = self._make_room(min_group=group)
+        if victim is _NO_SPACE:
+            return False, []
+        self._insert(lbn, group, dirty=dirty)
+        return True, [victim] if victim is not None else []
+
     # ------------------------------------------------------- priority path
 
     def _access_with_priority(

@@ -139,3 +139,25 @@ class PolicySet:
             return True
         assert policy.priority is not None
         return policy.priority < self.non_caching_threshold
+
+    def admission_level(self, policy: QoSPolicy | None) -> int:
+        """Tier admission band of a policy, 0 = hottest.
+
+        The bands generalise the paper's two-device placement to an N-tier
+        hierarchy: band 0 (temporary data, the write buffer, and the
+        hottest random priority) belongs in the fastest tier, band 1 (the
+        remaining caching priorities) in any caching tier, band 2
+        (non-caching priorities and unclassified traffic) in no tier.
+        A tier admits a policy when ``band <= tier.admit_level``.
+        """
+        if policy is None:
+            return 2
+        if policy.write_buffer:
+            return 0
+        assert policy.priority is not None
+        if policy.priority <= self.random_priority_range[0]:
+            # Temp data (priority 1) plus the hottest random priority.
+            return 0
+        if policy.priority < self.non_caching_threshold:
+            return 1
+        return 2

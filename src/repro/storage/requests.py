@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.storage.qos import QoSPolicy
 
@@ -51,6 +52,12 @@ class IORequest:
     ``rtype`` are the DSS payload (may be ``None`` for unclassified legacy
     traffic).  ``query_id``/``oid`` identify the issuing query and database
     object purely for statistics.
+
+    A request may be *vectored*: ``segments`` holds several contiguous
+    ``(lba, nblocks)`` runs served in one submission (one scheduler
+    dispatch).  Each run still counts as one request in the statistics, so
+    the paper's request accounting (Figure 4a) is unchanged by batching;
+    only the dispatch count shrinks.
     """
 
     lba: int
@@ -65,17 +72,56 @@ class IORequest:
     """True for writes that are off the critical path (dirty-page
     writeback by the DBMS background writer): their device time is charged
     to the background accumulator, but cache placement still happens."""
+    segments: tuple[tuple[int, int], ...] | None = None
+    """Optional vectored payload: ordered ``(lba, nblocks)`` runs.  When
+    set, ``lba``/``nblocks`` summarise the vector (first run start, total
+    blocks).  ``None`` means the classic single-run request."""
 
     def __post_init__(self) -> None:
+        if self.segments is not None:
+            if not self.segments:
+                raise ValueError("vectored request needs >= 1 segment")
+            for seg_lba, seg_nblocks in self.segments:
+                if seg_lba < 0:
+                    raise ValueError(f"negative LBA: {seg_lba}")
+                if seg_nblocks < 1:
+                    raise ValueError(
+                        f"segment must cover >= 1 block: {seg_nblocks}"
+                    )
+            self.lba = self.segments[0][0]
+            self.nblocks = sum(n for _, n in self.segments)
+            return
         if self.lba < 0:
             raise ValueError(f"negative LBA: {self.lba}")
         if self.nblocks < 1:
             raise ValueError(f"request must cover >= 1 block: {self.nblocks}")
 
+    @classmethod
+    def vectored(
+        cls,
+        segments: Sequence[tuple[int, int]],
+        op: IOOp,
+        **kw,
+    ) -> "IORequest":
+        """Build a multi-run request from ``(lba, nblocks)`` segments."""
+        return cls(lba=0, nblocks=1, op=op, segments=tuple(segments), **kw)
+
+    def runs(self) -> tuple[tuple[int, int], ...]:
+        """The contiguous ``(lba, nblocks)`` runs this request covers."""
+        if self.segments is not None:
+            return self.segments
+        return ((self.lba, self.nblocks),)
+
     @property
-    def lbas(self) -> range:
-        """The block numbers covered by this request."""
-        return range(self.lba, self.lba + self.nblocks)
+    def lbas(self) -> Iterable[int]:
+        """The block numbers covered by this request, in service order."""
+        if self.segments is None:
+            return range(self.lba, self.lba + self.nblocks)
+        return tuple(
+            lbn
+            for seg_lba, seg_nblocks in self.segments
+            for lbn in range(seg_lba, seg_lba + seg_nblocks)
+        )
 
     @property
     def is_write(self) -> bool:

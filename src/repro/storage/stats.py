@@ -78,7 +78,15 @@ class QueryStats:
 
 
 class StatsCollector:
-    """Aggregates request/block/cache-hit counters per query and globally."""
+    """Aggregates request/block/cache-hit counters per query and globally.
+
+    A vectored request counts one *request* per contiguous run, so the
+    paper's request accounting is independent of how the scheduler
+    batches dispatches.  Queued writebacks are split across two calls:
+    ``record_counts`` at accept time (the request exists the moment the
+    DBMS issues it) and ``record_hits`` when the drain learns the cache
+    outcomes; ``record`` does both for immediately-dispatched requests.
+    """
 
     def __init__(self) -> None:
         self.per_query: dict[int | None, QueryStats] = defaultdict(QueryStats)
@@ -87,12 +95,30 @@ class StatsCollector:
     def record(self, request: IORequest, outcomes: list[BlockOutcome]) -> None:
         hits = sum(1 for o in outcomes if o.hit)
         misses = len(outcomes) - hits
-        delta = Counts(
-            requests=1,
-            blocks=request.nblocks,
-            cache_hits=hits,
-            cache_misses=misses,
+        self._merge(
+            request,
+            Counts(
+                requests=len(request.runs()),
+                blocks=request.nblocks,
+                cache_hits=hits,
+                cache_misses=misses,
+            ),
         )
+
+    def record_counts(self, request: IORequest) -> None:
+        """Account a request accepted into the writeback queue."""
+        self._merge(
+            request, Counts(requests=len(request.runs()), blocks=request.nblocks)
+        )
+
+    def record_hits(self, request: IORequest, outcomes: list[BlockOutcome]) -> None:
+        """Account the cache outcomes of a drained writeback."""
+        hits = sum(1 for o in outcomes if o.hit)
+        self._merge(
+            request, Counts(cache_hits=hits, cache_misses=len(outcomes) - hits)
+        )
+
+    def _merge(self, request: IORequest, delta: Counts) -> None:
         rtype = request.rtype
         if rtype is None:
             rtype = _fallback_type(request)

@@ -1,8 +1,11 @@
-"""The storage system facade: request dispatch, clock, statistics.
+"""The storage system facade: scheduler, clock, statistics.
 
 This is the boundary the DBMS storage manager talks to — the simulated
 equivalent of the iSCSI target running Intel's Open Storage Toolkit in the
-paper's testbed.
+paper's testbed.  Requests flow through an :class:`IOScheduler` (which
+merges batches and parks asynchronous writebacks in an elevator queue)
+before reaching the backend; this facade turns the scheduler's completion
+records into clock time and statistics (DESIGN.md §4).
 """
 
 from __future__ import annotations
@@ -11,6 +14,11 @@ from repro.sim.clock import SimClock
 from repro.storage.backends import StorageBackend
 from repro.storage.cache_base import BlockOutcome
 from repro.storage.requests import IORequest
+from repro.storage.scheduler import (
+    DEFAULT_WRITEBACK_DEPTH,
+    BatchResult,
+    IOScheduler,
+)
 from repro.storage.stats import StatsCollector
 
 
@@ -22,19 +30,58 @@ class StorageSystem:
         backend: StorageBackend,
         clock: SimClock | None = None,
         stats: StatsCollector | None = None,
+        scheduler: IOScheduler | None = None,
     ) -> None:
         self.backend = backend
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else StatsCollector()
+        if scheduler is None:
+            # Tier chains carry the simulation parameters; honour their
+            # queue-depth knob instead of the module default.
+            params = getattr(backend, "params", None)
+            depth = (
+                params.writeback_queue_depth
+                if params is not None
+                else DEFAULT_WRITEBACK_DEPTH
+            )
+            scheduler = IOScheduler(backend, depth=depth)
+        self.scheduler = scheduler
+        if self.scheduler.backend is not backend:
+            raise ValueError("scheduler must dispatch onto the same backend")
 
     def submit(self, request: IORequest) -> list[BlockOutcome]:
-        """Serve a request synchronously; returns per-block outcomes."""
-        sync, background, outcomes = self.backend.submit(request)
-        self.clock.advance(sync)
-        if background:
-            self.clock.charge_background(background)
-        self.stats.record(request, outcomes)
-        return outcomes
+        """Serve one request; returns its per-block outcomes.
+
+        Asynchronous writes may be parked in the scheduler's writeback
+        queue; their counters are recorded immediately but the returned
+        outcome list is empty until a drain serves them.
+        """
+        return self.submit_batch([request]).outcomes_for(request)
+
+    def submit_batch(self, requests: list[IORequest]) -> BatchResult:
+        """Serve a batch of requests through one scheduler pass."""
+        for request in requests:
+            if request.is_write and request.async_hint:
+                # Queued writeback: the request exists now; cache outcomes
+                # are accounted when the elevator drains it.
+                self.stats.record_counts(request)
+        result = self.scheduler.submit_batch(requests)
+        self._apply(result)
+        return result
+
+    def drain(self) -> None:
+        """Flush the writeback queue (query finish, checkpoint, reset)."""
+        self._apply(self.scheduler.drain())
+
+    def _apply(self, result: BatchResult) -> None:
+        self.clock.advance(result.sync_seconds)
+        if result.background_seconds:
+            self.clock.charge_background(result.background_seconds)
+        for completion in result.completions:
+            if completion.queued:
+                self.stats.record_hits(completion.request, completion.outcomes)
+            else:
+                self.stats.record(completion.request, completion.outcomes)
 
     @property
     def now(self) -> float:

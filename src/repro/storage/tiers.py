@@ -1,0 +1,298 @@
+"""Composable N-tier storage hierarchies (DESIGN.md §3).
+
+The paper's testbed is a two-device special case — an SSD cache over an
+HDD — but the Differentiated Storage Services protocol it builds on is
+tier-agnostic.  :class:`TierChain` generalises the storage stack to an
+ordered list of :class:`Tier` objects, fastest first:
+
+* every tier except the last couples a device model with a
+  :class:`~repro.storage.cache_base.BlockCache` that decides placement,
+  an optional *admission band* derived from the request's QoS policy
+  (:meth:`~repro.storage.qos.PolicySet.admission_level`), and a demotion
+  rule for its evictions;
+* the last tier is the backing store: no cache, every block lives there.
+
+A block access walks the chain top-down.  The first tier that either
+holds the block or admits the request's policy serves it through its
+cache; read allocations fetch the block from the first lower tier that
+has it (the backing store in the worst case); evictions cascade down —
+dirty blocks must reach a durable home, clean blocks are demoted only
+where a tier opts in (``demote_clean``), mirroring HOT/WARM/COLD data
+life-cycle management.
+
+A chain of one backing tier reproduces ``DirectBackend`` timings; a
+chain of one caching tier over one backing tier reproduces
+``CachedBackend`` timings — the paper's four configurations are exact
+special cases (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.params import SimulationParameters
+from repro.storage.cache_base import (
+    BlockCache,
+    BlockOutcome,
+    CacheAction,
+    Eviction,
+)
+from repro.storage.device import Device
+from repro.storage.qos import PolicySet, QoSPolicy
+from repro.storage.requests import IOOp, IORequest
+
+
+class Tier:
+    """One level of a storage hierarchy: a device plus placement policy."""
+
+    def __init__(
+        self,
+        device: Device,
+        cache: BlockCache | None = None,
+        *,
+        admit_level: int | None = None,
+        demote_clean: bool = False,
+        name: str | None = None,
+    ) -> None:
+        self.device = device
+        self.cache = cache
+        self.admit_level = admit_level
+        """Maximum admission band (0 = hottest) this tier allocates for;
+        ``None`` admits every band and lets the cache's own policy decide
+        (the two-tier configurations)."""
+        self.demote_clean = demote_clean
+        """Demote clean evictions into the next tier's cache instead of
+        dropping them (the HOT->WARM->COLD waterfall)."""
+        self.name = name if name is not None else device.name
+
+    @property
+    def is_caching(self) -> bool:
+        return self.cache is not None
+
+    def admits(self, policy: QoSPolicy | None, policy_set: PolicySet) -> bool:
+        """May this request's policy allocate space in this tier?"""
+        if self.admit_level is None:
+            return True
+        return policy_set.admission_level(policy) <= self.admit_level
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "cache" if self.is_caching else "backing"
+        return f"Tier({self.name}, {role})"
+
+
+class TierChain:
+    """An ordered storage hierarchy serving classified block requests.
+
+    Implements the backend contract (``submit`` -> foreground seconds,
+    background seconds, per-block outcomes) over any number of tiers.
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence[Tier],
+        params: SimulationParameters | None = None,
+        policy_set: PolicySet | None = None,
+    ) -> None:
+        tiers = list(tiers)
+        if not tiers:
+            raise ValueError("a tier chain needs at least one tier")
+        if tiers[-1].is_caching:
+            raise ValueError("the last tier is the backing store: no cache")
+        for tier in tiers[:-1]:
+            if not tier.is_caching:
+                raise ValueError(
+                    f"non-terminal tier {tier.name!r} must carry a cache"
+                )
+        self.tiers = tiers
+        self.params = params if params is not None else SimulationParameters()
+        self.policy_set = policy_set if policy_set is not None else PolicySet()
+
+    # ----------------------------------------------------------- convenience
+
+    @property
+    def backing(self) -> Tier:
+        return self.tiers[-1]
+
+    @property
+    def caching_tiers(self) -> list[Tier]:
+        return self.tiers[:-1]
+
+    @property
+    def cache(self) -> BlockCache | None:
+        """The fastest tier's cache (the SSD cache in two-tier chains)."""
+        return self.tiers[0].cache
+
+    def tier_of(self, lbn: int) -> Tier:
+        """The fastest tier currently holding a block."""
+        for tier in self.caching_tiers:
+            assert tier.cache is not None
+            if tier.cache.contains(lbn):
+                return tier
+        return self.backing
+
+    def describe(self) -> str:
+        """One-line summary, fastest tier first (e.g. ``nvme > ssd > hdd``)."""
+        return " > ".join(t.name for t in self.tiers)
+
+    # ------------------------------------------------------------------- API
+
+    def submit(self, request: IORequest) -> tuple[float, float, list[BlockOutcome]]:
+        """Serve ``request``; returns (sync_seconds, async_seconds, outcomes)."""
+        if request.op is IOOp.TRIM:
+            return 0.0, 0.0, [self._trim_block(lbn) for lbn in request.lbas]
+
+        if not self.caching_tiers:
+            return self._submit_direct(request)
+
+        write = request.is_write
+        sync = 0.0
+        background = 0.0
+        outcomes: list[BlockOutcome] = []
+        for lbn in request.lbas:
+            s, b, outcome = self._serve_block(
+                lbn, write=write, policy=request.policy
+            )
+            outcomes.append(outcome)
+            sync += s
+            background += b
+        if write and request.async_hint:
+            # Background-writer traffic: placement happened above, but the
+            # device time is off the critical path.
+            background += sync
+            sync = 0.0
+        return sync, background, outcomes
+
+    # --------------------------------------------------------- direct chains
+
+    def _submit_direct(
+        self, request: IORequest
+    ) -> tuple[float, float, list[BlockOutcome]]:
+        """A single backing device, no cache (HDD-only / SSD-only)."""
+        device = self.backing.device
+        outcomes = [
+            BlockOutcome(lbn=lbn, hit=False, actions=[CacheAction.BYPASS])
+            for lbn in request.lbas
+        ]
+        if request.is_write and request.async_hint:
+            seconds = sum(
+                device.background_write(nblocks)
+                for _, nblocks in request.runs()
+            )
+            return 0.0, seconds, outcomes
+        seconds = sum(
+            device.access(lba, nblocks, write=request.is_write)
+            for lba, nblocks in request.runs()
+        )
+        return seconds, 0.0, outcomes
+
+    # ---------------------------------------------------------- cached chains
+
+    def _trim_block(self, lbn: int) -> BlockOutcome:
+        outcome = BlockOutcome(lbn=lbn, hit=False)
+        for tier in self.caching_tiers:
+            assert tier.cache is not None
+            tier_outcome = tier.cache.trim(lbn)
+            outcome.actions.extend(tier_outcome.actions)
+        return outcome
+
+    def _serve_block(
+        self, lbn: int, *, write: bool, policy: QoSPolicy | None
+    ) -> tuple[float, float, BlockOutcome]:
+        params = self.params
+        sync = 0.0
+        background = 0.0
+        for level, tier in enumerate(self.tiers):
+            if not tier.is_caching:
+                sync += tier.device.access(lbn, write=write)
+                outcome = BlockOutcome(
+                    lbn=lbn, hit=False, actions=[CacheAction.BYPASS]
+                )
+                return sync, background, outcome
+            assert tier.cache is not None
+            if not tier.cache.contains(lbn) and not tier.admits(
+                policy, self.policy_set
+            ):
+                continue  # the request may not allocate here; try lower tiers
+            outcome = tier.cache.access_block(lbn, write=write, policy=policy)
+            if outcome.hit:
+                sync += tier.device.access(lbn, write=write)
+            elif outcome.has(CacheAction.READ_ALLOCATION):
+                lower_s, lower_b = self._read_below(level + 1, lbn)
+                fill = tier.device.access(lbn, write=True)
+                sync += lower_s + params.alloc_overlap * fill
+                background += lower_b + (1.0 - params.alloc_overlap) * fill
+            elif outcome.has(CacheAction.WRITE_ALLOCATION):
+                sync += tier.device.access(lbn, write=True)
+            else:
+                # Selective allocation declined (bypass): fall through to
+                # the next tier without recording this tier's outcome.
+                continue
+            s, b = self._destage(level, outcome)
+            return sync + s, background + b, outcome
+        raise AssertionError("unreachable: the backing tier serves everything")
+
+    def _read_below(self, level: int, lbn: int) -> tuple[float, float]:
+        """Fetch a block from below ``level`` to fill a read allocation.
+
+        Lower tiers are consulted for *residency only* — the block is
+        being promoted, so no tier below the allocating one admits it
+        anew, and the stale lower copy keeps its group (the access is
+        served policy-less so a hot policy cannot re-prioritise a copy
+        that is about to be superseded; only recency is refreshed).
+        The backing store serves it when no cache holds it.
+        """
+        for j in range(level, len(self.tiers)):
+            tier = self.tiers[j]
+            if not tier.is_caching:
+                return tier.device.access(lbn, write=False), 0.0
+            assert tier.cache is not None
+            if not tier.cache.contains(lbn):
+                continue
+            outcome = tier.cache.access_block(lbn, write=False, policy=None)
+            sync = tier.device.access(lbn, write=False)
+            s, b = self._destage(j, outcome)
+            return sync + s, b
+        raise AssertionError("unreachable: the backing tier serves everything")
+
+    def _destage(self, level: int, outcome: BlockOutcome) -> tuple[float, float]:
+        """Demote a tier's evictions (and write-buffer flushes) downwards."""
+        tier = self.tiers[level]
+        victims = [
+            ev
+            for ev in (*outcome.evictions, *outcome.flushed)
+            if ev.dirty or tier.demote_clean
+        ]
+        if not victims:
+            return 0.0, 0.0
+        cost = self._demote(level + 1, victims)
+        if self.params.sync_dirty_eviction:
+            return cost, 0.0
+        return 0.0, cost
+
+
+    def _demote(self, level: int, victims: list[Eviction]) -> float:
+        """Push demoted blocks down the chain; returns device seconds."""
+        cost = 0.0
+        while victims and self.tiers[level].is_caching:
+            tier = self.tiers[level]
+            assert tier.cache is not None
+            passed_down: list[Eviction] = []
+            for victim in victims:
+                inserted, cascade = tier.cache.insert_block(
+                    victim.lbn, dirty=victim.dirty
+                )
+                if inserted:
+                    cost += tier.device.background_write(1)
+                    passed_down.extend(
+                        ev for ev in cascade if ev.dirty or tier.demote_clean
+                    )
+                else:
+                    passed_down.append(victim)
+            victims = passed_down
+            level += 1
+        # Whatever reaches the backing store: dirty blocks are written,
+        # clean blocks already live there and are simply dropped.
+        dirty = sum(1 for ev in victims if ev.dirty)
+        if dirty:
+            cost += self.backing.device.background_write(dirty)
+        return cost

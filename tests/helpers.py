@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.assignment import PolicyAssignmentTable
 from repro.db.engine import Database
 from repro.harness.configs import StorageConfig, build_database
-from repro.sim.params import SimulationParameters
 
 
 def make_database(

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.semantics import ContentType, SemanticInfo
-from repro.db import schema
 from repro.db.pages import FileKind, HeapPage
 from repro.storage.requests import RequestType
 from tests.helpers import make_database

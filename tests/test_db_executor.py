@@ -1,7 +1,5 @@
 """Unit tests for executor operators against brute-force references."""
 
-import random
-
 import pytest
 
 from repro.db import schema

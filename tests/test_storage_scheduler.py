@@ -1,0 +1,163 @@
+"""Unit tests for the I/O scheduler: merging, elevator queue, barriers."""
+
+import pytest
+
+from repro.sim import SimulationParameters
+from repro.storage import (
+    CachedBackend,
+    Device,
+    DeviceSpec,
+    DirectBackend,
+    IOOp,
+    IORequest,
+    IOScheduler,
+    PolicySet,
+    PriorityCache,
+    QoSPolicy,
+)
+
+PARAMS = SimulationParameters()
+PSET = PolicySet()
+
+
+def hdd_backend() -> DirectBackend:
+    return DirectBackend(Device(DeviceSpec.hdd_from_params(PARAMS)))
+
+
+def cached_backend() -> CachedBackend:
+    return CachedBackend(
+        PriorityCache(64, PSET),
+        Device(DeviceSpec.ssd_from_params(PARAMS)),
+        Device(DeviceSpec.hdd_from_params(PARAMS)),
+        PARAMS,
+    )
+
+
+def read(lba, n=1, policy=None):
+    return IORequest(lba=lba, nblocks=n, op=IOOp.READ, policy=policy)
+
+
+def async_write(lba, n=1, policy=None):
+    return IORequest(
+        lba=lba, nblocks=n, op=IOOp.WRITE, policy=policy, async_hint=True
+    )
+
+
+class TestMerging:
+    def test_adjacent_reads_share_one_dispatch(self):
+        scheduler = IOScheduler(hdd_backend())
+        result = scheduler.submit_batch([read(0, 4), read(4, 4), read(8, 4)])
+        assert scheduler.dispatches == 1
+        assert scheduler.requests_accepted == 3
+        assert len(result.completions) == 3
+        assert all(len(c.outcomes) == 4 for c in result.completions)
+
+    def test_merged_timing_matches_one_transfer(self):
+        scheduler = IOScheduler(hdd_backend())
+        result = scheduler.submit_batch([read(0, 4), read(4, 4)])
+        assert result.sync_seconds == pytest.approx(
+            PARAMS.hdd_rand_read_s + 7 * PARAMS.hdd_seq_read_s
+        )
+
+    def test_different_policies_do_not_merge(self):
+        scheduler = IOScheduler(hdd_backend())
+        scheduler.submit_batch(
+            [
+                read(0, 4, policy=QoSPolicy.with_priority(2)),
+                read(4, 4, policy=QoSPolicy.with_priority(3)),
+            ]
+        )
+        assert scheduler.dispatches == 2
+
+    def test_disjoint_runs_still_share_a_dispatch(self):
+        scheduler = IOScheduler(hdd_backend())
+        scheduler.submit_batch([read(0, 2), read(10, 2)])
+        assert scheduler.dispatches == 1
+        assert scheduler.blocks_dispatched == 4
+
+    def test_vectored_request_is_one_dispatch(self):
+        scheduler = IOScheduler(hdd_backend())
+        request = IORequest.vectored([(0, 2), (5, 3)], IOOp.READ)
+        result = scheduler.submit(request)
+        assert scheduler.dispatches == 1
+        assert len(result.outcomes_for(request)) == 5
+
+
+class TestWritebackQueue:
+    def test_async_writes_park_until_depth(self):
+        scheduler = IOScheduler(hdd_backend(), depth=4)
+        for i in range(3):
+            result = scheduler.submit(async_write(i))
+            assert result.completions == []
+        assert scheduler.queued_writebacks == 3
+        assert scheduler.dispatches == 0
+
+    def test_depth_triggers_elevator_drain(self):
+        scheduler = IOScheduler(hdd_backend(), depth=4)
+        results = [scheduler.submit(async_write(10 - i)) for i in range(4)]
+        assert scheduler.queued_writebacks == 0
+        assert scheduler.writeback_drains == 1
+        drained = results[-1].completions
+        assert len(drained) == 4
+        # Elevator order: the drain sweeps ascending LBAs.
+        assert [c.request.lba for c in drained] == [7, 8, 9, 10]
+        assert all(c.queued for c in drained)
+
+    def test_drain_merges_adjacent_writebacks(self):
+        scheduler = IOScheduler(hdd_backend(), depth=8)
+        for lba in (3, 1, 0, 2):
+            scheduler.submit(async_write(lba))
+        scheduler.drain()
+        assert scheduler.dispatches == 1
+        assert scheduler.blocks_dispatched == 4
+
+    def test_overlapping_read_acts_as_barrier(self):
+        backend = cached_backend()
+        scheduler = IOScheduler(backend, depth=100)
+        scheduler.submit(async_write(5, policy=PSET.update_policy()))
+        assert scheduler.queued_writebacks == 1
+        result = scheduler.submit(read(5, policy=QoSPolicy.with_priority(2)))
+        # The queued write dispatched first (placing the block), so the
+        # read observes its own prior write as a cache hit.
+        assert scheduler.queued_writebacks == 0
+        assert result.outcomes_for(result.completions[-1].request)
+        read_completion = result.completions[-1]
+        assert not read_completion.queued
+        assert read_completion.outcomes[0].hit
+
+    def test_batch_preserves_read_before_later_write(self):
+        """A read must not barrier on an async write that follows it in
+        the same batch: the read observes pre-write cache state."""
+        backend = cached_backend()
+        scheduler = IOScheduler(backend, depth=1)  # drain on first enqueue
+        result = scheduler.submit_batch(
+            [
+                read(5, policy=QoSPolicy.with_priority(2)),
+                async_write(5, policy=PSET.update_policy()),
+            ]
+        )
+        read_completion = result.completions[0]
+        assert not read_completion.queued
+        # The block was not cached before this batch: the earlier read
+        # misses even though the later write targets the same LBN.
+        assert not read_completion.outcomes[0].hit
+
+    def test_disjoint_read_leaves_queue_parked(self):
+        scheduler = IOScheduler(hdd_backend(), depth=100)
+        scheduler.submit(async_write(5))
+        scheduler.submit(read(99))
+        assert scheduler.queued_writebacks == 1
+
+    def test_manual_drain_flushes_everything(self):
+        scheduler = IOScheduler(hdd_backend(), depth=100)
+        for i in range(5):
+            scheduler.submit(async_write(i * 7))
+        result = scheduler.drain()
+        assert scheduler.queued_writebacks == 0
+        assert len(result.completions) == 5
+        assert result.background_seconds > 0
+        assert result.sync_seconds == 0.0
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            IOScheduler(hdd_backend(), depth=0)

@@ -1,0 +1,168 @@
+"""Direct coverage for StorageSystem.submit accounting and StatsCollector.
+
+The storage system is the only place where scheduler completions turn
+into clock time (foreground vs background seconds) and statistics
+(per-query attribution); these tests pin that accounting down without
+going through the DBMS layers.
+"""
+
+import pytest
+
+from repro.sim import SimClock, SimulationParameters
+from repro.storage import (
+    BlockOutcome,
+    CachedBackend,
+    Device,
+    DeviceSpec,
+    DirectBackend,
+    IOOp,
+    IORequest,
+    IOScheduler,
+    PolicySet,
+    PriorityCache,
+    QoSPolicy,
+    RequestType,
+    StatsCollector,
+    StorageSystem,
+)
+
+PARAMS = SimulationParameters()
+PSET = PolicySet()
+
+
+def hdd() -> Device:
+    return Device(DeviceSpec.hdd_from_params(PARAMS))
+
+
+def ssd() -> Device:
+    return Device(DeviceSpec.ssd_from_params(PARAMS))
+
+
+def cached_system(depth=8) -> StorageSystem:
+    backend = CachedBackend(PriorityCache(64, PSET), ssd(), hdd(), PARAMS)
+    return StorageSystem(
+        backend, scheduler=IOScheduler(backend, depth=depth)
+    )
+
+
+def read(lba, n=1, policy=None, rtype=None, query_id=None):
+    return IORequest(
+        lba=lba, nblocks=n, op=IOOp.READ, policy=policy, rtype=rtype,
+        query_id=query_id,
+    )
+
+
+def async_write(lba, n=1, policy=None, rtype=None, query_id=None):
+    return IORequest(
+        lba=lba, nblocks=n, op=IOOp.WRITE, policy=policy, rtype=rtype,
+        query_id=query_id, async_hint=True,
+    )
+
+
+class TestForegroundAccounting:
+    def test_sync_read_advances_foreground_clock_exactly(self):
+        clock = SimClock()
+        system = StorageSystem(DirectBackend(hdd()), clock=clock)
+        system.submit(read(0, 4))
+        assert clock.now == pytest.approx(
+            PARAMS.hdd_rand_read_s + 3 * PARAMS.hdd_seq_read_s
+        )
+        assert clock.background == 0.0
+
+    def test_read_allocation_splits_foreground_and_background(self):
+        system = cached_system()
+        system.submit(read(0, policy=QoSPolicy.with_priority(2)))
+        fill = PARAMS.ssd_rand_write_s
+        assert system.now == pytest.approx(
+            PARAMS.hdd_rand_read_s + PARAMS.alloc_overlap * fill
+        )
+        assert system.clock.background == pytest.approx(
+            (1 - PARAMS.alloc_overlap) * fill
+        )
+
+    def test_submit_returns_per_block_outcomes(self):
+        system = StorageSystem(DirectBackend(hdd()))
+        outcomes = system.submit(read(0, 8))
+        assert len(outcomes) == 8
+
+    def test_mismatched_scheduler_rejected(self):
+        backend = DirectBackend(hdd())
+        other = DirectBackend(hdd())
+        with pytest.raises(ValueError):
+            StorageSystem(backend, scheduler=IOScheduler(other))
+
+
+class TestAsyncAccounting:
+    def test_queued_write_counts_immediately_charges_at_drain(self):
+        system = cached_system(depth=100)
+        request = async_write(0, policy=PSET.update_policy(),
+                              rtype=RequestType.UPDATE, query_id=3)
+        assert system.submit(request) == []  # parked, no outcomes yet
+        counts = system.stats.overall.by_type[RequestType.UPDATE]
+        assert counts.requests == 1 and counts.blocks == 1
+        assert system.clock.background == 0.0  # no device time yet
+        system.drain()
+        assert system.clock.background > 0.0
+        assert system.now == 0.0  # never on the critical path
+
+    def test_drain_attributes_hits_to_the_issuing_query(self):
+        system = cached_system(depth=100)
+        system.submit(
+            async_write(0, policy=PSET.update_policy(),
+                        rtype=RequestType.UPDATE, query_id=3)
+        )
+        system.drain()
+        # Same block again: the write buffer holds it -> a cache hit,
+        # attributed to query 3 both times.
+        system.submit(
+            async_write(0, policy=PSET.update_policy(),
+                        rtype=RequestType.UPDATE, query_id=3)
+        )
+        system.drain()
+        counts = system.stats.query(3).by_type[RequestType.UPDATE]
+        assert counts.requests == 2
+        assert counts.cache_hits == 1
+
+
+class TestStatsCollector:
+    def test_vectored_request_counts_one_request_per_run(self):
+        stats = StatsCollector()
+        request = IORequest.vectored(
+            [(0, 2), (5, 3)], IOOp.READ, rtype=RequestType.SEQUENTIAL,
+            query_id=1,
+        )
+        stats.record(request, [BlockOutcome(lbn=i, hit=False) for i in range(5)])
+        counts = stats.query(1).by_type[RequestType.SEQUENTIAL]
+        assert counts.requests == 2
+        assert counts.blocks == 5
+
+    def test_counts_and_hits_split_recording(self):
+        stats = StatsCollector()
+        request = IORequest(
+            lba=0, nblocks=2, op=IOOp.WRITE, rtype=RequestType.UPDATE,
+            query_id=7, async_hint=True,
+        )
+        stats.record_counts(request)
+        counts = stats.query(7).by_type[RequestType.UPDATE]
+        assert (counts.requests, counts.blocks) == (1, 2)
+        assert counts.cache_hits == counts.cache_misses == 0
+        stats.record_hits(
+            request,
+            [BlockOutcome(lbn=0, hit=True), BlockOutcome(lbn=1, hit=False)],
+        )
+        assert counts.cache_hits == 1 and counts.cache_misses == 1
+        # The split recording must not double-count requests or blocks.
+        assert (counts.requests, counts.blocks) == (1, 2)
+
+    def test_per_query_and_overall_stay_consistent(self):
+        stats = StatsCollector()
+        for query_id in (1, 1, 2):
+            stats.record(
+                read(0, rtype=RequestType.RANDOM,
+                     policy=QoSPolicy.with_priority(2), query_id=query_id),
+                [BlockOutcome(lbn=0, hit=True)],
+            )
+        assert stats.query(1).total.requests == 2
+        assert stats.query(2).total.requests == 1
+        assert stats.overall.total.requests == 3
+        assert stats.overall.by_priority[2].cache_hits == 3

@@ -1,0 +1,234 @@
+"""Unit tests for the N-tier chain: equivalence, admission, demotion."""
+
+import pytest
+
+from repro.sim import SimulationParameters
+from repro.storage import (
+    CachedBackend,
+    Device,
+    DeviceSpec,
+    DirectBackend,
+    IOOp,
+    IORequest,
+    LRUCache,
+    PolicySet,
+    PriorityCache,
+    QoSPolicy,
+    Tier,
+    TierChain,
+)
+
+PARAMS = SimulationParameters()
+PSET = PolicySet()
+
+
+def hdd() -> Device:
+    return Device(DeviceSpec.hdd_from_params(PARAMS))
+
+
+def ssd() -> Device:
+    return Device(DeviceSpec.ssd_from_params(PARAMS))
+
+
+def nvme() -> Device:
+    return Device(DeviceSpec.nvme_from_params(PARAMS))
+
+
+def read(lba, n=1, policy=None):
+    return IORequest(lba=lba, nblocks=n, op=IOOp.READ, policy=policy)
+
+
+def write(lba, n=1, policy=None, async_hint=False):
+    return IORequest(
+        lba=lba, nblocks=n, op=IOOp.WRITE, policy=policy, async_hint=async_hint
+    )
+
+
+def three_tier(hot_capacity=8, warm_capacity=32, demote_clean=True):
+    chain = TierChain(
+        [
+            Tier(
+                nvme(),
+                PriorityCache(hot_capacity, PSET),
+                admit_level=0,
+                demote_clean=demote_clean,
+                name="nvme",
+            ),
+            Tier(ssd(), PriorityCache(warm_capacity, PSET), admit_level=1),
+            Tier(hdd()),
+        ],
+        params=PARAMS,
+        policy_set=PSET,
+    )
+    return chain
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            TierChain([])
+
+    def test_backing_tier_must_be_cacheless(self):
+        with pytest.raises(ValueError):
+            TierChain([Tier(ssd(), LRUCache(4))])
+
+    def test_intermediate_tier_needs_cache(self):
+        with pytest.raises(ValueError):
+            TierChain([Tier(ssd()), Tier(hdd())])
+
+    def test_describe_lists_fastest_first(self):
+        assert three_tier().describe() == "nvme > ssd > hdd"
+
+
+class TestTwoTierEquivalence:
+    """The paper's configurations are exact special cases (DESIGN.md §5)."""
+
+    def workload(self):
+        pset = PSET
+        return (
+            [read(i, policy=QoSPolicy.with_priority(2)) for i in range(8)]
+            + [read(i, policy=QoSPolicy.with_priority(2)) for i in range(8)]
+            + [read(100 + i, 4, policy=pset.sequential_policy()) for i in range(4)]
+            + [write(i, policy=pset.update_policy()) for i in range(12)]
+            + [write(200, 4, policy=pset.temp_policy(), async_hint=True)]
+            + [IORequest(lba=0, nblocks=4, op=IOOp.TRIM)]
+        )
+
+    def test_chain_matches_cached_backend(self):
+        shim = CachedBackend(PriorityCache(16, PSET), ssd(), hdd(), PARAMS)
+        chain = TierChain(
+            [Tier(ssd(), PriorityCache(16, PSET)), Tier(hdd())], params=PARAMS
+        )
+        for request_a, request_b in zip(self.workload(), self.workload()):
+            sync_a, bg_a, out_a = shim.submit(request_a)
+            sync_b, bg_b, out_b = chain.submit(request_b)
+            assert sync_a == pytest.approx(sync_b)
+            assert bg_a == pytest.approx(bg_b)
+            assert [o.hit for o in out_a] == [o.hit for o in out_b]
+            assert [o.actions for o in out_a] == [o.actions for o in out_b]
+
+    def test_chain_matches_direct_backend(self):
+        shim = DirectBackend(hdd())
+        chain = TierChain([Tier(hdd())])
+        for request_a, request_b in zip(self.workload(), self.workload()):
+            sync_a, bg_a, _ = shim.submit(request_a)
+            sync_b, bg_b, _ = chain.submit(request_b)
+            assert sync_a == pytest.approx(sync_b)
+            assert bg_a == pytest.approx(bg_b)
+
+    def test_cache_property_exposes_fastest_cache(self):
+        cache = PriorityCache(16, PSET)
+        shim = CachedBackend(cache, ssd(), hdd(), PARAMS)
+        assert shim.cache is cache
+        assert DirectBackend(hdd()).cache is None
+
+
+class TestAdmission:
+    def test_band0_lands_in_hot_tier(self):
+        chain = three_tier()
+        chain.submit(read(0, policy=PSET.temp_policy()))
+        assert chain.tiers[0].cache.contains(0)
+        assert not chain.tiers[1].cache.contains(0)
+
+    def test_band1_skips_hot_tier(self):
+        chain = three_tier()
+        chain.submit(read(0, policy=QoSPolicy.with_priority(3)))
+        assert not chain.tiers[0].cache.contains(0)
+        assert chain.tiers[1].cache.contains(0)
+
+    def test_non_caching_lands_nowhere(self):
+        chain = three_tier()
+        sync, _, outcomes = chain.submit(read(0, policy=PSET.sequential_policy()))
+        assert chain.tiers[0].cache.occupancy == 0
+        assert chain.tiers[1].cache.occupancy == 0
+        assert not outcomes[0].hit
+        assert sync == pytest.approx(PARAMS.hdd_rand_read_s)
+
+    def test_hit_served_even_where_not_admissible(self):
+        """Residency beats admission: hits are hits at any tier."""
+        chain = three_tier()
+        chain.submit(read(0, policy=PSET.temp_policy()))  # now in NVMe
+        _, _, outcomes = chain.submit(read(0, policy=PSET.sequential_policy()))
+        assert outcomes[0].hit
+
+    def test_tier_of_reports_fastest_holder(self):
+        chain = three_tier()
+        chain.submit(read(0, policy=PSET.temp_policy()))
+        chain.submit(read(1, policy=QoSPolicy.with_priority(3)))
+        assert chain.tier_of(0).name == "nvme"
+        assert chain.tier_of(1).name == "ssd"
+        assert chain.tier_of(99) is chain.backing
+
+
+class TestTiming:
+    def test_hot_hit_costs_nvme_time(self):
+        chain = three_tier()
+        chain.submit(read(0, policy=PSET.temp_policy()))
+        sync, _, outcomes = chain.submit(read(0, policy=PSET.temp_policy()))
+        assert outcomes[0].hit
+        assert sync == pytest.approx(PARAMS.nvme_rand_read_s)
+
+    def test_warm_hit_costs_ssd_time(self):
+        chain = three_tier()
+        chain.submit(read(0, policy=QoSPolicy.with_priority(3)))
+        sync, _, outcomes = chain.submit(read(0, policy=QoSPolicy.with_priority(3)))
+        assert outcomes[0].hit
+        assert sync == pytest.approx(PARAMS.ssd_rand_read_s)
+
+    def test_read_allocation_fills_from_warm_resident_copy(self):
+        """Promotion: a block resident in the SSD tier fills the NVMe tier
+        with an SSD read instead of an HDD read."""
+        chain = three_tier()
+        chain.submit(read(0, policy=QoSPolicy.with_priority(3)))  # SSD copy
+        sync, _, _ = chain.submit(read(0, policy=PSET.temp_policy()))
+        fill = PARAMS.nvme_rand_write_s
+        # SSD hit serves the data; the NVMe fill is partially overlapped.
+        assert sync == pytest.approx(
+            PARAMS.ssd_rand_read_s + PARAMS.alloc_overlap * fill
+        )
+        # The stale SSD copy keeps its priority group: the promoting
+        # request's hot policy must not re-prioritise a copy that the
+        # NVMe tier has just superseded.
+        assert chain.tiers[1].cache.group_of(0) == 3
+
+
+class TestDemotion:
+    def test_clean_hot_evictions_waterfall_into_warm(self):
+        chain = three_tier(hot_capacity=2)
+        for lbn in range(3):  # third insert evicts the first, clean
+            chain.submit(read(lbn, policy=PSET.temp_policy()))
+        assert chain.tiers[0].cache.occupancy == 2
+        assert chain.tiers[1].cache.contains(0)
+
+    def test_clean_evictions_dropped_without_demote_clean(self):
+        chain = three_tier(hot_capacity=2, demote_clean=False)
+        for lbn in range(3):
+            chain.submit(read(lbn, policy=PSET.temp_policy()))
+        assert not chain.tiers[1].cache.contains(0)
+
+    def test_dirty_demotion_costs_background_write(self):
+        chain = three_tier(hot_capacity=2)
+        for lbn in range(2):
+            chain.submit(write(lbn, policy=PSET.temp_policy()))
+        _, background, _ = chain.submit(write(2, policy=PSET.temp_policy()))
+        # The dirty victim is written into the SSD tier, off the critical path.
+        assert background >= PARAMS.ssd_rand_write_s
+        assert chain.tiers[1].cache.contains(0)
+
+    def test_dirty_blocks_reach_backing_when_warm_declines(self):
+        """A warm tier full of hotter blocks declines the demotion; the
+        dirty block must still reach a durable home (the HDD)."""
+        chain = three_tier(hot_capacity=1, warm_capacity=1, demote_clean=False)
+        chain.submit(write(0, policy=QoSPolicy.with_priority(2)))  # NVMe
+        chain.submit(write(1, policy=QoSPolicy.with_priority(3)))  # SSD
+        hdd_written_before = chain.backing.device.blocks_written
+        chain.submit(write(2, policy=QoSPolicy.with_priority(2)))  # evicts 0
+        assert chain.backing.device.blocks_written > hdd_written_before
+
+    def test_trim_invalidates_every_tier(self):
+        chain = three_tier()
+        chain.submit(write(0, policy=PSET.temp_policy()))      # NVMe
+        chain.submit(write(1, policy=QoSPolicy.with_priority(3)))  # SSD
+        chain.submit(IORequest(lba=0, nblocks=2, op=IOOp.TRIM))
+        assert chain.tiers[0].cache.occupancy == 0
+        assert chain.tiers[1].cache.occupancy == 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.storage.requests import RequestType
-from repro.tpch.queries.util import L, O
+from repro.tpch.queries.util import O
 from repro.tpch.refresh import rf1_builder, rf2_builder
 from repro.tpch.workload import load_tpch
 from tests.helpers import make_database

@@ -1,7 +1,5 @@
 """Unit tests for the TPC-H schema, Table 3 indexes and stream orderings."""
 
-import pytest
-
 from repro.tpch.schema import TABLE3_INDEXES, TABLE_SCHEMAS
 from repro.tpch.streams import POWER_ORDER, THROUGHPUT_ORDERS, validate_orderings
 from repro.tpch.workload import load_tpch
