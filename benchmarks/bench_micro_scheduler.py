@@ -8,7 +8,7 @@ seconds are unchanged (the timing rules are per-block), only the
 dispatch overhead class shrinks.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.core.semantics import SemanticInfo
 from repro.db.tuples import schema
@@ -74,6 +74,19 @@ def test_scheduler_batching(benchmark):
             rows,
             "Sequential scan — batched vs per-page dispatch",
         ),
+    )
+
+    publish_json(
+        "micro_scheduler",
+        {
+            path: {
+                "requests": sched.requests_accepted,
+                "dispatches": sched.dispatches,
+                "blocks": sched.blocks_dispatched,
+                "sim_seconds": seconds,
+            }
+            for path, (sched, seconds) in outcome.items()
+        },
     )
 
     batched, per_page = outcome["batched"][0], outcome["per-page"][0]

@@ -12,6 +12,7 @@ runs.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -45,3 +46,15 @@ def publish(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def publish_json(name: str, payload) -> pathlib.Path:
+    """Persist a machine-readable experiment result under results/.
+
+    CI smoke runs assert that the JSON exists and parses; downstream
+    tooling (regression dashboards, PR descriptions) reads it.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

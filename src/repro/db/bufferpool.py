@@ -50,6 +50,13 @@ class BufferPool:
             else storage_manager.params.read_ahead_pages
         )
         self._frames: OrderedDict[tuple[int, int], Frame] = OrderedDict()
+        # One-entry memo of the most-recently-touched frame: repeat hits on
+        # the same page (index-scan heap fetches, tail-page inserts, batch
+        # runs) skip the OrderedDict machinery.  Invariant: when set, the
+        # memo key IS the pool's MRU entry, so returning it without a
+        # move_to_end leaves the LRU order exactly as it would have been.
+        self._memo_key: tuple[int, int] | None = None
+        self._memo_page: object | None = None
         self.hits = 0
         self.misses = 0
 
@@ -58,10 +65,15 @@ class BufferPool:
     def get_page(self, file: DbFile, pageno: int, sem: SemanticInfo):
         """Fetch one page, charging storage I/O on a miss."""
         key = (file.fileid, pageno)
+        if key == self._memo_key:
+            self.hits += 1
+            return self._memo_page
         frame = self._frames.get(key)
         if frame is not None:
             self.hits += 1
             self._frames.move_to_end(key)
+            self._memo_key = key
+            self._memo_page = frame.page
             return frame.page
         self.misses += 1
         self.storage_manager.read_pages(file, pageno, 1, sem)
@@ -76,22 +88,43 @@ class BufferPool:
         multi-block request per contiguous missing run, which is how a
         sequential scan turns into few large I/O requests.
         """
+        for pages in self.get_range_batches(file, start, count, sem):
+            yield from pages
+
+    def get_range_batches(
+        self, file: DbFile, start: int, count: int, sem: SemanticInfo
+    ):
+        """Yield the pages of ``[start, start+count)`` one window at a time.
+
+        Same requests, hit/miss accounting and LRU behaviour as
+        :meth:`get_range`, but each read-ahead window's pages come back as
+        one list — the vectorized scan path's page source.
+        """
         window = max(self.read_ahead, 1)
         end = start + count
         pos = start
+        frames = self._frames
+        fileid = file.fileid
         while pos < end:
             batch_end = min(pos + window, end)
             self._fault_in_range(file, pos, batch_end, sem)
+            pages = []
+            key = None
             for pageno in range(pos, batch_end):
-                key = (file.fileid, pageno)
-                frame = self._frames.get(key)
+                key = (fileid, pageno)
+                frame = frames.get(key)
                 if frame is None:
                     # Evicted by our own read-ahead (pool smaller than the
                     # window): re-read the single page.
-                    yield self.get_page(file, pageno, sem)
+                    pages.append(self.get_page(file, pageno, sem))
+                    key = None
                 else:
-                    self._frames.move_to_end(key)
-                    yield frame.page
+                    frames.move_to_end(key)
+                    pages.append(frame.page)
+            if key is not None:
+                self._memo_key = key
+                self._memo_page = pages[-1]
+            yield pages
             pos = batch_end
 
     def _fault_in_range(
@@ -155,6 +188,8 @@ class BufferPool:
         keys = [key for key in self._frames if key[0] == file.fileid]
         for key in keys:
             del self._frames[key]
+        if self._memo_key is not None and self._memo_key[0] == file.fileid:
+            self._memo_key = self._memo_page = None
         return len(keys)
 
     def flush_all(self) -> int:
@@ -186,6 +221,7 @@ class BufferPool:
         """Empty the pool (cold-cache experiment resets); flushes first."""
         self.flush_all()
         self._frames.clear()
+        self._memo_key = self._memo_page = None
 
     @property
     def resident_pages(self) -> int:
@@ -200,9 +236,13 @@ class BufferPool:
             existing = self._frames[key]
             existing.dirty = existing.dirty or frame.dirty
             self._frames.move_to_end(key)
+            self._memo_key = key
+            self._memo_page = existing.page
             return
         self._make_room(1)
         self._frames[key] = frame
+        self._memo_key = key
+        self._memo_page = frame.page
 
     def _make_room(self, incoming: int) -> None:
         """Evict enough LRU victims for ``incoming`` new frames at once.
@@ -214,6 +254,7 @@ class BufferPool:
         overflow = len(self._frames) + incoming - self.capacity
         if overflow <= 0:
             return
+        self._memo_key = self._memo_page = None
         victims = []
         for _ in range(overflow):
             if not self._frames:

@@ -81,7 +81,12 @@ class QueryExecution:
             work_mem_rows=db.work_mem_rows,
             levels=levels,
         )
-        self._iterator = plan.execute(self.ctx)
+        self._vectorized = db.vectorized
+        self._iterator = (
+            plan.execute_batch(self.ctx)
+            if self._vectorized
+            else plan.execute(self.ctx)
+        )
 
     @property
     def done(self) -> bool:
@@ -92,18 +97,31 @@ class QueryExecution:
 
         Items are output rows *or* scheduling pulses emitted inside
         blocking operator phases — both count against the quantum, so
-        co-running queries interleave at I/O-ish granularity.
+        co-running queries interleave at I/O-ish granularity.  On the
+        vectorized path a batch counts as its row count, and batches are
+        flattened into the result rows here, at the engine boundary.
         """
         if self.done:
             return False
-        for _ in range(quantum):
+        consumed = 0
+        vectorized = self._vectorized
+        while consumed < quantum:
             try:
-                row = next(self._iterator)
+                item = next(self._iterator)
             except StopIteration:
                 self._finish()
                 return False
-            if self.collect and row is not PULSE:
-                self.rows.append(row)
+            if item is PULSE:
+                consumed += 1
+                continue
+            if vectorized:
+                consumed += len(item) or 1
+                if self.collect:
+                    self.rows.extend(item)
+            else:
+                consumed += 1
+                if self.collect:
+                    self.rows.append(item)
         return True
 
     def run_to_completion(self) -> None:
@@ -143,12 +161,14 @@ class Database:
         work_mem_rows: int = 5000,
         btree_order: int = 128,
         use_trim: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.storage = storage
         self.assignment = assignment
         self.params = params if params is not None else SimulationParameters()
         self.work_mem_rows = work_mem_rows
         self.btree_order = btree_order
+        self.vectorized = vectorized
 
         self.catalog = Catalog()
         self.registry = assignment.registry

@@ -16,7 +16,13 @@ from typing import Callable, Iterator
 
 from repro.db.executor.join import _new_partitions, _route
 from repro.db.exprs import AggSpec, AggState
-from repro.db.plan import PULSE, PULSE_EVERY, ExecutionContext, PlanNode
+from repro.db.plan import (
+    PULSE,
+    PULSE_EVERY,
+    ExecutionContext,
+    PlanNode,
+    chunk_rows,
+)
 
 KeyFn = Callable[[tuple], object]
 GroupProj = Callable[[object, tuple], tuple]
@@ -80,6 +86,51 @@ class HashAggregate(PlanNode):
             for part in partitions:
                 yield from self._aggregate(ctx, part.read_all())
                 part.delete()  # end of this partition's temp lifetime
+
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        groups: dict[object, AggState] = {}
+        partitions = None
+        group_key, aggs = self.group_key, self.aggs
+        work_mem = ctx.work_mem_rows
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            yield PULSE
+            for row in item:
+                key = group_key(row)
+                state = groups.get(key)
+                if state is None:
+                    if partitions is None and len(groups) >= work_mem:
+                        partitions = _new_partitions(ctx)
+                    if partitions is not None:
+                        _route(partitions, group_key, row)
+                        continue
+                    state = groups[key] = AggState(aggs)
+                state.add(row)
+
+        yield from chunk_rows(self._emit(groups))
+        if partitions is not None:
+            for part in partitions:
+                part.finish_writing()
+            for part in partitions:
+                yield from self._aggregate_batches(ctx, part.read_batches())
+                part.delete()
+
+    def _aggregate_batches(self, ctx: ExecutionContext, batches) -> Iterator:
+        groups: dict[object, AggState] = {}
+        group_key = self.group_key
+        for batch in batches:
+            ctx.cpu_tick(len(batch))
+            yield PULSE
+            for row in batch:
+                key = group_key(row)
+                state = groups.get(key)
+                if state is None:
+                    state = groups[key] = AggState(self.aggs)
+                state.add(row)
+        yield from chunk_rows(self._emit(groups))
 
     def _aggregate(self, ctx: ExecutionContext, rows) -> Iterator[tuple]:
         groups: dict[object, AggState] = {}
@@ -154,3 +205,44 @@ class StreamAggregate(PlanNode):
             state.add(row)
         if state is not None:
             yield self.project(current_key, state.results())
+
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        if self.group_key is None:
+            state = AggState(self.aggs)
+            add = state.add
+            seen_any = False
+            for item in self.children[0].execute_batch(ctx):
+                if item is PULSE:
+                    yield PULSE
+                    continue
+                ctx.cpu_tick(len(item))
+                for row in item:
+                    add(row)
+                seen_any = True
+            if seen_any:
+                yield [state.results()]
+            return
+
+        group_key, project = self.group_key, self.project
+        current_key = None
+        state = None
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            out: list[tuple] = []
+            for row in item:
+                key = group_key(row)
+                if state is None or key != current_key:
+                    if state is not None:
+                        out.append(project(current_key, state.results()))
+                    current_key = key
+                    state = AggState(self.aggs)
+                state.add(row)
+            # Flush finished groups per input batch (not across batches):
+            # emissions stay in the same inter-I/O gap as on the row path.
+            if out:
+                yield out
+        if state is not None:
+            yield [project(current_key, state.results())]

@@ -43,6 +43,9 @@ class Hash(PlanNode):
         # HashJoin drives the build through :meth:`build_iter`.
         yield from self.children[0].execute(ctx)
 
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        yield from self.children[0].execute_batch(ctx)
+
     def build_iter(self, ctx: ExecutionContext):
         """Consume the child, yielding pulses; returns the build result.
 
@@ -77,6 +80,49 @@ class Hash(PlanNode):
         table: dict = {}
         for row in rows:
             table.setdefault(self.key(row), []).append(row)
+        return table, None
+
+    def build_iter_batch(self, ctx: ExecutionContext):
+        """Vectorized :meth:`build_iter`: batches in, same build result out.
+
+        Replicates the row path's exact spill boundary (the build spills
+        the moment the buffer holds ``work_mem + 1`` rows) so the grace
+        partitions — and hence the temp-file I/O — are identical.
+        """
+        key = self.key
+        rows: list[tuple] = []
+        spilled: list[SpillFile] | None = None
+        work_mem = ctx.work_mem_rows
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            yield PULSE
+            if spilled is not None:
+                for row in item:
+                    _route(spilled, key, row)
+                continue
+            if len(rows) + len(item) <= work_mem:
+                rows.extend(item)
+                continue
+            for pos, row in enumerate(item):
+                rows.append(row)
+                if len(rows) > work_mem:
+                    spilled = _new_partitions(ctx)
+                    for buffered in rows:
+                        _route(spilled, key, buffered)
+                    rows.clear()
+                    for rest in item[pos + 1:]:
+                        _route(spilled, key, rest)
+                    break
+        if spilled is not None:
+            for part in spilled:
+                part.finish_writing()
+            return None, spilled
+        table: dict = {}
+        for row in rows:
+            table.setdefault(key(row), []).append(row)
         return table, None
 
 
@@ -151,6 +197,58 @@ class HashJoin(PlanNode):
             build_part.delete()
             probe_part.delete()
 
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        table, partitions = yield from self.hash_node.build_iter_batch(ctx)
+        if table is not None:
+            yield from self._join_batches(
+                ctx, self.children[0].execute_batch(ctx), table
+            )
+            return
+        assert partitions is not None
+        probe_parts = _new_partitions(ctx)
+        probe_key = self.probe_key
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            yield PULSE
+            for row in item:
+                _route(probe_parts, probe_key, row)
+        for part in probe_parts:
+            part.finish_writing()
+        build_key = self.hash_node.key
+        for build_part, probe_part in zip(partitions, probe_parts):
+            table = {}
+            for batch in build_part.read_batches():
+                ctx.cpu_tick(len(batch))
+                yield PULSE
+                for row in batch:
+                    table.setdefault(build_key(row), []).append(row)
+            yield from self._join_batches(ctx, probe_part.read_batches(), table)
+            build_part.delete()
+            probe_part.delete()
+
+    def _join_batches(
+        self, ctx: ExecutionContext, probe_batches, table: dict
+    ) -> Iterator:
+        mode, pred, project = self.mode, self.join_pred, self.project
+        probe_key = self.probe_key
+        for item in probe_batches:
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            out: list[tuple] = []
+            for row in item:
+                matches = table.get(probe_key(row), ())
+                if pred is not None:
+                    matches = [m for m in matches if pred(row, m)]
+                _append_matches(out, mode, project, row, matches)
+            if out:
+                yield out
+            yield PULSE
+
     def _join_stream(
         self, ctx: ExecutionContext, probe_rows, table: dict
     ) -> Iterator[tuple]:
@@ -185,6 +283,27 @@ class HashJoin(PlanNode):
                         yield _combine(project, row, match)
                 else:
                     yield _combine(project, row, None)
+
+
+def _append_matches(
+    out: list, mode: str, project: PairProj | None, row: tuple, matches
+) -> None:
+    """Append one probe row's join output to ``out`` (batch paths)."""
+    if mode == "inner":
+        for match in matches:
+            out.append(_combine(project, row, match))
+    elif mode == "semi":
+        if matches:
+            out.append(project(row, matches[0]) if project else row)
+    elif mode == "anti":
+        if not matches:
+            out.append(_combine(project, row, None))
+    else:  # left outer
+        if matches:
+            for match in matches:
+                out.append(_combine(project, row, match))
+        else:
+            out.append(_combine(project, row, None))
 
 
 class NestedLoopIndexJoin(PlanNode):
@@ -247,6 +366,33 @@ class NestedLoopIndexJoin(PlanNode):
                         yield _combine(project, row, match)
                 else:
                     yield _combine(project, row, None)
+
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        mode, pred, project = self.mode, self.join_pred, self.project
+        outer_key, inner = self.outer_key, self.inner
+        probes = 0
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            for row in item:
+                # Every probe is (potential) random I/O: keep the row
+                # path's pulse-every-8-probes cadence inside the batch.
+                probes += 1
+                if probes % 8 == 0:
+                    yield PULSE
+                matches = inner.probe(ctx, outer_key(row))
+                if pred is not None:
+                    matches = [m for m in matches if pred(row, m)]
+                out: list[tuple] = []
+                _append_matches(out, mode, project, row, matches)
+                # One mini-batch per outer row: a downstream random-access
+                # operator (e.g. a stacked NLIJ, as in Q21) must issue its
+                # probe for this row *before* the next probe here, or the
+                # request order would diverge from the row-at-a-time path.
+                if out:
+                    yield out
 
 
 def _combine(project: PairProj | None, left: tuple, right: tuple | None) -> tuple:

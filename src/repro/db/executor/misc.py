@@ -6,7 +6,13 @@ import heapq
 from typing import Callable, Iterator
 
 from repro.db.errors import ExecutionError
-from repro.db.plan import PULSE, PULSE_EVERY, ExecutionContext, PlanNode
+from repro.db.plan import (
+    PULSE,
+    PULSE_EVERY,
+    ExecutionContext,
+    PlanNode,
+    chunk_rows,
+)
 
 
 class Filter(PlanNode):
@@ -27,6 +33,17 @@ class Filter(PlanNode):
             if pred(row):
                 yield row
 
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        pred = self.pred
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            out = [row for row in item if pred(row)]
+            if out:
+                yield out
+
 
 class Project(PlanNode):
     """Row projection / expression evaluation."""
@@ -45,9 +62,26 @@ class Project(PlanNode):
             ctx.cpu_tick()
             yield fn(row)
 
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        fn = self.fn
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            yield [fn(row) for row in item]
+
 
 class Limit(PlanNode):
-    """First-N rows."""
+    """First-N rows.
+
+    No native ``execute_batch``: truncation is inherently row-at-a-time —
+    the row path stops pulling (and stops charging CPU) at exactly the
+    n-th output row, while a batch-granular child would have charged for
+    the whole final batch before Limit could truncate it.  The default
+    mini-batch adapter runs the subtree on the row path, keeping the
+    simulated-results invariant exact.
+    """
 
     def __init__(self, child: PlanNode, n: int, label: str | None = None) -> None:
         if n < 0:
@@ -104,6 +138,20 @@ class TopN(PlanNode):
         pick = heapq.nlargest if self.reverse else heapq.nsmallest
         yield from pick(self.n, rows, key=self.key)
 
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        rows: list[tuple] = []
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            rows.extend(item)
+            yield PULSE
+        pick = heapq.nlargest if self.reverse else heapq.nsmallest
+        top = pick(self.n, rows, key=self.key)
+        if top:
+            yield top
+
 
 class Materialize(PlanNode):
     """In-memory materialisation of a small input (rescannable).
@@ -130,6 +178,17 @@ class Materialize(PlanNode):
                 rows.append(row)
             self._rows = rows
         yield from self._rows
+
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        if self._rows is None:
+            rows: list[tuple] = []
+            for item in self.children[0].execute_batch(ctx):
+                if item is PULSE:
+                    yield PULSE
+                    continue
+                rows.extend(item)
+            self._rows = rows
+        yield from chunk_rows(self._rows)
 
     def reset(self) -> None:
         self._rows = None

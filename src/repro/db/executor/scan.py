@@ -41,6 +41,19 @@ class SeqScan(PlanNode):
                 continue
             yield project(row) if project is not None else row
 
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        sem = SemanticInfo.table_scan(self.relation.oid, query_id=ctx.query_id)
+        pred, project = self.pred, self.project
+        for batch in self.relation.heap.scan_batches(ctx.pool, sem):
+            ctx.cpu_tick(len(batch))
+            if pred is not None:
+                batch = [row for row in batch if pred(row)]
+            if project is not None:
+                batch = [project(row) for row in batch]
+            if batch:
+                yield batch
+            yield PULSE
+
 
 class IndexScan(PlanNode):
     """B+tree range/point scan plus (optionally) heap fetches.
@@ -49,6 +62,11 @@ class IndexScan(PlanNode):
     issued by this operator, at the operator's effective plan level — the
     paper's "requests to access a table and its corresponding index are
     all random" (Section 4.2.2).
+
+    No native ``execute_batch``: every emitted row sits between this
+    operator's own random reads (btree descent, heap fetch), so the
+    vectorized path must stay row-granular to keep the request order
+    identical — exactly what the default mini-batch adapter does.
     """
 
     def __init__(

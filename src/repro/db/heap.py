@@ -14,6 +14,26 @@ Rid = tuple[int, int]
 """Row identifier: (page number, slot)."""
 
 
+def iter_page_row_batches(
+    pool: BufferPool, file: DbFile, sem: SemanticInfo
+) -> Iterator[list]:
+    """Scan a page file yielding one batch (list of live rows) per page.
+
+    The vectorized scan loop shared by heap files and spill files: pages
+    arrive one read-ahead window at a time (same requests, in the same
+    order, as a row-at-a-time `get_range` scan), each page's live rows
+    come back as a fresh list, and all-tombstone pages are skipped.
+    """
+    npages = file.num_pages
+    if npages == 0:
+        return
+    for pages in pool.get_range_batches(file, 0, npages, sem):
+        for page in pages:
+            batch = page.live_row_list()
+            if batch:
+                yield batch
+
+
 class HeapFile:
     """Rows of one relation, packed into fixed-capacity heap pages."""
 
@@ -61,6 +81,15 @@ class HeapFile:
         for pageno, page in enumerate(pool.get_range(self.file, 0, npages, sem)):
             for slot, row in page.live_rows():
                 yield (pageno, slot), row
+
+    def scan_batches(self, pool: BufferPool, sem: SemanticInfo) -> Iterator[list]:
+        """Sequential scan yielding one batch (list of live rows) per page.
+
+        Same page requests in the same order as :meth:`scan` — whole-page
+        row batches come straight off ``HeapPage.rows`` (copied, filtered
+        only when the page has tombstones) without per-row generator hops.
+        """
+        yield from iter_page_row_batches(pool, self.file, sem)
 
     def fetch(self, pool: BufferPool, rid: Rid, sem: SemanticInfo):
         """Random row fetch by rid; None if the slot was deleted."""

@@ -26,15 +26,20 @@ class FileKind(enum.Enum):
 
 
 class HeapPage:
-    """A slotted page holding whole rows; deleted slots become ``None``."""
+    """A slotted page holding whole rows; deleted slots become ``None``.
 
-    __slots__ = ("rows", "capacity")
+    ``num_deleted`` counts tombstoned slots so scans can skip the per-row
+    liveness check on the (overwhelmingly common) pages without deletions.
+    """
+
+    __slots__ = ("rows", "capacity", "num_deleted")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise StorageLayoutError("page capacity must be >= 1 row")
         self.capacity = capacity
         self.rows: list = []
+        self.num_deleted = 0
 
     @property
     def full(self) -> bool:
@@ -57,14 +62,24 @@ class HeapPage:
         """Tombstone a slot; True if a live row was deleted."""
         if 0 <= slot < len(self.rows) and self.rows[slot] is not None:
             self.rows[slot] = None
+            self.num_deleted += 1
             return True
         return False
 
     def live_rows(self) -> Iterator[tuple[int, tuple]]:
         """(slot, row) pairs for non-deleted rows."""
+        if self.num_deleted == 0:
+            yield from enumerate(self.rows)
+            return
         for slot, row in enumerate(self.rows):
             if row is not None:
                 yield slot, row
+
+    def live_row_list(self) -> list:
+        """All live rows of the page as a fresh list (one row batch)."""
+        if self.num_deleted == 0:
+            return self.rows[:]
+        return [row for row in self.rows if row is not None]
 
 
 class DbFile:

@@ -46,12 +46,39 @@ class _Pulse:
 PULSE = _Pulse()
 
 PULSE_EVERY = 256
-"""Items processed between pulses inside heavy operator loops."""
+"""Items processed between pulses inside heavy operator loops
+(row-at-a-time path; the vectorized path pulses once per batch)."""
+
+VECTOR_SIZE = 1024
+"""Target rows per batch on the vectorized path.
+
+Operators that produce rows from an in-memory source (index scans, sorts,
+aggregate emission) chunk their output at this size; page-backed scans use
+the natural heap-page capacity instead.  Batches are plain lists of row
+tuples, treated as immutable by convention: an operator must never mutate
+a batch it received — it builds a new list (or passes the old one along).
+"""
 
 
 def rows_only(items):
     """Filter pulses out of an operator's output stream."""
     return (item for item in items if item is not PULSE)
+
+
+def chunk_rows(rows, size: int = VECTOR_SIZE):
+    """Group an in-memory row sequence into batches of ``size`` rows."""
+    if isinstance(rows, list):
+        for start in range(0, len(rows), size):
+            yield rows[start:start + size]
+        return
+    batch: list = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 @dataclass
@@ -72,14 +99,25 @@ class ExecutionContext:
         return self.levels.get(id(node), 0)
 
     def cpu_tick(self, tuples: int = 1) -> None:
-        """Charge modelled CPU time for processed tuples (batched)."""
-        self._pending_cpu_tuples += tuples
-        if self._pending_cpu_tuples >= _CPU_FLUSH_TUPLES:
-            self.flush_cpu()
+        """Charge modelled CPU time for processed tuples (batched).
+
+        Time reaches the clock in whole ``_CPU_FLUSH_TUPLES`` chunks with
+        the remainder carried over, so ``cpu_tick(n)`` emits bit-for-bit
+        the same clock advances as ``n`` single-tuple ticks — the
+        vectorized executor's per-batch charging stays exactly on the
+        row-at-a-time path's CPU-time model.
+        """
+        pending = self._pending_cpu_tuples + tuples
+        if pending >= _CPU_FLUSH_TUPLES:
+            chunk_seconds = _CPU_FLUSH_TUPLES * self.params.cpu_s_per_tuple
+            while pending >= _CPU_FLUSH_TUPLES:
+                self.clock.advance_cpu(chunk_seconds)
+                pending -= _CPU_FLUSH_TUPLES
+        self._pending_cpu_tuples = pending
 
     def flush_cpu(self) -> None:
         if self._pending_cpu_tuples:
-            self.clock.advance(
+            self.clock.advance_cpu(
                 self._pending_cpu_tuples * self.params.cpu_s_per_tuple
             )
             self._pending_cpu_tuples = 0
@@ -100,6 +138,20 @@ class PlanNode:
 
     def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def execute_batch(self, ctx: ExecutionContext) -> Iterator:
+        """Vectorized execution: yields row batches (lists) and pulses.
+
+        The built-in operators override this with native batch loops; this
+        default adapts any row-at-a-time :meth:`execute` (custom nodes,
+        refresh streams) so a plan mixing both styles still runs under a
+        vectorized engine.  It forwards one-row mini-batches rather than
+        accumulating: ``execute`` may perform I/O between rows, and
+        regrouping across such a boundary would reorder a downstream
+        operator's requests relative to the row path.
+        """
+        for item in self.execute(ctx):
+            yield item if item is PULSE else [item]
 
     def random_refs(self, level: int) -> list[RandomOperatorRef]:
         """(oid, level) pairs this operator contributes to Rule 5's registry."""

@@ -20,6 +20,7 @@ from typing import Iterator
 from repro.core.semantics import SemanticInfo
 from repro.db.bufferpool import BufferPool
 from repro.db.errors import ExecutionError
+from repro.db.heap import iter_page_row_batches
 from repro.db.pages import DbFile, FileKind, HeapPage
 from repro.db.storage_manager import StorageManager
 
@@ -84,6 +85,19 @@ class SpillFile:
         for page in pool.get_range(self.file, 0, npages, sem):
             for _, row in page.live_rows():
                 yield row
+
+    def read_batches(self) -> Iterator[list]:
+        """Batched consumption stream: one list of rows per temp page.
+
+        Same page requests as :meth:`read_all`; the vectorized operators
+        use this to rebuild spill partitions without per-row iteration.
+        """
+        if self._deleted:
+            raise ExecutionError("read of a deleted spill file")
+        if self._writing:
+            self.finish_writing()
+        sem = SemanticInfo.temp_data(oid=self.file.oid, query_id=self.query_id)
+        yield from iter_page_row_batches(self._manager.pool, self.file, sem)
 
     # --------------------------------------------------------------- cleanup
 

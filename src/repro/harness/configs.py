@@ -69,6 +69,9 @@ class StorageConfig:
     work_mem_rows: int = 5000
     btree_order: int = 128
     use_trim: bool = True
+    vectorized: bool = True
+    """Batch-at-a-time execution (the default); ``False`` selects the
+    row-at-a-time reference path — simulated results are identical."""
     hot_tier_blocks: int = 0
     """NVMe (HOT) tier capacity for the ``tier3`` kind; 0 sizes it to a
     quarter of ``cache_blocks``."""
@@ -152,6 +155,7 @@ def build_database(config: StorageConfig) -> Database:
         work_mem_rows=config.work_mem_rows,
         btree_order=config.btree_order,
         use_trim=config.use_trim,
+        vectorized=config.vectorized,
     )
 
 

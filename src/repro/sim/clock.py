@@ -16,18 +16,27 @@ from __future__ import annotations
 
 
 class SimClock:
-    """Monotonically increasing simulated clock (seconds, float)."""
+    """Monotonically increasing simulated clock (seconds, float).
 
-    __slots__ = ("_now", "_background")
+    Foreground time is kept in two accumulators — I/O service time
+    (:meth:`advance`) and modelled CPU time (:meth:`advance_cpu`) — summed
+    on read.  Keeping them separate makes ``now`` independent of how CPU
+    charges interleave with I/O charges, which is what lets the vectorized
+    executor regroup per-row CPU work into batches while producing
+    bit-identical simulated timings (DESIGN.md §7).
+    """
+
+    __slots__ = ("_now", "_cpu", "_background")
 
     def __init__(self) -> None:
         self._now = 0.0
+        self._cpu = 0.0
         self._background = 0.0
 
     @property
     def now(self) -> float:
         """Current foreground simulated time in seconds."""
-        return self._now
+        return self._now + self._cpu
 
     @property
     def background(self) -> float:
@@ -35,10 +44,16 @@ class SimClock:
         return self._background
 
     def advance(self, seconds: float) -> None:
-        """Advance foreground time; ``seconds`` must be non-negative."""
+        """Advance foreground I/O time; ``seconds`` must be non-negative."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
         self._now += seconds
+
+    def advance_cpu(self, seconds: float) -> None:
+        """Advance foreground modelled-CPU time (separate accumulator)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._cpu += seconds
 
     def charge_background(self, seconds: float) -> None:
         """Account asynchronous device time (not on the critical path)."""
@@ -48,12 +63,13 @@ class SimClock:
 
     def elapsed_since(self, start: float) -> float:
         """Foreground seconds elapsed since a previously sampled ``now``."""
-        return self._now - start
+        return self.now - start
 
     def reset(self) -> None:
-        """Zero both accumulators (used between independent experiments)."""
+        """Zero all accumulators (used between independent experiments)."""
         self._now = 0.0
+        self._cpu = 0.0
         self._background = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now:.6f}, background={self._background:.6f})"
+        return f"SimClock(now={self.now:.6f}, background={self._background:.6f})"

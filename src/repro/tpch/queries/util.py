@@ -78,3 +78,20 @@ class ScalarThresholdFilter(PlanNode):
             ctx.cpu_tick()
             if pred(row, scalar):
                 yield row
+
+    def execute_batch(self, ctx: ExecutionContext):
+        scalar = None
+        for item in self.children[1].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+            elif scalar is None:
+                scalar = item[0][0]
+        pred = self.pred
+        for item in self.children[0].execute_batch(ctx):
+            if item is PULSE:
+                yield PULSE
+                continue
+            ctx.cpu_tick(len(item))
+            out = [row for row in item if pred(row, scalar)]
+            if out:
+                yield out

@@ -61,6 +61,37 @@ class TestReadPath:
         assert stats.total.requests == 2
         assert stats.total.blocks == 4
 
+    def test_repeat_hit_memo_counts_and_preserves_lru(self, db, file):
+        for pageno in range(8):  # fill the pool; LRU order 0..7
+            db.pool.get_page(file, pageno, SEM)
+        hits = db.pool.hits
+        for _ in range(3):  # memoized repeat access of the MRU page
+            db.pool.get_page(file, 7, SEM)
+        assert db.pool.hits == hits + 3
+        db.pool.get_page(file, 0, SEM)  # page 0 back to MRU (LRU is now 1)
+        db.pool.get_page(file, 0, SEM)  # memo hit
+        db.pool.get_page(file, 20, SEM)  # one eviction needed
+        assert (file.fileid, 1) not in db.pool._frames
+        assert (file.fileid, 0) in db.pool._frames
+        assert (file.fileid, 7) in db.pool._frames
+
+    def test_memo_invalidated_by_other_accesses(self, db, file):
+        for pageno in range(8):  # fill the pool; LRU order 0..7
+            db.pool.get_page(file, pageno, SEM)
+        db.pool.get_page(file, 0, SEM)  # memo now holds page 0
+        db.pool.get_page(file, 1, SEM)  # page 1 becomes MRU instead
+        db.pool.get_page(file, 0, SEM)  # stale memo must not skip the move
+        db.pool.get_page(file, 20, SEM)  # evicts the LRU — page 2
+        assert (file.fileid, 2) not in db.pool._frames
+        assert (file.fileid, 0) in db.pool._frames
+        assert (file.fileid, 1) in db.pool._frames
+
+    def test_get_range_batches_matches_get_range(self, db, file):
+        windows = list(db.pool.get_range_batches(file, 0, 20, SEM))
+        flat = [page for window in windows for page in window]
+        db.pool.clear()
+        assert flat == list(db.pool.get_range(file, 0, 20, SEM))
+
 
 class TestWritePath:
     def test_dirty_eviction_writes_back_as_update(self, db, file):

@@ -129,8 +129,15 @@ class TestCpuAccounting:
         before = db.clock.now
         ctx.cpu_tick(10_000)  # above the flush threshold
         assert db.clock.now > before
-        expected = 10_000 * db.params.cpu_s_per_tuple
+        # Whole flush-chunks reach the clock; the remainder stays pending
+        # (so a bulk tick advances exactly like 10_000 single ticks).
+        flushed = (10_000 // 512) * 512
+        expected = flushed * db.params.cpu_s_per_tuple
         assert db.clock.now - before == pytest.approx(expected)
+        ctx.flush_cpu()
+        assert db.clock.now - before == pytest.approx(
+            10_000 * db.params.cpu_s_per_tuple
+        )
 
     def test_flush_cpu_drains_remainder(self):
         from repro.db.plan import ExecutionContext

@@ -58,6 +58,41 @@ class TestBulkLoadAndScan:
         assert list(rel.heap.scan(db.pool, scan_sem(rel))) == []
 
 
+class TestScanBatches:
+    def test_batches_match_row_scan(self, db, table):
+        rows = [r for _, r in table.heap.scan(db.pool, scan_sem(table))]
+        batches = list(table.heap.scan_batches(db.pool, scan_sem(table)))
+        assert [row for batch in batches for row in batch] == rows
+        # One batch per heap page.
+        assert len(batches) == table.heap.num_pages
+
+    def test_batches_skip_tombstones(self, db, table):
+        deleted = [(0, 0), (0, 1), (1, 3)]
+        for rid in deleted:
+            table.heap.delete(db.pool, rid, upd_sem(table))
+        rows = [r for _, r in table.heap.scan(db.pool, scan_sem(table))]
+        flat = [
+            row
+            for batch in table.heap.scan_batches(db.pool, scan_sem(table))
+            for row in batch
+        ]
+        assert flat == rows
+        assert len(flat) == 500 - len(deleted)
+
+    def test_batches_charge_same_io_as_row_scan(self, db, table):
+        db.reset_measurements()
+        list(table.heap.scan_batches(db.pool, scan_sem(table)))
+        batched = db.storage.stats.overall.total.requests
+        db.pool.clear()
+        db.reset_measurements()
+        list(table.heap.scan(db.pool, scan_sem(table)))
+        assert db.storage.stats.overall.total.requests == batched
+
+    def test_empty_table_yields_nothing(self, db):
+        rel = db.create_table("empty", schema(("x", "int")))
+        assert list(rel.heap.scan_batches(db.pool, scan_sem(rel))) == []
+
+
 class TestFetch:
     def test_fetch_by_rid(self, db, table):
         rid = (2, 3)  # page 2, slot 3

@@ -40,6 +40,35 @@ class TestHeapPage:
         page.delete(s)
         assert [row for _, row in page.live_rows()] == [("a",), ("c",)]
 
+    def test_num_deleted_tracks_tombstones(self):
+        page = HeapPage(4)
+        a = page.append(("a",))
+        b = page.append(("b",))
+        assert page.num_deleted == 0
+        page.delete(a)
+        assert page.num_deleted == 1
+        page.delete(a)  # double delete does not double count
+        assert page.num_deleted == 1
+        page.delete(b)
+        assert page.num_deleted == 2
+
+    def test_live_row_list_clean_page_is_copy(self):
+        page = HeapPage(4)
+        page.append(("a",))
+        page.append(("b",))
+        batch = page.live_row_list()
+        assert batch == [("a",), ("b",)]
+        batch.append(("c",))  # mutating the batch must not touch the page
+        assert page.rows == [("a",), ("b",)]
+
+    def test_live_row_list_filters_tombstones(self):
+        page = HeapPage(4)
+        page.append(("a",))
+        s = page.append(("b",))
+        page.append(("c",))
+        page.delete(s)
+        assert page.live_row_list() == [("a",), ("c",)]
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(StorageLayoutError):
             HeapPage(0)

@@ -1,0 +1,191 @@
+"""Differential tests: vectorized vs row-at-a-time execution.
+
+The vectorization invariant (ISSUE 2, DESIGN.md §7): batch-at-a-time
+execution changes only real wall-clock time.  The simulated world —
+request counts per type, blocks, buffer-pool hit/miss accounting, the
+final simulated clock and the result rows — must be bit-identical to the
+row-at-a-time reference path (``vectorized=False``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.executor import (
+    Hash,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    SeqScan,
+    Sort,
+)
+from repro.db.exprs import agg_count, agg_sum
+from repro.db.tuples import schema
+from repro.tpch.datagen import generate
+from repro.tpch.queries import query_builder
+from repro.tpch.workload import load_tpch
+from tests.helpers import make_database
+
+SCALE = 0.08
+
+
+def _trace_requests(db):
+    """Record every request reaching storage, in submission order."""
+    log = []
+    original = db.storage.submit
+
+    def spy(request):
+        log.append(
+            (request.op.name, request.lba, request.nblocks,
+             request.rtype.name, request.policy, request.segments)
+        )
+        return original(request)
+
+    db.storage.submit = spy
+    return log
+
+
+def _snapshot(db, result):
+    """Everything about a run that vectorization must not change."""
+    overall = db.storage.stats.overall
+    return {
+        "rows": result.rows,
+        "sim_seconds": result.sim_seconds,
+        "clock_now": db.clock.now,
+        "clock_background": db.clock.background,
+        "total_requests": overall.total.requests,
+        "total_blocks": overall.total.blocks,
+        "by_type": {
+            rtype.name: (counts.requests, counts.blocks)
+            for rtype, counts in sorted(
+                overall.by_type.items(), key=lambda kv: kv[0].name
+            )
+        },
+        "pool_hits": db.pool.hits,
+        "pool_misses": db.pool.misses,
+        "temp_created": db.temp.created,
+    }
+
+
+def _run_both(make_db, plan_builder, label):
+    """Run one plan on two identical databases, one per execution mode.
+
+    Each snapshot carries the full ordered request trace: the invariant
+    is *same requests in the same order* (DESIGN.md §7), not merely the
+    same totals.
+    """
+    snaps = {}
+    for vectorized in (False, True):
+        db = make_db(vectorized)
+        trace = _trace_requests(db)
+        result = db.run_query(plan_builder, label=label)
+        snaps[vectorized] = _snapshot(db, result)
+        snaps[vectorized]["request_trace"] = trace
+    return snaps[False], snaps[True]
+
+
+class TestTPCHDifferential:
+    """One representative TPC-H query under both execution paths."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate(scale=SCALE, seed=7)
+
+    def _make_db(self, data, vectorized):
+        db = make_database(
+            cache_blocks=512,
+            bufferpool_pages=48,
+            work_mem_rows=400,
+            btree_order=64,
+            vectorized=vectorized,
+        )
+        load_tpch(db, data=data)
+        db.reset_measurements()
+        return db
+
+    def test_q3_identical_simulation(self, data):
+        row_snap, vec_snap = _run_both(
+            lambda v: self._make_db(data, v), query_builder(3), "Q3"
+        )
+        assert vec_snap == row_snap
+
+    def test_q1_identical_simulation(self, data):
+        row_snap, vec_snap = _run_both(
+            lambda v: self._make_db(data, v), query_builder(1), "Q1"
+        )
+        assert vec_snap == row_snap
+
+
+class TestSpillDifferential:
+    """Grace hash join + external sort + agg spill under both paths."""
+
+    ROWS = 3000
+
+    def _make_db(self, vectorized):
+        db = make_database(
+            cache_blocks=256,
+            bufferpool_pages=24,
+            work_mem_rows=150,  # far below ROWS: every blocking op spills
+            vectorized=vectorized,
+        )
+        t = db.create_table("t", schema(("k", "int"), ("v", "int")))
+        t.heap.bulk_load((i % 97, i) for i in range(self.ROWS))
+        db.reset_measurements()
+        return db
+
+    @staticmethod
+    def _spill_plan(db):
+        rel = db.catalog.relation("t")
+        join = HashJoin(
+            SeqScan(rel),
+            Hash(SeqScan(rel, project=lambda r: (r[0], r[1] % 7)),
+                 key=lambda r: r[0]),
+            probe_key=lambda r: r[0],
+            project=lambda a, b: (a[0], a[1], b[1]),
+        )
+        agg = HashAggregate(
+            join,
+            group_key=lambda r: (r[0], r[2]),
+            aggs=[agg_sum(lambda r: r[1]), agg_count()],
+        )
+        return Sort(agg, key=lambda r: (r[0], r[1]))
+
+    def test_spilling_plan_identical_simulation(self):
+        row_snap, vec_snap = _run_both(
+            self._make_db, self._spill_plan, "spill"
+        )
+        assert row_snap["temp_created"] > 0  # the plan really spilled
+        assert vec_snap == row_snap
+
+
+class TestLimitDifferential:
+    """Truncation over a *streaming* child: the row path stops pulling —
+    and stops charging upstream CPU — at exactly the n-th row, so Limit
+    must run its subtree row-granular to stay bit-identical."""
+
+    def _make_db(self, vectorized):
+        db = make_database(vectorized=vectorized)
+        t = db.create_table("t", schema(("k", "int"), ("v", "int")))
+        t.heap.bulk_load((i, i * 2) for i in range(2000))
+        db.reset_measurements()
+        return db
+
+    def test_limit_over_streaming_scan_identical_simulation(self):
+        row_snap, vec_snap = _run_both(
+            self._make_db,
+            lambda db: Limit(
+                SeqScan(db.catalog.relation("t"), pred=lambda r: r[0] % 3 == 0),
+                n=17,
+            ),
+            "limit",
+        )
+        assert len(row_snap["rows"]) == 17
+        assert vec_snap == row_snap
+
+
+class TestVectorizedDefault:
+    def test_engine_vectorized_by_default(self):
+        assert make_database().vectorized is True
+
+    def test_flag_reaches_engine(self):
+        assert make_database(vectorized=False).vectorized is False
