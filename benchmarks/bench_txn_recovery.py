@@ -1,0 +1,157 @@
+"""Transaction benchmark: commit throughput and recovery time vs log length.
+
+Two measurements of the new subsystem (ISSUE 3):
+
+* **commit throughput** — batches of point-insert transactions against a
+  WAL-enabled database; reported in simulated commits/second (the log
+  force is synchronous, so this prices the write-buffer log path) and
+  host seconds for the record;
+* **recovery time vs log length** — workloads of increasing transaction
+  counts are crashed at their final WAL position and recovered; recovery
+  cost (simulated seconds, host seconds, redo counts) is reported per
+  log length, which should scale roughly linearly.
+
+Results go to results/txn_recovery.{txt,json}; the JSON is also written
+to the repo root as ``BENCH_PR3.json`` (the PR's trajectory artifact).
+``REPRO_BENCH_SCALE`` shrinks the workloads for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import publish, publish_json
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.tuples import schema
+from repro.db.txn import recover, simulate_crash
+from repro.harness.configs import build_database, hstorage_config
+from repro.harness.report import format_table
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+COMMIT_TXNS = max(50, int(400 * BENCH_SCALE))
+ROWS_PER_TXN = 4
+RECOVERY_TXN_COUNTS = tuple(
+    max(10, int(n * BENCH_SCALE)) for n in (50, 100, 200, 400)
+)
+TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_PR3.json"
+
+
+def _fresh_db(pool_pages: int = 64):
+    db = build_database(
+        hstorage_config(cache_blocks=2048, bufferpool_pages=pool_pages)
+    )
+    rel = db.create_table("t", schema(("k", "int"), ("pad", "str", 16)))
+    rel.heap.bulk_load((i, "x" * 16) for i in range(2000))
+    db.create_index("t_k", "t", "k")
+    db.enable_wal()
+    db.reset_measurements()
+    return db, rel
+
+
+def _run_txns(db, rel, n_txns: int, start_key: int = 10_000) -> None:
+    ix = rel.indexes[0]
+    sem = SemanticInfo.update(ContentType.TABLE, rel.oid)
+    isem = SemanticInfo.update(ContentType.INDEX, ix.oid)
+    key = start_key
+    for _ in range(n_txns):
+        with db.begin() as txn:
+            for _ in range(ROWS_PER_TXN):
+                rid = rel.heap.insert(db.pool, (key, "y" * 16), sem, txn=txn)
+                ix.btree.insert(db.pool, key, rid, isem, txn=txn)
+                key += 1
+
+
+def _bench_commits() -> dict:
+    db, rel = _fresh_db()
+    sim_start = db.clock.now
+    host_start = time.perf_counter()
+    _run_txns(db, rel, COMMIT_TXNS)
+    host_seconds = time.perf_counter() - host_start
+    sim_seconds = db.clock.now - sim_start
+    mgr = db.txn_manager
+    return {
+        "transactions": COMMIT_TXNS,
+        "rows_per_txn": ROWS_PER_TXN,
+        "sim_seconds": sim_seconds,
+        "host_seconds": host_seconds,
+        "sim_commits_per_second": COMMIT_TXNS / sim_seconds,
+        "log_records": mgr.wal.last_lsn,
+        "log_forces": mgr.wal.flushes,
+    }
+
+
+def _bench_recovery() -> list[dict]:
+    entries = []
+    for n_txns in RECOVERY_TXN_COUNTS:
+        db, rel = _fresh_db(pool_pages=16)  # small pool: steal traffic too
+        _run_txns(db, rel, n_txns)
+        mgr = db.txn_manager
+        history = mgr.capture_history()
+        simulate_crash(db, history=history)
+        host_start = time.perf_counter()
+        report = recover(db)
+        host_seconds = time.perf_counter() - host_start
+        entries.append(
+            {
+                "transactions": n_txns,
+                "log_records": history.last_lsn,
+                "recovery_sim_seconds": report.sim_seconds,
+                "recovery_host_seconds": host_seconds,
+                "redo_applied": report.redo_applied,
+                "redo_skipped": report.redo_skipped,
+                "undo_applied": report.undo_applied,
+            }
+        )
+    return entries
+
+
+def test_txn_recovery(benchmark):
+    def experiment():
+        return {"commits": _bench_commits(), "recovery": _bench_recovery()}
+
+    outcome = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    commits = outcome["commits"]
+    recovery = outcome["recovery"]
+
+    publish(
+        "txn_recovery",
+        format_table(
+            ["txns", "log records", "recovery sim (s)", "redo", "undone"],
+            [
+                [
+                    e["transactions"],
+                    e["log_records"],
+                    f"{e['recovery_sim_seconds']:.4f}",
+                    e["redo_applied"],
+                    e["undo_applied"],
+                ]
+                for e in recovery
+            ],
+            "Recovery time vs log length "
+            f"(commit throughput: {commits['sim_commits_per_second']:.0f} "
+            "commits/sim-second)",
+        ),
+    )
+    publish_json("txn_recovery", outcome)
+    TRAJECTORY_PATH.write_text(
+        json.dumps(outcome, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Sanity gates: every commit forced the log and all loser-free
+    # recoveries redo work proportional to the log.  The strict
+    # monotonicity of recovery time vs log length only holds once the
+    # workload dwarfs recovery's fixed costs — shrunken smoke runs
+    # (REPRO_BENCH_SCALE < 1) check the weaker end-to-end ordering.
+    assert commits["log_forces"] >= commits["transactions"]
+    assert all(e["undo_applied"] == 0 for e in recovery)
+    sims = [e["recovery_sim_seconds"] for e in recovery]
+    assert sims[-1] >= sims[0], "recovery time must grow with log length"
+    if BENCH_SCALE >= 1.0:
+        assert sims == sorted(sims), (
+            "recovery time must grow monotonically with log length"
+        )

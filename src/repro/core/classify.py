@@ -20,6 +20,11 @@ def classify(sem: SemanticInfo, op: IOOp) -> RequestType:
     """
     if op is IOOp.TRIM or sem.is_delete:
         return RequestType.TRIM_TEMP
+    if sem.content_type is ContentType.LOG:
+        # Transaction-log data keeps its identity in both directions: WAL
+        # flushes are the write-buffer stream of the paper's Table 3, and
+        # recovery's sequential log scan is reported under the same class.
+        return RequestType.LOG
     if sem.content_type is ContentType.TEMP:
         return (
             RequestType.TEMP_WRITE if op is IOOp.WRITE else RequestType.TEMP_READ

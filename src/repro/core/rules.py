@@ -26,6 +26,13 @@ synchronously.
 
 Rule 5  — under concurrency, random requests to a shared object take the
 highest priority any running query would give it, via the global registry.
+
+Beyond the five query rules, the paper's policy table (Table 3) assigns
+*transaction log data* the write-buffer policy — the strongest treatment
+in the system.  WAL flushes therefore classify as ``RequestType.LOG`` and
+map to the write buffer; recovery's sequential log reads share the class
+but take the non-caching sequential policy (a one-pass stream must not
+displace cached data).
 """
 
 from __future__ import annotations
@@ -46,6 +53,14 @@ def assign_policy(
     """Map one request's semantics to (QoS policy, request type)."""
     rtype = classify(sem, op)
 
+    if rtype is RequestType.LOG:
+        # Table 3: transaction log *writes* get the strongest policy in
+        # the system — the write buffer — so commits never wait on the
+        # HDD.  Recovery's sequential log reads are one-pass streams; like
+        # Rule 1 traffic they must not displace cached data.
+        if op is IOOp.WRITE:
+            return policy_set.update_policy(), rtype
+        return policy_set.sequential_policy(), rtype
     if rtype is RequestType.TRIM_TEMP:
         return policy_set.eviction_policy(), rtype  # Rule 3 (lifetime end)
     if rtype in (RequestType.TEMP_READ, RequestType.TEMP_WRITE):

@@ -26,6 +26,9 @@ class ContentType(enum.Enum):
     TABLE = "table"
     INDEX = "index"
     TEMP = "temp"
+    LOG = "log"
+    """Transaction-log data — the stream the paper's policy table gives
+    the strongest treatment in the system (write-buffer, Table 3)."""
 
 
 class AccessPattern(enum.Enum):
@@ -104,6 +107,31 @@ class SemanticInfo:
             oid=oid,
             query_id=query_id,
             is_delete=True,
+        )
+
+    @classmethod
+    def log_write(
+        cls, oid: int | None = None, query_id: int | None = None
+    ) -> "SemanticInfo":
+        """A write-ahead-log flush (sequential append; write-buffer QoS)."""
+        return cls(
+            content_type=ContentType.LOG,
+            pattern=AccessPattern.SEQUENTIAL,
+            oid=oid,
+            query_id=query_id,
+            is_update=True,
+        )
+
+    @classmethod
+    def log_read(
+        cls, oid: int | None = None, query_id: int | None = None
+    ) -> "SemanticInfo":
+        """A recovery-time sequential scan of the write-ahead log."""
+        return cls(
+            content_type=ContentType.LOG,
+            pattern=AccessPattern.SEQUENTIAL,
+            oid=oid,
+            query_id=query_id,
         )
 
     @classmethod

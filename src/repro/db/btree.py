@@ -13,7 +13,7 @@ RF2's delete volume is far too small to unbalance the tree.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.semantics import SemanticInfo
 from repro.db.bufferpool import BufferPool
@@ -21,11 +21,20 @@ from repro.db.errors import StorageLayoutError
 from repro.db.heap import Rid
 from repro.db.pages import DbFile
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.txn.manager import Transaction
+
 
 class BTreeNode:
-    """One node page.  Leaves hold (key, rid); internals hold separators."""
+    """One node page.  Leaves hold (key, rid); internals hold separators.
 
-    __slots__ = ("leaf", "keys", "rids", "children", "next_leaf")
+    ``page_lsn`` mirrors :class:`~repro.db.pages.HeapPage.page_lsn`: the
+    LSN of the last logged index operation that touched this node, used by
+    the buffer pool's flush-respects-WAL protocol (index redo itself is
+    logical — see DESIGN.md §8).
+    """
+
+    __slots__ = ("leaf", "keys", "rids", "children", "next_leaf", "page_lsn")
 
     def __init__(self, leaf: bool) -> None:
         self.leaf = leaf
@@ -33,6 +42,7 @@ class BTreeNode:
         self.rids: list[Rid] = []  # leaves only
         self.children: list[int] = []  # internals only: child page numbers
         self.next_leaf: int | None = None
+        self.page_lsn = 0
 
 
 class BTree:
@@ -150,8 +160,21 @@ class BTree:
 
     # -------------------------------------------------------------- mutation
 
-    def insert(self, pool: BufferPool, key, rid: Rid, sem: SemanticInfo) -> None:
-        """Insert one entry, splitting nodes as needed (RF1 path)."""
+    def insert(
+        self,
+        pool: BufferPool,
+        key,
+        rid: Rid,
+        sem: SemanticInfo,
+        txn: "Transaction | None" = None,
+    ) -> None:
+        """Insert one entry, splitting nodes as needed (RF1 path).
+
+        With a transaction, the entry operation is WAL-logged *logically*
+        — ``(key, rid)``, not page deltas; structure modifications
+        (splits) are not logged because index recovery replays entry
+        operations against the checkpoint image (DESIGN.md §8).
+        """
         if self.root_pageno is None:
             root = BTreeNode(leaf=True)
             self.root_pageno = pool.new_page(self.file, root, sem)
@@ -169,6 +192,8 @@ class BTree:
         node.rids.insert(pos, rid)
         pool.mark_dirty(self.file, pageno, sem)
         self.entry_count += 1
+        if txn is not None:
+            txn.manager.log_btree_insert(txn, self, key, rid, leaf_pageno=pageno)
 
         # Split upwards while nodes overflow.
         while len(node.keys) > self.order:
@@ -210,7 +235,14 @@ class BTree:
         pool.mark_dirty(self.file, pageno, sem)
         return sep_key, new_pageno
 
-    def delete(self, pool: BufferPool, key, rid: Rid, sem: SemanticInfo) -> bool:
+    def delete(
+        self,
+        pool: BufferPool,
+        key,
+        rid: Rid,
+        sem: SemanticInfo,
+        txn: "Transaction | None" = None,
+    ) -> bool:
         """Lazily remove one (key, rid) entry; True if found."""
         if self.root_pageno is None:
             return False
@@ -224,6 +256,10 @@ class BTree:
                     del node.rids[idx]
                     self.entry_count -= 1
                     pool.mark_dirty(self.file, pageno, sem)
+                    if txn is not None:
+                        txn.manager.log_btree_delete(
+                            txn, self, key, rid, leaf_pageno=pageno
+                        )
                     return True
                 idx += 1
             # Duplicates may continue on the next leaf.

@@ -50,6 +50,13 @@ class BufferPool:
             else storage_manager.params.read_ahead_pages
         )
         self._frames: OrderedDict[tuple[int, int], Frame] = OrderedDict()
+        self.flush_hook = None
+        """Optional callable invoked with the dirty frames of each
+        writeback batch *before* their writes are submitted.  The
+        transaction manager installs the flush-respects-WAL protocol here
+        (force the log through the stolen pages' LSNs, then record the
+        flushed images in the durable store) — the steal half of
+        steal/no-force, DESIGN.md §8."""
         # One-entry memo of the most-recently-touched frame: repeat hits on
         # the same page (index-scan heap fetches, tail-page inserts, batch
         # runs) skip the OrderedDict machinery.  Invariant: when set, the
@@ -223,6 +230,13 @@ class BufferPool:
         self._frames.clear()
         self._memo_key = self._memo_page = None
 
+    def discard_all(self) -> int:
+        """Drop every frame *without* writeback (crash simulation)."""
+        dropped = len(self._frames)
+        self._frames.clear()
+        self._memo_key = self._memo_page = None
+        return dropped
+
     @property
     def resident_pages(self) -> int:
         return len(self._frames)
@@ -271,6 +285,8 @@ class BufferPool:
         storage (and take its place in the cache) but is off the critical
         path of whichever query triggered the eviction.
         """
+        if frames and self.flush_hook is not None:
+            self.flush_hook(frames)
         groups: dict[tuple, tuple[DbFile, SemanticInfo, list[int]]] = {}
         for frame in frames:
             sem = self._writeback_semantics(frame)

@@ -176,6 +176,7 @@ class Database:
         self.pool = BufferPool(bufferpool_pages, self.storage_manager)
         self.temp = TempFileManager(self.storage_manager, self.pool, use_trim)
         self._query_counter = 0
+        self.txn_manager = None
 
     # ------------------------------------------------------------------ DDL
 
@@ -216,6 +217,52 @@ class Database:
     def bulk_load(self, table_name: str, rows: Iterable[tuple]) -> int:
         """Load rows outside measurement (restores a prepared image)."""
         return self.catalog.relation(table_name).heap.bulk_load(rows)
+
+    # --------------------------------------------------------- transactions
+
+    def enable_wal(self):
+        """Attach the transaction subsystem (idempotent).
+
+        Creates the write-ahead log and the :class:`TransactionManager`,
+        installs the flush-respects-WAL hook on the buffer pool, and
+        writes the baseline checkpoint that anchors recovery.  Call it
+        *after* loading: bulk loads are unlogged, so recoverable history
+        starts at this checkpoint's image of the database.  Query-only
+        databases never call this, so their request streams are untouched.
+        """
+        if self.txn_manager is None:
+            from repro.db.txn.manager import TransactionManager
+
+            self.txn_manager = TransactionManager(self)
+        return self.txn_manager
+
+    def begin(self):
+        """Start a transaction (enables the WAL subsystem on first use).
+
+        The returned :class:`~repro.db.txn.manager.Transaction` is a
+        context manager: commit on success, abort on exception.  Heap and
+        B-tree mutations that are handed the transaction are WAL-logged;
+        mutations without one stay unlogged (autocommit-style legacy
+        paths keep their exact request streams).
+        """
+        return self.enable_wal().begin()
+
+    def commit(self, txn) -> None:
+        """Commit ``txn`` (forces the log through its commit record)."""
+        txn.commit()
+
+    def abort(self, txn) -> None:
+        """Roll ``txn`` back (undo through the pool, CLR-logged)."""
+        txn.abort()
+
+    def checkpoint(self):
+        """Write a WAL checkpoint (begin/end of OLTP measurement windows)."""
+        if self.txn_manager is None:
+            # Attaching the subsystem writes the baseline checkpoint —
+            # that *is* the requested checkpoint, not a prelude to one.
+            self.enable_wal()
+            return self.txn_manager.wal.records[-1]
+        return self.txn_manager.checkpoint()
 
     # -------------------------------------------------------------- queries
 

@@ -1,14 +1,24 @@
-"""Heap files: row storage with sequential scan and random fetch."""
+"""Heap files: row storage with sequential scan and random fetch.
+
+Mutations accept an optional transaction; when one is passed, the change
+is WAL-logged (a physiological record carrying the rid and row images)
+before control returns — the redo/undo unit of ARIES-lite recovery
+(DESIGN.md §8).  Without a transaction the write is unlogged, exactly as
+before.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.semantics import SemanticInfo
 from repro.db.bufferpool import BufferPool
 from repro.db.errors import StorageLayoutError
 from repro.db.pages import DbFile, HeapPage
 from repro.db.tuples import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.txn.manager import Transaction
 
 Rid = tuple[int, int]
 """Row identifier: (page number, slot)."""
@@ -99,8 +109,20 @@ class HeapFile:
 
     # -------------------------------------------------------------- mutation
 
-    def insert(self, pool: BufferPool, row: tuple, sem: SemanticInfo) -> Rid:
+    def insert(
+        self,
+        pool: BufferPool,
+        row: tuple,
+        sem: SemanticInfo,
+        txn: "Transaction | None" = None,
+    ) -> Rid:
         """Append one row through the buffer pool (update streams)."""
+        rid = self._place(pool, row, sem)
+        if txn is not None:
+            txn.manager.log_heap_insert(txn, self, rid, row)
+        return rid
+
+    def _place(self, pool: BufferPool, row: tuple, sem: SemanticInfo) -> Rid:
         if self.num_pages:
             pageno = self.num_pages - 1
             page = pool.get_page(self.file, pageno, sem)
@@ -115,12 +137,46 @@ class HeapFile:
         self.row_count += 1
         return (pageno, slot)
 
-    def delete(self, pool: BufferPool, rid: Rid, sem: SemanticInfo) -> bool:
+    def update(
+        self,
+        pool: BufferPool,
+        rid: Rid,
+        new_row: tuple,
+        sem: SemanticInfo,
+        txn: "Transaction | None" = None,
+    ) -> tuple | None:
+        """Replace the row at ``rid`` in place; returns the old row.
+
+        Returns ``None`` (and changes nothing) if the slot holds no live
+        row.  The OLTP point-update path: one page read, one in-place
+        write, one ``HEAP_UPDATE`` record carrying both images.
+        """
+        pageno, slot = rid
+        page = pool.get_page(self.file, pageno, sem)
+        old_row = page.get(slot)
+        if old_row is None:
+            return None
+        page.rows[slot] = new_row
+        pool.mark_dirty(self.file, pageno, sem)
+        if txn is not None:
+            txn.manager.log_heap_update(txn, self, rid, old_row, new_row)
+        return old_row
+
+    def delete(
+        self,
+        pool: BufferPool,
+        rid: Rid,
+        sem: SemanticInfo,
+        txn: "Transaction | None" = None,
+    ) -> bool:
         """Tombstone one row (RF2); True if it existed."""
         pageno, slot = rid
         page = pool.get_page(self.file, pageno, sem)
+        old_row = page.get(slot)
         deleted = page.delete(slot)
         if deleted:
             pool.mark_dirty(self.file, pageno, sem)
             self.row_count -= 1
+            if txn is not None:
+                txn.manager.log_heap_delete(txn, self, rid, old_row)
         return deleted

@@ -23,6 +23,7 @@ class FileKind(enum.Enum):
     HEAP = "heap"
     INDEX = "index"
     TEMP = "temp"
+    LOG = "log"
 
 
 class HeapPage:
@@ -30,9 +31,13 @@ class HeapPage:
 
     ``num_deleted`` counts tombstoned slots so scans can skip the per-row
     liveness check on the (overwhelmingly common) pages without deletions.
+
+    ``page_lsn`` is the LSN of the last WAL record applied to this page
+    (0 when the page was never touched by a logged transaction).  It
+    drives the flush-respects-WAL protocol and ARIES conditional redo.
     """
 
-    __slots__ = ("rows", "capacity", "num_deleted")
+    __slots__ = ("rows", "capacity", "num_deleted", "page_lsn")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -40,6 +45,7 @@ class HeapPage:
         self.capacity = capacity
         self.rows: list = []
         self.num_deleted = 0
+        self.page_lsn = 0
 
     @property
     def full(self) -> bool:

@@ -1,0 +1,29 @@
+"""Transactions, write-ahead logging and crash recovery (DESIGN.md §8)."""
+
+from repro.db.txn.manager import Transaction, TransactionManager, TxnStatus
+from repro.db.txn.recovery import (
+    DurableStore,
+    RecoveryReport,
+    TxnHistory,
+    recover,
+    simulate_crash,
+)
+from repro.db.txn.wal import (
+    LogRecord,
+    LogRecordType,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "DurableStore",
+    "LogRecord",
+    "LogRecordType",
+    "RecoveryReport",
+    "Transaction",
+    "TransactionManager",
+    "TxnHistory",
+    "TxnStatus",
+    "WriteAheadLog",
+    "recover",
+    "simulate_crash",
+]

@@ -1,0 +1,266 @@
+"""The write-ahead log (ARIES-lite, DESIGN.md §8).
+
+LSN-stamped physiological records — begin/commit/abort, slot-level redo
+images for heap insert/delete/update, logical B-tree entry operations,
+compensation records (CLRs) and checkpoints — packed into fixed-size log
+pages written through the :class:`~repro.db.storage_manager.StorageManager`
+with ``ContentType.LOG`` semantics.  Under hStorage-DB the policy table
+maps that class to the *write-buffer* QoS policy (the paper's Table 3
+gives transaction log data the strongest treatment in the system), so a
+commit's log force never waits on the HDD.
+
+The simulator models placement and service time, not byte durability
+(DESIGN.md §5): records keep their Python payloads, and "serialization"
+is a deterministic size model that decides how records pack into 8 KiB
+log pages.  Everything timing-visible — which pages a flush writes, how a
+partial tail page is rewritten by the next flush, the sequential read
+stream recovery issues — follows the real protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.semantics import SemanticInfo
+from repro.db.heap import Rid
+from repro.db.pages import DbFile, FileKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.storage_manager import StorageManager
+
+WAL_OID = 1
+"""Reserved object id of the write-ahead log (user objects start at 1000)."""
+
+_RECORD_HEADER_BYTES = 28
+"""Per-record overhead: lsn, type, txid, prev_lsn, length, CRC."""
+
+
+class LogRecordType(enum.Enum):
+    """What one WAL record describes."""
+
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    HEAP_INSERT = "heap-insert"
+    HEAP_DELETE = "heap-delete"
+    HEAP_UPDATE = "heap-update"
+    BTREE_INSERT = "btree-insert"
+    BTREE_DELETE = "btree-delete"
+    CHECKPOINT = "checkpoint"
+
+
+UNDOABLE_TYPES = frozenset(
+    {
+        LogRecordType.HEAP_INSERT,
+        LogRecordType.HEAP_DELETE,
+        LogRecordType.HEAP_UPDATE,
+        LogRecordType.BTREE_INSERT,
+        LogRecordType.BTREE_DELETE,
+    }
+)
+"""Record types that carry a data change a loser transaction must undo."""
+
+
+@dataclass
+class LogRecord:
+    """One WAL record.
+
+    ``prev_lsn`` backchains the records of one transaction (ARIES).  A
+    compensation record (CLR) sets ``compensates`` to the LSN of the
+    change it undoes; CLRs are redone like any other record ("repeat
+    history") but are never themselves undone.
+
+    Heap records address their target physiologically — ``(fileid,
+    pageno, slot)`` plus the row image(s) needed for redo and undo.
+    B-tree records are logical ``(key, rid)`` entry operations; index
+    recovery restores the checkpoint image of the tree and replays them
+    (DESIGN.md §8).
+    """
+
+    lsn: int
+    type: LogRecordType
+    txid: int | None = None
+    prev_lsn: int | None = None
+    fileid: int | None = None
+    oid: int | None = None
+    pageno: int | None = None
+    slot: int | None = None
+    row: tuple | None = None
+    old_row: tuple | None = None
+    key: object | None = None
+    rid: Rid | None = None
+    compensates: int | None = None
+    active_txns: dict[int, int] | None = None
+    dirty_pages: dict[tuple[int, int], int] | None = None
+    end_offset: int = field(default=0, compare=False)
+    """Byte offset of the first byte past this record in the log stream
+    (assigned on append; drives page layout and flush ranges)."""
+
+    def size_bytes(self) -> int:
+        """Deterministic serialized-size model for page packing."""
+        return _RECORD_HEADER_BYTES + sum(
+            _payload_bytes(value)
+            for value in (
+                self.fileid,
+                self.oid,
+                self.pageno,
+                self.slot,
+                self.row,
+                self.old_row,
+                self.key,
+                self.rid,
+                self.compensates,
+                self.active_txns,
+                self.dirty_pages,
+            )
+        )
+
+
+def _payload_bytes(value) -> int:
+    """Size model for one serialized payload field."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return 4 + len(value)
+    if isinstance(value, (tuple, list)):
+        return 4 + sum(_payload_bytes(item) for item in value)
+    if isinstance(value, dict):
+        return 4 + sum(
+            _payload_bytes(k) + _payload_bytes(v) for k, v in value.items()
+        )
+    return 16
+
+
+class _LogPage:
+    """Placeholder page object of the WAL file (contents live in records)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<wal-page>"
+
+
+class WriteAheadLog:
+    """An append-only, page-structured log with explicit flush control.
+
+    Appends accumulate in the (volatile) WAL buffer; :meth:`flush` makes
+    records durable by writing every log page from the first not-yet-
+    fully-flushed one through the page holding the flush target, via the
+    storage manager with ``ContentType.LOG`` write semantics.  A partial
+    tail page is rewritten by the next flush, exactly like a real WAL.
+    """
+
+    def __init__(
+        self, storage_manager: "StorageManager", query_id: int | None = None
+    ) -> None:
+        self.storage_manager = storage_manager
+        self.file: DbFile = storage_manager.create_file(FileKind.LOG, oid=WAL_OID)
+        self.page_bytes = storage_manager.params.block_size
+        self.records: list[LogRecord] = []
+        self.query_id = query_id
+        self._next_lsn = 1
+        self._end_offset = 0
+        self._flushed_lsn = 0
+        self._flushed_offset = 0
+        self.flushes = 0
+        self.records_written = 0
+
+    # ------------------------------------------------------------- appending
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record (0 when the log is empty)."""
+        return self._next_lsn - 1
+
+    @property
+    def flushed_lsn(self) -> int:
+        """Every record with ``lsn <= flushed_lsn`` is durable."""
+        return self._flushed_lsn
+
+    def append(self, type: LogRecordType, **fields) -> LogRecord:
+        """Stamp and buffer one record; returns it with its LSN assigned."""
+        record = LogRecord(lsn=self._next_lsn, type=type, **fields)
+        self._next_lsn += 1
+        self._end_offset += record.size_bytes()
+        record.end_offset = self._end_offset
+        self.records.append(record)
+        # Materialise log pages as the byte stream crosses page boundaries.
+        needed = self._page_of(self._end_offset - 1) + 1
+        while self.file.num_pages < needed:
+            self.file.allocate_page(_LogPage())
+        return record
+
+    # -------------------------------------------------------------- flushing
+
+    def flush(self, upto_lsn: int | None = None) -> int:
+        """Force the log through ``upto_lsn`` (default: everything).
+
+        Returns the number of log pages written.  Pages are written
+        synchronously (a log force is on the critical path of whoever
+        demanded it — a committing transaction or a page steal).
+        """
+        target = self.last_lsn if upto_lsn is None else min(upto_lsn, self.last_lsn)
+        if target <= self._flushed_lsn:
+            return 0
+        end_offset = self.records[target - 1].end_offset
+        first_page = self._page_of(self._flushed_offset)
+        last_page = self._page_of(end_offset - 1)
+        pagenos = list(range(first_page, last_page + 1))
+        self.storage_manager.write_pages_batch(
+            self.file,
+            pagenos,
+            SemanticInfo.log_write(oid=WAL_OID, query_id=self.query_id),
+            async_hint=False,
+        )
+        self.records_written += target - self._flushed_lsn
+        self._flushed_lsn = target
+        self._flushed_offset = end_offset
+        self.flushes += 1
+        return len(pagenos)
+
+    def _page_of(self, offset: int) -> int:
+        return max(0, offset) // self.page_bytes
+
+    # --------------------------------------------------------------- reading
+
+    def read_records(self, from_lsn: int = 1) -> list[LogRecord]:
+        """Recovery's sequential log scan: charges LOG-class read I/O for
+        the page range covering ``[from_lsn, last]`` and returns the
+        records."""
+        if from_lsn > self.last_lsn:
+            return []
+        start_offset = (
+            0 if from_lsn <= 1 else self.records[from_lsn - 2].end_offset
+        )
+        first_page = self._page_of(start_offset)
+        last_page = self._page_of(self._end_offset - 1)
+        self.storage_manager.read_pages_batch(
+            self.file,
+            [(first_page, last_page - first_page + 1)],
+            SemanticInfo.log_read(oid=WAL_OID, query_id=self.query_id),
+        )
+        return self.records[from_lsn - 1 :]
+
+    # ------------------------------------------------- crash-state restoring
+
+    def restore_prefix(self, records: Iterable[LogRecord]) -> None:
+        """Reset the log to a durable prefix (crash simulation).
+
+        The WAL file itself survives a crash; this rewinds the in-memory
+        record list to the given (already durable) prefix and re-anchors
+        the append/flush positions, after which recovery may keep
+        appending CLRs and the post-recovery checkpoint.
+        """
+        self.records = list(records)
+        self._next_lsn = self.records[-1].lsn + 1 if self.records else 1
+        self._end_offset = self.records[-1].end_offset if self.records else 0
+        self._flushed_lsn = self.last_lsn
+        self._flushed_offset = self._end_offset
+        keep = self._page_of(self._end_offset - 1) + 1 if self._end_offset else 0
+        del self.file.pages[keep:]

@@ -13,6 +13,11 @@ from repro.harness.configs import (
     ssd_only_config,
     tier3_config,
 )
+from repro.harness.mixed import (
+    MixedWorkloadResult,
+    PointUpdateTransactions,
+    run_mixed_oltp_olap,
+)
 from repro.harness.runner import ExperimentRunner, RunnerSettings
 
 __all__ = [
@@ -20,8 +25,11 @@ __all__ = [
     "CONFIG_NAMES",
     "EXTENDED_CONFIG_NAMES",
     "ExperimentRunner",
+    "MixedWorkloadResult",
+    "PointUpdateTransactions",
     "RunnerSettings",
     "StorageConfig",
+    "run_mixed_oltp_olap",
     "build_database",
     "build_storage",
     "hdd_only_config",

@@ -1,0 +1,183 @@
+"""Mixed OLTP/OLAP workload: point-update transactions under query streams.
+
+The paper's throughput test (Section 6.4) co-runs query streams with one
+TPC-H refresh stream.  This workload opens the HTAP axis the ROADMAP asks
+for: an *OLTP stream* of short point-update transactions (index lookup →
+heap update → commit, each commit forcing the WAL) interleaved with
+analytical scans (Q1/Q6 by default) over the same database.
+
+It is also where the paper's log-class policy finally carries real
+traffic: every commit's log force is classified ``RequestType.LOG`` and
+mapped to the *write-buffer* QoS policy (Table 3), so under hStorage-DB
+the `StatsCollector` log-class counters and the priority cache's
+write-buffer counters both light up — measurable with
+:func:`run_mixed_oltp_olap` and benchmarked by
+``benchmarks/bench_txn_recovery.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterator
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.engine import Database, QueryResult
+from repro.db.plan import ExecutionContext, PlanNode
+from repro.harness.configs import StorageConfig, build_database
+from repro.storage.requests import RequestType
+from repro.storage.stats import Counts
+from repro.tpch.datagen import TPCHData, generate
+from repro.tpch.queries import query_builder, query_label
+from repro.tpch.workload import load_tpch
+
+DEFAULT_OLAP_QUERIES = (1, 6)
+"""Scan-heavy single-table queries: the OLAP side of the interleave."""
+
+
+class PointUpdateTransactions(PlanNode):
+    """An OLTP stream: short committed transactions of point updates.
+
+    Each output row is one committed transaction.  A transaction picks
+    ``updates_per_txn`` random orderkeys, finds each order through the
+    ``o_orderkey`` index (ordinary random reads), bumps its
+    ``o_totalprice`` in place (a WAL-logged heap update), and commits —
+    forcing the log with write-buffer QoS.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        n_txns: int,
+        updates_per_txn: int = 4,
+        seed: int = 1,
+        checkpoint_every: int = 25,
+    ) -> None:
+        super().__init__(label="PointUpdates")
+        self.db = db
+        self.n_txns = n_txns
+        self.updates_per_txn = updates_per_txn
+        self.seed = seed
+        self.checkpoint_every = checkpoint_every
+        """Checkpoint cadence (in committed transactions): bounds both
+        recovery distance and the durable store's image history."""
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        db, pool = self.db, ctx.pool
+        orders = db.catalog.relation("orders")
+        index = orders.index_on("o_orderkey")
+        price_pos = orders.schema.idx("o_totalprice")
+        max_key = max(2, orders.row_count + 1)
+        read_sem = SemanticInfo.random_access(
+            ContentType.INDEX, index.oid, 0, query_id=ctx.query_id
+        )
+        fetch_sem = SemanticInfo.random_access(
+            ContentType.TABLE, orders.oid, 0, query_id=ctx.query_id
+        )
+        write_sem = SemanticInfo.update(
+            ContentType.TABLE, orders.oid, query_id=ctx.query_id
+        )
+        rng = Random(self.seed)
+        for i in range(self.n_txns):
+            with db.begin() as txn:
+                for _ in range(self.updates_per_txn):
+                    key = rng.randrange(1, max_key)
+                    for rid in index.btree.search(pool, key, read_sem):
+                        row = orders.heap.fetch(pool, rid, fetch_sem)
+                        if row is None:
+                            continue
+                        bumped = (
+                            row[:price_pos]
+                            + (round(row[price_pos] * 1.01, 2),)
+                            + row[price_pos + 1 :]
+                        )
+                        orders.heap.update(
+                            pool, rid, bumped, write_sem, txn=txn
+                        )
+            ctx.cpu_tick(self.updates_per_txn)
+            if self.checkpoint_every and (i + 1) % self.checkpoint_every == 0:
+                db.txn_manager.checkpoint()
+            yield (i,)
+
+
+@dataclass
+class MixedWorkloadResult:
+    """Outcome of one mixed OLTP/OLAP run."""
+
+    kind: str
+    elapsed_seconds: float
+    olap_results: list[QueryResult]
+    oltp_result: QueryResult
+    commits: int
+    log_forces: int
+    log_counts: Counts = field(default_factory=Counts)
+    update_counts: Counts = field(default_factory=Counts)
+    write_buffer_flushes: int = 0
+    write_buffer_blocks: int = 0
+
+    @property
+    def commits_per_second(self) -> float:
+        """Simulated OLTP commit throughput over the whole interleave."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.commits / self.elapsed_seconds
+
+
+def run_mixed_oltp_olap(
+    kind: str = "hstorage",
+    scale: float = 0.1,
+    n_txns: int = 40,
+    updates_per_txn: int = 4,
+    olap_queries: tuple[int, ...] = DEFAULT_OLAP_QUERIES,
+    quantum: int = 64,
+    config: StorageConfig | None = None,
+    data: TPCHData | None = None,
+    seed: int = 42,
+) -> MixedWorkloadResult:
+    """Load TPC-H, attach the WAL subsystem, co-run OLTP with OLAP.
+
+    The WAL is enabled *after* loading (its baseline checkpoint must
+    image the loaded database) and measurement is reset after that, so
+    the reported window covers exactly the interleaved streams.
+    """
+    if config is None:
+        config = StorageConfig(
+            kind=kind, cache_blocks=2048, bufferpool_pages=128
+        )
+    db = build_database(config)
+    if data is None:
+        data = generate(scale=scale, seed=seed)
+    load_tpch(db, data=data)
+    db.enable_wal()
+    db.reset_measurements()
+
+    workloads = [
+        (query_label(qid), query_builder(qid)) for qid in olap_queries
+    ]
+    workloads.append(
+        (
+            "OLTP",
+            lambda db: PointUpdateTransactions(
+                db, n_txns, updates_per_txn, seed=seed
+            ),
+        )
+    )
+    start = db.clock.now
+    results = db.run_concurrent(workloads, quantum=quantum)
+    elapsed = db.clock.now - start
+
+    mgr = db.txn_manager
+    stats = db.storage.stats.overall
+    cache = getattr(db.storage.backend, "cache", None)
+    return MixedWorkloadResult(
+        kind=config.kind,
+        elapsed_seconds=elapsed,
+        olap_results=results[:-1],
+        oltp_result=results[-1],
+        commits=mgr.commits,
+        log_forces=mgr.wal.flushes,
+        log_counts=stats.by_type[RequestType.LOG],
+        update_counts=stats.by_type[RequestType.UPDATE],
+        write_buffer_flushes=getattr(cache, "write_buffer_flushes", 0),
+        write_buffer_blocks=getattr(cache, "write_buffer_blocks", 0),
+    )

@@ -38,6 +38,9 @@ class RequestType(enum.Enum):
     TEMP_WRITE = "temp-write"
     UPDATE = "update"
     TRIM_TEMP = "trim"
+    LOG = "log"
+    """Transaction-log traffic (WAL flushes and recovery scans) — the
+    stream Table 3 maps to the write-buffer policy."""
 
     @property
     def is_temp(self) -> bool:

@@ -7,6 +7,13 @@ update stream interleaves with the query streams at tuple granularity).
 Their storage traffic is what Rule 4 governs: heap/index page *writes*
 carry the write-buffer policy, while the index descents and heap lookups
 they perform are ordinary random reads.
+
+When the transaction subsystem is enabled (``Database.enable_wal``), each
+refresh runs as one real transaction: its heap/index mutations are
+WAL-logged, the commit forces the log (``ContentType.LOG`` traffic — the
+write-buffer stream of the paper's Table 3), and a crash mid-refresh
+rolls the whole batch back.  Without the subsystem the execution is
+bit-identical to before.
 """
 
 from __future__ import annotations
@@ -66,28 +73,46 @@ class RefreshInsert(PlanNode):
         active_customers = max(1, (meta.counts["customer"] * 2) // 3)
         n_part = meta.counts["part"]
 
+        txn = db.begin() if db.txn_manager is not None else None
+
         batch: list[int] = []
-        for _ in range(self.count):
-            orderkey = meta.next_orderkey
-            meta.next_orderkey += 1
-            order, lines = _order(
-                rng, orderkey, active_customers, n_part, meta.part_suppliers
-            )
-            ctx.cpu_tick(1 + len(lines))
-            rid = orders.heap.insert(pool, order, sems["orders"])
-            for index in orders.indexes:
-                index.btree.insert(
-                    pool, order[index.key_pos], rid, sems[index.name]
+        try:
+            for _ in range(self.count):
+                orderkey = meta.next_orderkey
+                meta.next_orderkey += 1
+                order, lines = _order(
+                    rng, orderkey, active_customers, n_part, meta.part_suppliers
                 )
-            for line in lines:
-                line_rid = lineitem.heap.insert(pool, line, sems["lineitem"])
-                for index in lineitem.indexes:
+                ctx.cpu_tick(1 + len(lines))
+                rid = orders.heap.insert(pool, order, sems["orders"], txn=txn)
+                for index in orders.indexes:
                     index.btree.insert(
-                        pool, line[index.key_pos], line_rid, sems[index.name]
+                        pool, order[index.key_pos], rid, sems[index.name], txn=txn
                     )
-            batch.append(orderkey)
-            yield (orderkey,)
+                for line in lines:
+                    line_rid = lineitem.heap.insert(
+                        pool, line, sems["lineitem"], txn=txn
+                    )
+                    for index in lineitem.indexes:
+                        index.btree.insert(
+                            pool,
+                            line[index.key_pos],
+                            line_rid,
+                            sems[index.name],
+                            txn=txn,
+                        )
+                batch.append(orderkey)
+                yield (orderkey,)
+        except BaseException:
+            # Error or early abandonment (GeneratorExit) mid-refresh:
+            # roll the whole batch back rather than leaving a permanently
+            # active transaction with half-applied changes.
+            if txn is not None and txn.active:
+                txn.abort()
+            raise
         meta.pending_batches.append(batch)
+        if txn is not None:
+            txn.commit()
 
 
 class RefreshDelete(PlanNode):
@@ -117,31 +142,43 @@ class RefreshDelete(PlanNode):
             ContentType.TABLE, lineitem.oid, 0, query_id=ctx.query_id
         )
 
-        for orderkey in batch:
-            ctx.cpu_tick()
-            # Delete the order's lineitems (found through the index).
-            line_rids = list(
-                lineitem_index.btree.search(pool, orderkey, read_sem_l)
-            )
-            for rid in line_rids:
-                row = lineitem.heap.fetch(pool, rid, fetch_sem)
-                if row is None:
-                    continue
-                lineitem.heap.delete(pool, rid, sems["lineitem"])
-                for index in lineitem.indexes:
-                    index.btree.delete(
-                        pool, row[index.key_pos], rid, sems[index.name]
-                    )
-            # Delete the order itself.
-            order_rids = list(
-                orders_index.btree.search(pool, orderkey, read_sem_o)
-            )
-            for rid in order_rids:
-                orders.heap.delete(pool, rid, sems["orders"])
-                orders_index.btree.delete(
-                    pool, orderkey, rid, sems[orders_index.name]
+        txn = db.begin() if db.txn_manager is not None else None
+
+        try:
+            for orderkey in batch:
+                ctx.cpu_tick()
+                # Delete the order's lineitems (found through the index).
+                line_rids = list(
+                    lineitem_index.btree.search(pool, orderkey, read_sem_l)
                 )
-            yield (orderkey,)
+                for rid in line_rids:
+                    row = lineitem.heap.fetch(pool, rid, fetch_sem)
+                    if row is None:
+                        continue
+                    lineitem.heap.delete(pool, rid, sems["lineitem"], txn=txn)
+                    for index in lineitem.indexes:
+                        index.btree.delete(
+                            pool, row[index.key_pos], rid, sems[index.name],
+                            txn=txn,
+                        )
+                # Delete the order itself.
+                order_rids = list(
+                    orders_index.btree.search(pool, orderkey, read_sem_o)
+                )
+                for rid in order_rids:
+                    orders.heap.delete(pool, rid, sems["orders"], txn=txn)
+                    orders_index.btree.delete(
+                        pool, orderkey, rid, sems[orders_index.name], txn=txn
+                    )
+                yield (orderkey,)
+        except BaseException:
+            if txn is not None and txn.active:
+                txn.abort()
+                # The batch stays pending: an aborted RF2 deleted nothing.
+                meta.pending_batches.insert(0, batch)
+            raise
+        if txn is not None:
+            txn.commit()
 
 
 def rf1_builder(meta: TPCHMeta, count: int | None = None):

@@ -48,6 +48,15 @@ class TestClassification:
         )
         assert classify(sem, IOOp.WRITE) is RequestType.TEMP_WRITE
 
+    def test_log_traffic_keeps_its_class_both_directions(self):
+        """WAL flushes and recovery scans both classify as LOG (Table 3)."""
+        assert classify(SemanticInfo.log_write(oid=1), IOOp.WRITE) is RequestType.LOG
+        assert classify(SemanticInfo.log_read(oid=1), IOOp.READ) is RequestType.LOG
+
+    def test_log_write_is_not_an_update(self):
+        """The log stream is its own class, not Rule-4 update traffic."""
+        assert classify(SemanticInfo.log_write(oid=1), IOOp.WRITE) is not RequestType.UPDATE
+
 
 class TestSemanticInfoConstructors:
     def test_table_scan_shape(self):

@@ -76,6 +76,25 @@ class TestRule4Updates:
         assert policy.write_buffer
 
 
+class TestLogPolicy:
+    """Table 3: transaction log data gets the write-buffer policy."""
+
+    def test_log_writes_get_write_buffer(self):
+        policy, rtype = assign_policy(
+            SemanticInfo.log_write(oid=1), IOOp.WRITE, PSET, ConcurrencyRegistry()
+        )
+        assert rtype is RequestType.LOG
+        assert policy.write_buffer
+
+    def test_log_reads_are_non_caching_sequential(self):
+        """Recovery's one-pass log scan must not displace cached data."""
+        policy, rtype = assign_policy(
+            SemanticInfo.log_read(oid=1), IOOp.READ, PSET, ConcurrencyRegistry()
+        )
+        assert rtype is RequestType.LOG
+        assert policy.priority == PSET.non_caching_non_eviction
+
+
 class TestRule5Concurrency:
     def test_shared_object_takes_min_level_priority(self):
         reg = ConcurrencyRegistry()

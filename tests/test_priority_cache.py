@@ -177,6 +177,72 @@ class TestWriteBuffer:
         assert cache.write_buffer_blocks == 0
 
 
+class TestWriteBufferLimits:
+    """Direct coverage of the ``b``-share mechanics (paper Section 4.2.4)."""
+
+    def test_buffer_fills_exactly_to_the_b_share_limit(self, pset):
+        """With capacity 40 and b=10% the buffer holds exactly 4 blocks
+        without flushing; the 5th triggers the flush."""
+        cache = PriorityCache(40, pset)
+        for lbn in range(4):
+            out = cache.access_block(lbn, write=True, policy=pset.update_policy())
+            assert not out.has(CacheAction.WRITE_BUFFER_FLUSH)
+        assert cache.write_buffer_blocks == 4
+        assert cache.write_buffer_flushes == 0
+        out = cache.access_block(4, write=True, policy=pset.update_policy())
+        assert out.has(CacheAction.WRITE_BUFFER_FLUSH)
+        assert cache.write_buffer_blocks == 0
+
+    def test_flush_counter_counts_every_flush(self, pset):
+        cache = PriorityCache(20, pset)  # limit: 2 blocks
+        for lbn in range(9):
+            cache.access_block(lbn, write=True, policy=pset.update_policy())
+        # Every 3rd insertion overflows the 2-block share: 3, 6, 9 -> 3 flushes.
+        assert cache.write_buffer_flushes == 3
+
+    def test_flush_empties_only_the_write_buffer(self, pset):
+        cache = PriorityCache(20, pset)
+        fill(cache, 2, range(100, 105))
+        for lbn in (1, 2, 3):
+            cache.access_block(lbn, write=True, policy=pset.update_policy())
+        assert cache.write_buffer_blocks == 0
+        assert all(cache.contains(lbn) for lbn in range(100, 105))
+
+    @pytest.mark.parametrize("victim_priority", [1, 2, 3, 4, 5, 7])
+    def test_write_buffer_wins_over_every_caching_priority(
+        self, pset, victim_priority
+    ):
+        """An update displaces a resident block of *any* priority group —
+        from priority 1 (temp data) down to demoted eviction-class blocks.
+        (Group 6 stays empty by construction: "non-caching and
+        non-eviction" neither allocates nor reallocates.)"""
+        cache = PriorityCache(20, pset)
+        # Fill the cache entirely with blocks of the victim priority; the
+        # eviction priority cannot allocate, so seed group 7 by demotion.
+        if victim_priority < pset.non_caching_threshold:
+            fill(cache, victim_priority, range(100, 120))
+        else:
+            fill(cache, 2, range(100, 120))
+            for lbn in range(100, 120):
+                cache.access_block(
+                    lbn, write=False, policy=pset.eviction_policy()
+                )
+        out = cache.access_block(1, write=True, policy=pset.update_policy())
+        assert out.has(CacheAction.EVICTION)
+        assert cache.contains(1)
+        assert cache.group_of(1) == 0  # the write-buffer group
+        cache.check_invariants()
+
+    def test_zero_fraction_flushes_every_update(self):
+        pset = PolicySet(write_buffer_fraction=0.0)
+        cache = PriorityCache(20, pset)
+        for lbn in range(5):
+            out = cache.access_block(lbn, write=True, policy=pset.update_policy())
+            assert out.has(CacheAction.WRITE_BUFFER_FLUSH)
+        assert cache.write_buffer_flushes == 5
+        assert cache.write_buffer_blocks == 0
+
+
 class TestTrim:
     def test_trim_removes_block(self, cache):
         cache.access_block(1, write=True, policy=prio(1))

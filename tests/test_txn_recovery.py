@@ -1,0 +1,356 @@
+"""Crash-recovery tests: steal/no-force, CLRs, and the crash-point sweep.
+
+The centrepiece is the sweep: one recorded transaction workload is
+crashed after *every* WAL prefix and recovered; each recovery must yield
+exactly the database state of the committed prefix — heap rows and index
+entries — with zero effect from loser transactions.
+"""
+
+import random
+
+import pytest
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.txn import recover, simulate_crash
+from repro.db.txn.wal import LogRecordType
+from repro.db.tuples import schema
+from repro.tpch.refresh import rf1_builder
+from repro.tpch.workload import load_tpch
+from tests.helpers import make_database
+
+
+def build_db(bufferpool_pages=8, rows=40):
+    db = make_database(bufferpool_pages=bufferpool_pages)
+    rel = db.create_table("t", schema(("k", "int"), ("v", "str", 8)))
+    rel.heap.bulk_load((i, f"v{i}") for i in range(rows))
+    db.create_index("t_k", "t", "k")
+    db.enable_wal()
+    return db, rel, rel.indexes[0]
+
+
+def sems(rel, ix):
+    return {
+        "write": SemanticInfo.update(ContentType.TABLE, rel.oid),
+        "iwrite": SemanticInfo.update(ContentType.INDEX, ix.oid),
+        "scan": SemanticInfo.table_scan(rel.oid),
+        "fetch": SemanticInfo.random_access(ContentType.TABLE, rel.oid, 0),
+        "iread": SemanticInfo.random_access(ContentType.INDEX, ix.oid, 0),
+    }
+
+
+def logical_state(db, rel, ix):
+    """(sorted live rows, sorted index keys); asserts heap/index agree."""
+    s = sems(rel, ix)
+    rows = sorted(r for _, r in rel.heap.scan(db.pool, s["scan"]))
+    entries = sorted(ix.btree.range_scan(db.pool, None, None, s["iread"]))
+    for key, rid in entries:
+        row = rel.heap.fetch(db.pool, rid, s["fetch"])
+        assert row is not None and row[0] == key, (
+            f"index entry {key}->{rid} points at {row}"
+        )
+    assert len(entries) == len(rows), "index and heap disagree on cardinality"
+    return rows, [k for k, _ in entries]
+
+
+class TestBasicRecovery:
+    def test_committed_transaction_survives_crash(self):
+        """No-force: commit flushes only the log; redo rebuilds the rows."""
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        with db.begin() as txn:
+            rid = rel.heap.insert(db.pool, (100, "new"), s["write"], txn=txn)
+            ix.btree.insert(db.pool, 100, rid, s["iwrite"], txn=txn)
+        simulate_crash(db)
+        report = recover(db)
+        assert 100 in logical_state(db, rel, ix)[1]
+        assert report.winners and not report.losers
+
+    def test_open_transaction_is_rolled_back(self):
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        before = logical_state(db, rel, ix)
+        txn = db.begin()
+        rid = rel.heap.insert(db.pool, (100, "new"), s["write"], txn=txn)
+        ix.btree.insert(db.pool, 100, rid, s["iwrite"], txn=txn)
+        rel.heap.delete(db.pool, (0, 0), s["write"], txn=txn)
+        ix.btree.delete(db.pool, 0, (0, 0), s["iwrite"], txn=txn)
+        # The log buffer happens to reach disk before the power-off, so
+        # the loser's records are durable and recovery must undo them.
+        db.txn_manager.wal.flush()
+        simulate_crash(db)
+        report = recover(db)
+        assert logical_state(db, rel, ix) == before
+        assert report.losers == {txn.txid}
+        assert report.undo_applied == 4
+
+    def test_stolen_uncommitted_pages_are_undone(self):
+        """Steal: dirty pages of an open transaction reach storage, crash,
+        and recovery reverses them from their flushed images."""
+        db, rel, ix = build_db(bufferpool_pages=4)
+        s = sems(rel, ix)
+        mgr = db.txn_manager
+        before = logical_state(db, rel, ix)
+        txn = db.begin()
+        rows = db.pool.capacity * rel.heap.rows_per_page * 2
+        for i in range(rows):
+            rel.heap.insert(db.pool, (1000 + i, "x"), s["write"], txn=txn)
+        assert mgr.durable.page_flushes_recorded > 0  # steal happened
+        simulate_crash(db)
+        recover(db)
+        assert logical_state(db, rel, ix) == before
+
+    def test_live_abort_restores_state(self):
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        before = logical_state(db, rel, ix)
+        txn = db.begin()
+        rid = rel.heap.insert(db.pool, (100, "new"), s["write"], txn=txn)
+        ix.btree.insert(db.pool, 100, rid, s["iwrite"], txn=txn)
+        rel.heap.update(db.pool, (0, 1), (1, "mut"), s["write"], txn=txn)
+        txn.abort()
+        assert logical_state(db, rel, ix) == before
+
+    def test_abort_logs_clrs_and_abort_record(self):
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        mgr = db.txn_manager
+        txn = db.begin()
+        rel.heap.insert(db.pool, (100, "new"), s["write"], txn=txn)
+        txn.abort()
+        types = [r.type for r in mgr.wal.records if r.txid == txn.txid]
+        assert types == [
+            LogRecordType.BEGIN,
+            LogRecordType.HEAP_INSERT,
+            LogRecordType.HEAP_DELETE,  # the CLR
+            LogRecordType.ABORT,
+        ]
+        clr = [r for r in mgr.wal.records if r.compensates is not None]
+        assert len(clr) == 1
+
+    def test_crash_mid_abort_completes_the_rollback(self):
+        """CLRs make rollback restartable: crash after some compensation
+        has been logged; recovery undoes only the uncompensated rest."""
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        mgr = db.txn_manager
+        before = logical_state(db, rel, ix)
+        txn = db.begin()
+        for i in range(3):
+            rel.heap.insert(db.pool, (100 + i, "new"), s["write"], txn=txn)
+        txn.abort()
+        first_clr = next(
+            r.lsn for r in mgr.wal.records if r.compensates is not None
+        )
+        # Crash with exactly one CLR durable (the ABORT record is lost).
+        simulate_crash(db, at_lsn=first_clr)
+        report = recover(db)
+        assert logical_state(db, rel, ix) == before
+        assert report.losers == {txn.txid}
+        assert report.undo_applied == 2  # third insert already compensated
+
+    def test_recovery_scans_the_log_sequentially(self):
+        from repro.storage.requests import RequestType
+
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        with db.begin() as txn:
+            rel.heap.insert(db.pool, (100, "new"), s["write"], txn=txn)
+        simulate_crash(db)
+        before = db.storage.stats.overall.by_type[RequestType.LOG].requests
+        recover(db)
+        after = db.storage.stats.overall.by_type[RequestType.LOG].requests
+        assert after > before
+
+    def test_unforced_log_tail_is_lost_at_default_crash(self):
+        """A default crash loses whatever sat in the log buffer: the open
+        transaction's records never reached disk, so recovery sees no
+        loser and nothing to undo."""
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        before = logical_state(db, rel, ix)
+        txn = db.begin()
+        rel.heap.insert(db.pool, (100, "buffered"), s["write"], txn=txn)
+        assert db.txn_manager.wal.flushed_lsn < db.txn_manager.wal.last_lsn
+        simulate_crash(db)  # crash at the forced prefix
+        report = recover(db)
+        assert not report.losers
+        assert report.undo_applied == 0
+        assert logical_state(db, rel, ix) == before
+
+    def test_checkpoints_compact_durable_history(self):
+        """Each checkpoint drops durable history older than the previous
+        one, so the store is bounded by two checkpoint windows."""
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        mgr = db.txn_manager
+        first = mgr.wal.records[0]  # the baseline checkpoint
+        for i in range(2):
+            with db.begin() as txn:
+                rid = rel.heap.insert(
+                    db.pool, (300 + i, "x"), s["write"], txn=txn
+                )
+                ix.btree.insert(db.pool, 300 + i, rid, s["iwrite"], txn=txn)
+            db.pool.flush_all()
+            mgr.checkpoint()
+        # The baseline is out of the retention window now …
+        assert mgr.durable.latest_checkpoint(first.lsn) is None
+        # … but the last two checkpoints remain and crashes there recover.
+        simulate_crash(db)
+        recover(db)
+        state = logical_state(db, rel, ix)
+        assert 300 in state[1] and 301 in state[1]
+
+    def test_checkpoint_bounds_the_recovery_scan(self):
+        """The charged log scan starts at the last checkpoint, so history
+        before it neither costs I/O nor redo work."""
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        for i in range(10):
+            with db.begin() as txn:
+                rid = rel.heap.insert(
+                    db.pool, (200 + i, "pre"), s["write"], txn=txn
+                )
+                ix.btree.insert(db.pool, 200 + i, rid, s["iwrite"], txn=txn)
+        db.pool.flush_all()  # empty the DPT: redo starts at the checkpoint
+        ckpt = db.txn_manager.checkpoint()
+        with db.begin() as txn:
+            rid = rel.heap.insert(db.pool, (900, "post"), s["write"], txn=txn)
+            ix.btree.insert(db.pool, 900, rid, s["iwrite"], txn=txn)
+        total = db.txn_manager.wal.last_lsn
+        simulate_crash(db)
+        report = recover(db)
+        assert report.checkpoint_lsn == ckpt.lsn
+        assert report.log_records_scanned == total - ckpt.lsn + 1
+        assert report.redo_applied + report.redo_skipped == 2  # post-ckpt only
+        state = logical_state(db, rel, ix)
+        assert 900 in state[1] and 209 in state[1]
+
+    def test_crash_before_baseline_checkpoint_rejected(self):
+        db, rel, ix = build_db()
+        with pytest.raises(ValueError):
+            simulate_crash(db, at_lsn=0)
+
+    def test_recovery_ends_with_a_checkpoint(self):
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        with db.begin() as txn:
+            rel.heap.insert(db.pool, (100, "new"), s["write"], txn=txn)
+        simulate_crash(db)
+        recover(db)
+        mgr = db.txn_manager
+        assert mgr.wal.records[-1].type is LogRecordType.CHECKPOINT
+        assert mgr.wal.flushed_lsn == mgr.wal.last_lsn
+
+
+class TestCrashPointSweep:
+    """The acceptance gate: any crash point recovers the committed prefix."""
+
+    def run_workload(self, db, rel, ix, n_txns=12, seed=7):
+        """A deterministic mix of insert/update/delete transactions with a
+        mid-run checkpoint and ~25% aborts; returns the expected logical
+        state keyed by the WAL position of each commit."""
+        s = sems(rel, ix)
+        mgr = db.txn_manager
+        rng = random.Random(seed)
+        expected = {mgr.wal.last_lsn: logical_state(db, rel, ix)}
+        next_key = 1000
+        for i in range(n_txns):
+            txn = db.begin()
+            for _ in range(rng.randint(1, 4)):
+                dice = rng.random()
+                entries = list(
+                    ix.btree.range_scan(db.pool, None, None, s["iread"])
+                )
+                if dice < 0.5 or not entries:
+                    rid = rel.heap.insert(
+                        db.pool, (next_key, f"n{next_key}"), s["write"], txn=txn
+                    )
+                    ix.btree.insert(db.pool, next_key, rid, s["iwrite"], txn=txn)
+                    next_key += 1
+                elif dice < 0.75:
+                    key, rid = rng.choice(entries)
+                    rel.heap.update(
+                        db.pool, rid, (key, "upd"), s["write"], txn=txn
+                    )
+                else:
+                    key, rid = rng.choice(entries)
+                    if rel.heap.delete(db.pool, rid, s["write"], txn=txn):
+                        ix.btree.delete(db.pool, key, rid, s["iwrite"], txn=txn)
+            if i == n_txns // 2:
+                mgr.checkpoint()
+            if rng.random() < 0.25:
+                txn.abort()
+            else:
+                txn.commit()
+                expected[txn.last_lsn] = logical_state(db, rel, ix)
+        return expected
+
+    @pytest.mark.parametrize("pool_pages", [4, 32])
+    def test_every_crash_point_recovers_committed_prefix(self, pool_pages):
+        """Tiny pool: constant steals.  Large pool: almost no flushes, so
+        redo carries nearly everything.  Both must recover exactly."""
+        db, rel, ix = build_db(bufferpool_pages=pool_pages)
+        expected = self.run_workload(db, rel, ix)
+        history = db.txn_manager.capture_history()
+        assert history.last_lsn > 40
+        for k in range(1, history.last_lsn + 1):
+            simulate_crash(db, at_lsn=k, history=history)
+            recover(db)
+            want_lsn = max(lsn for lsn in expected if lsn <= k)
+            got = logical_state(db, rel, ix)
+            assert got == expected[want_lsn], (
+                f"crash at lsn {k}: state diverges from commit at {want_lsn}"
+            )
+
+    def test_sweep_with_open_transaction_at_every_point(self):
+        """A transaction left open at the crash is a loser everywhere."""
+        db, rel, ix = build_db()
+        s = sems(rel, ix)
+        baseline = logical_state(db, rel, ix)
+        txn = db.begin()
+        for i in range(5):
+            rid = rel.heap.insert(db.pool, (500 + i, "open"), s["write"], txn=txn)
+            ix.btree.insert(db.pool, 500 + i, rid, s["iwrite"], txn=txn)
+        history = db.txn_manager.capture_history()
+        for k in range(1, history.last_lsn + 1):
+            simulate_crash(db, at_lsn=k, history=history)
+            recover(db)
+            assert logical_state(db, rel, ix) == baseline
+
+
+class TestRefreshTransactions:
+    def test_rf1_commits_and_survives_crash(self):
+        db = make_database(bufferpool_pages=64, btree_order=16)
+        meta = load_tpch(db, scale=0.05)
+        mgr = db.enable_wal()
+        orders = db.catalog.relation("orders")
+        before = orders.row_count
+        db.run_query(rf1_builder(meta, count=8), label="RF1", collect=False)
+        assert mgr.commits == 1
+        assert orders.row_count == before + 8
+        simulate_crash(db)
+        recover(db)
+        assert orders.row_count == before + 8
+
+    def test_rf1_interrupted_by_crash_rolls_back(self):
+        db = make_database(bufferpool_pages=64, btree_order=16)
+        meta = load_tpch(db, scale=0.05)
+        db.enable_wal()
+        orders = db.catalog.relation("orders")
+        lineitem = db.catalog.relation("lineitem")
+        before_o, before_l = orders.row_count, lineitem.row_count
+        execution = db.start_query(
+            rf1_builder(meta, count=8), label="RF1", collect=False
+        )
+        execution.step(4)  # insert a few orders, then "power off"
+        simulate_crash(db)
+        recover(db)
+        assert orders.row_count == before_o
+        assert lineitem.row_count == before_l
+
+    def test_rf1_without_wal_is_untouched(self):
+        db = make_database(bufferpool_pages=64, btree_order=16)
+        meta = load_tpch(db, scale=0.05)
+        assert db.txn_manager is None
+        db.run_query(rf1_builder(meta, count=4), label="RF1", collect=False)
+        assert db.txn_manager is None  # refresh never auto-enables the WAL

@@ -1,0 +1,220 @@
+"""Unit tests for the write-ahead log and the transaction manager."""
+
+import pytest
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.pages import FileKind
+from repro.db.txn.manager import TxnStatus
+from repro.db.txn.wal import LogRecordType, WriteAheadLog
+from repro.db.tuples import schema
+from repro.storage.requests import RequestType
+from tests.helpers import make_database
+
+
+@pytest.fixture
+def db():
+    return make_database(bufferpool_pages=16)
+
+
+@pytest.fixture
+def wal(db):
+    return WriteAheadLog(db.storage_manager)
+
+
+class TestLogStructure:
+    def test_lsns_are_dense_and_monotonic(self, wal):
+        records = [wal.append(LogRecordType.BEGIN, txid=i) for i in range(5)]
+        assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+
+    def test_records_pack_into_block_size_pages(self, wal):
+        # Append until the byte stream crosses one page boundary.
+        while wal.file.num_pages < 2:
+            wal.append(
+                LogRecordType.HEAP_INSERT,
+                txid=1,
+                fileid=0,
+                oid=1000,
+                pageno=0,
+                slot=0,
+                row=(1, "x" * 64),
+            )
+        assert wal.records[-1].end_offset > wal.page_bytes
+        assert wal.file.kind is FileKind.LOG
+
+    def test_size_model_is_deterministic(self, wal):
+        a = wal.append(
+            LogRecordType.HEAP_INSERT,
+            txid=1,
+            fileid=0,
+            pageno=3,
+            slot=4,
+            row=(1, "abc"),
+        )
+        b = wal.append(
+            LogRecordType.HEAP_INSERT,
+            txid=1,
+            fileid=0,
+            pageno=3,
+            slot=5,
+            row=(2, "abc"),
+        )
+        assert a.size_bytes() == b.size_bytes()
+        assert b.end_offset - a.end_offset == b.size_bytes()
+
+
+class TestFlush:
+    def test_flush_advances_flushed_lsn(self, wal):
+        for i in range(3):
+            wal.append(LogRecordType.BEGIN, txid=i)
+        assert wal.flushed_lsn == 0
+        wal.flush(2)
+        assert wal.flushed_lsn == 2
+        wal.flush()
+        assert wal.flushed_lsn == 3
+
+    def test_flush_is_idempotent_when_nothing_new(self, wal):
+        wal.append(LogRecordType.BEGIN, txid=1)
+        assert wal.flush() == 1
+        assert wal.flush() == 0  # nothing new: no pages written
+
+    def test_partial_tail_page_is_rewritten(self, wal):
+        """Two flushes of records sharing one log page write that page
+        twice — the classic WAL tail rewrite."""
+        wal.append(LogRecordType.BEGIN, txid=1)
+        pages_first = wal.flush()
+        wal.append(LogRecordType.COMMIT, txid=1)
+        pages_second = wal.flush()
+        assert pages_first == pages_second == 1
+
+    def test_flush_issues_log_classified_writes(self, db, wal):
+        wal.append(LogRecordType.BEGIN, txid=1)
+        before = db.storage.stats.overall.by_type[RequestType.LOG].requests
+        wal.flush()
+        after = db.storage.stats.overall.by_type[RequestType.LOG].requests
+        assert after > before
+
+    def test_log_blocks_land_in_the_write_buffer_group(self, db, wal):
+        """The storage-level proof of Table 3: flushed log pages occupy
+        the priority cache's write-buffer group (group 0)."""
+        wal.append(LogRecordType.BEGIN, txid=1, row=tuple(range(50)))
+        wal.flush()
+        cache = db.storage.backend.cache
+        lbn = wal.file.lba_of(0)
+        assert cache.group_of(lbn) == 0
+
+    def test_read_records_charges_log_reads(self, db, wal):
+        for i in range(4):
+            wal.append(LogRecordType.BEGIN, txid=i)
+        wal.flush()
+        before = db.storage.stats.overall.by_type[RequestType.LOG].requests
+        records = wal.read_records(2)
+        after = db.storage.stats.overall.by_type[RequestType.LOG].requests
+        assert [r.lsn for r in records] == [2, 3, 4]
+        assert after > before
+
+
+class TestRestorePrefix:
+    def test_restore_rewinds_append_position(self, wal):
+        records = [wal.append(LogRecordType.BEGIN, txid=i) for i in range(6)]
+        wal.flush()
+        wal.restore_prefix(records[:3])
+        assert wal.last_lsn == 3
+        assert wal.flushed_lsn == 3
+        nxt = wal.append(LogRecordType.ABORT, txid=99)
+        assert nxt.lsn == 4
+
+    def test_restore_to_empty(self, wal):
+        wal.append(LogRecordType.BEGIN, txid=1)
+        wal.restore_prefix([])
+        assert wal.last_lsn == 0
+        assert wal.file.num_pages == 0
+
+
+class TestTransactionLifecycle:
+    def test_begin_logs_and_registers(self, db):
+        mgr = db.enable_wal()
+        txn = db.begin()
+        assert txn.txid in mgr.active
+        assert mgr.wal.records[txn.last_lsn - 1].type is LogRecordType.BEGIN
+
+    def test_commit_forces_the_log(self, db):
+        mgr = db.enable_wal()
+        txn = db.begin()
+        assert mgr.wal.flushed_lsn < txn.last_lsn
+        txn.commit()
+        assert txn.status is TxnStatus.COMMITTED
+        assert mgr.wal.flushed_lsn == mgr.wal.last_lsn
+        assert mgr.wal.records[-1].type is LogRecordType.COMMIT
+
+    def test_commit_twice_raises(self, db):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(ValueError):
+            txn.commit()
+
+    def test_context_manager_commits_and_aborts(self, db):
+        mgr = db.enable_wal()
+        with db.begin() as good:
+            pass
+        assert good.status is TxnStatus.COMMITTED
+        with pytest.raises(RuntimeError):
+            with db.begin() as bad:
+                raise RuntimeError("boom")
+        assert bad.status is TxnStatus.ABORTED
+        assert mgr.commits == 1 and mgr.aborts == 1
+
+    def test_enable_wal_is_idempotent(self, db):
+        first = db.enable_wal()
+        assert db.enable_wal() is first
+        assert first.checkpoints == 1
+
+    def test_mutations_without_txn_stay_unlogged(self, db):
+        """Autocommit-style legacy paths emit no WAL records."""
+        mgr = db.enable_wal()
+        rel = db.create_table("t", schema(("k", "int")))
+        before = mgr.wal.last_lsn
+        rel.heap.insert(db.pool, (1,), SemanticInfo.update(ContentType.TABLE, rel.oid))
+        assert mgr.wal.last_lsn == before
+
+
+class TestWalProtocol:
+    def test_steal_forces_log_before_page_write(self):
+        """Evicting a dirty logged page may not outrun its log records."""
+        db = make_database(bufferpool_pages=4)
+        rel = db.create_table("t", schema(("k", "int"), ("pad", "str", 8)))
+        mgr = db.enable_wal()
+        txn = db.begin()
+        sem = SemanticInfo.update(ContentType.TABLE, rel.oid)
+        rows = db.pool.capacity * rel.heap.rows_per_page * 3
+        for i in range(rows):  # overflow the 4-page pool repeatedly
+            rel.heap.insert(db.pool, (i, "x"), sem, txn=txn)
+        # Still uncommitted, yet stolen pages forced the log up to their
+        # page_lsn — the WAL rule.
+        assert mgr.wal.flushed_lsn > 0
+        assert mgr.durable.page_flushes_recorded > 0
+        fileid = rel.heap.file.fileid
+        flushed = mgr.durable.heap_pages_as_of(fileid, 0, mgr.wal.last_lsn)
+        assert flushed
+        for image in flushed.values():
+            assert image.page_lsn <= mgr.wal.flushed_lsn
+
+    def test_dirty_page_table_tracks_first_dirty(self, db):
+        mgr = db.enable_wal()
+        rel = db.create_table("t", schema(("k", "int")))
+        txn = db.begin()
+        sem = SemanticInfo.update(ContentType.TABLE, rel.oid)
+        (pageno, _slot) = rel.heap.insert(db.pool, (1,), sem, txn=txn)
+        first = mgr.dirty_pages[(rel.heap.file.fileid, pageno)]
+        rel.heap.insert(db.pool, (2,), sem, txn=txn)
+        assert mgr.dirty_pages[(rel.heap.file.fileid, pageno)] == first
+        db.pool.flush_all()
+        assert (rel.heap.file.fileid, pageno) not in mgr.dirty_pages
+
+    def test_checkpoint_records_table_states(self, db):
+        mgr = db.enable_wal()
+        txn = db.begin()
+        record = mgr.checkpoint()
+        assert record.type is LogRecordType.CHECKPOINT
+        assert txn.txid in record.active_txns
+        assert mgr.wal.flushed_lsn == record.lsn
