@@ -55,7 +55,12 @@ class QueryExecution:
     """A query being advanced cooperatively (concurrent workloads)."""
 
     def __init__(
-        self, db: "Database", plan: PlanNode, label: str, collect: bool
+        self,
+        db: "Database",
+        plan: PlanNode,
+        label: str,
+        collect: bool,
+        snapshot=None,
     ) -> None:
         self.db = db
         self.plan = plan
@@ -65,6 +70,19 @@ class QueryExecution:
         self.rows: list[tuple] = []
         self.started_at = db.clock.now
         self.finished_at: float | None = None
+
+        # MVCC: ``snapshot=True`` pins a fresh begin-timestamp snapshot
+        # for the query's whole life; a Snapshot instance is used as-is
+        # (caller owns its release); False/None read current state
+        # exactly as before.
+        self._owns_snapshot = False
+        if snapshot is True:
+            mgr = db.enable_wal()
+            snapshot = mgr.mvcc.take_snapshot()
+            self._owns_snapshot = True
+        elif not snapshot:
+            snapshot = None
+        self.snapshot = snapshot
 
         levels = compute_effective_levels(plan)
         refs: list[RandomOperatorRef] = []
@@ -80,6 +98,8 @@ class QueryExecution:
             query_id=self.query_id,
             work_mem_rows=db.work_mem_rows,
             levels=levels,
+            snapshot=self.snapshot,
+            mvcc=db.txn_manager.mvcc if self.snapshot is not None else None,
         )
         self._vectorized = db.vectorized
         self._iterator = (
@@ -130,6 +150,10 @@ class QueryExecution:
 
     def _finish(self) -> None:
         self.ctx.flush_cpu()
+        if self._owns_snapshot and self.db.txn_manager is not None:
+            mvcc = self.db.txn_manager.mvcc
+            mvcc.release_snapshot(self.snapshot)
+            mvcc.gc()  # versions only this snapshot could see are dead now
         self.db.registry.unregister_query(self.query_id)
         self.db.temp.cleanup_query(self.query_id)
         # Settle this query's in-flight writebacks so per-query statistics
@@ -279,29 +303,48 @@ class Database:
         return plan
 
     def start_query(
-        self, plan_or_builder, label: str = "query", collect: bool = True
+        self,
+        plan_or_builder,
+        label: str = "query",
+        collect: bool = True,
+        snapshot=None,
     ) -> QueryExecution:
         plan = self.build_plan(plan_or_builder)
-        return QueryExecution(self, plan, label, collect)
+        return QueryExecution(self, plan, label, collect, snapshot=snapshot)
 
     def run_query(
-        self, plan_or_builder, label: str = "query", collect: bool = True
+        self,
+        plan_or_builder,
+        label: str = "query",
+        collect: bool = True,
+        snapshot=None,
     ) -> QueryResult:
-        """Run one query to completion; returns rows, simulated time, stats."""
-        execution = self.start_query(plan_or_builder, label, collect)
+        """Run one query to completion; returns rows, simulated time, stats.
+
+        ``snapshot=True`` executes the query against an MVCC snapshot
+        taken at start (requires the WAL subsystem; DESIGN.md §10)."""
+        execution = self.start_query(plan_or_builder, label, collect, snapshot)
         execution.run_to_completion()
         return execution.result()
 
     def run_concurrent(
         self,
-        workloads: list[tuple[str, PlanBuilder]],
+        workloads: list[tuple],
         quantum: int = 64,
         collect: bool = False,
     ) -> list[QueryResult]:
-        """Co-run several queries with round-robin tuple quanta."""
+        """Co-run several queries with round-robin tuple quanta.
+
+        Each workload is ``(label, builder)`` or ``(label, builder,
+        snapshot)`` — the optional third element is passed to
+        :meth:`start_query`, so individual streams can read under an
+        MVCC snapshot while others (e.g. an OLTP driver) run without.
+        """
         executions = [
-            self.start_query(builder, label, collect)
-            for label, builder in workloads
+            self.start_query(
+                item[1], item[0], collect, item[2] if len(item) > 2 else None
+            )
+            for item in workloads
         ]
         active = list(executions)
         while active:

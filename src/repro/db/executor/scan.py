@@ -28,11 +28,30 @@ class SeqScan(PlanNode):
         self.pred = pred
         self.project = project
 
+    def _rows(self, ctx: ExecutionContext, sem: SemanticInfo) -> Iterator[tuple]:
+        """Row stream: current state, or the MVCC snapshot's view when the
+        query carries one — same page requests either way."""
+        if ctx.snapshot is not None and ctx.mvcc is not None:
+            for batch in self.relation.heap.scan_snapshot(
+                ctx.pool, sem, ctx.snapshot, ctx.mvcc
+            ):
+                yield from batch
+            return
+        for _, row in self.relation.heap.scan(ctx.pool, sem):
+            yield row
+
+    def _batches(self, ctx: ExecutionContext, sem: SemanticInfo) -> Iterator[list]:
+        if ctx.snapshot is not None and ctx.mvcc is not None:
+            return self.relation.heap.scan_snapshot(
+                ctx.pool, sem, ctx.snapshot, ctx.mvcc
+            )
+        return self.relation.heap.scan_batches(ctx.pool, sem)
+
     def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
         sem = SemanticInfo.table_scan(self.relation.oid, query_id=ctx.query_id)
         pred, project = self.pred, self.project
         seen = 0
-        for _, row in self.relation.heap.scan(ctx.pool, sem):
+        for row in self._rows(ctx, sem):
             ctx.cpu_tick()
             seen += 1
             if seen % PULSE_EVERY == 0:
@@ -44,7 +63,7 @@ class SeqScan(PlanNode):
     def execute_batch(self, ctx: ExecutionContext) -> Iterator:
         sem = SemanticInfo.table_scan(self.relation.oid, query_id=ctx.query_id)
         pred, project = self.pred, self.project
-        for batch in self.relation.heap.scan_batches(ctx.pool, sem):
+        for batch in self._batches(ctx, sem):
             ctx.cpu_tick(len(batch))
             if pred is not None:
                 batch = [row for row in batch if pred(row)]
@@ -105,16 +124,52 @@ class IndexScan(PlanNode):
         )
         return sem_index, sem_table
 
+    def _entries(
+        self, ctx: ExecutionContext, lo, hi, sem_index: SemanticInfo
+    ) -> Iterator[tuple]:
+        """(key, rid) stream of the range scan.  Under a snapshot, the
+        tree's live entries are merged (in key order) with tombstoned
+        entries whose deletion the snapshot must not see — the B-tree
+        itself is unversioned, so this is what keeps index scans on the
+        same transaction-consistent image as heap scans."""
+        live = self.index.btree.range_scan(ctx.pool, lo, hi, sem_index)
+        snapshot, mvcc = ctx.snapshot, ctx.mvcc
+        if snapshot is None or mvcc is None:
+            yield from live
+            return
+        hidden = mvcc.hidden_index_entries(
+            self.index.btree.file.fileid, lo, hi, snapshot
+        )
+        if not hidden:
+            yield from live
+            return
+        resurrect = iter(hidden)
+        nxt = next(resurrect, None)
+        for key, rid in live:
+            while nxt is not None and nxt[0] <= key:
+                yield nxt
+                nxt = next(resurrect, None)
+            yield (key, rid)
+        while nxt is not None:
+            yield nxt
+            nxt = next(resurrect, None)
+
     def _emit(
         self, ctx: ExecutionContext, lo, hi, sem_index: SemanticInfo,
         sem_table: SemanticInfo,
     ) -> Iterator[tuple]:
         heap = self.index.table.heap
         pred, project = self.pred, self.project
-        for _key, rid in self.index.btree.range_scan(ctx.pool, lo, hi, sem_index):
+        snapshot, mvcc = ctx.snapshot, ctx.mvcc
+        for _key, rid in self._entries(ctx, lo, hi, sem_index):
             ctx.cpu_tick()
             if self.fetch:
-                row = heap.fetch(ctx.pool, rid, sem_table)
+                if snapshot is not None and mvcc is not None:
+                    row = heap.fetch_visible(
+                        ctx.pool, rid, sem_table, snapshot, mvcc
+                    )
+                else:
+                    row = heap.fetch(ctx.pool, rid, sem_table)
                 if row is None:  # deleted since the entry was made
                     continue
             else:

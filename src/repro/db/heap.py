@@ -19,6 +19,7 @@ from repro.db.tuples import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.txn.manager import Transaction
+    from repro.db.txn.mvcc import MVCCManager, Snapshot
 
 Rid = tuple[int, int]
 """Row identifier: (page number, slot)."""
@@ -106,6 +107,58 @@ class HeapFile:
         pageno, slot = rid
         page = pool.get_page(self.file, pageno, sem)
         return page.get(slot)
+
+    # ------------------------------------------------------- snapshot reads
+
+    def fetch_visible(
+        self,
+        pool: BufferPool,
+        rid: Rid,
+        sem: SemanticInfo,
+        snapshot: "Snapshot",
+        mvcc: "MVCCManager",
+    ):
+        """The row version visible under ``snapshot`` (MVCC, DESIGN.md §10).
+
+        Issues exactly the page read :meth:`fetch` would; version
+        resolution is in-memory.  Returns None when the row is invisible
+        at the snapshot (deleted before it, or born after it).
+        """
+        pageno, slot = rid
+        page = pool.get_page(self.file, pageno, sem)
+        return mvcc.resolve(self.file.fileid, rid, page.get(slot), snapshot)
+
+    def scan_snapshot(
+        self,
+        pool: BufferPool,
+        sem: SemanticInfo,
+        snapshot: "Snapshot",
+        mvcc: "MVCCManager",
+    ) -> Iterator[list]:
+        """Sequential scan of the versions visible under ``snapshot``.
+
+        Page requests are identical (same order, same read-ahead windows)
+        to :meth:`scan_batches`; each page's slots are resolved against
+        the version chains, so the scan sees a transaction-consistent
+        image no matter which writers commit mid-flight.  Files no
+        transaction ever versioned take the plain fast path per page.
+        """
+        npages = self.num_pages
+        if npages == 0:
+            return
+        fileid = self.file.fileid
+        pageno = 0
+        for pages in pool.get_range_batches(self.file, 0, npages, sem):
+            for page in pages:
+                if mvcc.file_tracked(fileid):
+                    batch = mvcc.visible_page_rows(
+                        fileid, pageno, page.rows, snapshot
+                    )
+                else:
+                    batch = page.live_row_list()
+                pageno += 1
+                if batch:
+                    yield batch
 
     # -------------------------------------------------------------- mutation
 

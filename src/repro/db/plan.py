@@ -19,6 +19,7 @@ from repro.db.errors import ExecutionError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.bufferpool import BufferPool
     from repro.db.temp import TempFileManager
+    from repro.db.txn.mvcc import MVCCManager, Snapshot
     from repro.sim.clock import SimClock
     from repro.sim.params import SimulationParameters
 
@@ -92,6 +93,11 @@ class ExecutionContext:
     query_id: int
     work_mem_rows: int
     levels: dict[int, int] = field(default_factory=dict)
+    snapshot: "Snapshot | None" = None
+    """MVCC snapshot the query reads under (None: read current state —
+    the only mode before DESIGN.md §10, and still the default)."""
+    mvcc: "MVCCManager | None" = None
+    """Version-chain store backing :attr:`snapshot` resolution."""
     _pending_cpu_tuples: int = 0
 
     def level(self, node: "PlanNode") -> int:

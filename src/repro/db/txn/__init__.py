@@ -1,6 +1,14 @@
-"""Transactions, write-ahead logging and crash recovery (DESIGN.md §8)."""
+"""Transactions, WAL, crash recovery and concurrency control (DESIGN.md §8, §10)."""
 
+from repro.db.txn.interleave import (
+    InterleavedScheduler,
+    ScheduleStall,
+    TxnContext,
+    TxnTask,
+)
+from repro.db.txn.locks import DeadlockError, LockManager, LockMode
 from repro.db.txn.manager import Transaction, TransactionManager, TxnStatus
+from repro.db.txn.mvcc import MVCCManager, Snapshot, WriteConflictError
 from repro.db.txn.recovery import (
     DurableStore,
     RecoveryReport,
@@ -12,18 +20,36 @@ from repro.db.txn.wal import (
     LogRecord,
     LogRecordType,
     WriteAheadLog,
+    decode_record,
+    encode_record,
+    pack_records,
+    unpack_records,
 )
 
 __all__ = [
+    "DeadlockError",
     "DurableStore",
+    "InterleavedScheduler",
+    "LockManager",
+    "LockMode",
     "LogRecord",
     "LogRecordType",
+    "MVCCManager",
     "RecoveryReport",
+    "ScheduleStall",
+    "Snapshot",
     "Transaction",
     "TransactionManager",
+    "TxnContext",
     "TxnHistory",
     "TxnStatus",
+    "TxnTask",
     "WriteAheadLog",
+    "WriteConflictError",
+    "decode_record",
+    "encode_record",
+    "pack_records",
     "recover",
     "simulate_crash",
+    "unpack_records",
 ]

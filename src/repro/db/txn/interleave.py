@@ -1,0 +1,309 @@
+"""Deterministic interleaved transaction scheduler (DESIGN.md §10).
+
+Transactions are written as Python generators that yield at operation
+boundaries; the :class:`InterleavedScheduler` steps *ready* tasks one
+yield at a time in a reproducible order — strict round-robin by default,
+or a seeded pick among the ready set — over one shared database.  The
+scheduler owns nothing timing-visible of its own: every simulated I/O or
+CPU charge comes from the operations the tasks run, so a given seed
+replays the exact request stream, counter values and simulated clock,
+and a single task stepped to completion is bit-identical to running its
+operations inline.
+
+Blocking is cooperative.  :meth:`TxnContext.lock` parks the task while
+the lock manager keeps it waiting; the scheduler skips parked tasks,
+credits their blocked time (simulated seconds between park and resume)
+when they wake, and delivers deadlock victimisation by throwing
+:class:`~repro.db.txn.locks.DeadlockError` into the parked generator —
+the task may catch it to retry, or let it unwind for the scheduler to
+abort and record.
+"""
+
+from __future__ import annotations
+
+import enum
+from random import Random
+from typing import TYPE_CHECKING, Callable, Generator, Iterator
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.errors import ExecutionError
+from repro.db.txn.locks import DeadlockError, LockMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.catalog import Relation
+    from repro.db.engine import Database
+    from repro.db.heap import Rid
+    from repro.db.txn.manager import Transaction
+
+TaskBody = Callable[["TxnContext"], Generator]
+"""A transaction script: ``def body(ctx): ... yield ...``."""
+
+
+class ScheduleStall(ExecutionError):
+    """Unfinished tasks exist but none is runnable — this cannot happen
+    while deadlock detection runs at every block, so it means a task
+    parked on something the scheduler does not know how to wake."""
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    ABORTED = "aborted"
+
+
+class TxnTask:
+    """One scheduled transaction script and its accounting."""
+
+    def __init__(self, name: str, body: TaskBody, scheduler: "InterleavedScheduler") -> None:
+        self.name = name
+        self.ctx = TxnContext(scheduler, self)
+        self.gen = body(self.ctx)
+        self.state = TaskState.READY
+        self.blocked_since = 0.0
+        self.blocked_seconds = 0.0
+        self.commits = 0
+        self.aborts = 0
+        self.deadlock_aborts = 0
+        self.result: object = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (TaskState.DONE, TaskState.ABORTED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TxnTask({self.name!r}, {self.state.value})"
+
+
+class TxnContext:
+    """The database handle a task body works through.
+
+    Non-blocking helpers are plain methods; anything that can wait
+    (:meth:`lock`, :meth:`lock_row`) is a generator the body must
+    ``yield from``.  Rows are addressed by rid; semantics mirror the
+    OLTP point-update path (ordinary random reads, update-class writes).
+    """
+
+    def __init__(self, scheduler: "InterleavedScheduler", task: TxnTask) -> None:
+        self.scheduler = scheduler
+        self.db = scheduler.db
+        self.task = task
+        self.txn: "Transaction | None" = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def begin(self) -> "Transaction":
+        if self.txn is not None and self.txn.active:
+            raise ExecutionError(f"task {self.task.name}: transaction open")
+        self.txn = self.db.begin()
+        self.scheduler.record("begin", self.task.name, self.txn.txid)
+        return self.txn
+
+    def commit(self) -> None:
+        txn = self._require_txn()
+        txn.commit()
+        self.task.commits += 1
+        self.scheduler.commit_sequence.append(txn.txid)
+        self.scheduler.record("commit", self.task.name, txn.txid)
+
+    def abort(self) -> None:
+        txn = self._require_txn()
+        txn.abort()
+        self.task.aborts += 1
+        self.scheduler.record("abort", self.task.name, txn.txid)
+
+    def _require_txn(self) -> "Transaction":
+        if self.txn is None or not self.txn.active:
+            raise ExecutionError(f"task {self.task.name}: no open transaction")
+        return self.txn
+
+    # -------------------------------------------------------------- locking
+
+    def lock(self, key: tuple, mode: LockMode = LockMode.EXCLUSIVE) -> Iterator:
+        """Acquire ``key`` in ``mode``; parks the task while it waits.
+
+        Raises :class:`DeadlockError` (possibly at a later resume) when
+        this transaction is chosen as the deadlock victim.
+        """
+        txn = self._require_txn()
+        locks = self.scheduler.manager.locks
+        while not locks.acquire(txn.txid, key, mode):
+            self.scheduler.record("block", self.task.name, key)
+            yield BLOCKED
+        return
+
+    def lock_row(
+        self, relation: "Relation", rid: "Rid", mode: LockMode = LockMode.EXCLUSIVE
+    ) -> Iterator:
+        yield from self.lock((relation.heap.file.fileid, *rid), mode)
+
+    # ------------------------------------------------------------- row ops
+
+    def fetch(self, relation: "Relation", rid: "Rid"):
+        """Current row image (random read through the buffer pool)."""
+        sem = SemanticInfo.random_access(ContentType.TABLE, relation.oid, 0)
+        return relation.heap.fetch(self.db.pool, rid, sem)
+
+    def snapshot_fetch(self, relation: "Relation", rid: "Rid"):
+        """The row version visible to this transaction's snapshot — no
+        lock taken, never blocks, never dirty-reads."""
+        txn = self._require_txn()
+        sem = SemanticInfo.random_access(ContentType.TABLE, relation.oid, 0)
+        return relation.heap.fetch_visible(
+            self.db.pool, rid, sem, txn.snapshot, self.scheduler.manager.mvcc
+        )
+
+    def update(self, relation: "Relation", rid: "Rid", new_row: tuple):
+        """WAL-logged in-place update (caller holds the X lock)."""
+        txn = self._require_txn()
+        sem = SemanticInfo.update(ContentType.TABLE, relation.oid)
+        return relation.heap.update(self.db.pool, rid, new_row, sem, txn=txn)
+
+    def insert(self, relation: "Relation", row: tuple) -> "Rid":
+        txn = self._require_txn()
+        sem = SemanticInfo.update(ContentType.TABLE, relation.oid)
+        rid = relation.heap.insert(self.db.pool, row, sem, txn=txn)
+        # The fresh row is born X-locked: nobody else may touch it before
+        # this transaction resolves (insert locks never wait — the rid is
+        # brand new — so taking them inline cannot park the task).
+        self.scheduler.manager.locks.acquire(
+            txn.txid, (relation.heap.file.fileid, *rid), LockMode.EXCLUSIVE
+        )
+        return rid
+
+    def delete(self, relation: "Relation", rid: "Rid") -> bool:
+        txn = self._require_txn()
+        sem = SemanticInfo.update(ContentType.TABLE, relation.oid)
+        return relation.heap.delete(self.db.pool, rid, sem, txn=txn)
+
+
+BLOCKED = object()
+"""Yielded by :meth:`TxnContext.lock` while parked on a lock."""
+
+
+class InterleavedScheduler:
+    """Steps transaction tasks in a deterministic interleaving.
+
+    ``seed=None`` is strict round-robin over the spawn order;
+    an integer seed draws the next task from the ready set with a
+    private :class:`random.Random` — different seeds explore different
+    serializable histories, the same seed replays one exactly.
+    """
+
+    def __init__(self, db: "Database", seed: int | None = None) -> None:
+        self.db = db
+        self.manager = db.enable_wal()
+        self.seed = seed
+        self.rng = Random(seed) if seed is not None else None
+        self.tasks: list[TxnTask] = []
+        self._rr = 0
+        self.steps = 0
+        self.deadlock_aborts = 0
+        self.commit_sequence: list[int] = []
+        """txids in commit order — the replay-equality witness."""
+        self.events: list[tuple] = []
+        """Deterministic trace: (kind, task, detail) triples."""
+
+    # ------------------------------------------------------------- spawning
+
+    def spawn(self, body: TaskBody, name: str | None = None) -> TxnTask:
+        task = TxnTask(name or f"task-{len(self.tasks)}", body, self)
+        self.tasks.append(task)
+        return task
+
+    def record(self, kind: str, task: str, detail=None) -> None:
+        self.events.append((kind, task, detail))
+
+    # ------------------------------------------------------------- stepping
+
+    def _runnable(self, task: TxnTask) -> bool:
+        if task.state is TaskState.READY:
+            return True
+        if task.state is not TaskState.BLOCKED:
+            return False
+        txn = task.ctx.txn
+        if txn is None:
+            return True
+        locks = self.manager.locks
+        return not locks.is_waiting(txn.txid) or locks.is_victim(txn.txid)
+
+    def step(self) -> bool:
+        """Advance one runnable task by one yield; False when all done."""
+        runnable = [t for t in self.tasks if self._runnable(t)]
+        if not runnable:
+            if any(not t.finished for t in self.tasks):
+                stuck = [t.name for t in self.tasks if not t.finished]
+                raise ScheduleStall(f"no runnable task among {stuck}")
+            return False
+        task = self._pick(runnable)
+        self._resume(task)
+        self.steps += 1
+        return True
+
+    def _pick(self, runnable: list[TxnTask]) -> TxnTask:
+        if self.rng is not None:
+            return runnable[self.rng.randrange(len(runnable))]
+        # Round-robin: first runnable task at or after the rotating index.
+        order = sorted(
+            runnable, key=lambda t: (self.tasks.index(t) - self._rr) % len(self.tasks)
+        )
+        task = order[0]
+        self._rr = (self.tasks.index(task) + 1) % len(self.tasks)
+        return task
+
+    def _resume(self, task: TxnTask) -> None:
+        clock = self.db.clock
+        if task.state is TaskState.BLOCKED:
+            task.blocked_seconds += clock.now - task.blocked_since
+            task.state = TaskState.READY
+        locks = self.manager.locks
+        txn = task.ctx.txn
+        victimised = txn is not None and locks.take_victim(txn.txid)
+        try:
+            if victimised:
+                self.record("victim", task.name, txn.txid)
+                task.gen.throw(DeadlockError(txn.txid, (txn.txid,)))
+            else:
+                next(task.gen)
+        except StopIteration as stop:
+            task.result = stop.value
+            if task.ctx.txn is not None and task.ctx.txn.active:
+                task.ctx.commit()  # context-manager semantics: success commits
+            task.state = TaskState.DONE
+            self.record("done", task.name)
+            return
+        except DeadlockError:
+            # The body let the victimisation unwind: abort and finish.
+            if task.ctx.txn is not None and task.ctx.txn.active:
+                task.ctx.abort()
+            task.deadlock_aborts += 1
+            self.deadlock_aborts += 1
+            task.state = TaskState.ABORTED
+            self.record("deadlock-abort", task.name)
+            return
+        txn = task.ctx.txn
+        if txn is not None and self.manager.locks.is_waiting(txn.txid):
+            task.state = TaskState.BLOCKED
+            task.blocked_since = clock.now
+
+    def run(self) -> None:
+        while self.step():
+            pass
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def commits(self) -> int:
+        return sum(t.commits for t in self.tasks)
+
+    @property
+    def aborts(self) -> int:
+        return sum(t.aborts for t in self.tasks)
+
+    @property
+    def blocked_seconds(self) -> float:
+        return sum(t.blocked_seconds for t in self.tasks)
+
+    def trace(self) -> tuple[tuple, ...]:
+        """The immutable event trace (replay-equality comparisons)."""
+        return tuple(self.events)

@@ -29,6 +29,8 @@ from repro.core.semantics import ContentType, SemanticInfo
 from repro.db.btree import BTree
 from repro.db.heap import HeapFile, Rid
 from repro.db.pages import FileKind
+from repro.db.txn.locks import LockManager
+from repro.db.txn.mvcc import MVCCManager, Snapshot
 from repro.db.txn.recovery import (
     DurableStore,
     FileImage,
@@ -62,6 +64,10 @@ class Transaction:
     manager: "TransactionManager"
     last_lsn: int = 0
     status: TxnStatus = TxnStatus.ACTIVE
+    snapshot: Snapshot | None = None
+    """Begin-timestamp snapshot: what this transaction's MVCC reads see."""
+    commit_ts: int | None = None
+    """Position in commit order (assigned by the MVCC clock at commit)."""
 
     def commit(self) -> None:
         self.manager.commit(self)
@@ -95,6 +101,8 @@ class TransactionManager:
         """The dirty-page table: ``(fileid, pageno) -> rec_lsn`` of the
         record that first dirtied the page since its last flush."""
         self.active: dict[int, Transaction] = {}
+        self.locks = LockManager()
+        self.mvcc = MVCCManager()
         self._next_txid = 1
         self._heaps: dict[int, HeapFile] = {}
         self._btrees: dict[int, BTree] = {}
@@ -116,6 +124,7 @@ class TransactionManager:
         self._next_txid += 1
         record = self.wal.append(LogRecordType.BEGIN, txid=txn.txid)
         txn.last_lsn = record.lsn
+        txn.snapshot = self.mvcc.take_snapshot(txn.txid)
         self.active[txn.txid] = txn
         return txn
 
@@ -131,6 +140,12 @@ class TransactionManager:
         txn.status = TxnStatus.COMMITTED
         del self.active[txn.txid]
         self.commits += 1
+        # Concurrency-control epilogue (in-memory, charges no I/O): the
+        # transaction's versions become the committed image at the next
+        # commit timestamp, and strict 2PL releases its locks only now.
+        self.mvcc.release_snapshot(txn.snapshot)
+        txn.commit_ts = self.mvcc.on_commit(txn.txid)
+        self.locks.release_all(txn.txid)
 
     def abort(self, txn: Transaction) -> None:
         self._require_active(txn)
@@ -142,6 +157,11 @@ class TransactionManager:
         txn.status = TxnStatus.ABORTED
         del self.active[txn.txid]
         self.aborts += 1
+        # Undo restored the slot contents above; retract the version-chain
+        # entries that mirrored them, then release the 2PL locks.
+        self.mvcc.release_snapshot(txn.snapshot)
+        self.mvcc.on_abort(txn.txid)
+        self.locks.release_all(txn.txid)
 
     def _require_active(self, txn: Transaction) -> None:
         if not txn.active:
@@ -159,6 +179,9 @@ class TransactionManager:
         for txn in self.active.values():
             txn.status = TxnStatus.ABORTED
         self.active.clear()
+        # Locks and version chains are volatile: gone with the power.
+        self.locks.reset()
+        self.mvcc.reset()
 
     def _undoable_chain(self, txid: int, last_lsn: int) -> list[LogRecord]:
         """The transaction's not-yet-compensated changes, newest first."""
@@ -241,12 +264,16 @@ class TransactionManager:
     def log_heap_insert(
         self, txn: Transaction, heap: HeapFile, rid: Rid, row: tuple
     ) -> LogRecord:
-        return self._log_heap(LogRecordType.HEAP_INSERT, txn, heap, rid, row=row)
+        record = self._log_heap(LogRecordType.HEAP_INSERT, txn, heap, rid, row=row)
+        self.mvcc.on_insert(txn.txid, heap.file.fileid, rid)
+        return record
 
     def log_heap_delete(
         self, txn: Transaction, heap: HeapFile, rid: Rid, row: tuple
     ) -> LogRecord:
-        return self._log_heap(LogRecordType.HEAP_DELETE, txn, heap, rid, row=row)
+        record = self._log_heap(LogRecordType.HEAP_DELETE, txn, heap, rid, row=row)
+        self.mvcc.on_update(txn.txid, heap.file.fileid, rid, row)
+        return record
 
     def log_heap_update(
         self,
@@ -256,9 +283,11 @@ class TransactionManager:
         old_row: tuple,
         new_row: tuple,
     ) -> LogRecord:
-        return self._log_heap(
+        record = self._log_heap(
             LogRecordType.HEAP_UPDATE, txn, heap, rid, row=new_row, old_row=old_row
         )
+        self.mvcc.on_update(txn.txid, heap.file.fileid, rid, old_row)
+        return record
 
     def _log_heap(
         self,
@@ -305,9 +334,11 @@ class TransactionManager:
         rid: Rid,
         leaf_pageno: int | None = None,
     ) -> LogRecord:
-        return self._log_btree(
+        record = self._log_btree(
             LogRecordType.BTREE_DELETE, txn, btree, key, rid, leaf_pageno
         )
+        self.mvcc.on_index_delete(txn.txid, btree.file.fileid, key, rid)
+        return record
 
     def _log_btree(
         self,

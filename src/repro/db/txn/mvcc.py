@@ -1,0 +1,342 @@
+"""MVCC snapshot reads: begin-timestamp visibility over versioned rows.
+
+The heap keeps exactly one physical row per slot (the newest version —
+possibly uncommitted); this module keeps the *history*: a version chain
+per row id holding the committed row images that slot content superseded,
+each stamped with the commit timestamp at which it became current.  A
+:class:`Snapshot` taken at timestamp ``ts`` sees, for every row, the
+newest version committed at or before ``ts`` — so analytical scans
+(Q1/Q6) read a transaction-consistent image of the database and never
+block behind, or dirty-read, concurrent point-update writers.
+
+Timestamps come from a logical commit clock (one tick per commit), not
+the simulated I/O clock, so visibility is exact and deterministic.  All
+bookkeeping is in-memory and charges no simulated I/O: a snapshot scan
+issues exactly the page requests an ordinary scan would, and a database
+that never takes snapshots is bit-identical to one without this module.
+
+Version chains are volatile — a crash drops them (the durable state is
+the latest committed image, which recovery rebuilds), and commit-time
+garbage collection prunes every version no active snapshot can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import ReproError
+
+VersionKey = tuple[int, int, int]
+"""(fileid, pageno, slot) — one logical row."""
+
+
+class WriteConflictError(ReproError):
+    """Two live transactions wrote one row (the lock manager must make
+    this impossible; raising loudly beats silent version-chain damage)."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A fixed point in commit order.
+
+    Sees every version committed at or before ``ts``, plus (when ``txid``
+    is set) the owning transaction's own uncommitted writes.
+    """
+
+    ts: int
+    txid: int | None = None
+
+
+class MVCCManager:
+    """Version chains, the commit clock, and the visibility rule."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._chains: dict[VersionKey, list[tuple[int, tuple | None]]] = {}
+        """Superseded committed versions per row, oldest -> newest, as
+        ``(commit_ts, row-or-None)`` (None: the version was a delete)."""
+        self._writers: dict[VersionKey, int] = {}
+        """Uncommitted owner of the current slot content, per row."""
+        self._current_ts: dict[VersionKey, int] = {}
+        """Commit timestamp of the current slot content (absent = 0: as
+        old as the bulk-loaded base image, visible to every snapshot)."""
+        self._txn_writes: dict[int, dict[VersionKey, bool]] = {}
+        """Per live transaction: written keys -> "pushed a chain entry"."""
+        self._index_tombstones: dict[int, list[list]] = {}
+        """Per index fileid: ``[key, rid, commit_ts, writer]`` for every
+        entry removed from the (unversioned) B-tree that some snapshot
+        may still need to see.  ``commit_ts`` is None while the deleting
+        transaction is in flight."""
+        self._txn_index_deletes: dict[int, list[tuple[int, list]]] = {}
+        """Per live transaction: (fileid, tombstone) refs to settle."""
+        self._tracked: dict[int, set[VersionKey]] = {}
+        """fileid -> rows with live MVCC state (the scan fast path skips
+        visibility resolution entirely for untracked files)."""
+        self._active_snapshots: dict[int, int] = {}
+        """ts -> refcount of live snapshots pinned at that timestamp."""
+        self.snapshot_reads = 0
+        """Rows served from a version chain (not current slot content)."""
+        self.versions_created = 0
+        self.versions_pruned = 0
+
+    # ------------------------------------------------------------ snapshots
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def take_snapshot(self, txid: int | None = None) -> Snapshot:
+        snapshot = Snapshot(ts=self._clock, txid=txid)
+        self._active_snapshots[snapshot.ts] = (
+            self._active_snapshots.get(snapshot.ts, 0) + 1
+        )
+        return snapshot
+
+    def release_snapshot(self, snapshot: Snapshot | None) -> None:
+        if snapshot is None:
+            return
+        count = self._active_snapshots.get(snapshot.ts, 0)
+        if count <= 1:
+            self._active_snapshots.pop(snapshot.ts, None)
+        else:
+            self._active_snapshots[snapshot.ts] = count - 1
+
+    def _horizon(self) -> int:
+        """Versions at or before this timestamp whose successor is also
+        at or before it can never be read again."""
+        if not self._active_snapshots:
+            return self._clock
+        return min(self._active_snapshots)
+
+    # ------------------------------------------------------------ write side
+
+    def on_insert(self, txid: int, fileid: int, rid: tuple[int, int]) -> None:
+        """A logged heap insert: fresh slot, no prior version."""
+        self._register_write(txid, (fileid, *rid), old_row=None, push=False)
+
+    def on_update(
+        self, txid: int, fileid: int, rid: tuple[int, int], old_row: tuple | None
+    ) -> None:
+        """A logged heap update or delete: the superseded committed image
+        joins the chain (first write of this row by this transaction)."""
+        self._register_write(txid, (fileid, *rid), old_row=old_row, push=True)
+
+    def _register_write(
+        self, txid: int, key: VersionKey, old_row: tuple | None, push: bool
+    ) -> None:
+        writes = self._txn_writes.setdefault(txid, {})
+        if key in writes:
+            return  # rewriting its own uncommitted version: no new chain entry
+        owner = self._writers.get(key)
+        if owner is not None and owner != txid:
+            raise WriteConflictError(
+                f"row {key} written by {txid} while transaction "
+                f"{owner} still owns an uncommitted version"
+            )
+        if push:
+            self._chains.setdefault(key, []).append(
+                (self._current_ts.get(key, 0), old_row)
+            )
+            self.versions_created += 1
+        self._writers[key] = txid
+        writes[key] = push
+        self._tracked.setdefault(key[0], set()).add(key)
+
+    def on_index_delete(
+        self, txid: int, fileid: int, key, rid: tuple[int, int]
+    ) -> None:
+        """A logged B-tree entry removal.  The tree itself is unversioned
+        (the entry is physically gone the moment the transaction removes
+        it), so the tombstone is what lets snapshot index scans resurrect
+        entries whose deletion they must not see."""
+        tombstone = [key, rid, None, txid]
+        self._index_tombstones.setdefault(fileid, []).append(tombstone)
+        self._txn_index_deletes.setdefault(txid, []).append((fileid, tombstone))
+
+    # ---------------------------------------------------------- commit/abort
+
+    def on_commit(self, txid: int) -> int:
+        """Tick the commit clock; the transaction's versions become the
+        current committed image at the new timestamp."""
+        self._clock += 1
+        commit_ts = self._clock
+        writes = self._txn_writes.pop(txid, {})
+        horizon = self._horizon()
+        for key in writes:
+            self._writers.pop(key, None)
+            self._current_ts[key] = commit_ts
+            self._settle(key, horizon)
+        for fileid, tombstone in self._txn_index_deletes.pop(txid, ()):
+            tombstone[2] = commit_ts
+            if commit_ts <= horizon:  # no live snapshot predates the delete
+                self._drop_tombstone(fileid, tombstone)
+        return commit_ts
+
+    def on_abort(self, txid: int) -> None:
+        """Undo restored the slot contents; pop the chain entries the
+        transaction pushed so the history matches again."""
+        writes = self._txn_writes.pop(txid, {})
+        horizon = self._horizon()
+        for key, pushed in writes.items():
+            self._writers.pop(key, None)
+            if pushed:
+                chain = self._chains.get(key)
+                if chain:
+                    chain.pop()
+                    if not chain:
+                        del self._chains[key]
+            self._settle(key, horizon)
+        for fileid, tombstone in self._txn_index_deletes.pop(txid, ()):
+            # Undo re-inserted the B-tree entry; the tombstone is moot.
+            self._drop_tombstone(fileid, tombstone)
+
+    def _drop_tombstone(self, fileid: int, tombstone: list) -> None:
+        stones = self._index_tombstones.get(fileid)
+        if stones is None:
+            return
+        try:
+            stones.remove(tombstone)
+        except ValueError:
+            return
+        if not stones:
+            del self._index_tombstones[fileid]
+
+    # ------------------------------------------------------------- read side
+
+    def resolve(
+        self, fileid: int, rid: tuple[int, int], current_row, snapshot: Snapshot
+    ):
+        """The visible version of one row under ``snapshot``.
+
+        ``current_row`` is the slot content the caller already fetched
+        through the buffer pool (None for a tombstone).  Returns the row
+        image visible at ``snapshot.ts`` or None (deleted / not yet
+        born).
+        """
+        key = (fileid, *rid)
+        owner = self._writers.get(key)
+        if owner is not None:
+            if owner == snapshot.txid:
+                return current_row  # own uncommitted write
+        elif self._current_ts.get(key, 0) <= snapshot.ts:
+            return current_row  # current version already visible
+        for ts, row in reversed(self._chains.get(key, ())):
+            if ts <= snapshot.ts:
+                self.snapshot_reads += 1
+                return row
+        return None  # row did not exist at snapshot time
+
+    def visible_page_rows(
+        self, fileid: int, pageno: int, rows: list, snapshot: Snapshot
+    ) -> list:
+        """Visible versions of one heap page's slots, in slot order."""
+        out = []
+        for slot, row in enumerate(rows):
+            visible = self.resolve(fileid, (pageno, slot), row, snapshot)
+            if visible is not None:
+                out.append(visible)
+        return out
+
+    def file_tracked(self, fileid: int) -> bool:
+        """False when no row of the file has MVCC state: scans may take
+        the plain ``live_row_list`` fast path."""
+        return fileid in self._tracked
+
+    def hidden_index_entries(
+        self, fileid: int, lo, hi, snapshot: Snapshot
+    ) -> list[tuple]:
+        """Index entries in ``[lo, hi]`` removed from the tree that
+        ``snapshot`` must still see: deletions committed after its
+        timestamp, and uncommitted deletions of other transactions.
+        Sorted by key (then rid) for merging into a range scan."""
+        out = []
+        for key, rid, commit_ts, writer in self._index_tombstones.get(
+            fileid, ()
+        ):
+            if lo is not None and key < lo:
+                continue
+            if hi is not None and key > hi:
+                continue
+            if commit_ts is None:
+                if writer != snapshot.txid:
+                    out.append((key, rid))  # dirty delete: not yet real
+            elif commit_ts > snapshot.ts:
+                out.append((key, rid))
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------- gc
+
+    def _settle(self, key: VersionKey, horizon: int) -> None:
+        """Prune dead versions of one row and drop its tracking once it
+        is indistinguishable from plain base data.
+
+        A chain entry is dead when its successor (next chain entry, or
+        the committed current version) is also at or before the horizon:
+        every live or future snapshot then resolves past it.  A row stops
+        being tracked when it has no uncommitted writer, no chain, and a
+        current version at or before the horizon.
+        """
+        chain = self._chains.get(key)
+        owner = self._writers.get(key)
+        if chain:
+            successors = [ts for ts, _ in chain[1:]]
+            if owner is None:
+                successors.append(self._current_ts.get(key, 0))
+            else:
+                successors.append(self._clock + 1)  # uncommitted successor
+            keep = [
+                entry
+                for entry, succ_ts in zip(chain, successors)
+                if succ_ts > horizon
+            ]
+            self.versions_pruned += len(chain) - len(keep)
+            if keep:
+                self._chains[key] = keep
+            else:
+                del self._chains[key]
+                chain = None
+        if chain or owner is not None:
+            return
+        if self._current_ts.get(key, 0) <= horizon:
+            # As old as base data for everyone who can still look.
+            self._current_ts.pop(key, None)
+            tracked = self._tracked.get(key[0])
+            if tracked is not None:
+                tracked.discard(key)
+                if not tracked:
+                    del self._tracked[key[0]]
+
+    def gc(self) -> int:
+        """Prune every tracked row against the active-snapshot horizon
+        (called after snapshot churn; commits settle their own rows)."""
+        horizon = self._horizon()
+        before = self.versions_pruned
+        for keys in list(self._tracked.values()):
+            for key in list(keys):
+                self._settle(key, horizon)
+        for fileid in list(self._index_tombstones):
+            for tombstone in list(self._index_tombstones.get(fileid, ())):
+                if tombstone[2] is not None and tombstone[2] <= horizon:
+                    self._drop_tombstone(fileid, tombstone)
+        return self.versions_pruned - before
+
+    # ------------------------------------------------------------ inspection
+
+    def chain_length(self, fileid: int, rid: tuple[int, int]) -> int:
+        return len(self._chains.get((fileid, *rid), ()))
+
+    def live_versions(self) -> int:
+        return sum(len(chain) for chain in self._chains.values())
+
+    def reset(self) -> None:
+        """Crash simulation: volatile version state is gone.  The commit
+        clock keeps running so post-recovery snapshots stay monotonic."""
+        self._chains.clear()
+        self._writers.clear()
+        self._current_ts.clear()
+        self._txn_writes.clear()
+        self._tracked.clear()
+        self._index_tombstones.clear()
+        self._txn_index_deletes.clear()
+        self._active_snapshots.clear()

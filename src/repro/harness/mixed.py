@@ -24,6 +24,8 @@ from typing import Iterator
 from repro.core.semantics import ContentType, SemanticInfo
 from repro.db.engine import Database, QueryResult
 from repro.db.plan import ExecutionContext, PlanNode
+from repro.db.txn.interleave import InterleavedScheduler
+from repro.db.txn.locks import DeadlockError
 from repro.harness.configs import StorageConfig, build_database
 from repro.storage.requests import RequestType
 from repro.storage.stats import Counts
@@ -33,6 +35,37 @@ from repro.tpch.workload import load_tpch
 
 DEFAULT_OLAP_QUERIES = (1, 6)
 """Scan-heavy single-table queries: the OLAP side of the interleave."""
+
+
+def _oltp_target(db: Database, query_id: int):
+    """Everything a point-update stream touches, shared by the serial
+    and the interleaved OLTP nodes so their operation streams cannot
+    drift apart (the serial-equivalence gate compares them bit-for-bit):
+    (orders, index, price_pos, max_key, (read_sem, fetch_sem, write_sem)).
+    """
+    orders = db.catalog.relation("orders")
+    index = orders.index_on("o_orderkey")
+    price_pos = orders.schema.idx("o_totalprice")
+    max_key = max(2, orders.row_count + 1)
+    sems = (
+        SemanticInfo.random_access(
+            ContentType.INDEX, index.oid, 0, query_id=query_id
+        ),
+        SemanticInfo.random_access(
+            ContentType.TABLE, orders.oid, 0, query_id=query_id
+        ),
+        SemanticInfo.update(ContentType.TABLE, orders.oid, query_id=query_id),
+    )
+    return orders, index, price_pos, max_key, sems
+
+
+def _bump_price(row: tuple, price_pos: int) -> tuple:
+    """The OLTP write: o_totalprice grown 1%, everything else kept."""
+    return (
+        row[:price_pos]
+        + (round(row[price_pos] * 1.01, 2),)
+        + row[price_pos + 1 :]
+    )
 
 
 class PointUpdateTransactions(PlanNode):
@@ -64,19 +97,10 @@ class PointUpdateTransactions(PlanNode):
 
     def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
         db, pool = self.db, ctx.pool
-        orders = db.catalog.relation("orders")
-        index = orders.index_on("o_orderkey")
-        price_pos = orders.schema.idx("o_totalprice")
-        max_key = max(2, orders.row_count + 1)
-        read_sem = SemanticInfo.random_access(
-            ContentType.INDEX, index.oid, 0, query_id=ctx.query_id
+        orders, index, price_pos, max_key, sems = _oltp_target(
+            db, ctx.query_id
         )
-        fetch_sem = SemanticInfo.random_access(
-            ContentType.TABLE, orders.oid, 0, query_id=ctx.query_id
-        )
-        write_sem = SemanticInfo.update(
-            ContentType.TABLE, orders.oid, query_id=ctx.query_id
-        )
+        read_sem, fetch_sem, write_sem = sems
         rng = Random(self.seed)
         for i in range(self.n_txns):
             with db.begin() as txn:
@@ -86,18 +110,133 @@ class PointUpdateTransactions(PlanNode):
                         row = orders.heap.fetch(pool, rid, fetch_sem)
                         if row is None:
                             continue
-                        bumped = (
-                            row[:price_pos]
-                            + (round(row[price_pos] * 1.01, 2),)
-                            + row[price_pos + 1 :]
-                        )
                         orders.heap.update(
-                            pool, rid, bumped, write_sem, txn=txn
+                            pool,
+                            rid,
+                            _bump_price(row, price_pos),
+                            write_sem,
+                            txn=txn,
                         )
             ctx.cpu_tick(self.updates_per_txn)
             if self.checkpoint_every and (i + 1) % self.checkpoint_every == 0:
                 db.txn_manager.checkpoint()
             yield (i,)
+
+
+class InterleavedPointUpdates(PlanNode):
+    """The OLTP side as *truly concurrent* transaction streams.
+
+    ``streams`` writer tasks run through the deterministic interleaved
+    scheduler (DESIGN.md §10): each transaction X-locks the rows it
+    bumps, conflicting writers block (and occasionally deadlock — the
+    victim retries after a CLR-logged rollback), and the whole
+    interleaving is replayable from ``scheduler_seed``.
+
+    With ``streams=1`` the operation stream is *identical* to
+    :class:`PointUpdateTransactions` — same requests, counters and
+    simulated clock — which is the serial-equivalence gate the tests
+    hold the scheduler to.
+    """
+
+    MAX_RETRIES = 20
+    """Deadlock-victim retries per transaction before giving up."""
+
+    def __init__(
+        self,
+        db: Database,
+        n_txns: int,
+        updates_per_txn: int = 4,
+        streams: int = 2,
+        seed: int = 1,
+        scheduler_seed: int | None = None,
+        checkpoint_every: int = 25,
+        hot_keys: int | None = None,
+    ) -> None:
+        super().__init__(label=f"InterleavedPointUpdates(x{streams})")
+        self.db = db
+        self.n_txns = n_txns
+        self.updates_per_txn = updates_per_txn
+        self.streams = max(1, streams)
+        self.seed = seed
+        self.scheduler_seed = scheduler_seed
+        self.checkpoint_every = checkpoint_every
+        self.hot_keys = hot_keys
+        """Restrict updates to the first N orderkeys (None: the whole
+        table).  A small hot set is how the contention scenarios force
+        lock waits and deadlocks at harness scale."""
+        self.scheduler: InterleavedScheduler | None = None
+        self.retries = 0
+
+    def _stream_body(self, stream_idx: int, n_mine: int, shared):
+        orders, index, price_pos, max_key, sems = shared
+        read_sem, fetch_sem, write_sem = sems
+        pool = self.db.pool
+        rng = Random(self.seed + stream_idx)
+        # A hot set is spread over the whole key range (not the first N
+        # keys, which would all share one heap page): contention stays
+        # row-level while the updated rows land on many pages.
+        hot = stride = 0
+        if self.hot_keys is not None:
+            hot = max(1, min(self.hot_keys, max_key - 1))
+            stride = max(1, (max_key - 1) // hot)
+
+        def body(ctx):
+            for _ in range(n_mine):
+                for attempt in range(self.MAX_RETRIES + 1):
+                    ctx.begin()
+                    try:
+                        for _ in range(self.updates_per_txn):
+                            if hot:
+                                key = 1 + rng.randrange(hot) * stride
+                            else:
+                                key = rng.randrange(1, max_key)
+                            for rid in index.btree.search(pool, key, read_sem):
+                                yield from ctx.lock_row(orders, rid)
+                                row = orders.heap.fetch(pool, rid, fetch_sem)
+                                if row is None:
+                                    continue
+                                orders.heap.update(
+                                    pool,
+                                    rid,
+                                    _bump_price(row, price_pos),
+                                    write_sem,
+                                    txn=ctx.txn,
+                                )
+                            yield  # interleave point between row updates
+                        ctx.commit()
+                        yield  # hand back before the next BEGIN: the
+                        #        driver ticks CPU / checkpoints here, in
+                        #        exactly the serial path's positions
+                        break
+                    except DeadlockError:
+                        ctx.abort()  # full CLR-logged rollback
+                        self.retries += 1
+                        yield  # let the survivors drain before retrying
+                else:
+                    raise DeadlockError(ctx.txn.txid, ())  # livelocked
+
+        return body
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        db = self.db
+        shared = _oltp_target(db, ctx.query_id)
+        scheduler = InterleavedScheduler(db, seed=self.scheduler_seed)
+        self.scheduler = scheduler
+        base, extra = divmod(self.n_txns, self.streams)
+        for i in range(self.streams):
+            n_mine = base + (1 if i < extra else 0)
+            if n_mine:
+                scheduler.spawn(
+                    self._stream_body(i, n_mine, shared), name=f"oltp-{i}"
+                )
+        emitted = 0
+        while scheduler.step():
+            while emitted < scheduler.commits:
+                emitted += 1
+                ctx.cpu_tick(self.updates_per_txn)
+                if self.checkpoint_every and emitted % self.checkpoint_every == 0:
+                    db.txn_manager.checkpoint()
+                yield (emitted - 1,)
 
 
 @dataclass
@@ -114,6 +253,19 @@ class MixedWorkloadResult:
     update_counts: Counts = field(default_factory=Counts)
     write_buffer_flushes: int = 0
     write_buffer_blocks: int = 0
+    oltp_streams: int = 1
+    lock_waits: int = 0
+    """Times a transaction had to park behind a conflicting row lock."""
+    deadlocks: int = 0
+    """Waits-for cycles detected (each one aborts its victim)."""
+    deadlock_aborts: int = 0
+    """CLR-logged victim rollbacks (the victims retry and eventually
+    commit, so ``commits`` still reaches the requested count)."""
+    blocked_seconds: float = 0.0
+    """Simulated seconds OLTP tasks spent parked on locks."""
+    snapshot_reads: int = 0
+    """Rows the OLAP snapshots served from MVCC version chains instead
+    of (dirty) current state."""
 
     @property
     def commits_per_second(self) -> float:
@@ -133,12 +285,26 @@ def run_mixed_oltp_olap(
     config: StorageConfig | None = None,
     data: TPCHData | None = None,
     seed: int = 42,
+    oltp_streams: int = 1,
+    scheduler_seed: int | None = None,
+    snapshot_olap: bool | None = None,
+    use_scheduler: bool | None = None,
+    hot_keys: int | None = None,
+    orders_probe: bool | None = None,
 ) -> MixedWorkloadResult:
     """Load TPC-H, attach the WAL subsystem, co-run OLTP with OLAP.
 
     The WAL is enabled *after* loading (its baseline checkpoint must
     image the loaded database) and measurement is reset after that, so
     the reported window covers exactly the interleaved streams.
+
+    ``oltp_streams > 1`` routes the OLTP side through the interleaved
+    transaction scheduler (DESIGN.md §10): concurrent writer streams
+    with row locks, deadlock-victim retries and MVCC-snapshot OLAP
+    (``snapshot_olap`` defaults to exactly that condition).  The default
+    single stream keeps the serial PR-3 request stream bit-identical;
+    ``use_scheduler=True`` forces even one stream through the scheduler
+    (the serial-equivalence tests drive this).
     """
     if config is None:
         config = StorageConfig(
@@ -151,17 +317,50 @@ def run_mixed_oltp_olap(
     db.enable_wal()
     db.reset_measurements()
 
-    workloads = [
-        (query_label(qid), query_builder(qid)) for qid in olap_queries
+    if use_scheduler is None:
+        use_scheduler = oltp_streams > 1
+    if snapshot_olap is None:
+        snapshot_olap = oltp_streams > 1
+    if orders_probe is None:
+        orders_probe = use_scheduler and snapshot_olap
+    workloads: list[tuple] = [
+        (query_label(qid), query_builder(qid), snapshot_olap)
+        for qid in olap_queries
     ]
-    workloads.append(
-        (
-            "OLTP",
-            lambda db: PointUpdateTransactions(
-                db, n_txns, updates_per_txn, seed=seed
-            ),
+    if orders_probe:
+        # A snapshot scan over the very table the OLTP streams update:
+        # every row whose current version postdates the scan's snapshot
+        # is served from its MVCC chain (the snapshot_reads counter).
+        from repro.db.executor import SeqScan
+
+        workloads.append(
+            (
+                "OrdersScan",
+                lambda db: SeqScan(db.catalog.relation("orders")),
+                snapshot_olap,
+            )
         )
-    )
+    oltp_node: list[PlanNode] = []
+
+    def oltp_builder(db: Database) -> PlanNode:
+        if use_scheduler:
+            node: PlanNode = InterleavedPointUpdates(
+                db,
+                n_txns,
+                updates_per_txn,
+                streams=oltp_streams,
+                seed=seed,
+                scheduler_seed=scheduler_seed,
+                hot_keys=hot_keys,
+            )
+        else:
+            node = PointUpdateTransactions(
+                db, n_txns, updates_per_txn, seed=seed
+            )
+        oltp_node.append(node)
+        return node
+
+    workloads.append(("OLTP", oltp_builder))
     start = db.clock.now
     results = db.run_concurrent(workloads, quantum=quantum)
     elapsed = db.clock.now - start
@@ -169,6 +368,8 @@ def run_mixed_oltp_olap(
     mgr = db.txn_manager
     stats = db.storage.stats.overall
     cache = getattr(db.storage.backend, "cache", None)
+    node = oltp_node[0] if oltp_node else None
+    scheduler = getattr(node, "scheduler", None)
     return MixedWorkloadResult(
         kind=config.kind,
         elapsed_seconds=elapsed,
@@ -180,4 +381,10 @@ def run_mixed_oltp_olap(
         update_counts=stats.by_type[RequestType.UPDATE],
         write_buffer_flushes=getattr(cache, "write_buffer_flushes", 0),
         write_buffer_blocks=getattr(cache, "write_buffer_blocks", 0),
+        oltp_streams=oltp_streams if use_scheduler else 1,
+        lock_waits=mgr.locks.stats.waits,
+        deadlocks=mgr.locks.stats.deadlocks,
+        deadlock_aborts=mgr.locks.stats.victims,
+        blocked_seconds=scheduler.blocked_seconds if scheduler else 0.0,
+        snapshot_reads=mgr.mvcc.snapshot_reads,
     )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.harness import run_mixed_oltp_olap
 from repro.harness.configs import StorageConfig
+from repro.tpch.datagen import generate
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +38,139 @@ class TestMixedWorkload:
         res = run_mixed_oltp_olap(scale=0.05, n_txns=5, updates_per_txn=2)
         assert res.oltp_result.row_count == 0  # collect=False stream
         assert res.commits == 5
+
+
+@pytest.fixture(scope="module")
+def contended():
+    """Four OLTP writer streams over a spread hot set, seeded scheduler,
+    MVCC-snapshot OLAP (Q1/Q6 + the orders probe)."""
+    return run_mixed_oltp_olap(
+        scale=0.05,
+        n_txns=24,
+        updates_per_txn=3,
+        oltp_streams=4,
+        scheduler_seed=11,
+        hot_keys=16,
+    )
+
+
+class TestConcurrentOltp:
+    """The acceptance gate: contention metrics for a concurrent
+    OLTP + Q1/Q6 scenario (ISSUE 4)."""
+
+    def test_all_transactions_still_commit(self, contended):
+        assert contended.commits == 24
+        assert contended.oltp_streams == 4
+
+    def test_contention_metrics_reported(self, contended):
+        assert contended.lock_waits > 0
+        assert contended.blocked_seconds > 0
+        assert contended.snapshot_reads > 0
+        assert contended.deadlocks >= 0  # seed-dependent; counted either way
+        assert contended.deadlock_aborts == contended.deadlocks
+
+    def test_olap_streams_complete_under_contention(self, contended):
+        labels = [r.label for r in contended.olap_results]
+        assert labels == ["Q1", "Q6", "OrdersScan"]
+        assert all(r.sim_seconds > 0 for r in contended.olap_results)
+
+    def test_log_traffic_scales_with_streams(self, contended):
+        assert contended.log_counts.requests > 0
+        assert contended.log_forces >= contended.commits
+
+    def test_deadlocks_surface_under_some_seed(self):
+        """At least one scheduler seed of this workload deadlocks (and
+        the victims' retries still land every commit)."""
+        for seed in (11, 99, 7):
+            res = run_mixed_oltp_olap(
+                scale=0.05,
+                n_txns=24,
+                updates_per_txn=3,
+                oltp_streams=4,
+                scheduler_seed=seed,
+                hot_keys=16,
+            )
+            assert res.commits == 24
+            if res.deadlock_aborts > 0:
+                return
+        raise AssertionError("no seed produced a deadlock")
+
+    def test_replay_is_deterministic(self):
+        kw = dict(
+            scale=0.05,
+            n_txns=12,
+            updates_per_txn=3,
+            oltp_streams=3,
+            scheduler_seed=5,
+            hot_keys=8,
+        )
+        a = run_mixed_oltp_olap(**kw)
+        b = run_mixed_oltp_olap(**kw)
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert (a.lock_waits, a.deadlocks, a.deadlock_aborts) == (
+            b.lock_waits,
+            b.deadlocks,
+            b.deadlock_aborts,
+        )
+        assert a.snapshot_reads == b.snapshot_reads
+        assert a.blocked_seconds == b.blocked_seconds
+        assert (a.log_counts.requests, a.log_counts.blocks) == (
+            b.log_counts.requests,
+            b.log_counts.blocks,
+        )
+
+
+class TestSerialEquivalence:
+    """ISSUE 4 acceptance: one stream through the new scheduler is
+    bit-identical to the PR 3 serial transaction path."""
+
+    def test_scheduler_with_one_stream_matches_pr3_exactly(self):
+        data = generate(scale=0.05, seed=42)
+        kw = dict(scale=0.05, n_txns=15, updates_per_txn=3, data=data)
+        legacy = run_mixed_oltp_olap(**kw)
+        sched = run_mixed_oltp_olap(
+            **kw,
+            oltp_streams=1,
+            use_scheduler=True,
+            snapshot_olap=False,
+            orders_probe=False,
+        )
+        assert legacy.elapsed_seconds == sched.elapsed_seconds
+        assert legacy.commits == sched.commits
+        assert legacy.log_forces == sched.log_forces
+        for attr in ("log_counts", "update_counts"):
+            lc, sc = getattr(legacy, attr), getattr(sched, attr)
+            assert (lc.requests, lc.blocks) == (sc.requests, sc.blocks)
+        assert legacy.write_buffer_flushes == sched.write_buffer_flushes
+        assert legacy.write_buffer_blocks == sched.write_buffer_blocks
+        for lr, sr in zip(legacy.olap_results, sched.olap_results):
+            assert lr.label == sr.label
+            assert lr.sim_seconds == sr.sim_seconds
+            assert lr.stats.total.requests == sr.stats.total.requests
+            assert lr.stats.total.blocks == sr.stats.total.blocks
+        assert (
+            legacy.oltp_result.sim_seconds == sched.oltp_result.sim_seconds
+        )
+
+    def test_snapshot_olap_does_not_change_the_request_stream(self):
+        """MVCC visibility is free: snapshotted Q1/Q6 issue exactly the
+        I/O the unsnapshotted run issues."""
+        data = generate(scale=0.05, seed=42)
+        kw = dict(
+            scale=0.05,
+            n_txns=10,
+            updates_per_txn=2,
+            data=data,
+            oltp_streams=1,
+            use_scheduler=True,
+            orders_probe=False,
+        )
+        plain = run_mixed_oltp_olap(**kw, snapshot_olap=False)
+        snapped = run_mixed_oltp_olap(**kw, snapshot_olap=True)
+        assert plain.elapsed_seconds == snapped.elapsed_seconds
+        for lr, sr in zip(plain.olap_results, snapped.olap_results):
+            assert lr.stats.total.requests == sr.stats.total.requests
+            assert lr.stats.total.blocks == sr.stats.total.blocks
 
 
 class TestMixedOnOtherBackends:

@@ -1,0 +1,160 @@
+"""Property-based round-trips for the WAL wire format.
+
+For every record type: encode → pack into 8 KiB log pages → decode must
+reproduce the original records exactly, for arbitrary payloads — row
+tuples of any supported scalar shape, nested keys, checkpoint tables —
+including records whose bytes straddle log-page boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.txn.wal import (
+    LogRecord,
+    LogRecordType,
+    WalCodecError,
+    decode_record,
+    encode_record,
+    pack_records,
+    unpack_records,
+)
+
+PAGE_BYTES = 8192
+
+# Scalars the engine actually stores in rows/keys.  NaN is excluded only
+# because it breaks equality, not the codec.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+)
+rows = st.tuples(scalars, scalars, scalars) | st.tuples(scalars) | st.tuples()
+rids = st.tuples(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=0, max_value=2**31),
+)
+opt_int = st.none() | st.integers(min_value=0, max_value=2**40)
+keys = scalars | rids
+
+
+@st.composite
+def log_records(draw, lsn=None, rtype=None):
+    rtype = rtype if rtype is not None else draw(st.sampled_from(LogRecordType))
+    record = LogRecord(
+        lsn=lsn if lsn is not None else draw(st.integers(1, 2**40)),
+        type=rtype,
+        txid=draw(opt_int),
+        prev_lsn=draw(opt_int),
+    )
+    if rtype in (
+        LogRecordType.HEAP_INSERT,
+        LogRecordType.HEAP_DELETE,
+        LogRecordType.HEAP_UPDATE,
+    ):
+        record.fileid = draw(opt_int)
+        record.oid = draw(opt_int)
+        record.pageno = draw(opt_int)
+        record.slot = draw(opt_int)
+        record.row = draw(rows)
+        record.old_row = draw(st.none() | rows)
+        record.compensates = draw(opt_int)
+    elif rtype in (LogRecordType.BTREE_INSERT, LogRecordType.BTREE_DELETE):
+        record.fileid = draw(opt_int)
+        record.oid = draw(opt_int)
+        record.pageno = draw(opt_int)
+        record.key = draw(keys)
+        record.rid = draw(st.none() | rids)
+        record.compensates = draw(opt_int)
+    elif rtype is LogRecordType.CHECKPOINT:
+        record.active_txns = draw(
+            st.dictionaries(
+                st.integers(1, 2**31), st.integers(0, 2**40), max_size=8
+            )
+        )
+        record.dirty_pages = draw(
+            st.dictionaries(
+                st.tuples(st.integers(0, 2**20), st.integers(0, 2**20)),
+                st.integers(1, 2**40),
+                max_size=8,
+            )
+        )
+    return record
+
+
+class TestRecordRoundTrip:
+    @given(record=log_records())
+    @settings(max_examples=300)
+    def test_encode_decode_identity(self, record):
+        data = encode_record(record)
+        decoded, consumed = decode_record(data)
+        assert consumed == len(data)
+        assert decoded == record
+
+    @given(records=st.lists(log_records(), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_pack_unpack_identity(self, records):
+        for lsn, record in enumerate(records, start=1):
+            record.lsn = lsn
+        pages = pack_records(records, PAGE_BYTES)
+        assert all(len(page) == PAGE_BYTES for page in pages)
+        assert unpack_records(pages, PAGE_BYTES) == records
+
+    @given(
+        rtype=st.sampled_from(LogRecordType),
+        seed_text=st.text(min_size=1, max_size=64),
+        repeats=st.integers(min_value=110, max_value=300),
+    )
+    @settings(max_examples=30)
+    def test_boundary_straddling_record(self, rtype, seed_text, repeats):
+        """A record bigger than one page's payload must span pages and
+        still round-trip — with neighbours on both sides."""
+        # At least one full page's payload of UTF-8, so the record frame
+        # cannot fit in a single 8 KiB log page.
+        filler = (seed_text * repeats)[:12000].ljust(8200, "x")
+        head = LogRecord(lsn=1, type=LogRecordType.BEGIN, txid=1)
+        big = LogRecord(lsn=2, type=rtype, txid=1, key=filler)
+        tail = LogRecord(lsn=3, type=LogRecordType.COMMIT, txid=1)
+        pages = pack_records([head, big, tail], PAGE_BYTES)
+        assert len(pages) >= 2  # the big record forced a page crossing
+        assert unpack_records(pages, PAGE_BYTES) == [head, big, tail]
+
+    @given(records=st.lists(log_records(), min_size=2, max_size=12))
+    @settings(max_examples=50)
+    def test_small_pages_force_straddling(self, records):
+        """Tiny pages make nearly every record straddle a boundary."""
+        for lsn, record in enumerate(records, start=1):
+            record.lsn = lsn
+        pages = pack_records(records, page_bytes=64)
+        assert unpack_records(pages, page_bytes=64) == records
+
+
+class TestCodecGuards:
+    @given(record=log_records())
+    @settings(max_examples=50)
+    def test_corruption_is_detected(self, record):
+        data = bytearray(encode_record(record))
+        data[len(data) // 2] ^= 0xFF
+        try:
+            decoded, _ = decode_record(bytes(data))
+        except WalCodecError:
+            return  # CRC (or structure) caught it
+        assert decoded != record or True  # flipped bit in ignored padding?
+        # There is no padding inside a record frame: a flip that decodes
+        # cleanly must have failed the CRC first, so reaching here with
+        # an equal record is impossible.
+        assert decoded != record
+
+    def test_empty_stream_packs_to_nothing(self):
+        assert pack_records([]) == []
+        assert unpack_records([]) == []
+
+    def test_wrong_page_size_rejected(self):
+        record = LogRecord(lsn=1, type=LogRecordType.BEGIN, txid=1)
+        pages = pack_records([record], PAGE_BYTES)
+        try:
+            unpack_records(pages, page_bytes=4096)
+        except WalCodecError:
+            return
+        raise AssertionError("page-size mismatch was not detected")

@@ -1,0 +1,165 @@
+"""Direct tests for the row-lock manager (strict 2PL, DESIGN.md §10)."""
+
+import pytest
+
+from repro.db.txn.locks import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+)
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+ROW = (1, 0, 0)
+ROW2 = (1, 0, 1)
+
+
+@pytest.fixture
+def lm():
+    return LockManager()
+
+
+class TestGrants:
+    def test_exclusive_then_conflict_waits(self, lm):
+        assert lm.acquire(1, ROW, X)
+        assert not lm.acquire(2, ROW, X)
+        assert lm.is_waiting(2)
+        assert lm.holds(1, ROW, X)
+        assert not lm.holds(2, ROW, X)
+
+    def test_shared_locks_coexist(self, lm):
+        assert lm.acquire(1, ROW, S)
+        assert lm.acquire(2, ROW, S)
+        assert lm.acquire(3, ROW, S)
+        assert not lm.is_waiting(2)
+
+    def test_shared_blocks_exclusive(self, lm):
+        assert lm.acquire(1, ROW, S)
+        assert not lm.acquire(2, ROW, X)
+        assert lm.is_waiting(2)
+
+    def test_reentrant_acquire(self, lm):
+        assert lm.acquire(1, ROW, X)
+        assert lm.acquire(1, ROW, X)
+        assert lm.acquire(1, ROW, S)  # weaker mode folds into X
+        assert lm.stats.acquisitions == 1
+
+    def test_release_grants_next_waiter_fifo(self, lm):
+        lm.acquire(1, ROW, X)
+        lm.acquire(2, ROW, X)
+        lm.acquire(3, ROW, X)
+        granted = lm.release_all(1)
+        assert granted == [2]  # FIFO: 2 before 3
+        assert lm.holds(2, ROW, X)
+        assert lm.is_waiting(3)
+        assert lm.release_all(2) == [3]
+
+    def test_release_grants_shared_group(self, lm):
+        lm.acquire(1, ROW, X)
+        lm.acquire(2, ROW, S)
+        lm.acquire(3, ROW, S)
+        assert lm.release_all(1) == [2, 3]  # compatible waiters batch in
+
+    def test_fifo_shared_does_not_overtake_exclusive(self, lm):
+        lm.acquire(1, ROW, S)
+        lm.acquire(2, ROW, X)  # waits
+        assert not lm.acquire(3, ROW, S)  # queues behind the X waiter
+        lm.release_all(1)
+        assert lm.holds(2, ROW, X)
+        assert lm.is_waiting(3)
+
+    def test_locks_on_different_rows_are_independent(self, lm):
+        assert lm.acquire(1, ROW, X)
+        assert lm.acquire(2, ROW2, X)
+        assert not lm.is_waiting(1) and not lm.is_waiting(2)
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades_in_place(self, lm):
+        lm.acquire(1, ROW, S)
+        assert lm.acquire(1, ROW, X)
+        assert lm.holds(1, ROW, X)
+        assert lm.stats.upgrades == 1
+
+    def test_upgrade_waits_for_other_readers(self, lm):
+        lm.acquire(1, ROW, S)
+        lm.acquire(2, ROW, S)
+        assert not lm.acquire(1, ROW, X)
+        assert lm.is_waiting(1)
+        lm.release_all(2)
+        assert lm.holds(1, ROW, X)
+        assert not lm.is_waiting(1)
+
+    def test_upgrade_jumps_ahead_of_plain_waiters(self, lm):
+        lm.acquire(1, ROW, S)
+        lm.acquire(2, ROW, S)
+        lm.acquire(3, ROW, X)  # plain waiter
+        assert not lm.acquire(1, ROW, X)  # upgrade parks ahead of 3
+        lm.release_all(2)
+        assert lm.holds(1, ROW, X)
+        assert lm.is_waiting(3)
+
+
+class TestDeadlocks:
+    def test_two_transaction_cycle_victimises_youngest(self, lm):
+        lm.acquire(1, ROW, X)
+        lm.acquire(2, ROW2, X)
+        assert not lm.acquire(1, ROW2, X)  # 1 waits on 2
+        with pytest.raises(DeadlockError) as err:
+            lm.acquire(2, ROW, X)  # closes the cycle; 2 is youngest
+        assert err.value.victim == 2
+        assert lm.stats.deadlocks == 1
+        # The victim's wait is cancelled; the survivor still waits.
+        assert not lm.is_waiting(2)
+        assert lm.is_waiting(1)
+
+    def test_external_victim_flagged_not_raised(self, lm):
+        """When the requester is not the youngest, the cycle's youngest
+        waiter is victimised out-of-band (the scheduler delivers it)."""
+        lm.acquire(2, ROW, X)
+        lm.acquire(1, ROW2, X)
+        assert not lm.acquire(2, ROW2, X)  # 2 waits on 1
+        assert not lm.acquire(1, ROW, X)  # cycle; victim = 2 (not requester)
+        assert lm.is_victim(2)
+        assert not lm.is_waiting(2)  # wait cancelled for the victim
+        assert lm.is_waiting(1)
+        assert lm.take_victim(2)
+        assert not lm.take_victim(2)  # delivered once
+
+    def test_three_transaction_cycle(self, lm):
+        row3 = (1, 0, 2)
+        lm.acquire(1, ROW, X)
+        lm.acquire(2, ROW2, X)
+        lm.acquire(3, row3, X)
+        assert not lm.acquire(1, ROW2, X)
+        assert not lm.acquire(2, row3, X)
+        with pytest.raises(DeadlockError) as err:
+            lm.acquire(3, ROW, X)
+        assert err.value.victim == 3
+        assert set(err.value.cycle) == {1, 2, 3}
+
+    def test_victim_release_unblocks_survivors(self, lm):
+        lm.acquire(1, ROW, X)
+        lm.acquire(2, ROW2, X)
+        lm.acquire(1, ROW2, X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, ROW, X)
+        lm.release_all(2)  # the victim aborts
+        assert lm.holds(1, ROW2, X)
+        assert not lm.is_waiting(1)
+
+    def test_no_false_deadlock_on_plain_contention(self, lm):
+        lm.acquire(1, ROW, X)
+        assert not lm.acquire(2, ROW, X)
+        assert not lm.acquire(3, ROW, X)
+        assert lm.stats.deadlocks == 0
+
+
+class TestReset:
+    def test_reset_forgets_everything(self, lm):
+        lm.acquire(1, ROW, X)
+        lm.acquire(2, ROW, X)
+        lm.reset()
+        assert not lm.is_waiting(2)
+        assert not lm.holds(1, ROW, S)
+        assert lm.acquire(3, ROW, X)

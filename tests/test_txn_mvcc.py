@@ -1,0 +1,299 @@
+"""Direct tests for MVCC version chains and snapshot visibility."""
+
+import pytest
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.tuples import schema
+from repro.db.txn.mvcc import MVCCManager, WriteConflictError
+from tests.helpers import make_database
+
+FID = 7
+RID = (0, 0)
+
+
+class TestVisibilityRule:
+    """The manager in isolation: pure timestamp arithmetic."""
+
+    def test_untracked_row_is_always_visible(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot()
+        assert mvcc.resolve(FID, RID, ("base",), snap) == ("base",)
+
+    def test_uncommitted_write_invisible_to_others(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot(txid=99)
+        mvcc.on_update(1, FID, RID, ("old",))
+        assert mvcc.resolve(FID, RID, ("new",), snap) == ("old",)
+
+    def test_own_uncommitted_write_visible(self):
+        mvcc = MVCCManager()
+        mvcc.on_update(1, FID, RID, ("old",))
+        snap = mvcc.take_snapshot(txid=1)
+        assert mvcc.resolve(FID, RID, ("new",), snap) == ("new",)
+
+    def test_commit_after_snapshot_stays_invisible(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot()
+        mvcc.on_update(1, FID, RID, ("old",))
+        mvcc.on_commit(1)
+        assert mvcc.resolve(FID, RID, ("new",), snap) == ("old",)
+        late = mvcc.take_snapshot()
+        assert mvcc.resolve(FID, RID, ("new",), late) == ("new",)
+
+    def test_insert_invisible_to_earlier_snapshot(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot()
+        mvcc.on_insert(1, FID, RID)
+        assert mvcc.resolve(FID, RID, ("born",), snap) is None
+        mvcc.on_commit(1)
+        assert mvcc.resolve(FID, RID, ("born",), snap) is None
+        assert mvcc.resolve(FID, RID, ("born",), mvcc.take_snapshot()) == ("born",)
+
+    def test_delete_visible_as_old_row_to_earlier_snapshot(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot()
+        mvcc.on_update(1, FID, RID, ("victim",))  # delete: slot now None
+        mvcc.on_commit(1)
+        assert mvcc.resolve(FID, RID, None, snap) == ("victim",)
+        assert mvcc.resolve(FID, RID, None, mvcc.take_snapshot()) is None
+
+    def test_chain_serves_each_snapshot_its_own_version(self):
+        mvcc = MVCCManager()
+        snaps = [mvcc.take_snapshot()]
+        for i in range(3):
+            mvcc.on_update(i + 1, FID, RID, (f"v{i}",))
+            mvcc.on_commit(i + 1)
+            snaps.append(mvcc.take_snapshot())
+        # snapshot k sees version v{k} (current content is "v3").
+        for k, snap in enumerate(snaps[:-1]):
+            assert mvcc.resolve(FID, RID, ("v3",), snap) == (f"v{k}",)
+        assert mvcc.resolve(FID, RID, ("v3",), snaps[-1]) == ("v3",)
+
+    def test_abort_pops_the_pushed_version(self):
+        mvcc = MVCCManager()
+        mvcc.on_update(1, FID, RID, ("old",))
+        assert mvcc.chain_length(FID, RID) == 1
+        mvcc.on_abort(1)
+        assert mvcc.chain_length(FID, RID) == 0
+        assert not mvcc.file_tracked(FID)
+        # After undo restored the slot, everyone sees the old row again.
+        assert mvcc.resolve(FID, RID, ("old",), mvcc.take_snapshot()) == ("old",)
+
+    def test_same_txn_rewrites_push_one_version(self):
+        mvcc = MVCCManager()
+        mvcc.on_update(1, FID, RID, ("old",))
+        mvcc.on_update(1, FID, RID, ("mid",))
+        assert mvcc.chain_length(FID, RID) == 1
+
+    def test_second_writer_raises(self):
+        mvcc = MVCCManager()
+        mvcc.on_update(1, FID, RID, ("old",))
+        with pytest.raises(WriteConflictError):
+            mvcc.on_update(2, FID, RID, ("old",))
+
+
+class TestGarbageCollection:
+    def test_unwatched_versions_die_at_commit(self):
+        mvcc = MVCCManager()
+        mvcc.on_update(1, FID, RID, ("old",))
+        mvcc.on_commit(1)
+        assert mvcc.live_versions() == 0
+        assert not mvcc.file_tracked(FID)
+
+    def test_watched_versions_survive_until_release(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot()
+        mvcc.on_update(1, FID, RID, ("old",))
+        mvcc.on_commit(1)
+        assert mvcc.live_versions() == 1
+        mvcc.release_snapshot(snap)
+        assert mvcc.gc() == 1
+        assert mvcc.live_versions() == 0
+
+    def test_gc_keeps_the_version_a_snapshot_still_needs(self):
+        mvcc = MVCCManager()
+        mvcc.on_update(1, FID, RID, ("v0",))
+        mvcc.on_commit(1)
+        snap = mvcc.take_snapshot()  # sees v1 (current)
+        mvcc.on_update(2, FID, RID, ("v1",))
+        mvcc.on_commit(2)
+        mvcc.gc()
+        # v0 is dead (nobody can see it); v1 must survive for snap.
+        assert mvcc.resolve(FID, RID, ("v2",), snap) == ("v1",)
+        assert mvcc.live_versions() == 1
+
+    def test_tracked_insert_untracked_after_horizon_passes(self):
+        mvcc = MVCCManager()
+        snap = mvcc.take_snapshot()
+        mvcc.on_insert(1, FID, RID)
+        mvcc.on_commit(1)
+        assert mvcc.file_tracked(FID)  # old snapshot must not see the row
+        mvcc.release_snapshot(snap)
+        mvcc.gc()
+        assert not mvcc.file_tracked(FID)
+
+
+class TestHeapIntegration:
+    """Through the real engine: transactions, heap pages, snapshots."""
+
+    def build(self):
+        db = make_database()
+        rel = db.create_table("t", schema(("k", "int"), ("v", "str", 8)))
+        rel.heap.bulk_load((i, f"v{i}") for i in range(40))
+        db.enable_wal()
+        return db, rel
+
+    def sem(self, rel):
+        return SemanticInfo.update(ContentType.TABLE, rel.oid)
+
+    def test_snapshot_scan_ignores_concurrent_update(self):
+        db, rel = self.build()
+        mgr = db.txn_manager
+        snap = mgr.mvcc.take_snapshot()
+        txn = db.begin()
+        rel.heap.update(db.pool, (0, 0), (0, "dirty"), self.sem(rel), txn=txn)
+        scan_sem = SemanticInfo.table_scan(rel.oid)
+        rows = [
+            r
+            for batch in rel.heap.scan_snapshot(db.pool, scan_sem, snap, mgr.mvcc)
+            for r in batch
+        ]
+        assert (0, "v0") in rows and (0, "dirty") not in rows
+        txn.commit()
+        rows = [
+            r
+            for batch in rel.heap.scan_snapshot(db.pool, scan_sem, snap, mgr.mvcc)
+            for r in batch
+        ]
+        assert (0, "v0") in rows  # still: committed after the snapshot
+        late = mgr.mvcc.take_snapshot()
+        rows = [
+            r
+            for batch in rel.heap.scan_snapshot(db.pool, scan_sem, late, mgr.mvcc)
+            for r in batch
+        ]
+        assert (0, "dirty") in rows and (0, "v0") not in rows
+
+    def test_fetch_visible_vs_fetch(self):
+        db, rel = self.build()
+        mgr = db.txn_manager
+        snap = mgr.mvcc.take_snapshot()
+        with db.begin() as txn:
+            rel.heap.update(db.pool, (0, 1), (1, "new"), self.sem(rel), txn=txn)
+        fetch_sem = SemanticInfo.random_access(ContentType.TABLE, rel.oid, 0)
+        assert rel.heap.fetch(db.pool, (0, 1), fetch_sem) == (1, "new")
+        assert rel.heap.fetch_visible(
+            db.pool, (0, 1), fetch_sem, snap, mgr.mvcc
+        ) == (1, "v1")
+        assert mgr.mvcc.snapshot_reads >= 1
+
+    def test_transaction_snapshot_is_begin_timestamped(self):
+        db, rel = self.build()
+        t1 = db.begin()
+        rel.heap.update(db.pool, (0, 2), (2, "t1"), self.sem(rel), txn=t1)
+        t2 = db.begin()  # begins before t1 commits
+        t1.commit()
+        fetch_sem = SemanticInfo.random_access(ContentType.TABLE, rel.oid, 0)
+        seen = rel.heap.fetch_visible(
+            db.pool, (0, 2), fetch_sem, t2.snapshot, db.txn_manager.mvcc
+        )
+        assert seen == (2, "v2")  # t1 committed after t2's begin
+        t2.commit()
+        t3 = db.begin()
+        assert rel.heap.fetch_visible(
+            db.pool, (0, 2), fetch_sem, t3.snapshot, db.txn_manager.mvcc
+        ) == (2, "t1")
+        t3.commit()
+
+    def test_run_query_snapshot_false_reads_current_state(self):
+        """Regression: ``snapshot=False`` must mean "no snapshot", not a
+        bool leaking into the visibility rule."""
+        from repro.db.executor import SeqScan
+
+        db, rel = self.build()
+        txn = db.begin()
+        rel.heap.update(db.pool, (0, 0), (0, "dirty"), self.sem(rel), txn=txn)
+        result = db.run_query(SeqScan(rel), snapshot=False)
+        assert (0, "dirty") in result.rows  # current state, dirty and all
+        txn.commit()
+
+    def test_index_scan_under_snapshot_sees_deleted_entries(self):
+        """Regression: the B-tree is unversioned, so a snapshot index
+        scan must resurrect entries whose deletion it cannot see — and
+        agree with the heap scan on every row."""
+        from repro.db.executor import IndexScan, SeqScan
+
+        db, rel = self.build()
+        db.create_index("t_k", "t", "k")
+        ix = rel.indexes[0]
+        mgr = db.enable_wal()
+        snap = mgr.mvcc.take_snapshot()
+        iw = SemanticInfo.update(ContentType.INDEX, ix.oid)
+        with db.begin() as txn:  # committed AFTER the snapshot
+            row = rel.heap.fetch(
+                db.pool,
+                (0, 5),
+                SemanticInfo.random_access(ContentType.TABLE, rel.oid, 0),
+            )
+            rel.heap.delete(db.pool, (0, 5), self.sem(rel), txn=txn)
+            ix.btree.delete(db.pool, row[0], (0, 5), iw, txn=txn)
+        seq = db.run_query(SeqScan(rel), snapshot=snap)
+        via_index = db.run_query(IndexScan(ix), snapshot=snap)
+        assert sorted(seq.rows) == sorted(via_index.rows)
+        assert (5, "v5") in via_index.rows  # the resurrected entry
+        current = db.run_query(IndexScan(ix))
+        assert (5, "v5") not in current.rows
+
+    def test_index_scan_does_not_dirty_read_an_uncommitted_delete(self):
+        from repro.db.executor import IndexScan
+
+        db, rel = self.build()
+        db.create_index("t_k", "t", "k")
+        ix = rel.indexes[0]
+        mgr = db.enable_wal()
+        iw = SemanticInfo.update(ContentType.INDEX, ix.oid)
+        txn = db.begin()  # stays in flight
+        rel.heap.delete(db.pool, (0, 3), self.sem(rel), txn=txn)
+        ix.btree.delete(db.pool, 3, (0, 3), iw, txn=txn)
+        reader = mgr.mvcc.take_snapshot()
+        rows = db.run_query(IndexScan(ix), snapshot=reader).rows
+        assert (3, "v3") in rows  # the delete is not committed: invisible
+        # The deleter's own snapshot, though, must see its own delete.
+        own = db.run_query(IndexScan(ix), snapshot=txn.snapshot).rows
+        assert (3, "v3") not in own
+        txn.abort()  # undo re-inserts the entry; tombstone retracted
+        rows = db.run_query(IndexScan(ix), snapshot=mgr.mvcc.take_snapshot()).rows
+        assert rows.count((3, "v3")) == 1
+
+    def test_snapshot_scan_issues_same_requests_as_plain_scan(self):
+        """The MVCC read path must not change the request stream."""
+        def requests_of(snapshotted: bool):
+            db, rel = self.build()
+            mgr = db.txn_manager
+            with db.begin() as txn:  # some MVCC state so chains engage
+                rel.heap.update(
+                    db.pool, (0, 0), (0, "x"), self.sem(rel), txn=txn
+                )
+            db.pool.discard_all()
+            db.reset_measurements()
+            scan_sem = SemanticInfo.table_scan(rel.oid)
+            if snapshotted:
+                snap = mgr.mvcc.take_snapshot()
+                rows = [
+                    r
+                    for b in rel.heap.scan_snapshot(
+                        db.pool, scan_sem, snap, mgr.mvcc
+                    )
+                    for r in b
+                ]
+            else:
+                rows = [
+                    r for b in rel.heap.scan_batches(db.pool, scan_sem) for r in b
+                ]
+            db.storage.drain()
+            return db.storage.stats.overall.total.requests, len(rows)
+
+        plain_reqs, plain_rows = requests_of(False)
+        snap_reqs, snap_rows = requests_of(True)
+        assert snap_reqs == plain_reqs and plain_reqs > 0
+        assert snap_rows == plain_rows
