@@ -6,16 +6,19 @@ Usage::
     python -m repro explain 21 --scale 0.1
     python -m repro experiment fig6 --scale 0.5
     python -m repro sequence --config hstorage --scale 0.3
+    python -m repro placement --mode hybrid --shifting --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.levels import compute_effective_levels
 from repro.harness import ExperimentRunner, RunnerSettings
 from repro.harness.configs import EXTENDED_CONFIG_NAMES
+from repro.storage.placement import PLACEMENT_MODES
 from repro.storage.requests import RequestType
 from repro.tpch.queries import QUERY_IDS, query_builder, query_label
 
@@ -55,6 +58,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("sequence", help="run the power-test sequence")
     s.add_argument("--config", choices=EXTENDED_CONFIG_NAMES, default="hstorage")
+
+    p = sub.add_parser(
+        "placement",
+        help="run the hot-set workload under one placement mode and dump "
+        "the heat map, tier occupancy and migration counters",
+    )
+    p.add_argument("--mode", choices=PLACEMENT_MODES, default="hybrid")
+    p.add_argument("--config", choices=("hstorage", "lru", "tier3"),
+                   default="hstorage")
+    p.add_argument("--shifting", action="store_true",
+                   help="rotate the hot set mid-run (default: static)")
+    p.add_argument("--ops", type=int, default=240,
+                   help="hot-set operations to run (default 240)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
     return parser
 
 
@@ -109,6 +127,58 @@ def _cmd_sequence(args) -> int:
     return 0
 
 
+def _cmd_placement(args) -> int:
+    from repro.harness.shift import run_placement_shift
+
+    result = run_placement_shift(
+        mode=args.mode,
+        shifting=args.shifting,
+        kind=args.config,
+        scale=args.scale,
+        n_ops=args.ops,
+        seed=args.seed,
+    )
+    top = sorted(
+        result.heat_snapshot.items(),
+        key=lambda kv: (-(kv[1][0] + kv[1][1]), kv[0]),
+    )[:10]
+    if args.json:
+        payload = result.to_json()
+        payload["heat_top"] = [
+            {"extent": eid, "reads": rw[0], "writes": rw[1]}
+            for eid, rw in top
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    workload = "shifting hot set" if result.shifting else "static hot set"
+    print(f"{result.mode} placement under {result.kind}: {workload}, "
+          f"{result.n_ops} ops, {result.commits} commits")
+    print(f"  foreground: {result.sim_seconds:.4f} simulated seconds, "
+          f"{result.foreground_requests} requests, "
+          f"{result.foreground_blocks} blocks, "
+          f"{result.cache_hits} cache hits")
+    mig = result.migration
+    print(f"  migration:  {mig.get('epochs', 0)} epochs, "
+          f"{mig.get('blocks_promoted', 0)} promoted, "
+          f"{mig.get('blocks_demoted', 0)} demoted, "
+          f"{mig.get('blocks_declined', 0)} declined, "
+          f"{mig.get('migration_seconds', 0.0):.4f} background seconds")
+    print(f"  background clock: {result.background_seconds:.4f} s "
+          f"(migration I/O accounted separately from query I/O)")
+    if result.tier_occupancy:
+        occupancy = "  ".join(
+            f"{name}={blocks}" for name, blocks in result.tier_occupancy.items()
+        )
+        print(f"  tier occupancy: {occupancy}")
+    if top:
+        print("  hottest extents (fixed-point decayed counters):")
+        print(f"    {'extent':>8s} {'reads':>10s} {'writes':>10s}")
+        for eid, (reads, writes) in top:
+            print(f"    {eid:8d} {reads:10d} {writes:10d}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -116,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "experiment": _cmd_experiment,
         "sequence": _cmd_sequence,
+        "placement": _cmd_placement,
     }
     return handlers[args.command](args)
 

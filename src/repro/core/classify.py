@@ -18,6 +18,10 @@ def classify(sem: SemanticInfo, op: IOOp) -> RequestType:
     content type (temporary data) dominate, then update writes, then the
     optimizer's access pattern.
     """
+    if sem.is_migration:
+        # Background tier migration outranks everything: it is storage
+        # maintenance, never query traffic, whatever it moves.
+        return RequestType.MIGRATE
     if op is IOOp.TRIM or sem.is_delete:
         return RequestType.TRIM_TEMP
     if sem.content_type is ContentType.LOG:

@@ -53,6 +53,12 @@ def assign_policy(
     """Map one request's semantics to (QoS policy, request type)."""
     rtype = classify(sem, op)
 
+    if rtype is RequestType.MIGRATE:
+        # Background migration (DESIGN.md §11): the lowest priority in
+        # the system — placement happens through the tier chain's
+        # explicit promote/demote APIs, never by winning cache space
+        # from foreground traffic.
+        return policy_set.migration_policy(), rtype
     if rtype is RequestType.LOG:
         # Table 3: transaction log *writes* get the strongest policy in
         # the system — the write buffer — so commits never wait on the

@@ -56,6 +56,10 @@ class SemanticInfo:
     query_id: int | None = None
     is_update: bool = False
     is_delete: bool = False
+    is_migration: bool = False
+    """Background tier migration issued by the adaptive-placement
+    subsystem (DESIGN.md §11) — not query traffic; classified
+    ``MIGRATE`` and mapped to the lowest QoS priority."""
 
     @classmethod
     def table_scan(cls, oid: int, query_id: int | None = None) -> "SemanticInfo":
@@ -132,6 +136,20 @@ class SemanticInfo:
             pattern=AccessPattern.SEQUENTIAL,
             oid=oid,
             query_id=query_id,
+        )
+
+    @classmethod
+    def migration(
+        cls,
+        content_type: ContentType = ContentType.TABLE,
+        oid: int | None = None,
+    ) -> "SemanticInfo":
+        """Background block migration between tiers (no issuing query)."""
+        return cls(
+            content_type=content_type,
+            pattern=AccessPattern.RANDOM,
+            oid=oid,
+            is_migration=True,
         )
 
     @classmethod

@@ -241,6 +241,22 @@ class BufferPool:
     def resident_pages(self) -> int:
         return len(self._frames)
 
+    def dirty_lbns(self) -> set[int]:
+        """LBAs whose authoritative copy is a dirty frame in this pool.
+
+        The migration planner excludes them each epoch (DESIGN.md §11):
+        their on-storage image is stale, and the fresh image reaches
+        storage only through a WAL-ordered flush — migrating the stale
+        copy would be wasted work and would race that ordering.  Frames
+        whose pages were never written have no LBA yet (``is_mapped``)
+        and equally nothing on storage to migrate.
+        """
+        return {
+            frame.file.extent_map.lba_of(frame.pageno)
+            for frame in self._frames.values()
+            if frame.dirty and frame.file.extent_map.is_mapped(frame.pageno)
+        }
+
     # ------------------------------------------------------------- internals
 
     def _admit(self, frame: Frame) -> None:

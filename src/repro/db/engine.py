@@ -186,6 +186,7 @@ class Database:
         btree_order: int = 128,
         use_trim: bool = True,
         vectorized: bool = True,
+        placement: str | None = None,
     ) -> None:
         self.storage = storage
         self.assignment = assignment
@@ -201,6 +202,30 @@ class Database:
         self.temp = TempFileManager(self.storage_manager, self.pool, use_trim)
         self._query_counter = 0
         self.txn_manager = None
+
+        # Adaptive placement (DESIGN.md §11): the engine lives in the
+        # storage system; the DBMS contributes its buffer-pool knowledge
+        # (dirty pages must not be migrated — their storage image is
+        # stale until a WAL-ordered flush replaces it).
+        engine = self.storage_manager.placement
+        if placement is None:
+            self.placement = (
+                engine.mode.value if engine is not None else "semantic"
+            )
+        else:
+            if engine is not None and engine.mode.value != placement:
+                raise ValueError(
+                    f"database placement {placement!r} does not match the "
+                    f"storage system's engine ({engine.mode.value!r})"
+                )
+            if engine is None and placement != "semantic":
+                raise ValueError(
+                    f"placement {placement!r} needs a storage system built "
+                    "with a PlacementEngine (see harness.configs."
+                    "build_storage); this one has none"
+                )
+            self.placement = placement
+        self.storage_manager.wire_migration_exclusions(self.pool.dirty_lbns)
 
     # ------------------------------------------------------------------ DDL
 
@@ -362,6 +387,10 @@ class Database:
         self.storage.drain()
         self.clock.reset()
         self.storage.stats.reset()
+        if self.storage.placement is not None:
+            # Load traffic must not seed the heat map; epochs re-anchor
+            # at the (now zeroed) simulated clock.
+            self.storage.placement.reset()
 
     def database_pages(self) -> int:
         """Total heap + index pages (for sizing caches in experiments)."""

@@ -37,6 +37,26 @@ class StorageManager:
         )
         self._next_fileid = 0
 
+    # ---------------------------------------------------------- placement
+
+    @property
+    def placement(self):
+        """The storage system's adaptive-placement engine (or ``None``).
+
+        The storage manager is where the DBMS and the placement
+        subsystem meet: the engine lives below (attached to the
+        :class:`~repro.storage.system.StorageSystem`), but the DBMS
+        wires its buffer-pool knowledge — which LBAs hold dirty pages —
+        into the migration planner through here (DESIGN.md §11).
+        """
+        return getattr(self.storage, "placement", None)
+
+    def wire_migration_exclusions(self, provider) -> None:
+        """Install the planner's per-epoch exclusion source (dirty LBAs)."""
+        engine = self.placement
+        if engine is not None:
+            engine.exclude_provider = provider
+
     # ------------------------------------------------------------- file mgmt
 
     TEMP_CHUNK_PAGES = 64

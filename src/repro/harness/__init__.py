@@ -19,6 +19,11 @@ from repro.harness.mixed import (
     run_mixed_oltp_olap,
 )
 from repro.harness.runner import ExperimentRunner, RunnerSettings
+from repro.harness.shift import (
+    PlacementShiftResult,
+    ShiftingHotSet,
+    run_placement_shift,
+)
 
 __all__ = [
     "CONFIG_LABELS",
@@ -26,10 +31,13 @@ __all__ = [
     "EXTENDED_CONFIG_NAMES",
     "ExperimentRunner",
     "MixedWorkloadResult",
+    "PlacementShiftResult",
     "PointUpdateTransactions",
     "RunnerSettings",
+    "ShiftingHotSet",
     "StorageConfig",
     "run_mixed_oltp_olap",
+    "run_placement_shift",
     "build_database",
     "build_storage",
     "hdd_only_config",

@@ -35,6 +35,12 @@ from repro.sim.params import SimulationParameters
 from repro.storage.backends import CachedBackend, DirectBackend
 from repro.storage.device import Device, DeviceSpec
 from repro.storage.lru_cache import LRUCache
+from repro.storage.placement import (
+    PLACEMENT_MODES,
+    PlacementConfig,
+    PlacementEngine,
+    PlacementMode,
+)
 from repro.storage.priority_cache import PriorityCache
 from repro.storage.qos import PolicySet
 from repro.storage.scheduler import IOScheduler
@@ -75,12 +81,29 @@ class StorageConfig:
     hot_tier_blocks: int = 0
     """NVMe (HOT) tier capacity for the ``tier3`` kind; 0 sizes it to a
     quarter of ``cache_blocks``."""
+    placement: str = "semantic"
+    """Placement mode (DESIGN.md §11): ``semantic`` (the paper's system,
+    bit-identical to pre-subsystem behaviour), ``temperature`` (no
+    semantic hints; pure heat-driven background migration — the paper's
+    rival), or ``hybrid`` (semantic admission plus heat migration)."""
+    placement_config: PlacementConfig = field(default_factory=PlacementConfig)
+    """Heat-decay / epoch / budget tunables of the migration subsystem."""
 
     def __post_init__(self) -> None:
         if self.kind not in EXTENDED_CONFIG_NAMES:
             raise ValueError(
                 f"unknown config kind {self.kind!r}; "
                 f"choose from {EXTENDED_CONFIG_NAMES}"
+            )
+        if self.placement not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown placement mode {self.placement!r}; "
+                f"choose from {PLACEMENT_MODES}"
+            )
+        if self.placement != "semantic" and self.kind in ("hdd", "ssd"):
+            raise ValueError(
+                "migration-based placement needs at least one caching "
+                f"tier; {self.kind!r} is a single-device configuration"
             )
 
     @property
@@ -140,8 +163,17 @@ def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmen
             params=params,
             policy_set=config.policy_set,
         )
+    mode = PlacementMode(config.placement)
+    if not mode.uses_semantic_hints:
+        # The temperature rival sees only legacy block traffic: the
+        # statistics still record each request's class, but no QoS policy
+        # is delivered, so nothing is cached at access time — placement
+        # happens exclusively through background migration.
+        assignment.enabled = False
+    engine = PlacementEngine(mode, config.placement_config)
     scheduler = IOScheduler(backend, depth=params.writeback_queue_depth)
-    return StorageSystem(backend, scheduler=scheduler), assignment
+    system = StorageSystem(backend, scheduler=scheduler, placement=engine)
+    return system, assignment
 
 
 def build_database(config: StorageConfig) -> Database:
@@ -156,6 +188,7 @@ def build_database(config: StorageConfig) -> Database:
         btree_order=config.btree_order,
         use_trim=config.use_trim,
         vectorized=config.vectorized,
+        placement=config.placement,
     )
 
 

@@ -1,0 +1,345 @@
+"""Shifting-hot-set workload: the placement-mode experiment (DESIGN.md §11).
+
+The paper argues (§1–2, §7) that semantic, QoS-driven placement beats
+access-pattern-driven migration because a migration system pays for its
+mispredictions before it learns.  This scenario makes both halves of the
+claim runnable:
+
+* **static** — a hot set of point reads/updates over one fixed key
+  region of ``orders``, co-run with an analytical scan stream (the mixed
+  OLTP/OLAP flavour of :mod:`repro.harness.mixed`).  Semantic placement
+  caches the hot blocks at first access; the temperature rival serves
+  everything from the backing store until its migrator catches up — the
+  paper's "semantic wins on static" result.
+* **shifting** — the hot region rotates mid-run.  Semantic admission
+  adapts per block, but only *at access time*; heat-driven migration
+  works at extent granularity, so once a few blocks of the newly hot
+  region have been touched the migrator promotes the *whole* extent —
+  blocks the workload has not reached yet are already in the fast tier
+  when their first access arrives.  That spatial prefetch is what lets
+  ``hybrid`` (semantic admission + heat migration) strictly beat pure
+  ``semantic`` under drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterator
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.engine import Database, QueryResult
+from repro.db.executor import SeqScan, Sort
+from repro.db.plan import ExecutionContext, PlanNode
+from repro.harness.configs import StorageConfig, build_database
+from repro.harness.mixed import _bump_price, _oltp_target
+from repro.storage.placement import PlacementConfig
+from repro.storage.tiers import TierChain
+from repro.tpch.datagen import TPCHData, generate
+from repro.tpch.queries import query_builder, query_label
+from repro.tpch.workload import load_tpch
+
+DEFAULT_SHIFT_OLAP = (6,)
+"""The analytical co-stream: Q6's one-pass scan keeps the mixed flavour
+without dominating the simulated time."""
+
+
+class ShiftingHotSet(PlanNode):
+    """Point reads (and periodic update transactions) over a hot region
+    of ``orders`` that rotates every ``ops_per_phase`` operations.
+
+    Each output row is one operation: an index lookup on ``o_orderkey``
+    followed by a heap fetch; every ``update_every``-th operation bumps
+    the row inside a committed (WAL-forced) transaction.  With
+    ``shifting=False`` the region never rotates — the static baseline
+    uses the *same* operation stream over region 0.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        n_ops: int,
+        ops_per_phase: int,
+        regions: int = 4,
+        shifting: bool = True,
+        update_every: int = 4,
+        cold_every: int = 4,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(label=f"ShiftingHotSet(x{regions})")
+        if n_ops < 1 or ops_per_phase < 1 or regions < 1:
+            raise ValueError("n_ops, ops_per_phase and regions must be >= 1")
+        self.db = db
+        self.n_ops = n_ops
+        self.ops_per_phase = ops_per_phase
+        self.regions = regions
+        self.shifting = shifting
+        self.update_every = update_every
+        self.cold_every = cold_every
+        """Every ``cold_every``-th operation reads a uniformly random
+        orderkey's line items out of ``lineitem`` — sparse traffic over a
+        table far larger than the hot set, which never accumulates
+        enough heat per extent to be migrated.  Semantic placement
+        caches it at access time regardless; a pure temperature system
+        keeps paying the backing store for it (the paper's §7 argument
+        in miniature)."""
+        self.seed = seed
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        db, pool = self.db, ctx.pool
+        orders, index, price_pos, max_key, sems = _oltp_target(
+            db, ctx.query_id
+        )
+        read_sem, fetch_sem, write_sem = sems
+        lineitem = db.catalog.relation("lineitem")
+        li_index = lineitem.index_on("l_orderkey")
+        li_read_sem = SemanticInfo.random_access(
+            ContentType.INDEX, li_index.oid, 0, query_id=ctx.query_id
+        )
+        li_fetch_sem = SemanticInfo.random_access(
+            ContentType.TABLE, lineitem.oid, 0, query_id=ctx.query_id
+        )
+        span = max(1, (max_key - 1) // self.regions)
+        rng = Random(self.seed)
+        for i in range(self.n_ops):
+            region = (
+                (i // self.ops_per_phase) % self.regions if self.shifting else 0
+            )
+            if self.cold_every and i % self.cold_every == 2:
+                # Cold read: one random order's line items.
+                key = rng.randrange(1, max_key)
+                for rid in li_index.btree.search(pool, key, li_read_sem):
+                    lineitem.heap.fetch(pool, rid, li_fetch_sem)
+            else:
+                key = 1 + region * span + rng.randrange(span)
+                for rid in index.btree.search(pool, key, read_sem):
+                    row = orders.heap.fetch(pool, rid, fetch_sem)
+                    if row is None:
+                        continue
+                    if self.update_every and i % self.update_every == 0:
+                        with db.begin() as txn:
+                            orders.heap.update(
+                                pool,
+                                rid,
+                                _bump_price(row, price_pos),
+                                write_sem,
+                                txn=txn,
+                            )
+            ctx.cpu_tick(1)
+            yield (i,)
+
+
+@dataclass
+class PlacementShiftResult:
+    """Outcome of one placement-mode run over the hot-set scenario."""
+
+    kind: str
+    mode: str
+    shifting: bool
+    sim_seconds: float
+    background_seconds: float
+    n_ops: int
+    commits: int
+    foreground_requests: int
+    foreground_blocks: int
+    cache_hits: int
+    migration: dict = field(default_factory=dict)
+    tier_occupancy: dict = field(default_factory=dict)
+    olap_results: list[QueryResult] = field(default_factory=list)
+    heat_snapshot: dict = field(default_factory=dict)
+    clock_repr: str = ""
+
+    def fingerprint(self) -> dict:
+        """Everything the determinism gate compares across runs."""
+        return {
+            "sim_seconds": repr(self.sim_seconds),
+            "background_seconds": repr(self.background_seconds),
+            "foreground_requests": self.foreground_requests,
+            "foreground_blocks": self.foreground_blocks,
+            "cache_hits": self.cache_hits,
+            "migration": dict(self.migration),
+            "heat": {
+                str(eid): list(counters)
+                for eid, counters in self.heat_snapshot.items()
+            },
+            "clock": self.clock_repr,
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "mode": self.mode,
+            "shifting": self.shifting,
+            "sim_seconds": self.sim_seconds,
+            "background_seconds": self.background_seconds,
+            "n_ops": self.n_ops,
+            "commits": self.commits,
+            "foreground_requests": self.foreground_requests,
+            "foreground_blocks": self.foreground_blocks,
+            "cache_hits": self.cache_hits,
+            "migration": dict(self.migration),
+            "tier_occupancy": dict(self.tier_occupancy),
+        }
+
+
+def default_shift_placement_config() -> PlacementConfig:
+    """Migration tuning for the hot-set scenario's timescales.
+
+    Finer extents than the global default (``orders`` regions span a
+    handful of them, so migration decisions stay sub-region), and a
+    promotion threshold *above* the heat a one-pass scan can leave
+    behind: an extent of 16 blocks scanned once accumulates 16 accesses,
+    which one epoch of decay halves to 8 — below the threshold of 10 —
+    so sequential one-pass traffic (the data Rule 1 refuses to cache)
+    cannot trick the migrator into blanket-promoting a scanned table.
+    Genuinely hot extents see tens of accesses per epoch and clear the
+    bar after their first epoch — that one-epoch lag *is* the catch-up
+    cost the paper describes."""
+    return PlacementConfig(
+        extent_blocks=16,
+        epoch_seconds=0.08,
+        promote_threshold=10,
+        budget_blocks=128,
+    )
+
+
+def run_placement_shift(
+    mode: str = "semantic",
+    shifting: bool = False,
+    kind: str = "hstorage",
+    scale: float = 0.1,
+    n_ops: int = 400,
+    regions: int = 4,
+    ops_per_phase: int | None = None,
+    update_every: int = 4,
+    olap_queries: tuple[int, ...] = DEFAULT_SHIFT_OLAP,
+    spill_sort: bool = True,
+    quantum: int = 64,
+    seed: int = 7,
+    data: TPCHData | None = None,
+    config: StorageConfig | None = None,
+    placement_config: PlacementConfig | None = None,
+    cache_blocks: int = 512,
+    bufferpool_pages: int = 32,
+) -> PlacementShiftResult:
+    """Load TPC-H, run the (optionally shifting) hot-set mix, report.
+
+    The buffer pool is sized below the hot region on purpose: the
+    placement question only exists for accesses that reach storage.
+    An explicit ``config`` replaces the storage-shape convenience
+    arguments entirely — passing both is rejected rather than silently
+    running a different experiment than requested.
+    """
+    if config is not None:
+        overridden = {
+            "mode": (mode, "semantic"),
+            "kind": (kind, "hstorage"),
+            "placement_config": (placement_config, None),
+            "cache_blocks": (cache_blocks, 512),
+            "bufferpool_pages": (bufferpool_pages, 32),
+        }
+        clashes = [
+            name
+            for name, (value, default) in overridden.items()
+            if value != default
+        ]
+        if clashes:
+            raise ValueError(
+                "run_placement_shift: config was given, so these "
+                f"arguments would be ignored: {', '.join(clashes)}; "
+                "set them on the StorageConfig instead"
+            )
+    if config is None:
+        config = StorageConfig(
+            kind=kind,
+            cache_blocks=cache_blocks,
+            bufferpool_pages=bufferpool_pages,
+            placement=mode,
+            placement_config=(
+                placement_config
+                if placement_config is not None
+                else default_shift_placement_config()
+            ),
+        )
+    db = build_database(config)
+    if data is None:
+        data = generate(scale=scale, seed=42)
+    load_tpch(db, data=data)
+    if update_every:
+        db.enable_wal()
+    db.reset_measurements()
+
+    if ops_per_phase is None:
+        ops_per_phase = max(1, n_ops // regions)
+    hotset_nodes: list[ShiftingHotSet] = []
+
+    def hotset_builder(db: Database) -> PlanNode:
+        node = ShiftingHotSet(
+            db,
+            n_ops,
+            ops_per_phase,
+            regions=regions,
+            shifting=shifting,
+            update_every=update_every,
+            seed=seed,
+        )
+        hotset_nodes.append(node)
+        return node
+
+    workloads: list[tuple] = [
+        (query_label(qid), query_builder(qid)) for qid in olap_queries
+    ]
+    if spill_sort:
+        # An external sort that spills and merges temporary runs.  Temp
+        # data is where semantic classification is unassailable (Rule 3,
+        # Table 7): a spill run's whole lifetime fits inside one
+        # migration epoch, so a temperature system can never learn its
+        # value before the TRIM — while the semantic modes serve it from
+        # the fast tier at priority 1 from birth.
+        def spill_builder(db: Database) -> PlanNode:
+            lineitem = db.catalog.relation("lineitem")
+            price = lineitem.schema.idx("l_extendedprice")
+            return Sort(
+                SeqScan(lineitem),
+                key=lambda row: row[price],
+                label="SpillSort(lineitem)",
+            )
+
+        workloads.append(("SpillSort", spill_builder))
+    workloads.append(("HotSet", hotset_builder))
+    start = db.clock.now
+    results = db.run_concurrent(workloads, quantum=quantum)
+    elapsed = db.clock.now - start
+
+    engine = db.storage.placement
+    backend = db.storage.backend
+    occupancy = {}
+    if isinstance(backend, TierChain):
+        occupancy = {
+            tier.name: tier.cache.occupancy
+            for tier in backend.caching_tiers
+            if tier.cache is not None
+        }
+    overall = db.storage.stats.overall
+    migration = engine.summary() if engine is not None else {}
+    # The statistics layer's view of the same traffic: MIGRATE counters
+    # live in the background bucket, never in the foreground totals.
+    migration["recorded_requests"] = overall.background.requests
+    migration["recorded_blocks"] = overall.background.blocks
+    return PlacementShiftResult(
+        kind=config.kind,
+        mode=config.placement,
+        shifting=shifting,
+        sim_seconds=elapsed,
+        background_seconds=db.clock.background,
+        n_ops=n_ops,
+        commits=db.txn_manager.commits if db.txn_manager is not None else 0,
+        foreground_requests=overall.total.requests,
+        foreground_blocks=overall.total.blocks,
+        cache_hits=overall.total.cache_hits,
+        migration=migration,
+        tier_occupancy=occupancy,
+        olap_results=results[:-1],
+        heat_snapshot=engine.heat.snapshot() if engine is not None else {},
+        clock_repr=repr(db.clock.now),
+    )

@@ -18,6 +18,13 @@ from repro.storage.cache_base import (
 )
 from repro.storage.device import Device, DeviceSpec
 from repro.storage.lru_cache import LRUCache
+from repro.storage.placement import (
+    HeatTracker,
+    Migrator,
+    PlacementConfig,
+    PlacementEngine,
+    PlacementMode,
+)
 from repro.storage.priority_cache import PriorityCache
 from repro.storage.qos import PolicySet, QoSPolicy
 from repro.storage.requests import IOOp, IORequest, RequestType
@@ -41,10 +48,15 @@ __all__ = [
     "Extent",
     "ExtentAllocator",
     "ExtentMap",
+    "HeatTracker",
     "IOOp",
     "IORequest",
     "IOScheduler",
     "LRUCache",
+    "Migrator",
+    "PlacementConfig",
+    "PlacementEngine",
+    "PlacementMode",
     "PolicySet",
     "PriorityCache",
     "QoSPolicy",

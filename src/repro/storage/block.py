@@ -89,6 +89,10 @@ class ExtentMap:
         extent = self.extents[pageno // chunk]
         return extent.start + pageno % chunk
 
+    def is_mapped(self, pageno: int) -> bool:
+        """True when ``pageno`` already has an LBA (without growing)."""
+        return 0 <= pageno < len(self.extents) * self._chunk
+
     def contiguous_run(self, pageno: int, count: int) -> list[tuple[int, int]]:
         """Split ``[pageno, pageno+count)`` into LBA-contiguous (lba, n) runs."""
         runs: list[tuple[int, int]] = []

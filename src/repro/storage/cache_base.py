@@ -27,6 +27,9 @@ class CacheAction(enum.Enum):
     # Auxiliary outcomes (not among the paper's six, needed for bookkeeping):
     TRIM = "trim"
     WRITE_BUFFER_FLUSH = "write-buffer-flush"
+    # Background migration between tiers (DESIGN.md §11):
+    PROMOTE = "promote"
+    DEMOTE = "demote"
 
 
 @dataclass(frozen=True)
@@ -82,6 +85,29 @@ class BlockCache(ABC):
         """
         del lbn, dirty
         return False, []
+
+    def dirty_of(self, lbn: int) -> bool | None:
+        """Dirty flag of a cached block; ``None`` when unknown/absent.
+
+        Callers moving blocks between tiers must treat ``None`` as dirty
+        — a block that might hold unwritten data has to land durably.
+        """
+        del lbn
+        return None
+
+    def discard(self, lbn: int) -> bool:
+        """Forget a block without writeback (tier migration bookkeeping).
+
+        Returns True when the block was resident.  Unlike :meth:`trim`
+        this is not a data-lifetime event: the caller has already placed
+        the block (and its dirty flag) somewhere else in the hierarchy.
+        """
+        del lbn
+        return False
+
+    def iter_lbns(self) -> "tuple[int, ...]":
+        """Resident block numbers in deterministic order (for planners)."""
+        return ()
 
     @abstractmethod
     def contains(self, lbn: int) -> bool:

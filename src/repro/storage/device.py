@@ -128,6 +128,22 @@ class Device:
         self.busy_seconds += seconds
         return seconds
 
+    def background_read(self, nblocks: int = 1) -> float:
+        """Account an asynchronous read (tier-migration source fetch).
+
+        The mirror of :meth:`background_write`: priced at the random-read
+        cost, head-position state untouched — background migration must
+        not perturb the sequential pricing of foreground streams
+        (DESIGN.md §11: all migration device time is off the critical
+        path).
+        """
+        if nblocks < 1:
+            raise ValueError("background_read needs nblocks >= 1")
+        seconds = nblocks * self.spec.rand_read_s
+        self.blocks_read += nblocks
+        self.busy_seconds += seconds
+        return seconds
+
     def reset_counters(self) -> None:
         self.blocks_read = 0
         self.blocks_written = 0

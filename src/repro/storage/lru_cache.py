@@ -72,6 +72,16 @@ class LRUCache(BlockCache):
         """Legacy storage: TRIM is not understood and has no effect."""
         return BlockOutcome(lbn=lbn, hit=False)
 
+    def dirty_of(self, lbn: int) -> bool | None:
+        entry = self._stack.get(lbn)
+        return entry.dirty if entry is not None else None
+
+    def discard(self, lbn: int) -> bool:
+        return self._stack.pop(lbn, None) is not None
+
+    def iter_lbns(self) -> tuple[int, ...]:
+        return tuple(sorted(self._stack))
+
     def insert_block(
         self, lbn: int, *, dirty: bool
     ) -> tuple[bool, list[Eviction]]:

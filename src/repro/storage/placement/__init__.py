@@ -1,0 +1,28 @@
+"""Adaptive data placement: temperature tracking and tier migration.
+
+The runnable rival of the paper's semantic classification (DESIGN.md
+§11): a deterministic per-extent heat tracker, an epoch-driven migration
+planner issuing background ``MIGRATE`` I/O through the ordinary
+scheduler, and the three placement modes (``semantic`` /
+``temperature`` / ``hybrid``) that turn the paper's comparison into an
+experiment.
+"""
+
+from repro.storage.placement.heat import HEAT_ONE, ExtentHeat, HeatTracker
+from repro.storage.placement.migrator import Migrator, PlacementEngine
+from repro.storage.placement.policy import (
+    PLACEMENT_MODES,
+    PlacementConfig,
+    PlacementMode,
+)
+
+__all__ = [
+    "HEAT_ONE",
+    "ExtentHeat",
+    "HeatTracker",
+    "Migrator",
+    "PLACEMENT_MODES",
+    "PlacementConfig",
+    "PlacementEngine",
+    "PlacementMode",
+]

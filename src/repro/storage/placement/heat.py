@@ -1,0 +1,147 @@
+"""Deterministic per-extent temperature tracking (DESIGN.md §11).
+
+The migration rival of the paper's semantic classification needs an
+access-pattern signal: which regions of the LBA space are *hot* right
+now.  :class:`HeatTracker` aggregates block accesses into fixed-size
+*heat extents* (``extent_blocks`` consecutive LBAs) and keeps one pair of
+exponentially-decayed read/write counters per extent.
+
+Determinism rule: every quantity is an integer.  An access adds
+``HEAT_ONE`` (a fixed-point 1.0) to its extent's counter; each epoch
+multiplies every counter by ``decay_num / decay_den`` using *floor*
+integer division.  No floats ever enter the computation, so the same
+request stream produces bit-identical heat values on every run and on
+every platform — the property the determinism gate in
+``tests/test_placement_engine.py`` holds the subsystem to.
+
+Epochs are advanced by the migration clockwork
+(:class:`~repro.storage.placement.migrator.PlacementEngine`), which
+derives them from the simulated clock — never from host time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HEAT_ONE = 256
+"""Fixed-point scale: one access contributes ``HEAT_ONE`` heat units, so
+repeated halving keeps sub-access resolution for eight epochs before a
+single access decays to nothing."""
+
+
+@dataclass
+class ExtentHeat:
+    """Decayed access counters for one heat extent."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def heat(self) -> int:
+        return self.reads + self.writes
+
+
+class HeatTracker:
+    """Fixed-point, epoch-decayed temperature of the LBA space."""
+
+    def __init__(
+        self,
+        extent_blocks: int = 32,
+        decay_num: int = 1,
+        decay_den: int = 2,
+    ) -> None:
+        if extent_blocks < 1:
+            raise ValueError("extent_blocks must be >= 1")
+        if not 0 <= decay_num < decay_den:
+            raise ValueError("decay must satisfy 0 <= num < den")
+        self.extent_blocks = extent_blocks
+        self.decay_num = decay_num
+        self.decay_den = decay_den
+        self._extents: dict[int, ExtentHeat] = {}
+        self.epoch = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------ recording
+
+    def extent_of(self, lbn: int) -> int:
+        return lbn // self.extent_blocks
+
+    def record(self, lbns, *, write: bool) -> None:
+        """Account one access to each block in ``lbns``."""
+        extents = self._extents
+        size = self.extent_blocks
+        for lbn in lbns:
+            self.accesses += 1
+            ext = extents.get(lbn // size)
+            if ext is None:
+                ext = extents[lbn // size] = ExtentHeat()
+            if write:
+                ext.writes += HEAT_ONE
+            else:
+                ext.reads += HEAT_ONE
+
+    def forget(self, lbns) -> None:
+        """Drop the heat of extents covered by ``lbns`` (TRIMmed data).
+
+        A TRIM is a lifetime end, not an access: deleted blocks must
+        stop looking hot, or the migrator would spend budget promoting
+        freed temp-file LBAs nothing will ever read again.  File extents
+        (64- or 512-page chunks) align with the default heat-extent
+        sizes, so zeroing the covered extents normally discards no live
+        neighbour's temperature; if a partial overlap ever does, the
+        neighbour simply re-heats from its next accesses — forgetting
+        too much is safe, promoting dead data is not.
+        """
+        extents = self._extents
+        size = self.extent_blocks
+        for eid in {lbn // size for lbn in lbns}:
+            extents.pop(eid, None)
+
+    def advance_epoch(self) -> None:
+        """Decay every counter once; fully cooled extents are forgotten."""
+        self.epoch += 1
+        num, den = self.decay_num, self.decay_den
+        dead = []
+        for eid, ext in self._extents.items():
+            ext.reads = ext.reads * num // den
+            ext.writes = ext.writes * num // den
+            if not ext.reads and not ext.writes:
+                dead.append(eid)
+        for eid in dead:
+            del self._extents[eid]
+
+    # -------------------------------------------------------------- queries
+
+    def heat_of(self, extent_id: int) -> int:
+        ext = self._extents.get(extent_id)
+        return ext.heat if ext is not None else 0
+
+    def heat_of_lbn(self, lbn: int) -> int:
+        return self.heat_of(self.extent_of(lbn))
+
+    def extent(self, extent_id: int) -> ExtentHeat | None:
+        return self._extents.get(extent_id)
+
+    def hottest(self) -> list[tuple[int, int]]:
+        """``(extent_id, heat)`` pairs, hottest first, deterministic."""
+        return sorted(
+            ((eid, ext.heat) for eid, ext in self._extents.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """``extent_id -> (reads, writes)`` for fingerprinting and the CLI."""
+        return {
+            eid: (ext.reads, ext.writes)
+            for eid, ext in sorted(self._extents.items())
+        }
+
+    @property
+    def tracked_extents(self) -> int:
+        return len(self._extents)
+
+    def reset(self) -> None:
+        """Forget everything (measurement reset between experiments)."""
+        self._extents.clear()
+        self.epoch = 0
+        self.accesses = 0

@@ -1,0 +1,268 @@
+"""Epoch-driven background tier migration (DESIGN.md §11).
+
+Two cooperating classes:
+
+* :class:`Migrator` — the *planner*: each epoch it selects promote and
+  demote candidates from the :class:`~repro.storage.placement.heat.
+  HeatTracker` under a per-epoch block budget and emits batched
+  :class:`~repro.storage.requests.IORequest`\\ s of type ``MIGRATE`` at
+  the migration QoS priority (the lowest in the system).
+* :class:`PlacementEngine` — the *clockwork*: attached to a
+  :class:`~repro.storage.system.StorageSystem`, it observes every
+  foreground request into the heat tracker and, when the simulated clock
+  crosses an epoch boundary, decays the counters and submits the
+  planner's requests through the ordinary I/O scheduler.  The tier chain
+  recognises ``MIGRATE`` requests and serves them through its explicit
+  :meth:`~repro.storage.tiers.TierChain.promote` / ``demote`` APIs,
+  entirely off the critical path (background device seconds only).
+
+Determinism: candidate selection iterates extents hottest-first with
+extent-id tie-breaks and blocks in ascending LBN order; epoch boundaries
+come from the simulated clock; heat values are integers.  The same
+request stream therefore produces identical migration decisions, heat
+values and counters on every run.
+
+WAL ordering: migration moves only *storage-resident* copies of blocks —
+it never touches buffer-pool frames.  Blocks whose authoritative copy is
+a dirty buffer-pool page are excluded from planning (via
+``exclude_provider``): their on-storage image is stale and will be
+superseded by a WAL-ordered flush, so migrating them is wasted work and
+placement of the fresh image belongs to the flush itself.
+"""
+
+from __future__ import annotations
+
+from repro.storage.cache_base import CacheAction
+from repro.storage.placement.heat import HEAT_ONE, HeatTracker
+from repro.storage.placement.policy import PlacementConfig, PlacementMode
+from repro.storage.requests import (
+    MIGRATE_DEMOTE_TAG,
+    MIGRATE_PROMOTE_TAG,
+    IOOp,
+    IORequest,
+    RequestType,
+)
+from repro.storage.scheduler import coalesce_segments
+from repro.storage.tiers import TierChain
+
+
+class Migrator:
+    """Plans one epoch's promote/demote batch over a tier chain."""
+
+    def __init__(
+        self, chain: TierChain, heat: HeatTracker, config: PlacementConfig
+    ) -> None:
+        if not chain.caching_tiers:
+            raise ValueError("migration needs at least one caching tier")
+        self.chain = chain
+        self.heat = heat
+        self.config = config
+
+    def plan(self, exclude: frozenset[int] = frozenset()) -> list[IORequest]:
+        """Select this epoch's migrations; returns MIGRATE requests.
+
+        Promotions come first (hottest extent first, whole extents — the
+        prefetch effect that lets migration beat per-block admission on
+        drifting workloads), then demotions of cooled blocks out of
+        near-full tiers; both draw on one shared block budget.
+        """
+        config = self.config
+        chain = self.chain
+        budget = config.budget_blocks
+        promote_heat = config.promote_threshold * HEAT_ONE
+        demote_heat = config.demote_threshold * HEAT_ONE
+
+        promotions: list[int] = []
+        size = self.heat.extent_blocks
+        for eid, heat_value in self.heat.hottest():
+            if heat_value < promote_heat or budget <= 0:
+                break
+            # Whole-extent promotion: a hot extent's *untouched* blocks
+            # ride along.  This spatial prefetch is migration's one real
+            # edge over per-block admission — when a workload drifts
+            # onto a new region, blocks the queries have not reached yet
+            # are already in the fast tier when their first access
+            # arrives (the uprush/dlm lifecycle model).
+            for lbn in range(eid * size, (eid + 1) * size):
+                if budget <= 0:
+                    break
+                if lbn in exclude or chain.tier_index_of(lbn) == 0:
+                    continue
+                promotions.append(lbn)
+                budget -= 1
+
+        chosen = set(promotions)
+        demotions: list[int] = []
+        for tier in chain.caching_tiers:
+            if budget <= 0:
+                break
+            cache = tier.cache
+            assert cache is not None
+            if cache.occupancy < config.demote_occupancy * cache.capacity:
+                continue
+            for lbn in cache.iter_lbns():
+                if budget <= 0:
+                    break
+                if lbn in exclude or lbn in chosen:
+                    continue
+                if self.heat.heat_of_lbn(lbn) <= demote_heat:
+                    demotions.append(lbn)
+                    budget -= 1
+
+        requests: list[IORequest] = []
+        if promotions:
+            requests.append(
+                self._request(promotions, MIGRATE_PROMOTE_TAG, IOOp.READ)
+            )
+        if demotions:
+            requests.append(
+                self._request(demotions, MIGRATE_DEMOTE_TAG, IOOp.WRITE)
+            )
+        return requests
+
+    def _request(self, lbns: list[int], tag: str, op: IOOp) -> IORequest:
+        return IORequest.vectored(
+            coalesce_segments((lbn, 1) for lbn in set(lbns)),
+            op,
+            policy=self.chain.policy_set.migration_policy(),
+            rtype=RequestType.MIGRATE,
+            tag=tag,
+        )
+
+
+class PlacementEngine:
+    """Heat tracking plus migration clockwork for one storage system.
+
+    The engine is *loaded* in every placement mode, but it observes and
+    migrates only when its mode migrates and the backend is a tier chain
+    with at least one caching tier.  In ``semantic`` mode it is provably
+    idle: ``after_batch`` returns before doing any per-block work, so it
+    never touches the clock, the statistics, any cache — or even its own
+    heat map — which is what keeps the golden fingerprint bit-identical
+    (and the hot path cost-free) with the subsystem present.
+    """
+
+    def __init__(
+        self,
+        mode: PlacementMode | str = PlacementMode.SEMANTIC,
+        config: PlacementConfig | None = None,
+    ) -> None:
+        self.mode = PlacementMode(mode)
+        self.config = config if config is not None else PlacementConfig()
+        num, den = self.config.decay
+        self.heat = HeatTracker(
+            extent_blocks=self.config.extent_blocks,
+            decay_num=num,
+            decay_den=den,
+        )
+        self.system = None
+        self.migrator: Migrator | None = None
+        self.exclude_provider = None
+        """Optional zero-argument callable returning LBNs migration must
+        skip this epoch (the buffer pool's dirty pages — see the WAL
+        ordering note in the module docstring)."""
+        self._next_epoch = self.config.epoch_seconds
+        self._active = False
+        # --- observability --------------------------------------------
+        self.epochs = 0
+        self.blocks_promoted = 0
+        self.blocks_demoted = 0
+        self.blocks_declined = 0
+        self.migration_requests = 0
+        self.migration_seconds = 0.0
+        """Background device seconds attributed to migration batches
+        (including any elevator drain a migration barrier forced)."""
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, system) -> None:
+        """Bind to a storage system (called by ``StorageSystem``)."""
+        self.system = system
+        backend = system.backend
+        if isinstance(backend, TierChain) and backend.caching_tiers:
+            self.migrator = Migrator(backend, self.heat, self.config)
+
+    def reset(self) -> None:
+        """Zero heat and counters; re-anchor epochs at the current clock."""
+        self.heat.reset()
+        self.epochs = 0
+        self.blocks_promoted = 0
+        self.blocks_demoted = 0
+        self.blocks_declined = 0
+        self.migration_requests = 0
+        self.migration_seconds = 0.0
+        now = self.system.clock.now if self.system is not None else 0.0
+        self._next_epoch = now + self.config.epoch_seconds
+
+    # ------------------------------------------------------------ clockwork
+
+    def after_batch(self, requests: list[IORequest]) -> None:
+        """Observe a foreground batch; run any due migration epochs."""
+        if self._active:
+            return  # our own migration traffic: neither heat nor epochs
+        if not self.mode.migrates or self.migrator is None:
+            return  # semantic mode: provably idle, zero per-block work
+        heat = self.heat
+        for request in requests:
+            if request.rtype is RequestType.MIGRATE:
+                continue
+            if request.op is IOOp.TRIM:
+                # A lifetime end, not an access: freed blocks stop
+                # looking hot, or the planner would promote dead LBAs.
+                heat.forget(request.lbas)
+                continue
+            heat.record(request.lbas, write=request.is_write)
+        clock = self.system.clock
+        epoch_seconds = self.config.epoch_seconds
+        while clock.now >= self._next_epoch:
+            self._run_epoch()
+            self._next_epoch += epoch_seconds
+
+    def _run_epoch(self) -> None:
+        self.epochs += 1
+        self.heat.advance_epoch()
+        exclude = (
+            frozenset(self.exclude_provider())
+            if self.exclude_provider is not None
+            else frozenset()
+        )
+        requests = self.migrator.plan(exclude)
+        if not requests:
+            return
+        self.migration_requests += sum(len(r.runs()) for r in requests)
+        self._active = True
+        try:
+            clock = self.system.clock
+            before = clock.background
+            result = self.system.submit_batch(requests)
+            self.migration_seconds += clock.background - before
+        finally:
+            self._active = False
+        for completion in result.completions:
+            # The batch may also carry foreground writebacks the elevator
+            # drained to preserve ordering — count only our own traffic.
+            if completion.request.rtype is not RequestType.MIGRATE:
+                continue
+            for outcome in completion.outcomes:
+                if outcome.has(CacheAction.PROMOTE):
+                    self.blocks_promoted += 1
+                elif outcome.has(CacheAction.DEMOTE):
+                    self.blocks_demoted += 1
+                else:
+                    self.blocks_declined += 1
+
+    # ----------------------------------------------------------- reporting
+
+    def summary(self) -> dict:
+        """Counters for benchmarks, the CLI and the examples."""
+        return {
+            "mode": self.mode.value,
+            "epochs": self.epochs,
+            "blocks_promoted": self.blocks_promoted,
+            "blocks_demoted": self.blocks_demoted,
+            "blocks_declined": self.blocks_declined,
+            "migration_requests": self.migration_requests,
+            "migration_seconds": self.migration_seconds,
+            "tracked_extents": self.heat.tracked_extents,
+            "heat_epoch": self.heat.epoch,
+        }

@@ -1,0 +1,100 @@
+"""Placement modes and tuning knobs of the adaptive-placement subsystem.
+
+hStorage-DB's central claim is comparative: semantic, QoS-driven
+classification beats access-pattern-driven data migration, because a
+migration system learns placement only *after* paying for mispredictions
+(paper §1–2, §7).  The reproduction makes that comparison runnable by
+offering three placement modes:
+
+* ``semantic`` — the paper's system, untouched: admission bands derived
+  from per-request QoS policies decide placement at access time; no
+  background migration ever runs.  This is the default, and it is held
+  bit-identical to the pre-subsystem behaviour by the golden fingerprint.
+* ``temperature`` — the rival: requests carry *no* semantic hints (the
+  DBMS delivers unclassified legacy traffic), so nothing is cached at
+  access time; an epoch-driven migrator promotes hot extents into faster
+  tiers and demotes cold ones, purely from observed temperature.
+* ``hybrid`` — semantic admission seeds placement exactly as in
+  ``semantic`` mode, and heat-driven migration corrects what the static
+  rules miss: workload drift, and hot data the rules pin to a slower
+  band (e.g. repeatedly re-read sequential ranges, which Rule 1 never
+  caches).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PlacementMode(enum.Enum):
+    """How blocks find their tier (DESIGN.md §11)."""
+
+    SEMANTIC = "semantic"
+    TEMPERATURE = "temperature"
+    HYBRID = "hybrid"
+
+    @property
+    def uses_semantic_hints(self) -> bool:
+        """Do requests carry QoS policies into the storage system?"""
+        return self is not PlacementMode.TEMPERATURE
+
+    @property
+    def migrates(self) -> bool:
+        """Does the background migrator run?"""
+        return self is not PlacementMode.SEMANTIC
+
+
+PLACEMENT_MODES = tuple(mode.value for mode in PlacementMode)
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Tunables of the temperature tracker and the migration planner."""
+
+    extent_blocks: int = 32
+    """Heat/migration granularity in blocks.  Coarser extents buy the
+    prefetch effect (promoting an extent pulls in blocks the workload
+    has not touched yet) at the price of cold freight."""
+
+    epoch_seconds: float = 0.05
+    """Simulated seconds per migration epoch.  Epoch boundaries are
+    derived from the simulation clock, so epoch timing is deterministic."""
+
+    budget_blocks: int = 256
+    """Migration I/O budget per epoch, in blocks, shared by promotions
+    (planned first, hottest extent first) and demotions."""
+
+    promote_threshold: int = 4
+    """Minimum decayed accesses (in whole accesses, scaled internally by
+    ``HEAT_ONE``) an extent needs before its blocks are promoted."""
+
+    demote_threshold: int = 0
+    """Extents at or below this many decayed accesses are demotion
+    candidates (0: only fully cooled extents)."""
+
+    demote_occupancy: float = 0.9
+    """Demote out of a tier only once its cache occupancy reaches this
+    fraction of capacity — migration should relieve pressure, not churn
+    a half-empty tier."""
+
+    decay: tuple[int, int] = (1, 2)
+    """Per-epoch counter decay as an integer ``(numerator, denominator)``
+    ratio; applied with floor division (the determinism rule)."""
+
+    def __post_init__(self) -> None:
+        if self.extent_blocks < 1:
+            raise ValueError("extent_blocks must be >= 1")
+        if self.epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if self.budget_blocks < 1:
+            raise ValueError("budget_blocks must be >= 1")
+        if self.promote_threshold < 1:
+            raise ValueError("promote_threshold must be >= 1")
+        if self.demote_threshold < 0:
+            raise ValueError("demote_threshold must be >= 0")
+        if not 0.0 <= self.demote_occupancy <= 1.0:
+            raise ValueError("demote_occupancy must be within [0, 1]")
+        num, den = self.decay
+        if not 0 <= num < den:
+            raise ValueError("decay must satisfy 0 <= num < den")

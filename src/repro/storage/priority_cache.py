@@ -78,6 +78,20 @@ class PriorityCache(BlockCache):
         entry = self._lookup.get(lbn)
         return entry.group if entry is not None else None
 
+    def dirty_of(self, lbn: int) -> bool | None:
+        entry = self._lookup.get(lbn)
+        return entry.dirty if entry is not None else None
+
+    def discard(self, lbn: int) -> bool:
+        entry = self._lookup.pop(lbn, None)
+        if entry is None:
+            return False
+        del self._groups[entry.group][lbn]
+        return True
+
+    def iter_lbns(self) -> tuple[int, ...]:
+        return tuple(sorted(self._lookup))
+
     def group_sizes(self) -> dict[int, int]:
         return {g: len(members) for g, members in self._groups.items()}
 
@@ -95,7 +109,12 @@ class PriorityCache(BlockCache):
         if policy.write_buffer:
             return self._access_write_buffer(lbn, write=write)
         assert policy.priority is not None
-        return self._access_with_priority(lbn, policy.priority, write=write)
+        # Priorities beyond N (the background migration class) have no
+        # group of their own: treat them as non-caching, non-eviction.
+        priority = policy.priority
+        if priority > self.policy_set.n_priorities:
+            priority = self.policy_set.non_caching_non_eviction
+        return self._access_with_priority(lbn, priority, write=write)
 
     def trim(self, lbn: int) -> BlockOutcome:
         """Invalidate a block: deleted data is dropped without writeback."""

@@ -125,6 +125,15 @@ class PolicySet:
     def update_policy(self) -> QoSPolicy:
         return QoSPolicy.for_write_buffer()
 
+    def migration_policy(self) -> QoSPolicy:
+        """Background tier migration: priority ``N+1``, below every
+        foreground class.  Migration must never win cache space through
+        the foreground allocation path — placement happens through the
+        explicit :meth:`~repro.storage.tiers.TierChain.promote` /
+        ``demote`` APIs, and a migration request that somehow reached a
+        cache would be treated as non-caching."""
+        return QoSPolicy.with_priority(self.n_priorities + 1)
+
     def random_policy(self, priority: int) -> QoSPolicy:
         n1, n2 = self.random_priority_range
         if not n1 <= priority <= n2:

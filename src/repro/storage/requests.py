@@ -24,6 +24,13 @@ class IOOp(enum.Enum):
     TRIM = "trim"
 
 
+MIGRATE_PROMOTE_TAG = "migrate:promote"
+"""``tag`` of a MIGRATE request that pulls blocks into a faster tier."""
+
+MIGRATE_DEMOTE_TAG = "migrate:demote"
+"""``tag`` of a MIGRATE request that pushes blocks one tier down."""
+
+
 class RequestType(enum.Enum):
     """The paper's request classification (Section 4.1).
 
@@ -41,10 +48,20 @@ class RequestType(enum.Enum):
     LOG = "log"
     """Transaction-log traffic (WAL flushes and recovery scans) — the
     stream Table 3 maps to the write-buffer policy."""
+    MIGRATE = "migrate"
+    """Background tier migration (the adaptive-placement subsystem,
+    DESIGN.md §11), plus the conservative bucket for unlabelled
+    background traffic: accounted separately from foreground query I/O
+    so migration overhead can never masquerade as query cost."""
 
     @property
     def is_temp(self) -> bool:
         return self in (RequestType.TEMP_READ, RequestType.TEMP_WRITE)
+
+    @property
+    def is_background(self) -> bool:
+        """True for request classes excluded from foreground totals."""
+        return self is RequestType.MIGRATE
 
 
 @dataclass

@@ -64,6 +64,7 @@ def _merge_key(request: IORequest):
         request.rtype,
         request.query_id,
         request.oid,
+        request.tag,
         request.async_hint,
     )
 
@@ -189,6 +190,7 @@ class IOScheduler:
                 rtype=group[0].rtype,
                 query_id=group[0].query_id,
                 oid=group[0].oid,
+                tag=group[0].tag,
                 async_hint=group[0].async_hint,
             )
         self.dispatches += 1
@@ -207,13 +209,24 @@ class IOScheduler:
             )
 
 
-def _coalesce_runs(group: list[IORequest]) -> list[tuple[int, int]]:
-    """All runs of a merge group, sorted, with adjacent runs joined."""
-    runs = sorted(run for request in group for run in request.runs())
+def coalesce_segments(segments) -> list[tuple[int, int]]:
+    """Sort ``(lba, nblocks)`` segments and join adjacent runs.
+
+    Shared by the dispatch merger below and the migration planner
+    (:mod:`repro.storage.placement.migrator`), so there is exactly one
+    definition of what "adjacent runs coalesce" means.
+    """
     merged: list[tuple[int, int]] = []
-    for lba, nblocks in runs:
+    for lba, nblocks in sorted(segments):
         if merged and merged[-1][0] + merged[-1][1] == lba:
             merged[-1] = (merged[-1][0], merged[-1][1] + nblocks)
         else:
             merged.append((lba, nblocks))
-    return [tuple(run) for run in merged]
+    return merged
+
+
+def _coalesce_runs(group: list[IORequest]) -> list[tuple[int, int]]:
+    """All runs of a merge group, sorted, with adjacent runs joined."""
+    return coalesce_segments(
+        run for request in group for run in request.runs()
+    )

@@ -53,6 +53,12 @@ class QueryStats:
         default_factory=lambda: defaultdict(Counts)
     )
     total: Counts = field(default_factory=Counts)
+    background: Counts = field(default_factory=Counts)
+    """Background traffic (``RequestType.is_background``: tier migration
+    and unlabelled background writes).  Kept out of ``total`` so
+    :meth:`request_share` / :meth:`block_share` keep measuring foreground
+    query I/O — benchmark reports show migration overhead separately
+    instead of silently folding it into query cost."""
 
     def type_counts(self, rtype: RequestType) -> Counts:
         return self.by_type[rtype]
@@ -75,6 +81,11 @@ class QueryStats:
             if self.total.blocks
             else 0.0
         )
+
+    @property
+    def migration_counts(self) -> Counts:
+        """Counters of background tier-migration traffic (DESIGN.md §11)."""
+        return self.by_type[RequestType.MIGRATE]
 
 
 class StatsCollector:
@@ -124,6 +135,9 @@ class StatsCollector:
             rtype = _fallback_type(request)
         for stats in (self.per_query[request.query_id], self.overall):
             stats.by_type[rtype].merge(delta)
+            if rtype.is_background:
+                stats.background.merge(delta)
+                continue  # background classes stay out of foreground totals
             stats.total.merge(delta)
             if (
                 rtype is RequestType.RANDOM
@@ -141,7 +155,19 @@ class StatsCollector:
 
 
 def _fallback_type(request: IORequest) -> RequestType:
-    """Classify unlabelled traffic by direction only (legacy streams)."""
+    """Classify unlabelled traffic by direction only (legacy streams).
+
+    Foreground fallbacks mirror the paper's taxonomy (writes are update
+    requests, reads are random requests).  An unlabelled *background*
+    write (``async_hint``) has unknown provenance — some storage-internal
+    writer, not a query — so it is accounted conservatively in the
+    background MIGRATE class rather than inflating the foreground update
+    share that benchmark reports rely on.
+    """
     if request.op is IOOp.TRIM:
         return RequestType.TRIM_TEMP
-    return RequestType.UPDATE if request.is_write else RequestType.RANDOM
+    if request.is_write:
+        return (
+            RequestType.MIGRATE if request.async_hint else RequestType.UPDATE
+        )
+    return RequestType.RANDOM

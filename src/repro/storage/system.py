@@ -31,10 +31,17 @@ class StorageSystem:
         clock: SimClock | None = None,
         stats: StatsCollector | None = None,
         scheduler: IOScheduler | None = None,
+        placement=None,
     ) -> None:
         self.backend = backend
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else StatsCollector()
+        self.placement = placement
+        """Optional :class:`~repro.storage.placement.PlacementEngine`:
+        observes every batch for temperature tracking and runs background
+        migration epochs (idle in ``semantic`` mode, DESIGN.md §11)."""
+        if placement is not None:
+            placement.attach(self)
         if scheduler is None:
             # Tier chains carry the simulation parameters; honour their
             # queue-depth knob instead of the module default.
@@ -67,6 +74,8 @@ class StorageSystem:
                 self.stats.record_counts(request)
         result = self.scheduler.submit_batch(requests)
         self._apply(result)
+        if self.placement is not None:
+            self.placement.after_batch(requests)
         return result
 
     def drain(self) -> None:

@@ -39,7 +39,12 @@ from repro.storage.cache_base import (
 )
 from repro.storage.device import Device
 from repro.storage.qos import PolicySet, QoSPolicy
-from repro.storage.requests import IOOp, IORequest
+from repro.storage.requests import (
+    MIGRATE_PROMOTE_TAG,
+    IOOp,
+    IORequest,
+    RequestType,
+)
 
 
 class Tier:
@@ -124,11 +129,15 @@ class TierChain:
 
     def tier_of(self, lbn: int) -> Tier:
         """The fastest tier currently holding a block."""
-        for tier in self.caching_tiers:
+        return self.tiers[self.tier_index_of(lbn)]
+
+    def tier_index_of(self, lbn: int) -> int:
+        """Index (0 = fastest) of the fastest tier holding a block."""
+        for level, tier in enumerate(self.caching_tiers):
             assert tier.cache is not None
             if tier.cache.contains(lbn):
-                return tier
-        return self.backing
+                return level
+        return len(self.tiers) - 1
 
     def describe(self) -> str:
         """One-line summary, fastest tier first (e.g. ``nvme > ssd > hdd``)."""
@@ -138,6 +147,8 @@ class TierChain:
 
     def submit(self, request: IORequest) -> tuple[float, float, list[BlockOutcome]]:
         """Serve ``request``; returns (sync_seconds, async_seconds, outcomes)."""
+        if request.rtype is RequestType.MIGRATE:
+            return self._submit_migration(request)
         if request.op is IOOp.TRIM:
             return 0.0, 0.0, [self._trim_block(lbn) for lbn in request.lbas]
 
@@ -269,6 +280,99 @@ class TierChain:
             return cost, 0.0
         return 0.0, cost
 
+    # ------------------------------------------------- background migration
+
+    def promote(self, lbn: int, to_level: int = 0) -> tuple[float, bool]:
+        """Move a block into the fastest tier (at/below ``to_level``) that
+        admits it; returns ``(device_seconds, moved)``.
+
+        Promotion cascades: when the target tier's cache declines the
+        block (selective allocation finds no displaceable victim), the
+        next tier down is tried, until the block's current level is
+        reached.  A promotion that every faster tier refuses is a no-op.
+        The source copy is discarded once the block has a new home — a
+        block lives in exactly one caching tier — and its dirty flag
+        travels with it, so dirty data keeps exactly one durable path.
+        """
+        src = self.tier_index_of(lbn)
+        if src <= to_level:
+            return 0.0, False
+        src_tier = self.tiers[src]
+        dirty = False
+        if src_tier.is_caching:
+            assert src_tier.cache is not None
+            known = src_tier.cache.dirty_of(lbn)
+            # Unknown dirtiness must travel as dirty: losing an
+            # unwritten block is worse than one spurious writeback.
+            dirty = True if known is None else known
+        for level in range(to_level, src):
+            tier = self.tiers[level]
+            assert tier.cache is not None
+            inserted, cascade = tier.cache.insert_block(lbn, dirty=dirty)
+            if not inserted:
+                continue
+            if src_tier.is_caching:
+                assert src_tier.cache is not None
+                src_tier.cache.discard(lbn)
+            # Background transfers on both sides: migration must not move
+            # any device's head-position state (foreground sequential
+            # pricing would silently pay migration's seeks otherwise).
+            cost = src_tier.device.background_read(1)
+            cost += tier.device.background_write(1)
+            victims = [
+                ev for ev in cascade if ev.dirty or tier.demote_clean
+            ]
+            if victims:
+                cost += self._demote(level + 1, victims)
+            return cost, True
+        return 0.0, False
+
+    def demote(self, lbn: int) -> tuple[float, bool]:
+        """Push a block out of its current caching tier, one step down;
+        returns ``(device_seconds, moved)``.
+
+        The displaced block rides the normal demotion cascade: a dirty
+        block must land durably (a lower cache or the backing store), a
+        clean block enters the next tier's cache only where the source
+        tier opts in (``demote_clean``) — otherwise it is simply dropped,
+        because the backing store already holds it.  Demoting a block
+        that only lives in the backing store is a no-op.
+        """
+        src = self.tier_index_of(lbn)
+        src_tier = self.tiers[src]
+        if not src_tier.is_caching:
+            return 0.0, False
+        assert src_tier.cache is not None
+        known = src_tier.cache.dirty_of(lbn)
+        dirty = True if known is None else known
+        src_tier.cache.discard(lbn)
+        if not dirty and not src_tier.demote_clean:
+            return 0.0, True
+        return self._demote(src + 1, [Eviction(lbn=lbn, dirty=dirty)]), True
+
+    def _submit_migration(
+        self, request: IORequest
+    ) -> tuple[float, float, list[BlockOutcome]]:
+        """Serve a batched MIGRATE request entirely off the critical path."""
+        promote = request.tag == MIGRATE_PROMOTE_TAG
+        background = 0.0
+        outcomes: list[BlockOutcome] = []
+        for lbn in request.lbas:
+            if promote:
+                cost, moved = self.promote(lbn)
+                action = CacheAction.PROMOTE
+            else:
+                cost, moved = self.demote(lbn)
+                action = CacheAction.DEMOTE
+            background += cost
+            outcomes.append(
+                BlockOutcome(
+                    lbn=lbn,
+                    hit=False,
+                    actions=[action if moved else CacheAction.BYPASS],
+                )
+            )
+        return 0.0, background, outcomes
 
     def _demote(self, level: int, victims: list[Eviction]) -> float:
         """Push demoted blocks down the chain; returns device seconds."""

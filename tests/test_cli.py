@@ -31,6 +31,26 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "RF1" in out and "total:" in out
 
+    def test_placement_command(self, capsys):
+        args = ["--scale", "0.05", "placement", "--mode", "hybrid",
+                "--shifting", "--ops", "40"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "hybrid placement under hstorage" in out
+        assert "migration:" in out
+        assert "hottest extents" in out
+
+    def test_placement_command_json(self, capsys):
+        import json as jsonlib
+
+        args = ["--scale", "0.05", "placement", "--mode", "temperature",
+                "--ops", "30", "--json"]
+        assert main(args) == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["mode"] == "temperature"
+        assert "migration" in payload and "heat_top" in payload
+        assert "tier_occupancy" in payload
+
     def test_unknown_query_rejected(self):
         with pytest.raises(SystemExit):
             main(["query", "23"])

@@ -58,6 +58,23 @@ class TestClassification:
         assert classify(SemanticInfo.log_write(oid=1), IOOp.WRITE) is not RequestType.UPDATE
 
 
+class TestMigrateClassification:
+    def test_migration_classifies_as_migrate_in_both_directions(self):
+        sem = SemanticInfo.migration()
+        assert classify(sem, IOOp.READ) is RequestType.MIGRATE
+        assert classify(sem, IOOp.WRITE) is RequestType.MIGRATE
+
+    def test_migration_outranks_content_type(self):
+        """Whatever migration moves, it is storage maintenance."""
+        sem = SemanticInfo.migration(ContentType.INDEX, oid=4)
+        assert classify(sem, IOOp.READ) is RequestType.MIGRATE
+
+    def test_migrate_is_background(self):
+        assert RequestType.MIGRATE.is_background
+        assert not RequestType.RANDOM.is_background
+        assert not RequestType.LOG.is_background
+
+
 class TestSemanticInfoConstructors:
     def test_table_scan_shape(self):
         sem = SemanticInfo.table_scan(oid=5, query_id=7)

@@ -135,6 +135,17 @@ class TestPolicyAssignmentTable:
         policy, _ = table.assign(SemanticInfo.table_scan(oid=1), IOOp.READ)
         assert policy.priority == 5
 
+    def test_migration_gets_the_lowest_priority_in_the_system(self):
+        table = PolicyAssignmentTable(policy_set=PSET)
+        for op in (IOOp.READ, IOOp.WRITE):
+            policy, rtype = table.assign(SemanticInfo.migration(), op)
+            assert rtype is RequestType.MIGRATE
+            assert policy == PSET.migration_policy()
+            assert policy.priority == PSET.n_priorities + 1
+            assert not PSET.is_cacheable(policy)
+            # Band 2: migration may never allocate through admission.
+            assert PSET.admission_level(policy) == 2
+
     def test_table1_summary(self):
         """The complete Table 1 mapping."""
         table = PolicyAssignmentTable(policy_set=PSET)

@@ -1,0 +1,135 @@
+"""The shifting-hot-set scenario: placement-mode ordering + determinism.
+
+These are the test-scale versions of the claims
+``benchmarks/bench_placement_shift.py`` measures at full scale:
+
+* static workload: semantic placement is at least as fast as the pure
+  temperature rival (the paper's §6 result — migration pays a catch-up
+  cost semantics never do);
+* shifting workload: hybrid strictly beats pure semantic (extent-granular
+  migration prefetches the newly hot region; per-block semantic
+  admission cannot);
+* same seed ⇒ identical heat values, migration decisions, counters and
+  simulated clock (the determinism gate of DESIGN.md §11).
+"""
+
+import pytest
+
+from repro.harness.shift import ShiftingHotSet, run_placement_shift
+from repro.tpch.datagen import generate
+
+SCALE = 0.2
+N_OPS = 160
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale=SCALE, seed=42)
+
+
+@pytest.fixture(scope="module")
+def results(data):
+    out = {}
+    for shifting in (False, True):
+        for mode in ("semantic", "temperature", "hybrid"):
+            out[(mode, shifting)] = run_placement_shift(
+                mode=mode,
+                shifting=shifting,
+                data=data,
+                n_ops=N_OPS,
+                bufferpool_pages=16,
+            )
+    return out
+
+
+class TestModeOrdering:
+    def test_semantic_beats_temperature_on_the_static_workload(self, results):
+        semantic = results[("semantic", False)]
+        temperature = results[("temperature", False)]
+        assert semantic.sim_seconds <= temperature.sim_seconds
+
+    def test_hybrid_strictly_beats_semantic_under_drift(self, results):
+        hybrid = results[("hybrid", True)]
+        semantic = results[("semantic", True)]
+        assert hybrid.sim_seconds < semantic.sim_seconds
+
+    def test_drift_costs_semantic_placement(self, results):
+        # The scenario is a real drift scenario: rotating the hot set
+        # must hurt a placement that cannot anticipate it.
+        static = results[("semantic", False)]
+        shifting = results[("semantic", True)]
+        assert shifting.sim_seconds > static.sim_seconds
+
+    def test_migrating_modes_actually_migrated(self, results):
+        for mode in ("temperature", "hybrid"):
+            result = results[(mode, True)]
+            assert result.migration["epochs"] > 0
+            assert result.migration["blocks_promoted"] > 0
+
+    def test_semantic_mode_is_idle(self, results):
+        for shifting in (False, True):
+            migration = results[("semantic", shifting)].migration
+            assert migration["epochs"] == 0
+            assert migration["blocks_promoted"] == 0
+            assert migration["blocks_demoted"] == 0
+            assert migration["recorded_requests"] == 0
+            assert migration["recorded_blocks"] == 0
+
+    def test_migration_io_is_reported_separately(self, results):
+        result = results[("hybrid", True)]
+        migration = result.migration
+        # The stats layer saw every planned block in the background
+        # bucket (promoted + demoted + declined), none in the totals.
+        assert migration["recorded_blocks"] == (
+            migration["blocks_promoted"]
+            + migration["blocks_demoted"]
+            + migration["blocks_declined"]
+        )
+        assert migration["recorded_blocks"] > 0
+        assert result.foreground_blocks > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self, data):
+        def run():
+            return run_placement_shift(
+                mode="hybrid",
+                shifting=True,
+                data=data,
+                n_ops=80,
+                bufferpool_pages=16,
+            ).fingerprint()
+
+        first, second = run(), run()
+        assert first == second
+        assert first["migration"]["blocks_promoted"] > 0
+
+    def test_different_seed_different_stream(self, data):
+        a = run_placement_shift(
+            mode="hybrid", shifting=True, data=data, n_ops=80,
+            bufferpool_pages=16, seed=7,
+        )
+        b = run_placement_shift(
+            mode="hybrid", shifting=True, data=data, n_ops=80,
+            bufferpool_pages=16, seed=8,
+        )
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestScenarioShape:
+    def test_node_validates_parameters(self, data):
+        with pytest.raises(ValueError):
+            ShiftingHotSet(None, n_ops=0, ops_per_phase=1)
+
+    def test_result_shape(self, results):
+        result = results[("hybrid", True)]
+        payload = result.to_json()
+        for key in (
+            "kind", "mode", "shifting", "sim_seconds", "background_seconds",
+            "commits", "migration", "tier_occupancy",
+        ):
+            assert key in payload
+        assert payload["mode"] == "hybrid"
+        assert payload["shifting"] is True
+        assert result.commits > 0  # the update transactions committed
+        assert result.olap_results  # the OLAP co-stream ran

@@ -1,0 +1,272 @@
+"""Tests for the migration planner and the placement clockwork."""
+
+import pytest
+
+from repro.sim.params import SimulationParameters
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.placement import (
+    HeatTracker,
+    Migrator,
+    PlacementConfig,
+    PlacementEngine,
+    PlacementMode,
+)
+from repro.storage.priority_cache import PriorityCache
+from repro.storage.qos import PolicySet
+from repro.storage.requests import (
+    MIGRATE_DEMOTE_TAG,
+    MIGRATE_PROMOTE_TAG,
+    IOOp,
+    IORequest,
+    RequestType,
+)
+from repro.storage.system import StorageSystem
+from repro.storage.tiers import Tier, TierChain
+
+PARAMS = SimulationParameters()
+PSET = PolicySet()
+
+
+def two_tier(ssd_cap=64) -> TierChain:
+    ssd = Device(DeviceSpec.ssd_from_params(PARAMS))
+    hdd = Device(DeviceSpec.hdd_from_params(PARAMS))
+    return TierChain(
+        [Tier(ssd, PriorityCache(ssd_cap, PSET), name="ssd"), Tier(hdd)],
+        params=PARAMS,
+        policy_set=PSET,
+    )
+
+
+def heated(extent_blocks=4, accesses=8, lbns=(8, 9)) -> HeatTracker:
+    heat = HeatTracker(extent_blocks=extent_blocks)
+    for _ in range(accesses):
+        heat.record(lbns, write=False)
+    return heat
+
+
+class TestMigratorPlan:
+    def config(self, **kw):
+        defaults = dict(
+            extent_blocks=4,
+            promote_threshold=2,
+            budget_blocks=16,
+            epoch_seconds=0.05,
+        )
+        defaults.update(kw)
+        return PlacementConfig(**defaults)
+
+    def test_promotes_the_whole_hot_extent(self):
+        chain = two_tier()
+        heat = heated()  # lbns 8, 9 -> extent 2 of size 4
+        migrator = Migrator(chain, heat, self.config())
+        requests = migrator.plan()
+        assert len(requests) == 1
+        request = requests[0]
+        assert request.rtype is RequestType.MIGRATE
+        assert request.tag == MIGRATE_PROMOTE_TAG
+        assert request.policy == PSET.migration_policy()
+        # Untouched extent siblings (10, 11) ride along: the prefetch.
+        assert list(request.lbas) == [8, 9, 10, 11]
+
+    def test_cold_extents_are_not_promoted(self):
+        chain = two_tier()
+        heat = heated(accesses=1, lbns=(8,))  # one access < threshold 2
+        migrator = Migrator(chain, heat, self.config())
+        assert migrator.plan() == []
+
+    def test_budget_caps_the_batch(self):
+        chain = two_tier()
+        heat = HeatTracker(extent_blocks=4)
+        for _ in range(8):
+            heat.record([0, 4, 8, 12], write=False)  # four hot extents
+        migrator = Migrator(chain, heat, self.config(budget_blocks=6))
+        (request,) = migrator.plan()
+        assert request.nblocks == 6
+
+    def test_excluded_and_resident_blocks_are_skipped(self):
+        chain = two_tier()
+        chain.promote(8)  # already in the fast tier
+        heat = heated()
+        migrator = Migrator(chain, heat, self.config())
+        (request,) = migrator.plan(exclude=frozenset([9]))
+        assert list(request.lbas) == [10, 11]
+
+    def test_demotes_cooled_blocks_only_under_occupancy_pressure(self):
+        chain = two_tier(ssd_cap=4)
+        for lbn in (20, 21, 22):
+            chain.promote(lbn)
+        heat = HeatTracker(extent_blocks=4)
+        config = self.config(demote_occupancy=0.5, demote_threshold=0)
+        migrator = Migrator(chain, heat, config)
+        (request,) = migrator.plan()
+        assert request.tag == MIGRATE_DEMOTE_TAG
+        assert list(request.lbas) == [20, 21, 22]
+        # Below the occupancy threshold: no demotion churn.
+        relaxed = Migrator(chain, heat, self.config(demote_occupancy=0.99))
+        assert relaxed.plan() == []
+
+    def test_plan_is_deterministic(self):
+        def build():
+            chain = two_tier()
+            heat = HeatTracker(extent_blocks=4)
+            for _ in range(8):
+                heat.record([16, 3, 24], write=False)
+            return Migrator(chain, heat, self.config(budget_blocks=8))
+
+        a = [list(r.lbas) for r in build().plan()]
+        b = [list(r.lbas) for r in build().plan()]
+        assert a == b
+
+    def test_requires_a_caching_tier(self):
+        hdd = Device(DeviceSpec.hdd_from_params(PARAMS))
+        direct = TierChain([Tier(hdd)], params=PARAMS, policy_set=PSET)
+        with pytest.raises(ValueError):
+            Migrator(direct, HeatTracker(), self.config())
+
+
+def classified_read(lbn, nblocks=1, priority=2):
+    return IORequest(
+        lba=lbn,
+        nblocks=nblocks,
+        op=IOOp.READ,
+        policy=PSET.random_policy(priority),
+        rtype=RequestType.RANDOM,
+    )
+
+
+class TestPlacementEngine:
+    def system(self, mode, **config_kw):
+        defaults = dict(
+            extent_blocks=4,
+            epoch_seconds=0.01,
+            promote_threshold=1,
+            budget_blocks=16,
+        )
+        defaults.update(config_kw)
+        engine = PlacementEngine(mode, PlacementConfig(**defaults))
+        system = StorageSystem(two_tier(), placement=engine)
+        return system, engine
+
+    def test_semantic_mode_is_provably_idle(self):
+        system, engine = self.system(PlacementMode.SEMANTIC)
+        for i in range(6):
+            # Strides beyond the skip tolerance: real 5.5 ms HDD seeks.
+            system.submit(classified_read(40 + 100 * i))
+        assert system.clock.now > 3 * engine.config.epoch_seconds
+        # Idle means idle: no epochs, no migration — and no per-block
+        # bookkeeping either (the default mode pays nothing).
+        assert engine.heat.tracked_extents == 0
+        assert engine.heat.accesses == 0
+        assert engine.epochs == 0
+        assert engine.blocks_promoted == 0
+        assert system.stats.overall.background.requests == 0
+
+    def test_temperature_mode_runs_epochs_and_promotes(self):
+        system, engine = self.system(PlacementMode.TEMPERATURE)
+        for _ in range(6):
+            system.submit(
+                IORequest(lba=40, nblocks=1, op=IOOp.READ)  # unclassified
+            )
+        assert engine.epochs > 0
+        assert engine.blocks_promoted > 0
+        assert system.backend.tiers[0].cache.contains(40)
+        # Migration traffic: background bucket only, never the total.
+        overall = system.stats.overall
+        assert overall.background.blocks == engine.blocks_promoted
+        assert overall.total.requests == 6
+
+    def test_hybrid_migration_is_deterministic(self):
+        def run():
+            system, engine = self.system(PlacementMode.HYBRID)
+            for i in range(8):
+                system.submit(classified_read(40 + (i % 2)))
+            return (
+                engine.heat.snapshot(),
+                engine.summary(),
+                repr(system.clock.now),
+                repr(system.clock.background),
+            )
+
+        assert run() == run()
+
+    def test_own_migration_traffic_is_not_heat_tracked(self):
+        system, engine = self.system(PlacementMode.TEMPERATURE)
+        for _ in range(6):
+            system.submit(IORequest(lba=40, nblocks=1, op=IOOp.READ))
+        # The promotion read blocks 40..43 off the backing store, but
+        # only the six foreground accesses ever entered the heat map.
+        assert engine.blocks_promoted >= 4
+        assert engine.heat.accesses == 6
+
+    def test_exclusions_reach_the_planner(self):
+        system, engine = self.system(PlacementMode.TEMPERATURE)
+        engine.exclude_provider = lambda: {41, 42, 43}
+        for _ in range(6):
+            system.submit(IORequest(lba=40, nblocks=1, op=IOOp.READ))
+        cache = system.backend.tiers[0].cache
+        assert cache.contains(40)
+        assert not any(cache.contains(lbn) for lbn in (41, 42, 43))
+
+    def test_reset_reanchors_epochs_and_clears_heat(self):
+        system, engine = self.system(PlacementMode.TEMPERATURE)
+        for _ in range(6):
+            system.submit(IORequest(lba=40, nblocks=1, op=IOOp.READ))
+        assert engine.epochs > 0
+        system.clock.reset()
+        engine.reset()
+        assert engine.epochs == 0
+        assert engine.heat.tracked_extents == 0
+        system.submit(IORequest(lba=80, nblocks=1, op=IOOp.READ))
+        # One 5.5 ms read crosses the 10 ms epoch boundary not even once
+        # after the re-anchor... it does (5.5ms < 10ms): no epoch yet.
+        assert engine.epochs == 0
+
+    def test_drained_writebacks_are_not_counted_as_migrations(self):
+        system, engine = self.system(PlacementMode.TEMPERATURE)
+        # Park a foreground writeback on a block of the soon-hot extent:
+        # the MIGRATE batch will overlap it and force an elevator drain
+        # into the same BatchResult the engine inspects.
+        system.submit(
+            IORequest(
+                lba=41, nblocks=1, op=IOOp.WRITE,
+                rtype=RequestType.UPDATE, async_hint=True,
+            )
+        )
+        for _ in range(6):
+            system.submit(IORequest(lba=40, nblocks=1, op=IOOp.READ))
+        assert engine.blocks_promoted > 0
+        summary = engine.summary()
+        # Only MIGRATE completions may feed the counters; the drained
+        # writeback must not surface as a "declined" migration.
+        assert (
+            summary["blocks_promoted"]
+            + summary["blocks_demoted"]
+            + summary["blocks_declined"]
+            == system.stats.overall.background.blocks
+        )
+
+    def test_trim_cools_the_covered_extents(self):
+        system, engine = self.system(PlacementMode.TEMPERATURE)
+        system.submit(IORequest(lba=0, nblocks=4, op=IOOp.READ))
+        assert engine.heat.tracked_extents == 1
+        system.submit(IORequest(lba=0, nblocks=4, op=IOOp.TRIM))
+        # A lifetime end, not an access: the freed extent stops looking
+        # hot, so the planner cannot promote dead LBAs.
+        assert engine.heat.tracked_extents == 0
+
+    def test_new_database_rejects_migrating_placement_without_engine(self):
+        from repro.core.assignment import PolicyAssignmentTable
+        from repro.db.engine import Database
+
+        system = StorageSystem(two_tier())  # no engine attached
+        with pytest.raises(ValueError):
+            Database(system, PolicyAssignmentTable(), placement="temperature")
+
+    def test_run_placement_shift_rejects_config_plus_overrides(self):
+        from repro.harness.configs import StorageConfig
+        from repro.harness.shift import run_placement_shift
+
+        with pytest.raises(ValueError):
+            run_placement_shift(
+                mode="hybrid", config=StorageConfig(kind="hstorage")
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for the fixed-point temperature tracker (DESIGN.md §11)."""
+
+import pytest
+
+from repro.storage.placement import HEAT_ONE, HeatTracker
+
+
+class TestRecording:
+    def test_accesses_accumulate_fixed_point(self):
+        heat = HeatTracker(extent_blocks=4)
+        heat.record([0, 1, 2], write=False)
+        heat.record([1], write=True)
+        assert heat.heat_of(0) == 4 * HEAT_ONE
+        ext = heat.extent(0)
+        assert ext.reads == 3 * HEAT_ONE
+        assert ext.writes == 1 * HEAT_ONE
+
+    def test_forget_drops_covered_extents(self):
+        heat = HeatTracker(extent_blocks=4)
+        heat.record([0, 1, 5], write=False)
+        heat.forget([0, 1, 2, 3])  # TRIM of the first extent
+        assert heat.heat_of(0) == 0
+        assert heat.heat_of(1) == HEAT_ONE  # the neighbour keeps its heat
+        assert heat.tracked_extents == 1
+
+    def test_extent_boundaries(self):
+        heat = HeatTracker(extent_blocks=4)
+        heat.record([3, 4], write=False)
+        assert heat.extent_of(3) == 0
+        assert heat.extent_of(4) == 1
+        assert heat.heat_of(0) == HEAT_ONE
+        assert heat.heat_of(1) == HEAT_ONE
+        assert heat.heat_of_lbn(4) == HEAT_ONE
+
+    def test_unknown_extent_is_cold(self):
+        assert HeatTracker().heat_of(99) == 0
+
+
+class TestDecay:
+    def test_decay_uses_floor_division(self):
+        heat = HeatTracker(extent_blocks=4, decay_num=1, decay_den=2)
+        heat.record([0, 1, 2], write=False)  # 3 * 256 = 768
+        heat.advance_epoch()
+        assert heat.extent(0).reads == 384
+        heat.advance_epoch()
+        assert heat.extent(0).reads == 192
+        # Floor division: 192 -> 96 -> 48 -> ... exactly, never a float.
+        for expected in (96, 48, 24, 12, 6, 3, 1, 0):
+            heat.advance_epoch()
+            assert heat.extent(0) is None or heat.extent(0).reads == expected
+
+    def test_fully_cooled_extents_are_forgotten(self):
+        heat = HeatTracker(extent_blocks=4)
+        heat.record([0], write=False)
+        assert heat.tracked_extents == 1
+        for _ in range(10):
+            heat.advance_epoch()
+        assert heat.tracked_extents == 0
+        assert heat.heat_of(0) == 0
+
+    def test_epoch_counter(self):
+        heat = HeatTracker()
+        heat.advance_epoch()
+        heat.advance_epoch()
+        assert heat.epoch == 2
+
+
+class TestOrderingAndSnapshots:
+    def test_hottest_orders_by_heat_then_extent_id(self):
+        heat = HeatTracker(extent_blocks=1)
+        heat.record([5], write=False)
+        heat.record([2, 2], write=False)
+        heat.record([9], write=False)
+        assert heat.hottest() == [
+            (2, 2 * HEAT_ONE),
+            (5, HEAT_ONE),
+            (9, HEAT_ONE),
+        ]
+
+    def test_snapshot_is_sorted_and_integral(self):
+        heat = HeatTracker(extent_blocks=2)
+        heat.record([4, 0], write=False)
+        heat.record([4], write=True)
+        snap = heat.snapshot()
+        assert list(snap) == [0, 2]
+        assert snap[2] == (HEAT_ONE, HEAT_ONE)
+        assert all(
+            isinstance(v, int) for pair in snap.values() for v in pair
+        )
+
+    def test_reset(self):
+        heat = HeatTracker()
+        heat.record([0], write=False)
+        heat.advance_epoch()
+        heat.reset()
+        assert heat.tracked_extents == 0
+        assert heat.epoch == 0
+        assert heat.accesses == 0
+
+
+class TestValidation:
+    def test_rejects_bad_extent_size(self):
+        with pytest.raises(ValueError):
+            HeatTracker(extent_blocks=0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            HeatTracker(decay_num=2, decay_den=2)
+        with pytest.raises(ValueError):
+            HeatTracker(decay_num=-1, decay_den=2)

@@ -85,6 +85,37 @@ class TestStatsCollector:
         )
         assert stats.overall.type_counts(RequestType.UPDATE).requests == 1
 
+    def test_unlabelled_background_writes_fall_back_conservatively(self):
+        # An async write of unknown provenance must not masquerade as
+        # foreground update-stream traffic: it lands in the background
+        # MIGRATE class, outside the totals.
+        stats = StatsCollector()
+        stats.record(
+            IORequest(
+                lba=0, nblocks=2, op=IOOp.WRITE, query_id=None,
+                async_hint=True,
+            ),
+            outcomes(0, 2),
+        )
+        assert stats.overall.type_counts(RequestType.UPDATE).requests == 0
+        assert stats.overall.background.requests == 1
+        assert stats.overall.background.blocks == 2
+        assert stats.overall.total.requests == 0
+
+    def test_migrate_traffic_excluded_from_foreground_shares(self):
+        stats = StatsCollector()
+        stats.record(request(RequestType.RANDOM, priority=2, n=2), outcomes(2, 0))
+        stats.record(
+            request(RequestType.MIGRATE, n=8, op=IOOp.READ), outcomes(0, 8)
+        )
+        qstats = stats.query(1)
+        # Foreground shares are computed over foreground totals only.
+        assert qstats.request_share(RequestType.RANDOM) == pytest.approx(1.0)
+        assert qstats.block_share(RequestType.RANDOM) == pytest.approx(1.0)
+        assert qstats.total.blocks == 2
+        assert qstats.background.blocks == 8
+        assert qstats.migration_counts.blocks == 8
+
     def test_reset(self):
         stats = StatsCollector()
         stats.record(request(RequestType.RANDOM, priority=3), outcomes(1, 0))

@@ -1,0 +1,233 @@
+"""Direct tests for TierChain.promote/demote and MIGRATE routing.
+
+These are the explicit placement APIs of the adaptive-placement
+subsystem (DESIGN.md §11).  The cascade semantics existed implicitly in
+the destage path; here they are pinned down directly: a dirty block must
+land durably, clean demotion honours ``demote_clean``, and promotion is
+a no-op when every faster tier refuses admission.
+"""
+
+import pytest
+
+from repro.sim.params import SimulationParameters
+from repro.storage.cache_base import CacheAction
+from repro.storage.device import Device, DeviceSpec
+from repro.storage.priority_cache import PriorityCache
+from repro.storage.qos import PolicySet
+from repro.storage.requests import (
+    MIGRATE_DEMOTE_TAG,
+    MIGRATE_PROMOTE_TAG,
+    IOOp,
+    IORequest,
+    RequestType,
+)
+from repro.storage.system import StorageSystem
+from repro.storage.tiers import Tier, TierChain
+
+PARAMS = SimulationParameters()
+PSET = PolicySet()
+
+
+def two_tier(ssd_cap=16) -> TierChain:
+    ssd = Device(DeviceSpec.ssd_from_params(PARAMS))
+    hdd = Device(DeviceSpec.hdd_from_params(PARAMS))
+    return TierChain(
+        [Tier(ssd, PriorityCache(ssd_cap, PSET), name="ssd"), Tier(hdd)],
+        params=PARAMS,
+        policy_set=PSET,
+    )
+
+
+def three_tier(nvme_cap=8, ssd_cap=16) -> TierChain:
+    nvme = Device(DeviceSpec.nvme_from_params(PARAMS))
+    ssd = Device(DeviceSpec.ssd_from_params(PARAMS))
+    hdd = Device(DeviceSpec.hdd_from_params(PARAMS))
+    return TierChain(
+        [
+            Tier(
+                nvme,
+                PriorityCache(nvme_cap, PSET),
+                admit_level=0,
+                demote_clean=True,
+                name="nvme",
+            ),
+            Tier(ssd, PriorityCache(ssd_cap, PSET), admit_level=1, name="ssd"),
+            Tier(hdd),
+        ],
+        params=PARAMS,
+        policy_set=PSET,
+    )
+
+
+def read(chain, lbn, priority, write=False):
+    """Place a block through the normal classified access path."""
+    policy = (
+        PSET.temp_policy()
+        if priority == PSET.temp_priority
+        else PSET.random_policy(priority)
+    )
+    chain.submit(
+        IORequest(
+            lba=lbn,
+            nblocks=1,
+            op=IOOp.WRITE if write else IOOp.READ,
+            policy=policy,
+        )
+    )
+
+
+class TestPromote:
+    def test_promote_from_backing_into_cache(self):
+        chain = two_tier()
+        cost, moved = chain.promote(5)
+        assert moved
+        assert chain.tier_of(5).name == "ssd"
+        # Read the source (cold HDD head -> random), fill the target.
+        assert cost == pytest.approx(
+            PARAMS.hdd_rand_read_s + PARAMS.ssd_rand_write_s
+        )
+
+    def test_promote_does_not_move_any_device_head(self):
+        # Background migration must not perturb foreground sequential
+        # pricing: neither the source read nor the target fill may move
+        # a device's head-position state.
+        chain = two_tier()
+        hdd, ssd = chain.backing.device, chain.tiers[0].device
+        hdd.access(0, 4)  # a foreground stream parked the head at LBA 4
+        chain.promote(500)
+        assert hdd.access(4) == pytest.approx(PARAMS.hdd_seq_read_s)
+        assert ssd._next_lba is None  # never foreground-accessed
+
+    def test_promote_noop_when_already_resident(self):
+        chain = two_tier()
+        chain.promote(5)
+        cost, moved = chain.promote(5)
+        assert (cost, moved) == (0.0, False)
+
+    def test_promote_noop_when_target_refuses_admission(self):
+        chain = two_tier(ssd_cap=2)
+        cache = chain.tiers[0].cache
+        # Fill the cache with temp-priority blocks: selective allocation
+        # refuses to displace a hotter group for a demoted-band insert.
+        read(chain, 100, PSET.temp_priority)
+        read(chain, 101, PSET.temp_priority)
+        assert cache.occupancy == 2
+        cost, moved = chain.promote(7)
+        assert (cost, moved) == (0.0, False)
+        assert not cache.contains(7)
+        assert cache.contains(100) and cache.contains(101)
+
+    def test_promote_cascades_to_the_next_admitting_tier(self):
+        chain = three_tier(nvme_cap=2)
+        read(chain, 100, PSET.temp_priority)  # band 0 -> NVMe
+        read(chain, 101, PSET.temp_priority)
+        cost, moved = chain.promote(7)
+        assert moved
+        # NVMe is full of hotter blocks; the promotion cascades into SSD.
+        assert chain.tier_of(7).name == "ssd"
+        assert cost > 0.0
+
+    def test_promote_carries_the_dirty_flag_and_discards_the_source(self):
+        chain = three_tier()
+        read(chain, 9, 3, write=True)  # band 1 -> dirty in the SSD tier
+        ssd_cache = chain.tiers[1].cache
+        assert ssd_cache.dirty_of(9) is True
+        _, moved = chain.promote(9)
+        assert moved
+        assert chain.tier_of(9).name == "nvme"
+        assert chain.tiers[0].cache.dirty_of(9) is True
+        assert not ssd_cache.contains(9)
+
+
+class TestDemote:
+    def test_dirty_demotion_lands_durably_on_the_backing_store(self):
+        chain = two_tier()
+        read(chain, 3, 2, write=True)  # dirty write allocation in SSD
+        hdd = chain.backing.device
+        written_before = hdd.blocks_written
+        cost, moved = chain.demote(3)
+        assert moved
+        assert not chain.tiers[0].cache.contains(3)
+        assert hdd.blocks_written == written_before + 1
+        assert cost == pytest.approx(PARAMS.hdd_rand_write_s)
+
+    def test_clean_demotion_dropped_without_demote_clean(self):
+        chain = two_tier()
+        read(chain, 3, 2)  # clean read allocation
+        cost, moved = chain.demote(3)
+        assert moved
+        assert not chain.tiers[0].cache.contains(3)
+        assert cost == 0.0  # the backing store already holds the block
+
+    def test_clean_demotion_waterfalls_with_demote_clean(self):
+        chain = three_tier()
+        read(chain, 3, PSET.temp_priority)  # band 0 -> clean in NVMe
+        assert chain.tier_of(3).name == "nvme"
+        cost, moved = chain.demote(3)
+        assert moved
+        assert chain.tier_of(3).name == "ssd"
+        assert cost == pytest.approx(PARAMS.ssd_rand_write_s)
+
+    def test_dirty_demotion_cascades_into_the_next_cache(self):
+        chain = three_tier()
+        read(chain, 3, PSET.temp_priority, write=True)  # dirty in NVMe
+        _, moved = chain.demote(3)
+        assert moved
+        assert chain.tier_of(3).name == "ssd"
+        assert chain.tiers[1].cache.dirty_of(3) is True
+
+    def test_demote_from_backing_is_a_noop(self):
+        chain = two_tier()
+        assert chain.demote(42) == (0.0, False)
+
+
+class TestMigrateRequests:
+    def promote_request(self, runs):
+        return IORequest.vectored(
+            runs,
+            IOOp.READ,
+            policy=PSET.migration_policy(),
+            rtype=RequestType.MIGRATE,
+            tag=MIGRATE_PROMOTE_TAG,
+        )
+
+    def test_migrate_promote_batch_is_background_only(self):
+        chain = two_tier()
+        sync, background, outcomes = chain.submit(self.promote_request([(0, 4)]))
+        assert sync == 0.0
+        assert background > 0.0
+        assert all(o.has(CacheAction.PROMOTE) for o in outcomes)
+        assert all(chain.tiers[0].cache.contains(lbn) for lbn in range(4))
+
+    def test_migrate_demote_batch(self):
+        chain = two_tier()
+        chain.submit(self.promote_request([(0, 2)]))
+        request = IORequest.vectored(
+            [(0, 2)],
+            IOOp.WRITE,
+            policy=PSET.migration_policy(),
+            rtype=RequestType.MIGRATE,
+            tag=MIGRATE_DEMOTE_TAG,
+        )
+        sync, _, outcomes = chain.submit(request)
+        assert sync == 0.0
+        assert all(o.has(CacheAction.DEMOTE) for o in outcomes)
+        assert chain.tiers[0].cache.occupancy == 0
+
+    def test_declined_promotion_reports_bypass(self):
+        chain = two_tier(ssd_cap=1)
+        read(chain, 100, PSET.temp_priority)
+        _, _, outcomes = chain.submit(self.promote_request([(7, 1)]))
+        assert outcomes[0].has(CacheAction.BYPASS)
+
+    def test_migrate_traffic_lands_in_the_background_bucket(self):
+        chain = two_tier()
+        system = StorageSystem(chain)
+        system.submit(self.promote_request([(0, 4), (10, 2)]))
+        overall = system.stats.overall
+        assert overall.background.requests == 2  # one per contiguous run
+        assert overall.background.blocks == 6
+        assert overall.total.requests == 0  # never foreground
+        assert overall.migration_counts.blocks == 6
+        assert system.clock.now == 0.0  # off the critical path
+        assert system.clock.background > 0.0
