@@ -13,26 +13,26 @@ separately.  The two results the subsystem exists to reproduce:
   beats pure semantic — extent-granular migration prefetches the newly
   hot region, which per-block admission cannot anticipate.
 
-Results go to results/placement_shift.{txt,json}; the JSON is also
-written to the repo root as ``BENCH_PR5.json`` (the PR's trajectory
-artifact).  ``REPRO_BENCH_SCALE`` shrinks the operation count for CI
-smoke runs; the assertions hold at every scale because the simulation
-is deterministic.
+Results go to results/placement_shift.{txt,json} in the shared
+repro-bench/v1 envelope; full-fidelity runs also refresh the repo-root
+``BENCH_PR5.json`` trajectory artifact.  ``REPRO_BENCH_SCALE`` shrinks
+the operation count for CI smoke runs; the assertions hold at every
+scale because the simulation is deterministic.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
-
-from conftest import publish, publish_json
+from conftest import (
+    BENCH_SCALE,
+    envelope,
+    publish,
+    publish_envelope,
+    write_trajectory,
+)
 
 from repro.harness.report import format_table
 from repro.harness.shift import run_placement_shift
 from repro.tpch.datagen import generate
-
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 DATA_SCALE = 0.3
 """TPC-H scale is fixed so the hot-set geometry (regions vs extents vs
@@ -41,7 +41,6 @@ count shrinks for smoke runs."""
 
 N_OPS = max(240, int(600 * BENCH_SCALE))
 MODES = ("semantic", "temperature", "hybrid")
-TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_PR5.json"
 
 
 def _run_all() -> dict:
@@ -98,10 +97,21 @@ def test_placement_shift(benchmark):
             f"({N_OPS} ops, TPC-H scale {DATA_SCALE})",
         ),
     )
-    publish_json("placement_shift", outcome)
-    TRAJECTORY_PATH.write_text(
-        json.dumps(outcome, indent=2, sort_keys=True) + "\n"
+    # The hybrid-beats-semantic margin under drift is this bench's
+    # recorded trajectory gate: the speedup must stay >= 1 (hybrid
+    # strictly faster), checked again by check_trajectory.py.
+    drift_speedup = (
+        shifting["semantic"]["sim_seconds"]
+        / shifting["hybrid"]["sim_seconds"]
     )
+    env = envelope(
+        "placement_shift",
+        pr=5,
+        payload=outcome,
+        gates={"drift_speedup_hybrid": (drift_speedup, 1.0)},
+    )
+    publish_envelope(env)
+    write_trajectory(env)
 
     # (a) The paper's result: on a static workload, semantic placement
     # is at least as fast as pure temperature-driven migration.

@@ -11,19 +11,23 @@ Two measurements of the new subsystem (ISSUE 3):
   cost (simulated seconds, host seconds, redo counts) is reported per
   log length, which should scale roughly linearly.
 
-Results go to results/txn_recovery.{txt,json}; the JSON is also written
-to the repo root as ``BENCH_PR3.json`` (the PR's trajectory artifact).
-``REPRO_BENCH_SCALE`` shrinks the workloads for CI smoke runs.
+Results go to results/txn_recovery.{txt,json} in the shared
+repro-bench/v1 envelope; full-fidelity runs also refresh the repo-root
+``BENCH_PR3.json`` trajectory artifact.  ``REPRO_BENCH_SCALE`` shrinks
+the workloads for CI smoke runs.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
 import time
 
-from conftest import publish, publish_json
+from conftest import (
+    BENCH_SCALE,
+    envelope,
+    publish,
+    publish_envelope,
+    write_trajectory,
+)
 
 from repro.core.semantics import ContentType, SemanticInfo
 from repro.db.tuples import schema
@@ -31,14 +35,11 @@ from repro.db.txn import recover, simulate_crash
 from repro.harness.configs import build_database, hstorage_config
 from repro.harness.report import format_table
 
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-
 COMMIT_TXNS = max(50, int(400 * BENCH_SCALE))
 ROWS_PER_TXN = 4
 RECOVERY_TXN_COUNTS = tuple(
     max(10, int(n * BENCH_SCALE)) for n in (50, 100, 200, 400)
 )
-TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_PR3.json"
 
 
 def _fresh_db(pool_pages: int = 64):
@@ -137,10 +138,20 @@ def test_txn_recovery(benchmark):
             "commits/sim-second)",
         ),
     )
-    publish_json("txn_recovery", outcome)
-    TRAJECTORY_PATH.write_text(
-        json.dumps(outcome, indent=2, sort_keys=True) + "\n"
-    )
+    # Simulated commit throughput is the recorded trajectory gate; the
+    # floor sits far below the measured ~11k commits/sim-second so it
+    # trips on structural regressions (lost log batching), not noise —
+    # the value is simulated, hence deterministic at full fidelity.
+    # Shrunken smoke runs amortize fixed costs over fewer transactions
+    # and must not write the resulting lower rate down as a gate.
+    gates = {}
+    if BENCH_SCALE >= 1.0:
+        gates["sim_commits_per_second"] = (
+            commits["sim_commits_per_second"], 5000.0
+        )
+    env = envelope("txn_recovery", pr=3, payload=outcome, gates=gates)
+    publish_envelope(env)
+    write_trajectory(env)
 
     # Sanity gates: every commit forced the log and all loser-free
     # recoveries redo work proportional to the log.  The strict

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate every repo-root ``BENCH_PR<n>.json`` trajectory artifact.
+
+Each PR that gated its acceptance on a benchmark records the measured
+values and their floors in a repo-root artifact using the repro-bench/v1
+envelope (see benchmarks/conftest.py).  This check, run in CI, keeps the
+whole trajectory honest:
+
+* every artifact must parse and carry the envelope schema
+  (``schema``/``bench``/``pr``/``gates``/``payload``), with the ``pr``
+  field matching its filename;
+* every recorded gate must still satisfy ``value >= floor`` — a PR that
+  regenerates an artifact with a regressed speedup fails here, not in a
+  human review;
+* with ``--results DIR``, the per-bench JSON outputs are also checked
+  (must parse; enveloped ones are schema-validated the same way).
+
+Usage: ``python benchmarks/check_trajectory.py [--root PATH]
+[--results benchmarks/results]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+ENVELOPE_SCHEMA = "repro-bench/v1"
+_NAME = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def check_envelope(path: pathlib.Path, data: dict, errors: list[str]) -> None:
+    """Validate one repro-bench/v1 envelope; append problems to errors."""
+    where = str(path)
+    if data.get("schema") != ENVELOPE_SCHEMA:
+        errors.append(f"{where}: schema is {data.get('schema')!r}, "
+                      f"expected {ENVELOPE_SCHEMA!r}")
+        return
+    for field in ("bench", "pr", "gates", "payload"):
+        if field not in data:
+            errors.append(f"{where}: missing {field!r}")
+            return
+    if not isinstance(data["gates"], dict):
+        errors.append(f"{where}: gates must be an object")
+        return
+    for name, gate in data["gates"].items():
+        if not isinstance(gate, dict) or not {
+            "value", "floor"
+        } <= gate.keys():
+            errors.append(f"{where}: gate {name!r} needs value and floor")
+            continue
+        value, floor = gate["value"], gate["floor"]
+        if not all(isinstance(x, (int, float)) for x in (value, floor)):
+            errors.append(f"{where}: gate {name!r} is not numeric")
+            continue
+        if value < floor:
+            errors.append(
+                f"{where}: gate {name!r} regressed — recorded "
+                f"{value:.3f} below its {floor:.3f} floor"
+            )
+        else:
+            print(f"ok: {path.name} gate {name} = {value:.3f} "
+                  f"(floor {floor:.3f})")
+
+
+def check_trajectory(root: pathlib.Path, errors: list[str]) -> int:
+    artifacts = sorted(root.glob("BENCH_PR*.json"))
+    if not artifacts:
+        errors.append(f"{root}: no BENCH_PR*.json trajectory artifacts")
+        return 0
+    for path in artifacts:
+        match = _NAME.search(path.name)
+        if match is None:
+            errors.append(f"{path}: unrecognized trajectory filename")
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{path}: unreadable ({exc})")
+            continue
+        check_envelope(path, data, errors)
+        if isinstance(data, dict) and data.get("pr") != int(match.group(1)):
+            errors.append(
+                f"{path}: envelope pr={data.get('pr')!r} does not match "
+                "the filename"
+            )
+    return len(artifacts)
+
+
+def check_results(results: pathlib.Path, errors: list[str]) -> int:
+    paths = sorted(results.glob("*.json"))
+    for path in paths:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{path}: unreadable ({exc})")
+            continue
+        if isinstance(data, dict) and "schema" in data:
+            check_envelope(path, data, errors)
+        else:
+            print(f"ok: {path} (legacy payload, parses)")
+    return len(paths)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root holding BENCH_PR*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--results",
+        type=pathlib.Path,
+        default=None,
+        help="also validate the per-bench JSON outputs in this directory",
+    )
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    n_traj = check_trajectory(args.root, errors)
+    n_res = check_results(args.results, errors) if args.results else 0
+    print(f"checked {n_traj} trajectory artifact(s), {n_res} result file(s)")
+    for problem in errors:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

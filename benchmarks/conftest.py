@@ -21,6 +21,52 @@ import pytest
 from repro.harness import ExperimentRunner, RunnerSettings
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+ENVELOPE_SCHEMA = "repro-bench/v1"
+"""Every machine-readable benchmark artifact (``results/*.json`` written
+through :func:`publish_envelope` and the repo-root ``BENCH_PR<n>.json``
+trajectory files) shares one top-level shape::
+
+    {
+      "schema": "repro-bench/v1",
+      "bench":  "<benchmark name>",
+      "pr":     <int>,                      # the PR that gated on it
+      "gates":  {"<name>": {"value": <float>, "floor": <float>}, ...},
+      "payload": {...}                      # bench-specific content
+    }
+
+``gates`` records every speedup/threshold the PR was accepted against;
+``benchmarks/check_trajectory.py`` re-validates each artifact and fails
+if a recorded value regresses below its floor."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--executor",
+        action="store",
+        default=None,
+        choices=("row", "vectorized", "push"),
+        help="restrict executor benchmarks to one mode "
+        "(default: compare all modes)",
+    )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="wrap measured benchmark runs in cProfile and add the "
+        "top-20 cumulative hotspots to the JSON artifact",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_options(request) -> dict:
+    """CLI axes for executor benchmarks (see ``pytest_addoption``)."""
+    return {
+        "executor": request.config.getoption("--executor"),
+        "profile": request.config.getoption("--profile"),
+    }
 
 
 @pytest.fixture(scope="session")
@@ -58,3 +104,39 @@ def publish_json(name: str, payload) -> pathlib.Path:
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def envelope(bench: str, pr: int, payload, gates: dict | None = None) -> dict:
+    """Wrap a bench payload in the :data:`ENVELOPE_SCHEMA` shape.
+
+    ``gates`` maps gate name to ``(value, floor)``.
+    """
+    return {
+        "schema": ENVELOPE_SCHEMA,
+        "bench": bench,
+        "pr": pr,
+        "gates": {
+            name: {"value": value, "floor": floor}
+            for name, (value, floor) in (gates or {}).items()
+        },
+        "payload": payload,
+    }
+
+
+def publish_envelope(env: dict) -> pathlib.Path:
+    """Persist an enveloped result under results/ (named after the bench)."""
+    return publish_json(env["bench"], env)
+
+
+def write_trajectory(env: dict) -> None:
+    """Write ``BENCH_PR<n>.json`` at the repo root — the artifact a PR's
+    acceptance gates were measured against.
+
+    Only full-fidelity runs may overwrite it: shrunken smoke runs
+    (``REPRO_BENCH_SCALE < 1``) would record noise-dominated gate values
+    that the trajectory check then treats as regressions.
+    """
+    if BENCH_SCALE < 1.0:
+        return
+    path = REPO_ROOT / f"BENCH_PR{env['pr']}.json"
+    path.write_text(json.dumps(env, indent=2, sort_keys=True) + "\n")

@@ -114,10 +114,29 @@ class BufferPool:
         fileid = file.fileid
         while pos < end:
             batch_end = min(pos + window, end)
-            self._fault_in_range(file, pos, batch_end, sem)
+            pages = self._fault_in_range(file, pos, batch_end, sem)
+            if pages is not None:
+                # Entirely-missing window: _fault_in_range admitted every
+                # page itself (memo already on the last one); re-probing
+                # the frame table per page would find each freshly-MRU.
+                yield pages
+                pos = batch_end
+                continue
             pages = []
             key = None
-            for pageno in range(pos, batch_end):
+            scan_from = pos
+            first = (fileid, pos)
+            if first == self._memo_key:
+                # Memo serve (same invariant as get_page): at window
+                # start the memo key IS the MRU entry, so skipping
+                # move_to_end leaves the LRU order exactly as it would
+                # have been.  Only the first page qualifies — after any
+                # move_to_end below, the memo'd frame is no longer MRU
+                # and must take the regular move-to-end path.
+                pages.append(self._memo_page)
+                key = first
+                scan_from = pos + 1
+            for pageno in range(scan_from, batch_end):
                 key = (fileid, pageno)
                 frame = frames.get(key)
                 if frame is None:
@@ -136,13 +155,22 @@ class BufferPool:
 
     def _fault_in_range(
         self, file: DbFile, start: int, end: int, sem: SemanticInfo
-    ) -> None:
+    ) -> list | None:
         """Fault in every missing page of ``[start, end)`` with one dispatch.
 
         The window's missing runs become one vectored read (statistics
         still count one request per run), and the evictions the new frames
         force are written back as one batched dispatch per victim file —
         the batched read-ahead of DESIGN.md §6.
+
+        Returns the window's pages when the *whole* window was one
+        missing run that fits the pool (the cold sequential-scan case):
+        every page was just admitted in increasing order, so the caller's
+        per-page frame-table probe + move_to_end pass would be a pure
+        no-op reordering.  Returns None otherwise — including when the
+        window exceeds capacity, where admissions evict one another and
+        the caller's re-probe (with its single-page re-reads) is what
+        keeps the request stream on the established behaviour.
         """
         runs: list[tuple[int, int]] = []
         run_start: int | None = None
@@ -160,12 +188,21 @@ class BufferPool:
         if run_start is not None:
             runs.append((run_start, end - run_start))
         if not runs:
-            return
+            return None
         self.storage_manager.read_pages_batch(file, runs, sem)
-        self._make_room(sum(count for _, count in runs))
+        total = sum(count for _, count in runs)
+        self._make_room(total)
+        if runs[0] == (start, end - start) and total <= self.capacity:
+            pages = []
+            for pageno in range(start, end):
+                page = file.page(pageno)
+                self._admit(Frame(file, pageno, page))
+                pages.append(page)
+            return pages
         for run_begin, count in runs:
             for pageno in range(run_begin, run_begin + count):
                 self._admit(Frame(file, pageno, file.page(pageno)))
+        return None
 
     # --------------------------------------------------------------- writes
 

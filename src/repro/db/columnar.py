@@ -1,0 +1,271 @@
+"""Columnar batches and the declarative column-expression layer.
+
+The push executor (DESIGN.md §12) represents data *inside* a pipeline as
+arrays of columns — plain Python lists of primitives, one per attribute —
+and converts back to row tuples only at pipeline breakers and the result
+boundary.  Two pieces live here:
+
+* **Conversion** between the row-tuple batches every operator exchanges
+  (`rows_to_columns` / `columns_to_rows`, plus tombstone-aware page
+  extraction via :meth:`~repro.db.pages.HeapPage.live_columns`).
+
+* A tiny **declarative expression AST** (:func:`col`, arithmetic via
+  operator overloading, :class:`ColumnPredicate` conjunctions) that
+  describes scan predicates and aggregate value expressions *as data*
+  rather than as opaque row lambdas.  The fused Q1/Q6 kernels
+  (:mod:`repro.db.fused`) compile these to specialized Python source that
+  evaluates predicates column-at-a-time over whole morsels — zero
+  per-row lambda dispatch.  A plan node carries the declarative form
+  *alongside* its row lambda; both must describe the same computation
+  (the three-mode differential tests enforce agreement bit-for-bit).
+
+Expressions compile to source with embedded parameter slots (``_K0`` …)
+so constants are passed by reference into the generated namespace —
+never round-tripped through ``repr``.
+"""
+
+from __future__ import annotations
+
+from repro.db.errors import ExecutionError
+
+# --------------------------------------------------------------- conversion
+
+
+def rows_to_columns(rows: list, width: int) -> list[list]:
+    """Transpose a batch of row tuples into ``width`` column lists.
+
+    Every row must have exactly ``width`` attributes; an empty batch
+    yields ``width`` empty columns.
+    """
+    if not rows:
+        return [[] for _ in range(width)]
+    columns = [list(col) for col in zip(*rows)]
+    if len(columns) != width:
+        raise ExecutionError(
+            f"rows have {len(columns)} attributes, schema has {width}"
+        )
+    return columns
+
+
+def columns_to_rows(columns: list[list]) -> list[tuple]:
+    """Transpose column lists back into a batch of row tuples."""
+    if not columns:
+        return []
+    return list(zip(*columns))
+
+
+# ------------------------------------------------------------- expressions
+
+
+def COLUMN_REF(pos: int) -> str:
+    """Render a column reference against extracted column arrays."""
+    return f"c{pos}[i]"
+
+
+def ROW_REF(pos: int) -> str:
+    """Render a column reference against the current row tuple ``r``."""
+    return f"r[{pos}]"
+
+
+
+class ColExpr:
+    """Arithmetic expression over column values (one morsel row at a time).
+
+    Built with :func:`col` and Python operators; compiled by the fused
+    kernels via :meth:`source`.  Evaluation semantics are exactly those
+    of the equivalent row lambda — same operand order, same float ops.
+    """
+
+    __slots__ = ()
+
+    def source(self, params: list, ref=None) -> str:
+        """Python source for this expression.
+
+        Column references render through ``ref`` (position -> source
+        text), defaulting to the columnar form ``c<pos>[i]``; the fused
+        kernels pass :data:`ROW_REF` where they hold the morsel's row
+        tuple ``r`` instead of extracted columns.  Constants append
+        their value to ``params`` and render as the parameter slot
+        ``_K<n>`` (bound into the kernel namespace, not repr'd).
+        """
+        raise NotImplementedError
+
+    def columns(self) -> set[int]:
+        """Column positions this expression reads."""
+        raise NotImplementedError
+
+    # Arithmetic composes left-associatively, exactly like the row
+    # lambdas the expressions mirror.
+    def __add__(self, other):
+        return _BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other):
+        return _BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other):
+        return _BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other):
+        return _BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other):
+        return _BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other):
+        return _BinOp("*", _wrap(other), self)
+
+
+class _Col(ColExpr):
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: int) -> None:
+        if pos < 0:
+            raise ExecutionError("column position must be >= 0")
+        self.pos = pos
+
+    def source(self, params: list, ref=None) -> str:
+        return (ref or COLUMN_REF)(self.pos)
+
+    def columns(self) -> set[int]:
+        return {self.pos}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"col({self.pos})"
+
+
+class _Const(ColExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def source(self, params: list, ref=None) -> str:
+        params.append(self.value)
+        return f"_K{len(params) - 1}"
+
+    def columns(self) -> set[int]:
+        return set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"const({self.value!r})"
+
+
+class _BinOp(ColExpr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ColExpr, right: ColExpr) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def source(self, params: list, ref=None) -> str:
+        return (
+            f"({self.left.source(params, ref)} {self.op} "
+            f"{self.right.source(params, ref)})"
+        )
+
+    def columns(self) -> set[int]:
+        return self.left.columns() | self.right.columns()
+
+
+def _wrap(value) -> ColExpr:
+    return value if isinstance(value, ColExpr) else _Const(value)
+
+
+def col(pos: int) -> ColExpr:
+    """Reference to the row attribute at ``pos``."""
+    return _Col(pos)
+
+
+# -------------------------------------------------------------- predicates
+
+
+class ColumnPredicate:
+    """Conjunction of per-column comparisons, compiled to one selection pass.
+
+    The fused kernels render the whole conjunction inside a single list
+    comprehension building the morsel's selection vector, so every
+    conjunct is evaluated column-at-a-time with short-circuiting — the
+    same boolean result as the equivalent row lambda.
+    """
+
+    __slots__ = ("conjuncts",)
+
+    def __init__(self, conjuncts: tuple = ()) -> None:
+        self.conjuncts = tuple(conjuncts)
+
+    def __and__(self, other: "ColumnPredicate") -> "ColumnPredicate":
+        return ColumnPredicate(self.conjuncts + other.conjuncts)
+
+    def source(self, params: list, ref=None) -> str:
+        """One boolean expression over the morsel's column arrays."""
+        if not self.conjuncts:
+            return "True"
+        return " and ".join(c.source(params, ref) for c in self.conjuncts)
+
+    def columns(self) -> set[int]:
+        used: set[int] = set()
+        for conjunct in self.conjuncts:
+            used |= conjunct.columns()
+        return used
+
+
+class _Compare:
+    """``expr OP constant`` conjunct."""
+
+    __slots__ = ("expr", "op", "value")
+
+    _OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+    def __init__(self, expr: ColExpr, op: str, value) -> None:
+        if op not in self._OPS:
+            raise ExecutionError(f"unknown comparison {op!r}")
+        self.expr = expr
+        self.op = op
+        self.value = value
+
+    def source(self, params: list, ref=None) -> str:
+        left = self.expr.source(params, ref)
+        params.append(self.value)
+        return f"{left} {self.op} _K{len(params) - 1}"
+
+    def columns(self) -> set[int]:
+        return self.expr.columns()
+
+
+class _Between:
+    """``lo OP expr OP hi`` chained-comparison conjunct."""
+
+    __slots__ = ("expr", "lo", "hi", "lo_incl", "hi_incl")
+
+    def __init__(self, expr, lo, hi, lo_incl: bool, hi_incl: bool) -> None:
+        self.expr = expr
+        self.lo = lo
+        self.hi = hi
+        self.lo_incl = lo_incl
+        self.hi_incl = hi_incl
+
+    def source(self, params: list, ref=None) -> str:
+        mid = self.expr.source(params, ref)
+        params.append(self.lo)
+        lo_slot = f"_K{len(params) - 1}"
+        params.append(self.hi)
+        hi_slot = f"_K{len(params) - 1}"
+        lo_op = "<=" if self.lo_incl else "<"
+        hi_op = "<=" if self.hi_incl else "<"
+        return f"{lo_slot} {lo_op} {mid} {hi_op} {hi_slot}"
+
+    def columns(self) -> set[int]:
+        return self.expr.columns()
+
+
+def cmp(expr: ColExpr, op: str, value) -> ColumnPredicate:
+    """Single comparison predicate: ``expr OP value``."""
+    return ColumnPredicate((_Compare(expr, op, value),))
+
+
+def between(
+    expr: ColExpr, lo, hi, lo_incl: bool = True, hi_incl: bool = True
+) -> ColumnPredicate:
+    """Range predicate rendered as a chained comparison (one conjunct)."""
+    return ColumnPredicate((_Between(expr, lo, hi, lo_incl, hi_incl),))

@@ -1,0 +1,102 @@
+"""Push-based morsel-parallel executor (DESIGN.md §12).
+
+``run_push`` walks the plan tree once and wires each pipeline as a chain
+of *consumers* driven from its morsel source, instead of a chain of
+pull-style generators:
+
+* **Sources** — :meth:`SeqScan.push_batches` emits one batch per
+  buffer-pool read-ahead window (a *morsel*) rather than one per page.
+* **Streaming operators** — nodes exposing :meth:`PlanNode.
+  push_consumer` (Filter, Project) are collapsed into a flat consumer
+  chain; :func:`_drive` pushes every morsel through the whole chain with
+  plain method calls — no generator frame per operator per batch.
+* **Pipeline breakers** — nodes overriding :meth:`PlanNode.
+  push_pipeline` (Sort, TopN, aggregates, Materialize) consume the
+  child's push stream and start the next pipeline; the implementations
+  are shared with the vectorized engine, so spill behaviour is
+  literally the same code.
+* **Fused kernels** — aggregate-over-scan segments carrying declarative
+  expression mirrors compile to specialized column-at-a-time source
+  (:mod:`repro.db.fused`).
+* **Fallbacks** — operators whose request order is inherently
+  row-granular (IndexScan, Limit, NestedLoopIndexJoin) run their whole
+  subtree on the vectorized path via ``execute_batch``, which is
+  bit-identical by construction.
+
+The emitted stream has the vectorized shape — row-tuple batches
+interleaved with scheduling pulses — so the engine consumes all three
+executor modes through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.db import fused
+from repro.db.executor.join import Hash, HashJoin
+from repro.db.executor.scan import SeqScan
+from repro.db.plan import PULSE, ExecutionContext, PlanNode
+
+
+def run_push(plan: PlanNode, ctx: ExecutionContext) -> Iterator:
+    """Execute ``plan`` push-style; yields batches and pulses."""
+    return _stream(plan, ctx)
+
+
+def _stream(node: PlanNode, ctx: ExecutionContext) -> Iterator:
+    kernel = fused.match(node, ctx)
+    if kernel is not None:
+        return kernel
+    if type(node) is SeqScan:
+        return node.push_batches(ctx)
+    if type(node) is Hash:
+        # Standalone Hash (outside a HashJoin) is a pass-through.
+        return _stream(node.children[0], ctx)
+    if type(node) is HashJoin:
+        build = node.hash_node.build_pipeline(
+            ctx, _stream(node.hash_node.children[0], ctx)
+        )
+        return node.push_join(ctx, _stream(node.children[0], ctx), build)
+    consumer = node.push_consumer(ctx)
+    if consumer is not None:
+        consumers = [consumer]
+        source = node.children[0]
+        while True:
+            consumer = source.push_consumer(ctx)
+            if consumer is None:
+                break
+            consumers.append(consumer)
+            source = source.children[0]
+        # Collected top-down; batches flow through bottom-up.
+        consumers.reverse()
+        return _drive(_stream(source, ctx), consumers)
+    if type(node).push_pipeline is not PlanNode.push_pipeline:
+        return node.push_pipeline(ctx, _stream(node.children[0], ctx))
+    # Row-granular or unknown operator: the whole subtree runs
+    # vectorized, which is bit-identical by construction.
+    return node.execute_batch(ctx)
+
+
+def _drive(source: Iterator, consumers: list) -> Iterator:
+    """Push every source morsel through a flat consumer chain.
+
+    A consumer may split, shrink or drop its input (a filter emitting
+    nothing ends that morsel's journey early), so each stage maps a list
+    of batches to a list of batches.  Pulses pass straight through —
+    streaming consumers add none, exactly like their pull-mode
+    ``execute_batch`` twins.
+    """
+    for item in source:
+        if item is PULSE:
+            yield PULSE
+            continue
+        batches = [item]
+        for consumer in consumers:
+            produced: list = []
+            for batch in batches:
+                consumer.consume(batch, produced)
+            if not produced:
+                batches = []
+                break
+            batches = produced
+        yield from batches

@@ -78,6 +78,11 @@ class StorageConfig:
     vectorized: bool = True
     """Batch-at-a-time execution (the default); ``False`` selects the
     row-at-a-time reference path — simulated results are identical."""
+    executor: str | None = None
+    """Executor mode: ``"row"``, ``"vectorized"`` or ``"push"`` (the
+    morsel-driven push engine, DESIGN.md §12).  ``None`` derives the mode
+    from ``vectorized``; all three produce bit-identical simulated
+    results."""
     hot_tier_blocks: int = 0
     """NVMe (HOT) tier capacity for the ``tier3`` kind; 0 sizes it to a
     quarter of ``cache_blocks``."""
@@ -188,6 +193,7 @@ def build_database(config: StorageConfig) -> Database:
         btree_order=config.btree_order,
         use_trim=config.use_trim,
         vectorized=config.vectorized,
+        executor=config.executor,
         placement=config.placement,
     )
 

@@ -183,6 +183,45 @@ class TestLimitDifferential:
         assert vec_snap == row_snap
 
 
+class TestPushDifferential:
+    """All 22 TPC-H queries: push executor vs vectorized, bit for bit.
+
+    One database per executor mode runs the whole query set in sequence,
+    so the comparison also covers cumulative state — the simulated clock,
+    pool counters and temp-file counts carry across queries (DESIGN.md
+    §12's three-mode invariance rule).
+    """
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        data = generate(scale=0.05, seed=11)
+        out = {}
+        for executor in ("vectorized", "push"):
+            db = make_database(
+                cache_blocks=512,
+                bufferpool_pages=48,
+                work_mem_rows=400,
+                btree_order=64,
+                executor=executor,
+            )
+            load_tpch(db, data=data)
+            db.reset_measurements()
+            trace = _trace_requests(db)
+            per_query = {}
+            for qid in range(1, 23):
+                start = len(trace)
+                result = db.run_query(query_builder(qid), label=f"Q{qid}")
+                snap = _snapshot(db, result)
+                snap["request_trace"] = tuple(trace[start:])
+                per_query[qid] = snap
+            out[executor] = per_query
+        return out
+
+    @pytest.mark.parametrize("qid", range(1, 23))
+    def test_query_identical_simulation(self, runs, qid):
+        assert runs["push"][qid] == runs["vectorized"][qid]
+
+
 class TestVectorizedDefault:
     def test_engine_vectorized_by_default(self):
         assert make_database().vectorized is True
