@@ -7,6 +7,7 @@ Usage::
     python -m repro experiment fig6 --scale 0.5
     python -m repro sequence --config hstorage --scale 0.3
     python -m repro placement --mode hybrid --shifting --json
+    python -m repro chaos --seed 3 --profile corrupt --json
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import sys
 
 from repro.core.levels import compute_effective_levels
 from repro.harness import ExperimentRunner, RunnerSettings
+from repro.harness.chaos import CHAOS_PROFILES
 from repro.harness.configs import EXTENDED_CONFIG_NAMES
 from repro.storage.placement import PLACEMENT_MODES
 from repro.storage.requests import RequestType
@@ -73,6 +75,23 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="hot-set operations to run (default 240)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
+
+    c = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection sweep and report the "
+        "fault trace, retry/repair counters and integrity verdict",
+    )
+    c.add_argument("--profile", choices=CHAOS_PROFILES, default="transient")
+    c.add_argument("--config", choices=("hstorage", "lru", "tier3"),
+                   default="hstorage")
+    c.add_argument("--queries", type=int, nargs="*", metavar="Q",
+                   help="TPC-H queries to sweep (default: all 22, "
+                   "power-test order)")
+    c.add_argument("--oltp", action="store_true",
+                   help="force the interleaved OLTP mix into the sweep "
+                   "(default: only under the transient profile)")
+    c.add_argument("--json", action="store_true",
+                   help="emit the full machine-readable report")
     return parser
 
 
@@ -179,6 +198,53 @@ def _cmd_placement(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.harness.chaos import run_chaos
+
+    report = run_chaos(
+        profile=args.profile,
+        seed=args.seed,
+        scale=args.scale,
+        kind=args.config,
+        queries=args.queries or None,
+        oltp=True if args.oltp else None,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.verdict else 1
+
+    d = report.as_dict()
+    print(f"chaos sweep: profile={report.profile} seed={report.seed} "
+          f"config={report.kind} scale={report.scale}")
+    print(f"  queries: {report.matched} golden-identical, "
+          f"{report.loud_errors} loud errors, "
+          f"{report.silent_mismatches} silent mismatches")
+    if report.oltp is not None:
+        print(f"  oltp mix: match={report.oltp['match']} "
+              f"commits={report.oltp['commits']}")
+    active = {k: v for k, v in d["fault_counters"].items() if v}
+    print(f"  faults injected: {report.fault_events} events {active}")
+    rec = d["recovery"]
+    print(f"  recovery: {rec['retries']} retries "
+          f"({rec['retry_backoff_seconds']:.4f}s backoff), "
+          f"{rec['corruptions_detected']} corruptions detected, "
+          f"{rec['corruptions_repaired']} repaired, "
+          f"{rec['unrepairable']} unrepairable, "
+          f"{rec['tier_failovers']} tier failovers "
+          f"({rec['blocks_remapped']} blocks remapped)")
+    if report.scrubber is not None:
+        s = report.scrubber
+        print(f"  scrubber: {s['epochs']} epochs, "
+              f"{s['blocks_scrubbed']} blocks audited, "
+              f"{s['repairs']} repairs, {s['detections']} detections")
+    if report.audit is not None:
+        print(f"  integrity audit: clean={report.audit['clean']} "
+              f"loud_or_pending={report.audit['loud_or_pending']}")
+    print(f"  trace fingerprint: {report.trace_fingerprint}")
+    print(f"  verdict: {'PASS' if report.verdict else 'FAIL'}")
+    return 0 if report.verdict else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -187,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "sequence": _cmd_sequence,
         "placement": _cmd_placement,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

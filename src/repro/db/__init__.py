@@ -3,24 +3,38 @@
 Catalog, heap files, B+tree indexes, a buffer pool that forwards semantic
 information, a storage manager with the policy assignment table, a
 temp-file manager with TRIM-on-delete, and an iterator-model executor.
+
+The error hierarchy (:mod:`repro.db.errors`) is imported eagerly — it is
+dependency-free and shared with the storage layer below.  Everything else
+resolves lazily (PEP 562): the storage layer raises
+:class:`~repro.db.errors.StorageError` subclasses, so it imports this
+package, and an eager ``repro.db`` → ``engine`` → ``repro.storage``
+import here would close that loop into a cycle.
 """
 
-from repro.db.catalog import Catalog, Index, Relation
-from repro.db.engine import Database, QueryExecution, QueryResult
+from __future__ import annotations
+
+import importlib
+
 from repro.db.errors import (
     CatalogError,
+    CorruptBlockError,
+    DeviceFailedError,
     ExecutionError,
     ReproError,
+    StorageConfigError,
+    StorageError,
     StorageLayoutError,
+    TransientIOError,
 )
-from repro.db.plan import ExecutionContext, PlanNode
-from repro.db.tuples import Column, Schema, date_to_days, days_to_date, schema
 
 __all__ = [
     "Catalog",
     "CatalogError",
     "Column",
+    "CorruptBlockError",
     "Database",
+    "DeviceFailedError",
     "ExecutionContext",
     "ExecutionError",
     "Index",
@@ -30,8 +44,43 @@ __all__ = [
     "Relation",
     "ReproError",
     "Schema",
+    "StorageConfigError",
+    "StorageError",
     "StorageLayoutError",
+    "TransientIOError",
     "date_to_days",
     "days_to_date",
     "schema",
 ]
+
+_LAZY = {
+    "Catalog": "repro.db.catalog",
+    "Index": "repro.db.catalog",
+    "Relation": "repro.db.catalog",
+    "Database": "repro.db.engine",
+    "QueryExecution": "repro.db.engine",
+    "QueryResult": "repro.db.engine",
+    "ExecutionContext": "repro.db.plan",
+    "PlanNode": "repro.db.plan",
+    "Column": "repro.db.tuples",
+    "Schema": "repro.db.tuples",
+    "date_to_days": "repro.db.tuples",
+    "days_to_date": "repro.db.tuples",
+    "schema": "repro.db.tuples",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.errors import StorageError
 from repro.db.pages import DbFile, FileKind
 from repro.db.storage_manager import StorageManager
 
@@ -66,8 +67,28 @@ class BufferPool:
         self._memo_page: object | None = None
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
+        """Storage reads that raised a typed
+        :class:`~repro.db.errors.StorageError` (corrupt block, failed
+        device).  The error always propagates — a failed fetch admits no
+        frame and moves no LRU state, so the pool stays consistent and a
+        later retry of the same page starts clean."""
 
     # --------------------------------------------------------------- reads
+
+    def _fetch(self, file: DbFile, runs: list[tuple[int, int]], sem) -> None:
+        """Charge storage I/O for missing page runs, exception-safely.
+
+        Sits directly on the CRC-verified read boundary (DESIGN.md §13):
+        the storage stack below either delivers verified blocks or
+        raises.  On a raise, nothing has been admitted yet — the caller's
+        frames, memo and LRU order are exactly as before the call.
+        """
+        try:
+            self.storage_manager.read_pages_batch(file, runs, sem)
+        except StorageError:
+            self.read_errors += 1
+            raise
 
     def get_page(self, file: DbFile, pageno: int, sem: SemanticInfo):
         """Fetch one page, charging storage I/O on a miss."""
@@ -83,7 +104,7 @@ class BufferPool:
             self._memo_page = frame.page
             return frame.page
         self.misses += 1
-        self.storage_manager.read_pages(file, pageno, 1, sem)
+        self._fetch(file, [(pageno, 1)], sem)
         page = file.page(pageno)
         self._admit(Frame(file, pageno, page))
         return page
@@ -189,7 +210,7 @@ class BufferPool:
             runs.append((run_start, end - run_start))
         if not runs:
             return None
-        self.storage_manager.read_pages_batch(file, runs, sem)
+        self._fetch(file, runs, sem)
         total = sum(count for _, count in runs)
         self._make_room(total)
         if runs[0] == (start, end - start) and total <= self.capacity:

@@ -1,4 +1,11 @@
-"""Exception hierarchy for the mini-DBMS."""
+"""Exception hierarchy for the mini-DBMS and the storage stack.
+
+This module must stay dependency-free: it is imported by both the DBMS
+layer above and the storage layer below (devices raise
+:class:`TransientIOError`/:class:`DeviceFailedError`, the tier chain
+raises :class:`CorruptBlockError`), so it is the one place the two
+layers may share vocabulary without an import cycle.
+"""
 
 from __future__ import annotations
 
@@ -15,5 +22,82 @@ class ExecutionError(ReproError):
     """Query execution failed (bad plan shape, operator misuse)."""
 
 
-class StorageLayoutError(ReproError):
+class StorageError(ReproError):
+    """Base class for storage-stack failures (DESIGN.md §13).
+
+    Everything the storage hierarchy can signal — bad construction
+    parameters, layout bookkeeping bugs, device faults and integrity
+    violations — derives from this class, so callers can fence off the
+    whole storage stack with one ``except StorageError``.
+    """
+
+
+class StorageLayoutError(StorageError):
     """Inconsistent page/extent bookkeeping."""
+
+
+class StorageConfigError(StorageError, ValueError):
+    """Invalid argument or construction parameter in the storage layer.
+
+    Subclasses :class:`ValueError` so call sites (and tests) written
+    against the historical bare ``ValueError`` raises keep working.
+    """
+
+
+class TransientIOError(StorageError):
+    """A device access failed but may succeed on retry.
+
+    Raised by :class:`~repro.storage.faults.FaultyDevice` *before* any
+    service time is charged; the tier chain's retry policy charges the
+    deterministic backoff to the sim clock instead.
+    """
+
+    def __init__(
+        self, device: str, *, lba: int | None = None, write: bool = False
+    ) -> None:
+        op = "write" if write else "read"
+        where = f" at lba {lba}" if lba is not None else ""
+        super().__init__(f"transient {op} error on {device!r}{where}")
+        self.device = device
+        self.lba = lba
+        self.write = write
+
+
+class CorruptBlockError(StorageError):
+    """A block failed checksum verification and no valid copy remains.
+
+    Surfaces corruption as a typed, loud failure — a verified read can
+    return correct data or raise, never silently wrong results.
+    """
+
+    def __init__(
+        self,
+        reason: str = "checksum verification failed",
+        *,
+        lbn: int | None = None,
+        tier: str | None = None,
+    ) -> None:
+        where = "".join(
+            (
+                f" lbn {lbn}" if lbn is not None else "",
+                f" on {tier!r}" if tier is not None else "",
+            )
+        )
+        super().__init__(f"corrupt block{where}: {reason}")
+        self.lbn = lbn
+        self.tier = tier
+        self.reason = reason
+
+
+class DeviceFailedError(StorageError):
+    """A device is (or just became) permanently unavailable.
+
+    The tier chain responds by failing the owning tier out of the
+    hierarchy and remapping its blocks to the next tier; only the loss
+    of the backing store propagates to the caller.
+    """
+
+    def __init__(self, device: str, *, reason: str = "device failed") -> None:
+        super().__init__(f"{device!r}: {reason}")
+        self.device = device
+        self.reason = reason

@@ -6,6 +6,16 @@ emits bare block I/O.  In hStorage-DB it consults the
 resulting QoS policy (plus the request-type classification used by the
 statistics layer) into each request before submitting it to the storage
 system — Section 2's architecture, faithfully.
+
+This is also the DBMS side of the *integrity boundary* (DESIGN.md §13):
+every block image crossing it is framed with a per-block CRC
+(:mod:`repro.storage.integrity`) and verified on every read by the tier
+chain below.  Reads therefore either return verified data or raise a
+typed :class:`~repro.db.errors.StorageError` — transient faults are
+retried below this boundary with deterministic backoff, corruption is
+repaired from the authoritative copy where one exists, and only
+unrecoverable conditions (data loss, backing-store failure) surface
+here, loudly.
 """
 
 from __future__ import annotations
@@ -56,6 +66,29 @@ class StorageManager:
         engine = self.placement
         if engine is not None:
             engine.exclude_provider = provider
+
+    # ----------------------------------------------------------- resilience
+
+    def recovery_summary(self) -> dict:
+        """The storage stack's fault-recovery counters (DESIGN.md §13).
+
+        Surfaces the tier chain's :class:`~repro.storage.faults.RecoveryStats`
+        (retries, backoff seconds, corruption detections/repairs, tier
+        failovers) plus the scrubber's audit counters when one is
+        attached, so harnesses and operators read the whole resilience
+        story through the DBMS boundary instead of reaching into devices.
+        """
+        summary: dict = {}
+        recovery = getattr(self.storage.backend, "recovery", None)
+        if recovery is not None:
+            summary["recovery"] = recovery.as_dict()
+        scrubber = getattr(self.storage, "scrubber", None)
+        if scrubber is not None:
+            summary["scrubber"] = scrubber.summary()
+        faults = getattr(self.storage, "faults", None)
+        if faults is not None:
+            summary["faults"] = faults.summary()
+        return summary
 
     # ------------------------------------------------------------- file mgmt
 

@@ -1,5 +1,11 @@
 """Benchmark harness: configurations, runner and per-figure experiments."""
 
+from repro.harness.chaos import (
+    CHAOS_PROFILES,
+    ChaosReport,
+    build_fault_plan,
+    run_chaos,
+)
 from repro.harness.configs import (
     CONFIG_LABELS,
     CONFIG_NAMES,
@@ -26,10 +32,14 @@ from repro.harness.shift import (
 )
 
 __all__ = [
+    "CHAOS_PROFILES",
     "CONFIG_LABELS",
     "CONFIG_NAMES",
+    "ChaosReport",
     "EXTENDED_CONFIG_NAMES",
     "ExperimentRunner",
+    "build_fault_plan",
+    "run_chaos",
     "MixedWorkloadResult",
     "PlacementShiftResult",
     "PointUpdateTransactions",

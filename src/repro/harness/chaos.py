@@ -1,0 +1,321 @@
+"""Chaos harness: fault-schedule sweeps with golden-result checking.
+
+The robustness contract of DESIGN.md §13, made executable:
+
+* **recoverable faults leave results bit-identical** — under the
+  ``transient`` profile (retryable I/O errors, latency spikes) and the
+  ``failout`` profile (a whole tier degrades and then dies), every TPC-H
+  query must produce exactly the rows the fault-free run produces, and
+  the interleaved OLTP mix must commit the same transactions with the
+  same query results;
+* **corruption is repaired or loudly detected, never silent** — under
+  the ``corrupt`` profile (torn writes, bad writes, scheduled bit rot)
+  a query either returns golden rows (the read path or the scrubber
+  repaired the frame from the authoritative copy) or raises a typed
+  :class:`~repro.db.errors.StorageError`; a *silent* mismatch fails the
+  sweep;
+* **the whole run is deterministic** — same seed, same profile, same
+  scale ⇒ identical fault trace, retry counters and repair counters
+  (:func:`run_chaos` returns the trace fingerprint; running the sweep
+  twice must reproduce it byte for byte).
+
+``python -m repro chaos --profile corrupt --seed 3`` runs one sweep and
+prints the report; CI smoke-runs a small sweep on every push.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.db.errors import StorageError
+from repro.harness.configs import StorageConfig, build_database
+from repro.harness.mixed import run_mixed_oltp_olap
+from repro.storage.faults import FaultKind, FaultPlan, FaultProfile, ScheduledFault
+from repro.storage.scrub import ScrubConfig
+from repro.tpch.datagen import TPCHData, generate
+from repro.tpch.queries import query_builder, query_label
+from repro.tpch.streams import POWER_ORDER
+from repro.tpch.workload import load_tpch
+
+CHAOS_PROFILES = ("transient", "corrupt", "failout")
+
+#: Blocks hit by the ``corrupt`` profile's scheduled bit-rot events.
+_ROT_BLOCKS = 12
+
+
+def _rows_sha(rows) -> str:
+    return hashlib.sha256(repr(rows).encode()).hexdigest()
+
+
+def build_fault_plan(profile: str, seed: int) -> FaultPlan:
+    """The per-access fault rates of a named chaos profile.
+
+    Scheduled events (bit rot for ``corrupt``, degrade+fail for
+    ``failout``) are added by :func:`run_chaos` once the database is
+    loaded, because their targets/timing depend on the loaded stack.
+    """
+    if profile == "transient":
+        rates = FaultProfile(
+            read_error_rate=0.01,
+            write_error_rate=0.01,
+            spike_rate=0.005,
+            spike_factor=6.0,
+        )
+    elif profile == "corrupt":
+        rates = FaultProfile(
+            torn_write_rate=0.02,
+            corrupt_write_rate=0.01,
+        )
+    elif profile == "failout":
+        rates = FaultProfile()  # scheduled degrade + fail only
+    else:
+        raise ValueError(
+            f"unknown chaos profile {profile!r}; choose from {CHAOS_PROFILES}"
+        )
+    return FaultPlan(seed=seed, profiles={"*": rates})
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos sweep observed, ready for JSON."""
+
+    profile: str
+    seed: int
+    scale: float
+    kind: str
+    queries: list[dict] = field(default_factory=list)
+    oltp: dict | None = None
+    matched: int = 0
+    loud_errors: int = 0
+    silent_mismatches: int = 0
+    fault_events: int = 0
+    fault_counters: dict = field(default_factory=dict)
+    recovery: dict = field(default_factory=dict)
+    scrubber: dict | None = None
+    audit: dict | None = None
+    trace_fingerprint: str = ""
+    verdict: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "scale": self.scale,
+            "kind": self.kind,
+            "queries": self.queries,
+            "oltp": self.oltp,
+            "matched": self.matched,
+            "loud_errors": self.loud_errors,
+            "silent_mismatches": self.silent_mismatches,
+            "fault_events": self.fault_events,
+            "fault_counters": self.fault_counters,
+            "recovery": self.recovery,
+            "scrubber": self.scrubber,
+            "audit": self.audit,
+            "trace_fingerprint": self.trace_fingerprint,
+            "verdict": self.verdict,
+        }
+
+
+def _golden_rows(
+    config: StorageConfig, data: TPCHData, queries: list[int]
+) -> dict[int, str]:
+    """Row fingerprints of a fault-free run — the oracle."""
+    db = build_database(config)
+    load_tpch(db, data=data)
+    golden: dict[int, str] = {}
+    for qid in queries:
+        result = db.run_query(query_builder(qid), label=query_label(qid))
+        golden[qid] = _rows_sha(result.rows)
+    return golden
+
+
+def run_chaos(
+    profile: str = "transient",
+    seed: int = 0,
+    scale: float = 0.05,
+    kind: str = "hstorage",
+    queries: list[int] | None = None,
+    oltp: bool | None = None,
+    data: TPCHData | None = None,
+) -> ChaosReport:
+    """One deterministic chaos sweep: fault-free oracle vs faulted run.
+
+    Every query of the sweep runs against a faulted stack built from the
+    ``profile``'s :class:`FaultPlan`; its rows are compared against the
+    fault-free oracle.  A typed :class:`StorageError` is a *loud* miss
+    (acceptable under ``corrupt``); a row mismatch is a *silent* miss
+    (never acceptable).  The OLTP mix rides along under profiles where
+    recovery must be total (``oltp=None`` enables it for ``transient``).
+    """
+    if queries is None:
+        queries = list(POWER_ORDER)
+    if oltp is None:
+        oltp = profile == "transient"
+    if data is None:
+        data = generate(scale, seed=42)
+
+    # A small buffer pool keeps the sweep I/O-bound at CI scales: with
+    # the default pool the whole database (≈70 pages at scale 0.02)
+    # fits in memory after a couple of queries and the storage stack —
+    # where the faults live — would never be exercised again.  Oracle
+    # and chaos legs share the config, so results are compared like for
+    # like.
+    base = StorageConfig(kind=kind, bufferpool_pages=16)
+    golden = _golden_rows(base, data, queries)
+
+    plan = build_fault_plan(profile, seed)
+    faulted = base.with_(
+        fault_plan=plan,
+        # Epochs are sized to the simulated horizon of a small sweep
+        # (tens of milliseconds of device time per query at CI scales).
+        scrub=ScrubConfig(epoch_seconds=0.01, budget_blocks=256),
+    )
+    db = build_database(faulted)
+    load_tpch(db, data=data)
+    chain = db.storage.backend
+    report = ChaosReport(profile=profile, seed=seed, scale=scale, kind=kind)
+
+    if profile in ("corrupt", "failout"):
+        _schedule_events(profile, plan, db, seed)
+
+    for qid in queries:
+        record: dict = {"query": qid}
+        try:
+            result = db.run_query(query_builder(qid), label=query_label(qid))
+        except StorageError as exc:
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            report.loud_errors += 1
+        else:
+            record["match"] = _rows_sha(result.rows) == golden[qid]
+            if record["match"]:
+                report.matched += 1
+            else:
+                report.silent_mismatches += 1
+        report.queries.append(record)
+
+    if oltp:
+        report.oltp = _run_oltp_pair(base, profile, data, seed)
+        if report.oltp["match"] is False:
+            report.silent_mismatches += 1
+
+    scrubber = db.storage.scrubber
+    audit = scrubber.audit_full() if scrubber is not None else None
+    recovery = chain.recovery
+
+    report.fault_events = len(plan.trace)
+    report.fault_counters = dict(plan.counters)
+    report.recovery = recovery.as_dict()
+    report.scrubber = scrubber.summary() if scrubber is not None else None
+    report.audit = audit
+    report.trace_fingerprint = plan.trace_fingerprint()
+
+    all_queries_ok = report.silent_mismatches == 0
+    if profile in ("transient", "failout"):
+        # Recovery is possible for every injected fault: golden identity
+        # is mandatory, loud errors are failures too.
+        all_queries_ok = all_queries_ok and report.loud_errors == 0
+    integrity_ok = audit is None or audit["loud_or_pending"]
+    failover_ok = (
+        profile != "failout" or recovery.tier_failovers >= 1
+    )
+    report.verdict = all_queries_ok and integrity_ok and failover_ok
+    return report
+
+
+def _schedule_events(profile: str, plan: FaultPlan, db, seed: int) -> None:
+    """Add the profile's clock-driven events against the loaded stack.
+
+    Event times are derived from a measured warm-up — simulated horizons
+    scale with the data, so absolute timestamps would either fire never
+    (tiny CI scales) or immediately (full scale).  The warm-up also
+    populates the fast tier, giving the ``corrupt`` profile's bit rot
+    real targets (pure scans bypass the cache under hStorage policies,
+    so Q3/Q14 — index/join work that allocates — are used).
+    """
+    chain = db.storage.backend
+    clock = db.storage.clock
+    start = clock.now
+    if profile == "failout":
+        db.run_query(query_builder(6), label="warmup:Q6")
+        step = clock.now - start
+        fast = chain.tiers[0].name
+        plan.schedule_fault(
+            ScheduledFault(
+                clock.now + 0.5 * step, fast, FaultKind.DEGRADE, factor=4.0
+            )
+        )
+        plan.schedule_fault(
+            ScheduledFault(clock.now + 1.5 * step, fast, FaultKind.FAIL)
+        )
+        return
+    # corrupt: bit rot at rest on blocks resident in the fast tier.  The
+    # victims are sampled with a plain seeded RNG (the device fault
+    # streams are never consumed outside device accesses).
+    for qid in (3, 14):
+        db.run_query(query_builder(qid), label=f"warmup:{query_label(qid)}")
+    resident = sorted(chain.tiers[0].cache.iter_lbns())
+    if not resident:
+        return
+    rng = Random(seed)
+    victims = sorted(
+        rng.sample(resident, min(_ROT_BLOCKS, len(resident)))
+    )
+    half = len(victims) // 2 or 1
+    step = clock.now - start
+    plan.schedule_fault(
+        ScheduledFault(
+            clock.now,
+            chain.tiers[0].name,
+            FaultKind.CORRUPT,
+            lbns=tuple(victims[:half]),
+        )
+    )
+    plan.schedule_fault(
+        ScheduledFault(
+            clock.now + step,
+            chain.tiers[0].name,
+            FaultKind.CORRUPT,
+            lbns=tuple(victims[half:]),
+        )
+    )
+
+
+def _run_oltp_pair(
+    base: StorageConfig, profile: str, data: TPCHData, seed: int
+) -> dict:
+    """The interleaved OLTP/OLAP mix, fault-free vs faulted.
+
+    A *fresh* fault plan drives the faulted leg: each leg of a chaos
+    sweep owns its plan, so per-device RNG streams and trace state never
+    bleed between legs (the determinism witness stays exact).
+    """
+
+    def run(config: StorageConfig):
+        return run_mixed_oltp_olap(
+            config=config,
+            data=data,
+            n_txns=24,
+            updates_per_txn=4,
+            olap_queries=(6,),
+            seed=seed,
+        )
+
+    oltp_plan = build_fault_plan(profile, seed)
+    oracle = run(base)
+    chaotic = run(base.with_(fault_plan=oltp_plan))
+    olap_match = [
+        _rows_sha(a.rows) == _rows_sha(b.rows)
+        for a, b in zip(oracle.olap_results, chaotic.olap_results)
+    ]
+    match = all(olap_match) and oracle.commits == chaotic.commits
+    return {
+        "match": match,
+        "commits": chaotic.commits,
+        "olap_match": olap_match,
+        "deadlocks": chaotic.deadlocks,
+        "fault_events": len(oltp_plan.trace),
+        "trace_fingerprint": oltp_plan.trace_fingerprint(),
+    }

@@ -34,6 +34,7 @@ from repro.db.engine import Database
 from repro.sim.params import SimulationParameters
 from repro.storage.backends import CachedBackend, DirectBackend
 from repro.storage.device import Device, DeviceSpec
+from repro.storage.faults import FaultPlan
 from repro.storage.lru_cache import LRUCache
 from repro.storage.placement import (
     PLACEMENT_MODES,
@@ -44,6 +45,7 @@ from repro.storage.placement import (
 from repro.storage.priority_cache import PriorityCache
 from repro.storage.qos import PolicySet
 from repro.storage.scheduler import IOScheduler
+from repro.storage.scrub import ScrubConfig, Scrubber
 from repro.storage.system import StorageSystem
 from repro.storage.tiers import Tier, TierChain
 
@@ -93,6 +95,14 @@ class StorageConfig:
     rival), or ``hybrid`` (semantic admission plus heat migration)."""
     placement_config: PlacementConfig = field(default_factory=PlacementConfig)
     """Heat-decay / epoch / budget tunables of the migration subsystem."""
+    fault_plan: FaultPlan | None = None
+    """Optional deterministic fault schedule (DESIGN.md §13): every device
+    in the stack is wrapped in a fault-injecting twin driven by this plan.
+    ``None`` (the default) builds plain devices — the fault-free fast
+    path, bit-identical to pre-subsystem behaviour."""
+    scrub: ScrubConfig | None = None
+    """Optional background scrubber clockwork; ``None`` disables the
+    integrity audit service."""
 
     def __post_init__(self) -> None:
         if self.kind not in EXTENDED_CONFIG_NAMES:
@@ -124,6 +134,9 @@ def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmen
     params = config.params
     hdd = Device(DeviceSpec.hdd_from_params(params))
     ssd = Device(DeviceSpec.ssd_from_params(params))
+    if config.fault_plan is not None:
+        hdd = config.fault_plan.wrap(hdd)
+        ssd = config.fault_plan.wrap(ssd)
     assignment = PolicyAssignmentTable(
         policy_set=config.policy_set,
         registry=ConcurrencyRegistry(),
@@ -145,6 +158,8 @@ def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmen
         )
     else:  # tier3: HOT (NVMe) > WARM (SSD) > COLD (HDD)
         nvme = Device(DeviceSpec.nvme_from_params(params))
+        if config.fault_plan is not None:
+            nvme = config.fault_plan.wrap(nvme)
         hot_blocks = config.hot_tier_blocks or max(
             64, config.cache_blocks // 4
         )
@@ -177,7 +192,14 @@ def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmen
         assignment.enabled = False
     engine = PlacementEngine(mode, config.placement_config)
     scheduler = IOScheduler(backend, depth=params.writeback_queue_depth)
-    system = StorageSystem(backend, scheduler=scheduler, placement=engine)
+    scrubber = Scrubber(config.scrub) if config.scrub is not None else None
+    system = StorageSystem(
+        backend,
+        scheduler=scheduler,
+        placement=engine,
+        faults=config.fault_plan,
+        scrubber=scrubber,
+    )
     return system, assignment
 
 

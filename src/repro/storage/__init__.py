@@ -17,6 +17,22 @@ from repro.storage.cache_base import (
     Eviction,
 )
 from repro.storage.device import Device, DeviceSpec
+from repro.storage.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    FaultyDevice,
+    RecoveryStats,
+    RetryPolicy,
+    ScheduledFault,
+)
+from repro.storage.integrity import (
+    FRAME_OVERHEAD,
+    frame_block,
+    unframe_block,
+    verify_block,
+)
 from repro.storage.lru_cache import LRUCache
 from repro.storage.placement import (
     HeatTracker,
@@ -27,8 +43,9 @@ from repro.storage.placement import (
 )
 from repro.storage.priority_cache import PriorityCache
 from repro.storage.qos import PolicySet, QoSPolicy
-from repro.storage.requests import IOOp, IORequest, RequestType
+from repro.storage.requests import SCRUB_TAG, IOOp, IORequest, RequestType
 from repro.storage.scheduler import BatchResult, Completion, IOScheduler
+from repro.storage.scrub import ScrubConfig, Scrubber
 from repro.storage.stats import Counts, QueryStats, StatsCollector
 from repro.storage.system import StorageSystem
 from repro.storage.tiers import Tier, TierChain
@@ -48,6 +65,12 @@ __all__ = [
     "Extent",
     "ExtentAllocator",
     "ExtentMap",
+    "FRAME_OVERHEAD",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultProfile",
+    "FaultyDevice",
     "HeatTracker",
     "IOOp",
     "IORequest",
@@ -61,10 +84,19 @@ __all__ = [
     "PriorityCache",
     "QoSPolicy",
     "QueryStats",
+    "RecoveryStats",
     "RequestType",
+    "RetryPolicy",
+    "SCRUB_TAG",
+    "ScheduledFault",
+    "ScrubConfig",
+    "Scrubber",
     "StatsCollector",
     "StorageBackend",
     "StorageSystem",
     "Tier",
     "TierChain",
+    "frame_block",
+    "unframe_block",
+    "verify_block",
 ]

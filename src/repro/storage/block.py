@@ -9,6 +9,8 @@ DBMS-level sequentiality (a table scan) and device-level sequentiality.
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 from dataclasses import dataclass, field
 
 DEFAULT_EXTENT_PAGES = 512
@@ -23,7 +25,7 @@ class Extent:
 
     def __post_init__(self) -> None:
         if self.start < 0 or self.length <= 0:
-            raise ValueError(f"invalid extent ({self.start}, {self.length})")
+            raise StorageConfigError(f"invalid extent ({self.start}, {self.length})")
 
     @property
     def end(self) -> int:
@@ -38,7 +40,7 @@ class ExtentAllocator:
 
     def __init__(self, extent_pages: int = DEFAULT_EXTENT_PAGES) -> None:
         if extent_pages < 1:
-            raise ValueError("extent_pages must be >= 1")
+            raise StorageConfigError("extent_pages must be >= 1")
         self._extent_pages = extent_pages
         self._next_lba = 0
 
@@ -82,7 +84,7 @@ class ExtentMap:
     def lba_of(self, pageno: int) -> int:
         """LBA of ``pageno``, growing the file if it is one past the end."""
         if pageno < 0:
-            raise ValueError(f"negative page number: {pageno}")
+            raise StorageConfigError(f"negative page number: {pageno}")
         chunk = self._chunk
         while pageno >= len(self.extents) * chunk:
             self.extents.append(self.allocator.allocate(chunk))

@@ -12,6 +12,7 @@ import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro.db.errors import StorageConfigError
 from repro.storage.qos import QoSPolicy
 
 
@@ -30,6 +31,13 @@ class CacheAction(enum.Enum):
     # Background migration between tiers (DESIGN.md §11):
     PROMOTE = "promote"
     DEMOTE = "demote"
+    # Background integrity scrubbing (DESIGN.md §13):
+    SCRUB = "scrub"
+    SCRUB_REPAIR = "scrub-repair"
+    SCRUB_DETECT = "scrub-detect"
+    """Corruption the scrubber found but could not repair (no valid
+    replica); the block stays flagged so any foreground read raises a
+    loud ``CorruptBlockError`` instead of returning bad data."""
 
 
 @dataclass(frozen=True)
@@ -59,7 +67,7 @@ class BlockCache(ABC):
 
     def __init__(self, capacity_blocks: int) -> None:
         if capacity_blocks < 1:
-            raise ValueError("cache capacity must be >= 1 block")
+            raise StorageConfigError("cache capacity must be >= 1 block")
         self.capacity = capacity_blocks
 
     @abstractmethod

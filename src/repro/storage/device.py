@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.db.errors import StorageConfigError
 from repro.sim.params import SimulationParameters
 
 
@@ -35,9 +36,11 @@ class DeviceSpec:
     def __post_init__(self) -> None:
         for f in ("seq_read_s", "seq_write_s", "rand_read_s", "rand_write_s"):
             if getattr(self, f) <= 0:
-                raise ValueError(f"{self.name}: {f} must be positive")
+                raise StorageConfigError(f"{self.name}: {f} must be positive")
         if self.skip_tolerance_blocks < 0:
-            raise ValueError(f"{self.name}: skip tolerance must be >= 0")
+            raise StorageConfigError(
+                f"{self.name}: skip tolerance must be >= 0"
+            )
 
     @classmethod
     def hdd_from_params(cls, params: SimulationParameters) -> "DeviceSpec":
@@ -73,6 +76,19 @@ class DeviceSpec:
 class Device:
     """A device instance with sequentiality tracking and usage counters."""
 
+    corrupt_lbns: "frozenset[int] | set[int]" = frozenset()
+    """Blocks whose on-media frame would fail CRC verification.  Plain
+    devices never corrupt anything (an immutable empty set keeps the
+    per-read integrity check a cheap membership test);
+    :class:`~repro.storage.faults.FaultyDevice` shadows this with a
+    mutable per-instance registry."""
+
+    failed = False
+    """Permanently unavailable (fault injection only)."""
+
+    degrade_factor = 1.0
+    """Service-time multiplier of a degraded device (fault injection)."""
+
     def __init__(self, spec: DeviceSpec) -> None:
         self.spec = spec
         self._next_lba: int | None = None
@@ -92,7 +108,7 @@ class Device:
         is always sequential (it is one contiguous transfer).
         """
         if nblocks < 1:
-            raise ValueError("access needs nblocks >= 1")
+            raise StorageConfigError("access needs nblocks >= 1")
         spec = self.spec
         seq_s = spec.seq_write_s if write else spec.seq_read_s
         rand_s = spec.rand_write_s if write else spec.rand_read_s
@@ -107,6 +123,11 @@ class Device:
         rest = seq_s * (nblocks - 1)
         if write:
             self.blocks_written += nblocks
+            if self.corrupt_lbns:
+                # A completed write lays down fresh, verifiable frames
+                # over every block it covers (corrupt_lbns is only ever
+                # populated on instances, where it is a mutable set).
+                self.corrupt_lbns.difference_update(range(lba, lba + nblocks))
         else:
             self.blocks_read += nblocks
         self._next_lba = lba + nblocks
@@ -122,7 +143,7 @@ class Device:
         assumed to slot them between foreground transfers.
         """
         if nblocks < 1:
-            raise ValueError("background_write needs nblocks >= 1")
+            raise StorageConfigError("background_write needs nblocks >= 1")
         seconds = nblocks * self.spec.rand_write_s
         self.blocks_written += nblocks
         self.busy_seconds += seconds
@@ -138,7 +159,7 @@ class Device:
         path).
         """
         if nblocks < 1:
-            raise ValueError("background_read needs nblocks >= 1")
+            raise StorageConfigError("background_read needs nblocks >= 1")
         seconds = nblocks * self.spec.rand_read_s
         self.blocks_read += nblocks
         self.busy_seconds += seconds

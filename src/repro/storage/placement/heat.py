@@ -21,6 +21,8 @@ derives them from the simulated clock — never from host time.
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 from dataclasses import dataclass
 
 HEAT_ONE = 256
@@ -51,9 +53,9 @@ class HeatTracker:
         decay_den: int = 2,
     ) -> None:
         if extent_blocks < 1:
-            raise ValueError("extent_blocks must be >= 1")
+            raise StorageConfigError("extent_blocks must be >= 1")
         if not 0 <= decay_num < decay_den:
-            raise ValueError("decay must satisfy 0 <= num < den")
+            raise StorageConfigError("decay must satisfy 0 <= num < den")
         self.extent_blocks = extent_blocks
         self.decay_num = decay_num
         self.decay_den = decay_den

@@ -32,6 +32,8 @@ placement of the fresh image belongs to the flush itself.
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 from repro.storage.cache_base import CacheAction
 from repro.storage.placement.heat import HEAT_ONE, HeatTracker
 from repro.storage.placement.policy import PlacementConfig, PlacementMode
@@ -53,7 +55,7 @@ class Migrator:
         self, chain: TierChain, heat: HeatTracker, config: PlacementConfig
     ) -> None:
         if not chain.caching_tiers:
-            raise ValueError("migration needs at least one caching tier")
+            raise StorageConfigError("migration needs at least one caching tier")
         self.chain = chain
         self.heat = heat
         self.config = config

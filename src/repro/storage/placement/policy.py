@@ -23,6 +23,8 @@ offering three placement modes:
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 import enum
 from dataclasses import dataclass
 
@@ -84,17 +86,17 @@ class PlacementConfig:
 
     def __post_init__(self) -> None:
         if self.extent_blocks < 1:
-            raise ValueError("extent_blocks must be >= 1")
+            raise StorageConfigError("extent_blocks must be >= 1")
         if self.epoch_seconds <= 0:
-            raise ValueError("epoch_seconds must be positive")
+            raise StorageConfigError("epoch_seconds must be positive")
         if self.budget_blocks < 1:
-            raise ValueError("budget_blocks must be >= 1")
+            raise StorageConfigError("budget_blocks must be >= 1")
         if self.promote_threshold < 1:
-            raise ValueError("promote_threshold must be >= 1")
+            raise StorageConfigError("promote_threshold must be >= 1")
         if self.demote_threshold < 0:
-            raise ValueError("demote_threshold must be >= 0")
+            raise StorageConfigError("demote_threshold must be >= 0")
         if not 0.0 <= self.demote_occupancy <= 1.0:
-            raise ValueError("demote_occupancy must be within [0, 1]")
+            raise StorageConfigError("demote_occupancy must be within [0, 1]")
         num, den = self.decay
         if not 0 <= num < den:
-            raise ValueError("decay must satisfy 0 <= num < den")
+            raise StorageConfigError("decay must satisfy 0 <= num < den")

@@ -20,6 +20,8 @@ Differentiated Storage Services protocol.
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 from dataclasses import dataclass
 
 
@@ -38,11 +40,11 @@ class QoSPolicy:
 
     def __post_init__(self) -> None:
         if self.write_buffer and self.priority is not None:
-            raise ValueError("write-buffer policy must not carry a priority")
+            raise StorageConfigError("write-buffer policy must not carry a priority")
         if not self.write_buffer and self.priority is None:
-            raise ValueError("a QoS policy needs a priority or write_buffer")
+            raise StorageConfigError("a QoS policy needs a priority or write_buffer")
         if self.priority is not None and self.priority < 1:
-            raise ValueError(f"priority must be >= 1, got {self.priority}")
+            raise StorageConfigError(f"priority must be >= 1, got {self.priority}")
 
     @classmethod
     def with_priority(cls, priority: int) -> "QoSPolicy":
@@ -76,18 +78,18 @@ class PolicySet:
     def __post_init__(self) -> None:
         if self.n_priorities < 4:
             # Needs at least: temp(1), one random, N-1 and N.
-            raise ValueError("a policy set needs at least 4 priorities")
+            raise StorageConfigError("a policy set needs at least 4 priorities")
         if self.non_caching_threshold is None:
             object.__setattr__(
                 self, "non_caching_threshold", self.n_priorities - 1
             )
         t = self.non_caching_threshold
         if not 0 <= t <= self.n_priorities:
-            raise ValueError(
+            raise StorageConfigError(
                 f"threshold t={t} out of range [0, {self.n_priorities}]"
             )
         if not 0.0 <= self.write_buffer_fraction <= 1.0:
-            raise ValueError("write_buffer_fraction must be within [0, 1]")
+            raise StorageConfigError("write_buffer_fraction must be within [0, 1]")
 
     # --- named priorities (Table 1 of the paper) ---------------------------
 
@@ -137,7 +139,7 @@ class PolicySet:
     def random_policy(self, priority: int) -> QoSPolicy:
         n1, n2 = self.random_priority_range
         if not n1 <= priority <= n2:
-            raise ValueError(
+            raise StorageConfigError(
                 f"random priority {priority} outside range [{n1}, {n2}]"
             )
         return QoSPolicy.with_priority(priority)

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.db.errors import StorageConfigError
 from repro.storage.qos import QoSPolicy
 
 
@@ -29,6 +30,12 @@ MIGRATE_PROMOTE_TAG = "migrate:promote"
 
 MIGRATE_DEMOTE_TAG = "migrate:demote"
 """``tag`` of a MIGRATE request that pushes blocks one tier down."""
+
+SCRUB_TAG = "migrate:scrub"
+"""``tag`` of a MIGRATE request carrying background integrity audits:
+the scrubber rides the migration QoS path (same priority band, same
+background accounting), so checksum sweeps can never masquerade as
+foreground query I/O (DESIGN.md §13)."""
 
 
 class RequestType(enum.Enum):
@@ -100,21 +107,21 @@ class IORequest:
     def __post_init__(self) -> None:
         if self.segments is not None:
             if not self.segments:
-                raise ValueError("vectored request needs >= 1 segment")
+                raise StorageConfigError("vectored request needs >= 1 segment")
             for seg_lba, seg_nblocks in self.segments:
                 if seg_lba < 0:
-                    raise ValueError(f"negative LBA: {seg_lba}")
+                    raise StorageConfigError(f"negative LBA: {seg_lba}")
                 if seg_nblocks < 1:
-                    raise ValueError(
+                    raise StorageConfigError(
                         f"segment must cover >= 1 block: {seg_nblocks}"
                     )
             self.lba = self.segments[0][0]
             self.nblocks = sum(n for _, n in self.segments)
             return
         if self.lba < 0:
-            raise ValueError(f"negative LBA: {self.lba}")
+            raise StorageConfigError(f"negative LBA: {self.lba}")
         if self.nblocks < 1:
-            raise ValueError(f"request must cover >= 1 block: {self.nblocks}")
+            raise StorageConfigError(f"request must cover >= 1 block: {self.nblocks}")
 
     @classmethod
     def vectored(

@@ -23,6 +23,8 @@ returns :class:`Completion` records and lets the
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 from dataclasses import dataclass, field
 
 from repro.storage.cache_base import BlockOutcome
@@ -74,7 +76,7 @@ class IOScheduler:
 
     def __init__(self, backend, depth: int = DEFAULT_WRITEBACK_DEPTH) -> None:
         if depth < 1:
-            raise ValueError("writeback queue depth must be >= 1")
+            raise StorageConfigError("writeback queue depth must be >= 1")
         self.backend = backend
         self.depth = depth
         self._queue: list[IORequest] = []

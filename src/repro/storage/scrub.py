@@ -1,0 +1,213 @@
+"""Background integrity scrubbing (DESIGN.md §13).
+
+The :class:`Scrubber` is the audit side of the fault tolerance story: a
+clock-driven background service that walks the hierarchy tier by tier,
+re-reads block frames, verifies their checksums and repairs bad copies
+from the authoritative one.  It deliberately reuses the migration
+transport — audits travel as ``MIGRATE``-class requests tagged
+``migrate:scrub`` — so the scrubber automatically inherits the same QoS
+treatment as tier migration: lowest priority, background accounting,
+zero impact on foreground head-position state, and visibility in the
+:class:`~repro.storage.stats.StatsCollector` background bucket.
+
+Clockwork mirrors :class:`~repro.storage.placement.PlacementEngine`:
+``after_batch`` fires an epoch whenever the simulated clock passes the
+next deadline, and a reentrancy guard keeps the scrubber's own traffic
+from triggering further epochs.
+
+Each epoch audits a bounded budget of blocks, chosen deterministically:
+every block currently *flagged* corrupt is audited first (fault
+injection tells the registry, exactly as a real scrubber learns from
+media errors and SMART hints), then the cursor continues its rotation
+over the resident cache population so cold corruption is eventually
+found even without a hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import StorageConfigError
+from repro.storage.cache_base import CacheAction
+from repro.storage.requests import SCRUB_TAG, IOOp, IORequest, RequestType
+from repro.storage.scheduler import coalesce_segments
+from repro.storage.tiers import TierChain
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Scrubber clockwork knobs."""
+
+    epoch_seconds: float = 2.0
+    """Simulated seconds between audit epochs."""
+
+    budget_blocks: int = 128
+    """Maximum blocks audited per epoch (bounds background load)."""
+
+    def __post_init__(self) -> None:
+        if self.epoch_seconds <= 0:
+            raise StorageConfigError(
+                f"epoch_seconds must be positive: {self.epoch_seconds!r}"
+            )
+        if self.budget_blocks < 1:
+            raise StorageConfigError(
+                f"budget_blocks must be >= 1: {self.budget_blocks!r}"
+            )
+
+
+class Scrubber:
+    """Clock-driven checksum audit over a :class:`TierChain`."""
+
+    def __init__(self, config: ScrubConfig | None = None) -> None:
+        self.config = config if config is not None else ScrubConfig()
+        self.system = None
+        self.chain: TierChain | None = None
+        self._active = False
+        self._next_epoch = 0.0
+        self._cursor = 0
+        self.epochs = 0
+        self.blocks_scrubbed = 0
+        self.repairs = 0
+        self.detections = 0
+        self.scrub_seconds = 0.0
+
+    # ------------------------------------------------------------- wiring
+
+    def attach(self, system) -> None:
+        """Bind to a storage system (called by ``StorageSystem``)."""
+        backend = system.backend
+        if not isinstance(backend, TierChain):
+            raise StorageConfigError(
+                "the scrubber audits tier chains; "
+                f"got {type(backend).__name__}"
+            )
+        self.system = system
+        self.chain = backend
+        self._next_epoch = system.clock.now + self.config.epoch_seconds
+
+    # ---------------------------------------------------------- clockwork
+
+    def after_batch(self) -> None:
+        """Run any audit epochs the clock has made due."""
+        if self._active or self.system is None:
+            return
+        clock = self.system.clock
+        epoch_seconds = self.config.epoch_seconds
+        while clock.now >= self._next_epoch:
+            self._run_epoch()
+            self._next_epoch += epoch_seconds
+
+    def _audit_set(self) -> list[int]:
+        """This epoch's worklist: flagged blocks first, then the cursor's
+        rotation over the resident cache population, within budget."""
+        assert self.chain is not None
+        budget = self.config.budget_blocks
+        worklist: list[int] = []
+        seen: set[int] = set()
+        for tier in self.chain.tiers:
+            for lbn in sorted(tier.device.corrupt_lbns):
+                if lbn not in seen:
+                    seen.add(lbn)
+                    worklist.append(lbn)
+                    if len(worklist) >= budget:
+                        return worklist
+        resident = sorted(
+            lbn
+            for tier in self.chain.caching_tiers
+            for lbn in tier.cache.iter_lbns()  # type: ignore[union-attr]
+        )
+        if not resident:
+            return worklist
+        start = self._cursor % len(resident)
+        for i in range(len(resident)):
+            lbn = resident[(start + i) % len(resident)]
+            if lbn in seen:
+                continue
+            seen.add(lbn)
+            worklist.append(lbn)
+            if len(worklist) >= budget:
+                self._cursor = (start + i + 1) % len(resident)
+                return worklist
+        self._cursor = 0  # full rotation completed
+        return worklist
+
+    def _run_epoch(self) -> None:
+        assert self.chain is not None and self.system is not None
+        self.epochs += 1
+        worklist = self._audit_set()
+        if not worklist:
+            return
+        request = IORequest.vectored(
+            coalesce_segments((lbn, 1) for lbn in worklist),
+            IOOp.READ,
+            policy=self.chain.policy_set.migration_policy(),
+            rtype=RequestType.MIGRATE,
+            tag=SCRUB_TAG,
+        )
+        self._active = True
+        try:
+            clock = self.system.clock
+            before = clock.background
+            result = self.system.submit_batch([request])
+            self.scrub_seconds += clock.background - before
+        finally:
+            self._active = False
+        for completion in result.completions:
+            if completion.request.tag != SCRUB_TAG:
+                continue
+            for outcome in completion.outcomes:
+                self.blocks_scrubbed += 1
+                if CacheAction.SCRUB_REPAIR in outcome.actions:
+                    self.repairs += 1
+                elif CacheAction.SCRUB_DETECT in outcome.actions:
+                    self.detections += 1
+
+    # ---------------------------------------------------------- reporting
+
+    def audit_full(self) -> dict:
+        """Audit *every* flagged block right now; returns the verdict.
+
+        The integrity verdict after a chaos run: repairs whatever still
+        has a valid source, then classifies the residue via
+        :meth:`TierChain.audit_residual` — every leftover flag must be
+        loud (reads raise) or pending a dirty writeback; silence is a
+        bug, asserted by the chaos harness.
+        """
+        assert self.chain is not None
+
+        def flags() -> set[tuple[str, int]]:
+            return {
+                (tier.name, lbn)
+                for tier in self.chain.tiers
+                for lbn in tier.device.corrupt_lbns
+            }
+
+        while True:
+            before = flags()
+            if not before:
+                break
+            self._run_epoch()
+            if flags() == before:
+                break  # nothing left that scrubbing can change
+        residual = self.chain.audit_residual()
+        silent = [
+            entry
+            for entries in residual.values()
+            for entry in entries
+            if entry["state"] == "shadowed"
+        ]
+        return {
+            "residual": residual,
+            "silent": silent,
+            "clean": not residual,
+            "loud_or_pending": not silent,
+        }
+
+    def summary(self) -> dict:
+        return {
+            "epochs": self.epochs,
+            "blocks_scrubbed": self.blocks_scrubbed,
+            "repairs": self.repairs,
+            "detections": self.detections,
+            "scrub_seconds": self.scrub_seconds,
+        }

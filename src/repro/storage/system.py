@@ -10,6 +10,8 @@ records into clock time and statistics (DESIGN.md §4).
 
 from __future__ import annotations
 
+from repro.db.errors import StorageConfigError
+
 from repro.sim.clock import SimClock
 from repro.storage.backends import StorageBackend
 from repro.storage.cache_base import BlockOutcome
@@ -32,6 +34,8 @@ class StorageSystem:
         stats: StatsCollector | None = None,
         scheduler: IOScheduler | None = None,
         placement=None,
+        faults=None,
+        scrubber=None,
     ) -> None:
         self.backend = backend
         self.clock = clock if clock is not None else SimClock()
@@ -40,8 +44,17 @@ class StorageSystem:
         """Optional :class:`~repro.storage.placement.PlacementEngine`:
         observes every batch for temperature tracking and runs background
         migration epochs (idle in ``semantic`` mode, DESIGN.md §11)."""
+        self.faults = faults
+        """Optional :class:`~repro.storage.faults.FaultPlan`: its scheduled
+        events are fired against the simulated clock at every batch
+        submission (DESIGN.md §13)."""
+        self.scrubber = scrubber
+        """Optional :class:`~repro.storage.scrub.Scrubber`: runs checksum
+        audit epochs off the critical path, after placement."""
         if placement is not None:
             placement.attach(self)
+        if scrubber is not None:
+            scrubber.attach(self)
         if scheduler is None:
             # Tier chains carry the simulation parameters; honour their
             # queue-depth knob instead of the module default.
@@ -54,7 +67,7 @@ class StorageSystem:
             scheduler = IOScheduler(backend, depth=depth)
         self.scheduler = scheduler
         if self.scheduler.backend is not backend:
-            raise ValueError("scheduler must dispatch onto the same backend")
+            raise StorageConfigError("scheduler must dispatch onto the same backend")
 
     def submit(self, request: IORequest) -> list[BlockOutcome]:
         """Serve one request; returns its per-block outcomes.
@@ -67,6 +80,10 @@ class StorageSystem:
 
     def submit_batch(self, requests: list[IORequest]) -> BatchResult:
         """Serve a batch of requests through one scheduler pass."""
+        if self.faults is not None:
+            # Scheduled device events (rot, degradation, failure) fire
+            # strictly off the simulated clock — never wall time.
+            self.faults.advance_to(self.clock.now)
         for request in requests:
             if request.is_write and request.async_hint:
                 # Queued writeback: the request exists now; cache outcomes
@@ -76,6 +93,8 @@ class StorageSystem:
         self._apply(result)
         if self.placement is not None:
             self.placement.after_batch(requests)
+        if self.scrubber is not None:
+            self.scrubber.after_batch()
         return result
 
     def drain(self) -> None:

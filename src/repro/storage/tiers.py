@@ -1,4 +1,4 @@
-"""Composable N-tier storage hierarchies (DESIGN.md §3).
+"""Composable N-tier storage hierarchies (DESIGN.md §3, §13).
 
 The paper's testbed is a two-device special case — an SSD cache over an
 HDD — but the Differentiated Storage Services protocol it builds on is
@@ -24,12 +24,36 @@ A chain of one backing tier reproduces ``DirectBackend`` timings; a
 chain of one caching tier over one backing tier reproduces
 ``CachedBackend`` timings — the paper's four configurations are exact
 special cases (DESIGN.md §5).
+
+Since PR 7 the chain is also the *recovery* layer (DESIGN.md §13):
+
+* every device access runs under a deterministic retry policy —
+  transient errors charge exponential backoff to the caller's clock
+  accumulator, and retry exhaustion escalates to device failure;
+* every read is CRC-verified against the device's corrupt-block
+  registry; a bad cached copy is repaired in place from the
+  authoritative copy below, a bad backing copy with no replica raises
+  :class:`~repro.db.errors.CorruptBlockError` — never silent data;
+* a failed device fails its whole tier out of the chain
+  (:meth:`TierChain._fail_out`): resident blocks are remapped to the
+  next tier through the ordinary demotion cascade (dirty flags travel,
+  so WAL-before-data ordering is preserved), and service continues on
+  the shortened chain;
+* MIGRATE-class requests tagged ``migrate:scrub`` audit checksums
+  tier by tier and repair from the authoritative copy, entirely off the
+  critical path (:meth:`TierChain.scrub_block`).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.db.errors import (
+    CorruptBlockError,
+    DeviceFailedError,
+    StorageConfigError,
+    TransientIOError,
+)
 from repro.sim.params import SimulationParameters
 from repro.storage.cache_base import (
     BlockCache,
@@ -38,9 +62,11 @@ from repro.storage.cache_base import (
     Eviction,
 )
 from repro.storage.device import Device
+from repro.storage.faults import RecoveryStats, RetryPolicy
 from repro.storage.qos import PolicySet, QoSPolicy
 from repro.storage.requests import (
     MIGRATE_PROMOTE_TAG,
+    SCRUB_TAG,
     IOOp,
     IORequest,
     RequestType,
@@ -97,20 +123,25 @@ class TierChain:
         tiers: Sequence[Tier],
         params: SimulationParameters | None = None,
         policy_set: PolicySet | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         tiers = list(tiers)
         if not tiers:
-            raise ValueError("a tier chain needs at least one tier")
+            raise StorageConfigError("a tier chain needs at least one tier")
         if tiers[-1].is_caching:
-            raise ValueError("the last tier is the backing store: no cache")
+            raise StorageConfigError(
+                "the last tier is the backing store: no cache"
+            )
         for tier in tiers[:-1]:
             if not tier.is_caching:
-                raise ValueError(
+                raise StorageConfigError(
                     f"non-terminal tier {tier.name!r} must carry a cache"
                 )
         self.tiers = tiers
         self.params = params if params is not None else SimulationParameters()
         self.policy_set = policy_set if policy_set is not None else PolicySet()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.recovery = RecoveryStats()
 
     # ----------------------------------------------------------- convenience
 
@@ -143,11 +174,94 @@ class TierChain:
         """One-line summary, fastest tier first (e.g. ``nvme > ssd > hdd``)."""
         return " > ".join(t.name for t in self.tiers)
 
+    # ------------------------------------------------- integrity plumbing
+
+    @staticmethod
+    def _clear_corrupt(device: Device, lbn: int) -> None:
+        marks = device.corrupt_lbns
+        if marks and isinstance(marks, set):
+            marks.discard(lbn)
+
+    @staticmethod
+    def _mark_corrupt(device: Device, lbn: int) -> None:
+        marks = device.corrupt_lbns
+        if not isinstance(marks, set):
+            # Tombstone on a device that never had fault wiring: shadow
+            # the class-level empty frozenset with an instance registry.
+            marks = device.corrupt_lbns = set()
+        marks.add(lbn)
+
+    def _device_access(
+        self, device: Device, lba: int, nblocks: int = 1, *, write: bool = False
+    ) -> float:
+        """One foreground device access under the retry policy.
+
+        Transient errors charge deterministic exponential backoff into
+        the returned (synchronous) seconds; retry exhaustion marks the
+        device failed and escalates to :class:`DeviceFailedError`, which
+        the caller answers with tier failover.
+        """
+        retry = self.retry
+        penalty = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return device.access(lba, nblocks, write=write) + penalty
+            except TransientIOError:
+                self.recovery.retries += 1
+                if attempt >= retry.max_attempts:
+                    device.failed = True
+                    raise DeviceFailedError(
+                        device.name,
+                        reason=(
+                            f"{attempt} consecutive transient errors: "
+                            "treating the device as failed"
+                        ),
+                    ) from None
+                backoff = retry.backoff(attempt)
+                penalty += backoff
+                self.recovery.retry_backoff_seconds += backoff
+
+    def _fail_out(self, exc: DeviceFailedError) -> float:
+        """Fail the tier owning a dead device out of the chain.
+
+        Resident blocks are remapped to the next tier through the
+        ordinary demotion cascade — dirty flags travel, so every dirty
+        block reaches a durable home and WAL-before-data ordering is
+        preserved.  The evacuation itself charges only destination
+        writes: the salvage read side models a WAL/replica rebuild, not
+        a read of the dead device.  Losing the backing store is
+        unrecoverable and re-raises.
+        """
+        level = None
+        for i, tier in enumerate(self.caching_tiers):
+            if tier.device.name == exc.device:
+                level = i
+                break
+        if level is None:
+            raise exc  # the backing store itself: nothing to fail over to
+        tier = self.tiers.pop(level)
+        assert tier.cache is not None
+        victims = []
+        for lbn in tier.cache.iter_lbns():
+            known = tier.cache.dirty_of(lbn)
+            victims.append(
+                Eviction(lbn=lbn, dirty=True if known is None else known)
+            )
+        cost = self._demote(level, victims, tier.device) if victims else 0.0
+        self.recovery.tier_failovers += 1
+        self.recovery.blocks_remapped += len(victims)
+        self.recovery.failover_seconds += cost
+        return cost
+
     # ------------------------------------------------------------------- API
 
     def submit(self, request: IORequest) -> tuple[float, float, list[BlockOutcome]]:
         """Serve ``request``; returns (sync_seconds, async_seconds, outcomes)."""
         if request.rtype is RequestType.MIGRATE:
+            if request.tag == SCRUB_TAG:
+                return self._submit_scrub(request)
             return self._submit_migration(request)
         if request.op is IOOp.TRIM:
             return 0.0, 0.0, [self._trim_block(lbn) for lbn in request.lbas]
@@ -160,9 +274,17 @@ class TierChain:
         background = 0.0
         outcomes: list[BlockOutcome] = []
         for lbn in request.lbas:
-            s, b, outcome = self._serve_block(
-                lbn, write=write, policy=request.policy
-            )
+            while True:
+                try:
+                    s, b, outcome = self._serve_block(
+                        lbn, write=write, policy=request.policy
+                    )
+                    break
+                except DeviceFailedError as exc:
+                    # Fail the dead tier out, then re-serve the block on
+                    # the shortened chain (the backing tier serves
+                    # everything, so this terminates).
+                    background += self._fail_out(exc)
             outcomes.append(outcome)
             sync += s
             background += b
@@ -189,11 +311,29 @@ class TierChain:
                 device.background_write(nblocks)
                 for _, nblocks in request.runs()
             )
+            if device.corrupt_lbns:
+                # The queued writeback lays down fresh frames (the
+                # aggregate background-write pricing carries no LBAs, so
+                # the registry is cleared here).
+                for lbn in request.lbas:
+                    self._clear_corrupt(device, lbn)
             return 0.0, seconds, outcomes
         seconds = sum(
-            device.access(lba, nblocks, write=request.is_write)
+            self._device_access(
+                device, lba, nblocks, write=request.is_write
+            )
             for lba, nblocks in request.runs()
         )
+        if not request.is_write and device.corrupt_lbns:
+            for lbn in request.lbas:
+                if lbn in device.corrupt_lbns:
+                    self.recovery.corruptions_detected += 1
+                    raise CorruptBlockError(
+                        "no valid replica: the only copy failed "
+                        "verification",
+                        lbn=lbn,
+                        tier=self.backing.name,
+                    )
         return seconds, 0.0, outcomes
 
     # ---------------------------------------------------------- cached chains
@@ -214,7 +354,15 @@ class TierChain:
         background = 0.0
         for level, tier in enumerate(self.tiers):
             if not tier.is_caching:
-                sync += tier.device.access(lbn, write=write)
+                sync += self._device_access(tier.device, lbn, write=write)
+                if not write and lbn in tier.device.corrupt_lbns:
+                    self.recovery.corruptions_detected += 1
+                    raise CorruptBlockError(
+                        "no valid replica: the backing copy failed "
+                        "verification",
+                        lbn=lbn,
+                        tier=tier.name,
+                    )
                 outcome = BlockOutcome(
                     lbn=lbn, hit=False, actions=[CacheAction.BYPASS]
                 )
@@ -226,14 +374,18 @@ class TierChain:
                 continue  # the request may not allocate here; try lower tiers
             outcome = tier.cache.access_block(lbn, write=write, policy=policy)
             if outcome.hit:
-                sync += tier.device.access(lbn, write=write)
+                sync += self._device_access(tier.device, lbn, write=write)
+                if not write and lbn in tier.device.corrupt_lbns:
+                    s, b = self._repair_cached(level, lbn)
+                    sync += s
+                    background += b
             elif outcome.has(CacheAction.READ_ALLOCATION):
                 lower_s, lower_b = self._read_below(level + 1, lbn)
-                fill = tier.device.access(lbn, write=True)
+                fill = self._device_access(tier.device, lbn, write=True)
                 sync += lower_s + params.alloc_overlap * fill
                 background += lower_b + (1.0 - params.alloc_overlap) * fill
             elif outcome.has(CacheAction.WRITE_ALLOCATION):
-                sync += tier.device.access(lbn, write=True)
+                sync += self._device_access(tier.device, lbn, write=True)
             else:
                 # Selective allocation declined (bypass): fall through to
                 # the next tier without recording this tier's outcome.
@@ -241,6 +393,34 @@ class TierChain:
             s, b = self._destage(level, outcome)
             return sync + s, background + b, outcome
         raise AssertionError("unreachable: the backing tier serves everything")
+
+    def _repair_cached(self, level: int, lbn: int) -> tuple[float, float]:
+        """Repair a corrupt cached copy from the authoritative copy below.
+
+        The read that just served the block tripped CRC verification.  A
+        clean copy is refetched from below and rewritten in place (the
+        cost rides the foreground request that found it, like a read
+        allocation).  A dirty copy is the *only* holder of its data —
+        that loss is loud: WAL recovery, not the storage stack, is the
+        way back.
+        """
+        tier = self.tiers[level]
+        assert tier.cache is not None
+        self.recovery.corruptions_detected += 1
+        known = tier.cache.dirty_of(lbn)
+        dirty = True if known is None else known
+        if dirty:
+            self.recovery.unrepairable += 1
+            raise CorruptBlockError(
+                "dirty cached copy failed verification and the backing "
+                "copy is stale (WAL recovery required)",
+                lbn=lbn,
+                tier=tier.name,
+            )
+        lower_s, lower_b = self._read_below(level + 1, lbn)
+        rewrite = self._device_access(tier.device, lbn, write=True)
+        self.recovery.corruptions_repaired += 1
+        return lower_s + rewrite, lower_b
 
     def _read_below(self, level: int, lbn: int) -> tuple[float, float]:
         """Fetch a block from below ``level`` to fill a read allocation.
@@ -251,16 +431,51 @@ class TierChain:
         served policy-less so a hot policy cannot re-prioritise a copy
         that is about to be superseded; only recency is refreshed).
         The backing store serves it when no cache holds it.
+
+        Every candidate copy is CRC-verified: a corrupt clean copy is
+        dropped (the tiers below still hold the truth) and the walk
+        continues; a corrupt dirty copy or a corrupt backing copy has
+        no valid source left and raises.
         """
+        sync = 0.0
         for j in range(level, len(self.tiers)):
             tier = self.tiers[j]
             if not tier.is_caching:
-                return tier.device.access(lbn, write=False), 0.0
+                sync += self._device_access(tier.device, lbn, write=False)
+                if lbn in tier.device.corrupt_lbns:
+                    self.recovery.corruptions_detected += 1
+                    raise CorruptBlockError(
+                        "no valid replica: the backing copy failed "
+                        "verification",
+                        lbn=lbn,
+                        tier=tier.name,
+                    )
+                return sync, 0.0
             assert tier.cache is not None
             if not tier.cache.contains(lbn):
                 continue
+            if lbn in tier.device.corrupt_lbns:
+                # Pay for the read that tripped verification, then
+                # resolve: clean copies are stale replicas — drop and
+                # fetch deeper; dirty copies held the only fresh data.
+                sync += self._device_access(tier.device, lbn, write=False)
+                self.recovery.corruptions_detected += 1
+                known = tier.cache.dirty_of(lbn)
+                dirty = True if known is None else known
+                if dirty:
+                    self.recovery.unrepairable += 1
+                    raise CorruptBlockError(
+                        "dirty cached copy failed verification and the "
+                        "backing copy is stale (WAL recovery required)",
+                        lbn=lbn,
+                        tier=tier.name,
+                    )
+                tier.cache.discard(lbn)
+                self._clear_corrupt(tier.device, lbn)
+                self.recovery.corruptions_repaired += 1
+                continue
             outcome = tier.cache.access_block(lbn, write=False, policy=None)
-            sync = tier.device.access(lbn, write=False)
+            sync += self._device_access(tier.device, lbn, write=False)
             s, b = self._destage(j, outcome)
             return sync + s, b
         raise AssertionError("unreachable: the backing tier serves everything")
@@ -275,7 +490,7 @@ class TierChain:
         ]
         if not victims:
             return 0.0, 0.0
-        cost = self._demote(level + 1, victims)
+        cost = self._demote(level + 1, victims, tier.device)
         if self.params.sync_dirty_eviction:
             return cost, 0.0
         return 0.0, cost
@@ -293,11 +508,15 @@ class TierChain:
         The source copy is discarded once the block has a new home — a
         block lives in exactly one caching tier — and its dirty flag
         travels with it, so dirty data keeps exactly one durable path.
+        A source copy that fails CRC verification is never promoted
+        (the scrubber or the next foreground read resolves it).
         """
         src = self.tier_index_of(lbn)
         if src <= to_level:
             return 0.0, False
         src_tier = self.tiers[src]
+        if lbn in src_tier.device.corrupt_lbns:
+            return 0.0, False  # don't spread a bad frame upward
         dirty = False
         if src_tier.is_caching:
             assert src_tier.cache is not None
@@ -319,11 +538,12 @@ class TierChain:
             # pricing would silently pay migration's seeks otherwise).
             cost = src_tier.device.background_read(1)
             cost += tier.device.background_write(1)
+            self._clear_corrupt(tier.device, lbn)
             victims = [
                 ev for ev in cascade if ev.dirty or tier.demote_clean
             ]
             if victims:
-                cost += self._demote(level + 1, victims)
+                cost += self._demote(level + 1, victims, tier.device)
             return cost, True
         return 0.0, False
 
@@ -347,8 +567,19 @@ class TierChain:
         dirty = True if known is None else known
         src_tier.cache.discard(lbn)
         if not dirty and not src_tier.demote_clean:
+            if lbn in src_tier.device.corrupt_lbns:
+                # Dropping a corrupt clean copy *is* the repair: the
+                # backing store still holds the authoritative frame.
+                self._clear_corrupt(src_tier.device, lbn)
+                self.recovery.corruptions_detected += 1
+                self.recovery.corruptions_repaired += 1
             return 0.0, True
-        return self._demote(src + 1, [Eviction(lbn=lbn, dirty=dirty)]), True
+        return (
+            self._demote(
+                src + 1, [Eviction(lbn=lbn, dirty=dirty)], src_tier.device
+            ),
+            True,
+        )
 
     def _submit_migration(
         self, request: IORequest
@@ -358,12 +589,15 @@ class TierChain:
         background = 0.0
         outcomes: list[BlockOutcome] = []
         for lbn in request.lbas:
-            if promote:
-                cost, moved = self.promote(lbn)
-                action = CacheAction.PROMOTE
-            else:
-                cost, moved = self.demote(lbn)
-                action = CacheAction.DEMOTE
+            action = CacheAction.PROMOTE if promote else CacheAction.DEMOTE
+            try:
+                if promote:
+                    cost, moved = self.promote(lbn)
+                else:
+                    cost, moved = self.demote(lbn)
+            except DeviceFailedError as exc:
+                background += self._fail_out(exc)
+                cost, moved = 0.0, False
             background += cost
             outcomes.append(
                 BlockOutcome(
@@ -374,29 +608,198 @@ class TierChain:
             )
         return 0.0, background, outcomes
 
-    def _demote(self, level: int, victims: list[Eviction]) -> float:
-        """Push demoted blocks down the chain; returns device seconds."""
+    def _demote(
+        self,
+        level: int,
+        victims: list[Eviction],
+        src_device: Device | None = None,
+    ) -> float:
+        """Push demoted blocks down the chain; returns device seconds.
+
+        ``src_device`` is the device the victims are leaving; a victim
+        whose frame is flagged corrupt there is resolved on the way
+        down: clean copies are dropped (the backing store is still
+        authoritative), dirty copies carry their bad frame along as a
+        loud tombstone — wherever they land, reads keep raising until a
+        fresh write replaces the block.
+        """
         cost = 0.0
-        while victims and self.tiers[level].is_caching:
+        work = [(victim, src_device) for victim in victims]
+        while work and self.tiers[level].is_caching:
             tier = self.tiers[level]
             assert tier.cache is not None
-            passed_down: list[Eviction] = []
-            for victim in victims:
+            passed_down: list[tuple[Eviction, Device | None]] = []
+            for victim, src in work:
+                corrupt = (
+                    src is not None and victim.lbn in src.corrupt_lbns
+                )
+                if corrupt:
+                    self._clear_corrupt(src, victim.lbn)
+                    self.recovery.corruptions_detected += 1
+                    if not victim.dirty:
+                        self.recovery.corruptions_repaired += 1
+                        continue  # backing still authoritative: drop it
+                    self.recovery.unrepairable += 1
                 inserted, cascade = tier.cache.insert_block(
                     victim.lbn, dirty=victim.dirty
                 )
                 if inserted:
                     cost += tier.device.background_write(1)
+                    if corrupt:
+                        self._mark_corrupt(tier.device, victim.lbn)
+                    else:
+                        self._clear_corrupt(tier.device, victim.lbn)
                     passed_down.extend(
-                        ev for ev in cascade if ev.dirty or tier.demote_clean
+                        (ev, tier.device)
+                        for ev in cascade
+                        if ev.dirty or tier.demote_clean
                     )
                 else:
-                    passed_down.append(victim)
-            victims = passed_down
+                    passed_down.append((victim, src))
+            work = passed_down
             level += 1
         # Whatever reaches the backing store: dirty blocks are written,
         # clean blocks already live there and are simply dropped.
-        dirty = sum(1 for ev in victims if ev.dirty)
+        backing_device = self.backing.device
+        dirty = 0
+        for victim, src in work:
+            corrupt = src is not None and victim.lbn in src.corrupt_lbns
+            if corrupt:
+                self._clear_corrupt(src, victim.lbn)
+                self.recovery.corruptions_detected += 1
+                if not victim.dirty:
+                    self.recovery.corruptions_repaired += 1
+                    continue
+                # The only copy of fresh data is bad: it lands as a loud
+                # tombstone so no later read can serve stale bytes.
+                self.recovery.unrepairable += 1
+                cost += backing_device.background_write(1)
+                self._mark_corrupt(backing_device, victim.lbn)
+            elif victim.dirty:
+                dirty += 1
+                self._clear_corrupt(backing_device, victim.lbn)
         if dirty:
-            cost += self.backing.device.background_write(dirty)
+            cost += backing_device.background_write(dirty)
         return cost
+
+    # ------------------------------------------------- background scrubbing
+
+    def _submit_scrub(
+        self, request: IORequest
+    ) -> tuple[float, float, list[BlockOutcome]]:
+        """Serve a ``migrate:scrub`` audit batch off the critical path."""
+        background = 0.0
+        outcomes: list[BlockOutcome] = []
+        for lbn in request.lbas:
+            try:
+                cost, action = self.scrub_block(lbn)
+            except DeviceFailedError as exc:
+                background += self._fail_out(exc)
+                cost, action = 0.0, CacheAction.BYPASS
+            background += cost
+            outcomes.append(
+                BlockOutcome(lbn=lbn, hit=False, actions=[action])
+            )
+        return 0.0, background, outcomes
+
+    def scrub_block(self, lbn: int) -> tuple[float, CacheAction]:
+        """Audit one block's copies; repair from the authoritative one.
+
+        Returns ``(background_seconds, action)`` where the action is
+        ``SCRUB`` (verified clean), ``SCRUB_REPAIR`` (a bad frame was
+        rebuilt from a valid copy) or ``SCRUB_DETECT`` (corruption found
+        with no valid source — the flag stays, so foreground reads keep
+        failing loudly instead of going silent).
+        """
+        level = self.tier_index_of(lbn)
+        tier = self.tiers[level]
+        device = tier.device
+        backing = self.backing
+        for other in self.caching_tiers:
+            # A flag on a caching tier that does not hold the block marks
+            # an unmapped media frame (the copy was discarded after the
+            # flag landed): nothing refers to it, so the audit retires
+            # the flag without any data movement.
+            assert other.cache is not None
+            if (
+                other is not tier
+                and lbn in other.device.corrupt_lbns
+                and not other.cache.contains(lbn)
+            ):
+                self._clear_corrupt(other.device, lbn)
+        cost = device.background_read(1)  # checksum read, primary copy
+        primary_bad = lbn in device.corrupt_lbns
+        backing_bad = False
+        if tier is not backing:
+            cost += backing.device.background_read(1)  # audit the replica
+            backing_bad = lbn in backing.device.corrupt_lbns
+        if not primary_bad and not backing_bad:
+            return cost, CacheAction.SCRUB
+        repaired = False
+        if primary_bad:
+            self.recovery.corruptions_detected += 1
+            if not tier.is_caching:
+                # The primary *is* the backing copy: nothing to heal from.
+                self.recovery.unrepairable += 1
+                return cost, CacheAction.SCRUB_DETECT
+            assert tier.cache is not None
+            known = tier.cache.dirty_of(lbn)
+            dirty = True if known is None else known
+            if dirty or backing_bad:
+                # A dirty bad frame has no valid source; a clean one with
+                # a rotten backing copy has none either.  Stay loud.
+                self.recovery.unrepairable += 1
+                return cost, CacheAction.SCRUB_DETECT
+            cost += backing.device.background_read(1)  # fetch the authority
+            cost += device.background_write(1)  # lay down a fresh frame
+            self._clear_corrupt(device, lbn)
+            self.recovery.corruptions_repaired += 1
+            repaired = True
+        if backing_bad:
+            self.recovery.corruptions_detected += 1
+            assert tier.cache is not None  # backing_bad implies cached above
+            known = tier.cache.dirty_of(lbn)
+            dirty = True if known is None else known
+            if not dirty:
+                # The clean cached copy doubles as a valid replica of
+                # the backing image: write it back to heal the rot.
+                cost += device.background_read(1)
+                cost += backing.device.background_write(1)
+                self._clear_corrupt(backing.device, lbn)
+                self.recovery.corruptions_repaired += 1
+                repaired = True
+            else:
+                # The dirty copy supersedes the rotten frame anyway; its
+                # eventual destage rewrites it.  Detection is recorded,
+                # repair rides the writeback.
+                return cost, CacheAction.SCRUB_DETECT
+        return cost, (
+            CacheAction.SCRUB_REPAIR if repaired else CacheAction.SCRUB_DETECT
+        )
+
+    def audit_residual(self) -> dict[str, list[dict]]:
+        """Classify every still-flagged block — the integrity verdict.
+
+        Every entry is *non-silent* by construction: ``loud`` blocks
+        raise :class:`CorruptBlockError` on any foreground read;
+        ``pending-writeback`` flags sit on a lower copy shadowed by a
+        dirty cached copy, whose destage will rewrite the frame.
+        """
+        residual: dict[str, list[dict]] = {}
+        for level, tier in enumerate(self.tiers):
+            for lbn in sorted(tier.device.corrupt_lbns):
+                holder = self.tier_index_of(lbn)
+                state = "loud"
+                if tier.is_caching and not tier.cache.contains(lbn):
+                    # The flagged frame is unmapped: no read can reach it.
+                    state = "unreferenced"
+                elif holder < level:
+                    upper = self.tiers[holder]
+                    assert upper.cache is not None
+                    known = upper.cache.dirty_of(lbn)
+                    dirty = True if known is None else known
+                    state = "pending-writeback" if dirty else "shadowed"
+                residual.setdefault(tier.name, []).append(
+                    {"lbn": lbn, "state": state}
+                )
+        return residual

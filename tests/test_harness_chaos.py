@@ -1,0 +1,93 @@
+"""The chaos sweep's three contracts, at CI scale (DESIGN.md §13).
+
+Recoverable faults leave query results bit-identical to the fault-free
+run; corruption is repaired or loudly detected, never silent; and the
+whole sweep is deterministic — same seed, same report.
+"""
+
+import pytest
+
+from repro.harness.chaos import build_fault_plan, run_chaos
+from repro.tpch.datagen import generate
+
+SCALE = 0.02
+QUERIES = (1, 3, 6, 14)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(SCALE, seed=42)
+
+
+def test_build_fault_plan_rejects_unknown_profile():
+    with pytest.raises(ValueError):
+        build_fault_plan("meteor-strike", seed=0)
+
+
+def test_transient_faults_leave_results_golden(data):
+    report = run_chaos(
+        profile="transient", seed=3, scale=SCALE, queries=QUERIES, data=data
+    )
+    assert report.verdict, report.as_dict()
+    assert report.matched == len(QUERIES)
+    assert report.loud_errors == 0
+    assert report.silent_mismatches == 0
+    # The OLTP mix rides along under the transient profile and matches
+    # its fault-free twin: same commits, same analytic rows.
+    assert report.oltp is not None
+    assert report.oltp["match"]
+    assert report.fault_events > 0  # the sweep actually injected faults
+
+
+def test_corruption_never_produces_silent_wrong_results(data):
+    report = run_chaos(
+        profile="corrupt", seed=3, scale=SCALE, queries=QUERIES, data=data
+    )
+    assert report.verdict, report.as_dict()
+    assert report.silent_mismatches == 0
+    assert report.fault_counters["corrupt"] > 0  # rot + bad writes landed
+    detected = report.recovery["corruptions_detected"]
+    repaired = report.recovery["corruptions_repaired"]
+    assert detected > 0 and repaired > 0
+    # Whatever the sweep could not repair was loud, not silent.
+    assert report.audit is not None and report.audit["loud_or_pending"]
+
+
+def test_tier_failout_recovers_and_stays_golden(data):
+    report = run_chaos(
+        profile="failout", seed=3, scale=SCALE, queries=QUERIES, data=data
+    )
+    assert report.verdict, report.as_dict()
+    assert report.matched == len(QUERIES)
+    assert report.loud_errors == 0 and report.silent_mismatches == 0
+    assert report.recovery["tier_failovers"] >= 1
+    assert report.recovery["blocks_remapped"] >= 1
+    kinds = report.fault_counters
+    assert kinds["degrade"] == 1 and kinds["fail"] == 1
+
+
+def test_same_seed_reproduces_the_identical_report(data):
+    kwargs = dict(
+        profile="transient",
+        seed=11,
+        scale=SCALE,
+        queries=(1, 6),
+        oltp=False,
+        data=data,
+    )
+    first = run_chaos(**kwargs)
+    second = run_chaos(**kwargs)
+    assert first.as_dict() == second.as_dict()
+    assert first.trace_fingerprint == second.trace_fingerprint
+
+
+def test_different_seeds_diverge(data):
+    a = run_chaos(
+        profile="transient", seed=1, scale=SCALE, queries=(1, 6),
+        oltp=False, data=data,
+    )
+    b = run_chaos(
+        profile="transient", seed=2, scale=SCALE, queries=(1, 6),
+        oltp=False, data=data,
+    )
+    assert a.trace_fingerprint != b.trace_fingerprint

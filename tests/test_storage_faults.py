@@ -1,0 +1,336 @@
+"""Fault injection, retry/backoff, integrity repair and tier failover.
+
+Covers the resilience machinery of DESIGN.md §13: deterministic fault
+traces out of :class:`FaultPlan`, the tier chain's retry policy charging
+backoff to the simulated clock, corruption detection/repair on every
+read path, tier failover on persistent device failure, and the
+background scrubber riding the MIGRATE QoS path.
+"""
+
+import pytest
+
+from repro.db.errors import (
+    CorruptBlockError,
+    DeviceFailedError,
+    TransientIOError,
+)
+from repro.sim import SimulationParameters
+from repro.storage import (
+    Device,
+    DeviceSpec,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    IOOp,
+    IORequest,
+    LRUCache,
+    PolicySet,
+    RetryPolicy,
+    ScheduledFault,
+    ScrubConfig,
+    Scrubber,
+    StorageSystem,
+    Tier,
+    TierChain,
+)
+
+PARAMS = SimulationParameters()
+PSET = PolicySet()
+
+
+def hdd() -> Device:
+    return Device(DeviceSpec.hdd_from_params(PARAMS))
+
+
+def ssd() -> Device:
+    return Device(DeviceSpec.ssd_from_params(PARAMS))
+
+
+def read(lba, n=1):
+    return IORequest(lba=lba, nblocks=n, op=IOOp.READ)
+
+
+def write(lba, n=1):
+    return IORequest(lba=lba, nblocks=n, op=IOOp.WRITE)
+
+
+def two_tier(ssd_dev=None, hdd_dev=None, retry=None, demote_clean=True):
+    return TierChain(
+        [
+            Tier(
+                ssd_dev if ssd_dev is not None else ssd(),
+                LRUCache(8),
+                demote_clean=demote_clean,
+            ),
+            Tier(hdd_dev if hdd_dev is not None else hdd()),
+        ],
+        params=PARAMS,
+        policy_set=PSET,
+        retry=retry,
+    )
+
+
+class FlakyDevice(Device):
+    """Raises a programmed number of transient errors, then behaves."""
+
+    def __init__(self, spec, fail_times: int) -> None:
+        super().__init__(spec)
+        self.remaining = fail_times
+
+    def access(self, lba, nblocks=1, *, write=False):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise TransientIOError(self.name, lba=lba, write=write)
+        return super().access(lba, nblocks, write=write)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.0005, multiplier=2.0)
+        assert policy.backoff(1) == pytest.approx(0.0005)
+        assert policy.backoff(2) == pytest.approx(0.0010)
+        assert policy.backoff(3) == pytest.approx(0.0020)
+
+    def test_transient_errors_retried_and_backoff_charged(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.0005, multiplier=2.0)
+        flaky = TierChain(
+            [Tier(FlakyDevice(DeviceSpec.hdd_from_params(PARAMS), 2))],
+            params=PARAMS,
+            retry=policy,
+        )
+        clean = TierChain([Tier(hdd())], params=PARAMS)
+        sync_clean, _, _ = clean.submit(read(0))
+        sync_flaky, _, outcomes = flaky.submit(read(0))
+        expected_backoff = policy.backoff(1) + policy.backoff(2)
+        assert sync_flaky == pytest.approx(sync_clean + expected_backoff)
+        assert flaky.recovery.retries == 2
+        assert flaky.recovery.retry_backoff_seconds == pytest.approx(
+            expected_backoff
+        )
+        assert len(outcomes) == 1  # the read still completed
+
+    def test_retry_exhaustion_escalates_to_device_failure(self):
+        policy = RetryPolicy(max_attempts=3)
+        device = FlakyDevice(DeviceSpec.hdd_from_params(PARAMS), 99)
+        chain = TierChain([Tier(device)], params=PARAMS, retry=policy)
+        # The backing store has nothing to fail over to: the error is loud.
+        with pytest.raises(DeviceFailedError):
+            chain.submit(read(0))
+        assert device.failed
+        assert chain.recovery.retries == policy.max_attempts
+
+
+class TestFaultPlanDeterminism:
+    def run_workload(self, seed: int) -> FaultPlan:
+        plan = FaultPlan(
+            seed,
+            profiles={
+                "*": FaultProfile(
+                    read_error_rate=0.05,
+                    write_error_rate=0.05,
+                    spike_rate=0.05,
+                    corrupt_write_rate=0.05,
+                )
+            },
+        )
+        chain = two_tier(ssd_dev=plan.wrap(ssd()), hdd_dev=plan.wrap(hdd()))
+        for i in range(64):
+            try:
+                chain.submit(write(i) if i % 3 else read(i))
+            except CorruptBlockError:
+                pass  # corrupt writes may trip later reads: loud is fine
+        return plan
+
+    def test_same_seed_same_trace(self):
+        a, b = self.run_workload(7), self.run_workload(7)
+        assert [e.as_tuple() for e in a.trace] == [
+            e.as_tuple() for e in b.trace
+        ]
+        assert a.trace_fingerprint() == b.trace_fingerprint()
+        assert a.counters == b.counters
+
+    def test_different_seed_different_trace(self):
+        a, b = self.run_workload(7), self.run_workload(8)
+        assert a.trace and b.trace
+        assert a.trace_fingerprint() != b.trace_fingerprint()
+
+    def test_disarmed_plan_injects_nothing_until_enabled(self):
+        plan = FaultPlan(
+            3,
+            profiles={"*": FaultProfile(read_error_rate=1.0)},
+            enabled=False,
+        )
+        device = plan.wrap(hdd())
+        chain = TierChain([Tier(device)], params=PARAMS)
+        chain.submit(read(0))  # no injection while disarmed
+        assert not plan.trace
+        plan.enable()
+        with pytest.raises(DeviceFailedError):
+            chain.submit(read(0))
+        assert plan.counters[FaultKind.TRANSIENT_READ.value] > 0
+
+    def test_scheduled_events_fire_in_clock_order(self):
+        plan = FaultPlan(
+            0,
+            schedule=[
+                ScheduledFault(2.0, "ssd", FaultKind.FAIL),
+                ScheduledFault(
+                    1.0, "ssd", FaultKind.DEGRADE, factor=4.0
+                ),
+                ScheduledFault(
+                    1.0, "hdd", FaultKind.CORRUPT, lbns=(5, 9)
+                ),
+            ],
+        )
+        fssd, fhdd = plan.wrap(ssd()), plan.wrap(hdd())
+        plan.advance_to(0.5)
+        assert not plan.trace and fssd.degrade_factor == 1.0
+        plan.advance_to(1.0)
+        assert fssd.degrade_factor == 4.0
+        assert fhdd.corrupt_lbns == {5, 9}
+        assert not fssd.failed
+        plan.advance_to(2.0)
+        assert fssd.failed
+        kinds = [e.kind for e in plan.trace]
+        assert kinds.index(FaultKind.DEGRADE) < kinds.index(FaultKind.FAIL)
+
+    def test_torn_write_marks_the_tail(self):
+        plan = FaultPlan(1, profiles={"*": FaultProfile(torn_write_rate=1.0)})
+        device = plan.wrap(hdd())
+        device.access(10, 4, write=True)
+        assert plan.counters[FaultKind.TORN_WRITE.value] == 1
+        assert device.corrupt_lbns  # everything past the cut is garbage
+        assert all(10 < lbn < 14 for lbn in device.corrupt_lbns)
+
+    def test_successful_write_restores_integrity(self):
+        device = hdd()
+        TierChain._mark_corrupt(device, 3)
+        TierChain._mark_corrupt(device, 4)
+        device.access(3, 2, write=True)  # fresh frames over both blocks
+        assert not device.corrupt_lbns
+
+
+class TestCorruptionRepair:
+    def test_backing_corruption_is_loud_on_direct_chain(self):
+        device = hdd()
+        chain = TierChain([Tier(device)], params=PARAMS)
+        TierChain._mark_corrupt(device, 3)
+        with pytest.raises(CorruptBlockError) as exc:
+            chain.submit(read(3))
+        assert exc.value.lbn == 3
+        assert chain.recovery.corruptions_detected == 1
+        # A rewrite lays down a fresh frame: the block reads clean again.
+        chain.submit(write(3))
+        chain.submit(read(3))
+
+    def test_clean_cached_copy_repaired_from_backing(self):
+        chain = two_tier()
+        chain.submit(read(7))  # admit a clean copy to the ssd tier
+        assert chain.cache.contains(7) and chain.cache.dirty_of(7) is False
+        TierChain._mark_corrupt(chain.tiers[0].device, 7)
+        chain.submit(read(7))  # detected, refetched, rewritten — no error
+        assert chain.recovery.corruptions_detected == 1
+        assert chain.recovery.corruptions_repaired == 1
+        assert 7 not in chain.tiers[0].device.corrupt_lbns
+
+    def test_dirty_cached_corruption_is_unrepairable(self):
+        chain = two_tier()
+        chain.submit(write(9))  # dirty copy: the backing version is stale
+        assert chain.cache.dirty_of(9) is True
+        TierChain._mark_corrupt(chain.tiers[0].device, 9)
+        with pytest.raises(CorruptBlockError):
+            chain.submit(read(9))
+        assert chain.recovery.unrepairable == 1
+
+    def test_dropping_a_corrupt_clean_victim_is_a_repair(self):
+        chain = two_tier(demote_clean=False)
+        chain.submit(read(4))
+        TierChain._mark_corrupt(chain.tiers[0].device, 4)
+        cost, demoted = chain.demote(4)
+        assert demoted
+        assert chain.recovery.corruptions_repaired == 1
+        assert 4 not in chain.tiers[0].device.corrupt_lbns
+        chain.submit(read(4))  # the backing copy is authoritative
+
+
+class TestTierFailover:
+    def failed_ssd_chain(self):
+        plan = FaultPlan(
+            0, schedule=[ScheduledFault(1.0, "ssd", FaultKind.FAIL)]
+        )
+        chain = two_tier(ssd_dev=plan.wrap(ssd()))
+        chain.submit(write(5))  # dirty resident block
+        chain.submit(read(7))  # clean resident block
+        plan.advance_to(1.0)  # the ssd dies between batches
+        return plan, chain
+
+    def test_failover_remaps_residents_and_keeps_serving(self):
+        _, chain = self.failed_ssd_chain()
+        assert len(chain.tiers) == 2
+        sync, bg, outcomes = chain.submit(read(7))  # trips the dead device
+        assert len(chain.tiers) == 1  # ssd tier failed out
+        assert chain.recovery.tier_failovers == 1
+        assert chain.recovery.blocks_remapped == 2
+        assert len(outcomes) == 1  # the read was still served
+        # The dirty block survived the evacuation: WAL-before-data holds.
+        chain.submit(read(5))
+
+    def test_failover_charges_background_evacuation_time(self):
+        _, chain = self.failed_ssd_chain()
+        _, bg, _ = chain.submit(read(7))
+        assert chain.recovery.failover_seconds > 0.0
+        assert bg >= chain.recovery.failover_seconds
+
+    def test_backing_store_failure_is_unrecoverable(self):
+        plan = FaultPlan(
+            0, schedule=[ScheduledFault(0.0, "hdd", FaultKind.FAIL)]
+        )
+        chain = two_tier(hdd_dev=plan.wrap(hdd()))
+        plan.advance_to(0.0)
+        with pytest.raises(DeviceFailedError):
+            chain.submit(read(3))
+
+
+class TestScrubber:
+    def system(self, epoch_seconds=0.001):
+        plan = FaultPlan(0)
+        chain = two_tier(
+            ssd_dev=plan.wrap(ssd()), hdd_dev=plan.wrap(hdd())
+        )
+        scrubber = Scrubber(ScrubConfig(epoch_seconds=epoch_seconds))
+        system = StorageSystem(chain, faults=plan, scrubber=scrubber)
+        return plan, chain, scrubber, system
+
+    def test_scrub_repairs_flagged_clean_copy(self):
+        plan, chain, scrubber, system = self.system()
+        system.submit(read(7))  # clean resident copy
+        TierChain._mark_corrupt(chain.tiers[0].device, 7)
+        verdict = scrubber.audit_full()
+        assert scrubber.repairs == 1
+        assert 7 not in chain.tiers[0].device.corrupt_lbns
+        assert verdict["clean"] and verdict["loud_or_pending"]
+
+    def test_scrub_detects_dirty_corruption_without_hiding_it(self):
+        plan, chain, scrubber, system = self.system()
+        system.submit(write(9))
+        TierChain._mark_corrupt(chain.tiers[0].device, 9)
+        verdict = scrubber.audit_full()
+        assert scrubber.detections >= 1
+        assert not verdict["clean"]
+        assert verdict["loud_or_pending"]  # flagged loud, never silent
+        with pytest.raises(CorruptBlockError):
+            system.submit(read(9))  # and indeed: the read raises
+
+    def test_epochs_fire_off_the_simulated_clock(self):
+        plan, chain, scrubber, system = self.system(epoch_seconds=0.0005)
+        for i in range(16):
+            system.submit(read(i))
+        assert scrubber.epochs >= 1
+        assert scrubber.blocks_scrubbed > 0
+
+    def test_scrub_traffic_is_background_accounted(self):
+        plan, chain, scrubber, system = self.system(epoch_seconds=0.0005)
+        for i in range(16):
+            system.submit(read(i))
+        assert scrubber.scrub_seconds >= 0.0
+        assert system.clock.background >= scrubber.scrub_seconds

@@ -481,6 +481,101 @@ class TestInterleavedCrashSweep:
         assert len(shapes) > 1
 
 
+class TestCrashMidMigration:
+    """ISSUE 7: crash while background tier migration is in flight.
+
+    The placement migrator moves blocks between tiers as transactions
+    run.  Dirty pages are excluded from every migration plan (their
+    on-storage image predates the buffered update), so no crash point
+    may ever recover a *stale pre-migration* version of a row: the sweep
+    below runs a transactional workload with migration epochs firing
+    mid-transaction, verifies dirty pages really were excluded from a
+    plan, then crashes at every WAL position and checks the recovered
+    state against the committed prefix.
+    """
+
+    def build_migrating_db(self):
+        from repro.storage.placement import PlacementConfig
+
+        db = make_database(
+            bufferpool_pages=4,  # constant steals: dirty pages hit storage
+            placement="hybrid",
+            placement_config=PlacementConfig(
+                extent_blocks=8,
+                epoch_seconds=1e-4,  # an epoch fires nearly every batch
+                promote_threshold=1,
+                budget_blocks=64,
+            ),
+        )
+        rel = db.create_table("t", schema(("k", "int"), ("v", "str", 8)))
+        rel.heap.bulk_load((i, f"v{i}") for i in range(40))
+        db.create_index("t_k", "t", "k")
+        db.enable_wal()
+        return db, rel, rel.indexes[0]
+
+    def test_no_crash_point_resurrects_a_premigration_block(self):
+        db, rel, ix = self.build_migrating_db()
+        s = sems(rel, ix)
+        engine = db.storage.placement
+        assert engine is not None
+        provider = engine.exclude_provider
+        assert provider is not None  # the engine wired the dirty-LBA source
+
+        excluded_per_epoch = []
+
+        def spying_provider():
+            lbas = provider()
+            excluded_per_epoch.append(len(lbas))
+            return lbas
+
+        engine.exclude_provider = spying_provider
+
+        mgr = db.txn_manager
+        expected = {mgr.wal.last_lsn: logical_state(db, rel, ix)}
+        rng = random.Random(21)
+        next_key = 1000
+        for i in range(8):
+            txn = db.begin()
+            for _ in range(rng.randint(2, 4)):
+                if rng.random() < 0.6:
+                    rid = rel.heap.insert(
+                        db.pool, (next_key, f"n{next_key}"), s["write"], txn=txn
+                    )
+                    ix.btree.insert(db.pool, next_key, rid, s["iwrite"], txn=txn)
+                    next_key += 1
+                else:
+                    entries = list(
+                        ix.btree.range_scan(db.pool, None, None, s["iread"])
+                    )
+                    key, rid = rng.choice(entries)
+                    rel.heap.update(
+                        db.pool, rid, (key, "upd"), s["write"], txn=txn
+                    )
+            if rng.random() < 0.25:
+                txn.abort()
+            else:
+                txn.commit()
+                expected[txn.last_lsn] = logical_state(db, rel, ix)
+
+        # Migration really ran mid-workload, and at least one epoch was
+        # planned while dirty pages existed (and were excluded).
+        assert engine.epochs > 0
+        assert engine.blocks_promoted + engine.blocks_demoted > 0
+        assert any(excluded_per_epoch)
+
+        history = db.txn_manager.capture_history()
+        engine.exclude_provider = provider  # back to the live source
+        for k in range(1, history.last_lsn + 1):
+            simulate_crash(db, at_lsn=k, history=history)
+            recover(db)
+            want_lsn = max(lsn for lsn in expected if lsn <= k)
+            got = logical_state(db, rel, ix)
+            assert got == expected[want_lsn], (
+                f"crash at lsn {k} with migration in flight: state "
+                f"diverges from commit at {want_lsn}"
+            )
+
+
 class TestRefreshTransactions:
     def test_rf1_commits_and_survives_crash(self):
         db = make_database(bufferpool_pages=64, btree_order=16)
