@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by ``repro trace``.
+
+CI runs the trace CLI with ``--chrome`` and feeds the output here; the
+check fails if the file does not parse or violates the trace_event
+schema (see :func:`repro.obs.trace.validate_chrome`), so the artifact
+stays loadable in Perfetto / ``chrome://tracing``.
+
+Usage: ``python benchmarks/check_chrome_trace.py TRACE.json [...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "traces", nargs="+", type=pathlib.Path,
+        help="Chrome trace_event JSON file(s) to validate",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    from repro.obs.trace import validate_chrome
+
+    failed = False
+    for path in args.traces:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL: {path}: unreadable ({exc})", file=sys.stderr)
+            failed = True
+            continue
+        problems = validate_chrome(data)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"FAIL: {path}: {problem}", file=sys.stderr)
+            continue
+        events = (
+            data["traceEvents"] if isinstance(data, dict) else data
+        )
+        spans = sum(1 for e in events if e.get("ph") == "X")
+        print(f"ok: {path} ({len(events)} event(s), {spans} span(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

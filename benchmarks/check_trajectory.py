@@ -13,7 +13,10 @@ whole trajectory honest:
   regenerates an artifact with a regressed speedup fails here, not in a
   human review;
 * with ``--results DIR``, the per-bench JSON outputs are also checked
-  (must parse; enveloped ones are schema-validated the same way).
+  (must parse; enveloped ones are schema-validated the same way);
+* envelopes whose payload carries a ``latency`` block (the observability
+  bench) get each histogram summary checked: numeric fields, a
+  non-negative count, and ordered percentiles (p50 <= p95 <= p99).
 
 Usage: ``python benchmarks/check_trajectory.py [--root PATH]
 [--results benchmarks/results]``
@@ -63,6 +66,44 @@ def check_envelope(path: pathlib.Path, data: dict, errors: list[str]) -> None:
         else:
             print(f"ok: {path.name} gate {name} = {value:.3f} "
                   f"(floor {floor:.3f})")
+    payload = data.get("payload")
+    if isinstance(payload, dict) and "latency" in payload:
+        check_latency_block(path, payload["latency"], errors)
+
+
+def check_latency_block(
+    path: pathlib.Path, latency, errors: list[str]
+) -> None:
+    """Validate a payload's latency-percentile block (observability bench)."""
+    where = str(path)
+    if not isinstance(latency, dict) or not latency:
+        errors.append(f"{where}: latency block must be a non-empty object")
+        return
+    ok = 0
+    for key, summary in latency.items():
+        if not isinstance(summary, dict) or not {
+            "count", "p50", "p95", "p99"
+        } <= summary.keys():
+            errors.append(
+                f"{where}: latency {key!r} needs count/p50/p95/p99"
+            )
+            continue
+        fields = [summary[f] for f in ("count", "p50", "p95", "p99")]
+        if not all(isinstance(x, (int, float)) for x in fields):
+            errors.append(f"{where}: latency {key!r} is not numeric")
+            continue
+        count, p50, p95, p99 = fields
+        if count < 0:
+            errors.append(f"{where}: latency {key!r} has negative count")
+        elif not (0 <= p50 <= p95 <= p99):
+            errors.append(
+                f"{where}: latency {key!r} percentiles unordered "
+                f"({p50!r} / {p95!r} / {p99!r})"
+            )
+        else:
+            ok += 1
+    if ok:
+        print(f"ok: {path.name} latency block ({ok} histogram(s))")
 
 
 def check_trajectory(root: pathlib.Path, errors: list[str]) -> int:

@@ -212,6 +212,50 @@ def chaos_demo() -> None:
     )
     assert report.verdict and report.silent_mismatches == 0
 
+    trace_demo()
+
+
+def trace_demo() -> None:
+    """Deterministic observability: profile Q6, render its span tree and
+    the per-QoS-class latency percentiles — all driven by the simulated
+    clock, bit-identical run to run (DESIGN.md §14)."""
+    print("\n--- Tracing, profiling and latency histograms (DESIGN.md §14) ---")
+    from repro.obs import Observer
+    from repro.tpch.queries import query_builder
+
+    obs = Observer(enabled=False)  # silent while the database loads
+    db = build_database(
+        hstorage_config(
+            cache_blocks=256, bufferpool_pages=16, observer=obs
+        )
+    )
+    load_tpch(db, scale=0.05)
+    db.reset_measurements()
+    obs.reset()
+    obs.enabled = True  # telemetry covers only the measured window
+
+    profile = db.explain_analyze(query_builder(6), label="Q6")
+    print(profile.render())
+    print()
+    print(obs.tracer.render(max_children=4, max_depth=4))
+
+    print("\n  latency percentiles (exact, from integer-ns log buckets):")
+    for key, hist in obs.metrics.histograms():
+        s = hist.summary()
+        print(
+            f"    {key}: n={s['count']} "
+            f"p50={s['p50'] * 1e3:.3f}ms p95={s['p95'] * 1e3:.3f}ms "
+            f"p99={s['p99'] * 1e3:.3f}ms"
+        )
+
+    # The closure invariant: node self-times sum exactly to the query's
+    # simulated elapsed time — every simulated second claimed once.
+    assert abs(profile.total_self_seconds() - profile.sim_seconds) < 1e-9
+    print(
+        f"  closure: sum(node self) = {profile.total_self_seconds():.6f}s "
+        f"= sim elapsed {profile.sim_seconds:.6f}s"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -7,6 +7,8 @@ Usage::
     python -m repro experiment fig6 --scale 0.5
     python -m repro sequence --config hstorage --scale 0.3
     python -m repro placement --mode hybrid --shifting --json
+    python -m repro trace 6 --chrome q6_trace.json
+    python -m repro metrics --queries 1 6
     python -m repro chaos --seed 3 --profile corrupt --json
 """
 
@@ -75,6 +77,33 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="hot-set operations to run (default 240)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
+
+    t = sub.add_parser(
+        "trace",
+        help="run one TPC-H query with deterministic span tracing and "
+        "operator-level profiling (DESIGN.md §14)",
+    )
+    t.add_argument("number", type=int, choices=QUERY_IDS)
+    t.add_argument("--config", choices=EXTENDED_CONFIG_NAMES,
+                   default="hstorage")
+    t.add_argument("--chrome", metavar="PATH",
+                   help="write the Chrome trace_event JSON here "
+                   "(loadable in Perfetto / chrome://tracing)")
+    t.add_argument("--json", action="store_true",
+                   help="emit the span tree + profile as JSON")
+
+    m = sub.add_parser(
+        "metrics",
+        help="run queries against an instrumented stack and dump the "
+        "metrics registry (latency percentiles per QoS class)",
+    )
+    m.add_argument("--config", choices=EXTENDED_CONFIG_NAMES,
+                   default="hstorage")
+    m.add_argument("--queries", type=int, nargs="*", metavar="Q",
+                   help="TPC-H queries to run (default: all 22, "
+                   "power-test order)")
+    m.add_argument("--json", action="store_true",
+                   help="emit the full telemetry snapshot as JSON")
 
     c = sub.add_parser(
         "chaos",
@@ -198,6 +227,89 @@ def _cmd_placement(args) -> int:
     return 0
 
 
+def _observed_database(runner, kind: str, tracing: bool = True):
+    """A loaded database with an attached (initially muted) Observer.
+
+    The observer is disabled while the database is built and loaded, so
+    telemetry covers exactly the measured window; measurements are reset
+    before it is armed.
+    """
+    from repro.obs import Observer
+
+    obs = Observer(enabled=False, tracing=tracing)
+    db, _ = runner.fresh_database(kind, observer=obs)
+    db.reset_measurements()
+    obs.reset()
+    obs.enabled = True
+    return db, obs
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import validate_chrome
+
+    runner = _runner(args)
+    db, obs = _observed_database(runner, args.config)
+    profile = db.explain_analyze(
+        query_builder(args.number), label=query_label(args.number)
+    )
+    if args.json:
+        payload = {
+            "profile": profile.as_dict(),
+            "trace": obs.tracer.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(profile.render())
+        print()
+        print(obs.tracer.render())
+    if args.chrome:
+        data = obs.tracer.to_chrome()
+        problems = validate_chrome(data)
+        if problems:  # pragma: no cover - defensive
+            print(f"invalid chrome trace: {problems}", file=sys.stderr)
+            return 1
+        with open(args.chrome, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+        print(f"chrome trace written to {args.chrome} "
+              f"({len(data['traceEvents'])} events)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.tpch.streams import POWER_ORDER as _ORDER
+
+    runner = _runner(args)
+    db, obs = _observed_database(runner, args.config, tracing=False)
+    queries = args.queries or list(_ORDER)
+    for qid in queries:
+        db.run_query(query_builder(qid), label=query_label(qid),
+                     collect=False)
+    # Publishes the recovery gauges (per-tier retries) into the registry.
+    db.storage_manager.recovery_summary()
+    if args.json:
+        print(obs.telemetry_json())
+        return 0
+    snapshot = obs.metrics.snapshot()
+    print(f"metrics: {len(queries)} queries under {args.config} "
+          f"(scale {args.scale})")
+    print("\n  counters:")
+    for key, value in snapshot["counters"].items():
+        print(f"    {key:56s} {value:>12,}")
+    if snapshot["gauges"]:
+        print("\n  gauges:")
+        for key, value in snapshot["gauges"].items():
+            rendered = f"{value:,.4f}" if isinstance(value, float) else value
+            print(f"    {key:56s} {rendered:>12}")
+    print("\n  latency histograms (seconds):")
+    print(f"    {'key':56s} {'count':>8s} {'p50':>10s} {'p95':>10s} "
+          f"{'p99':>10s} {'max':>10s}")
+    for key, hist in obs.metrics.histograms():
+        s = hist.summary()
+        print(f"    {key:56s} {s['count']:>8,} {s['p50']:>10.6f} "
+              f"{s['p95']:>10.6f} {s['p99']:>10.6f} {s['max']:>10.6f}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.harness.chaos import run_chaos
 
@@ -253,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "sequence": _cmd_sequence,
         "placement": _cmd_placement,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

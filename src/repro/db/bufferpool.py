@@ -67,12 +67,19 @@ class BufferPool:
         self._memo_page: object | None = None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.read_errors = 0
         """Storage reads that raised a typed
         :class:`~repro.db.errors.StorageError` (corrupt block, failed
         device).  The error always propagates — a failed fetch admits no
         frame and moves no LRU state, so the pool stays consistent and a
         later retry of the same page starts clean."""
+
+    @property
+    def _observer(self):
+        """The storage system's Observer when attached and enabled."""
+        obs = getattr(self.storage_manager.storage, "observer", None)
+        return obs if obs is not None and obs.enabled else None
 
     # --------------------------------------------------------------- reads
 
@@ -88,22 +95,32 @@ class BufferPool:
             self.storage_manager.read_pages_batch(file, runs, sem)
         except StorageError:
             self.read_errors += 1
+            obs = self._observer
+            if obs is not None:
+                obs.on_pool_read_error()
             raise
 
     def get_page(self, file: DbFile, pageno: int, sem: SemanticInfo):
         """Fetch one page, charging storage I/O on a miss."""
         key = (file.fileid, pageno)
+        obs = self._observer
         if key == self._memo_key:
             self.hits += 1
+            if obs is not None:
+                obs.on_pool_hits(1)
             return self._memo_page
         frame = self._frames.get(key)
         if frame is not None:
             self.hits += 1
+            if obs is not None:
+                obs.on_pool_hits(1)
             self._frames.move_to_end(key)
             self._memo_key = key
             self._memo_page = frame.page
             return frame.page
         self.misses += 1
+        if obs is not None:
+            obs.on_pool_misses(1)
         self._fetch(file, [(pageno, 1)], sem)
         page = file.page(pageno)
         self._admit(Frame(file, pageno, page))
@@ -195,19 +212,29 @@ class BufferPool:
         """
         runs: list[tuple[int, int]] = []
         run_start: int | None = None
+        window_hits = 0
+        window_misses = 0
         for pageno in range(start, end):
             missing = (file.fileid, pageno) not in self._frames
             if missing:
                 self.misses += 1
+                window_misses += 1
                 if run_start is None:
                     run_start = pageno
             else:
                 self.hits += 1
+                window_hits += 1
             if not missing and run_start is not None:
                 runs.append((run_start, pageno - run_start))
                 run_start = None
         if run_start is not None:
             runs.append((run_start, end - run_start))
+        obs = self._observer
+        if obs is not None:
+            if window_hits:
+                obs.on_pool_hits(window_hits)
+            if window_misses:
+                obs.on_pool_misses(window_misses)
         if not runs:
             return None
         self._fetch(file, runs, sem)
@@ -344,12 +371,19 @@ class BufferPool:
             return
         self._memo_key = self._memo_page = None
         victims = []
+        evicted = 0
         for _ in range(overflow):
             if not self._frames:
                 break
             _, victim = self._frames.popitem(last=False)
+            evicted += 1
             if victim.dirty:
                 victims.append(victim)
+        self.evictions += evicted
+        if evicted:
+            obs = self._observer
+            if obs is not None:
+                obs.on_pool_evictions(evicted)
         self._write_back_batch(victims)
 
     def _write_back_batch(self, frames: list[Frame]) -> int:

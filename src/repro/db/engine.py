@@ -71,6 +71,16 @@ class QueryExecution:
         self.started_at = db.clock.now
         self.finished_at: float | None = None
 
+        # Observability: open this query's trace span (no-op without an
+        # enabled observer; hooks never touch the simulation itself).
+        obs = getattr(db.storage, "observer", None)
+        self._obs = obs if obs is not None and obs.enabled else None
+        self.span = (
+            self._obs.on_query_start(label, self.query_id)
+            if self._obs is not None
+            else None
+        )
+
         # MVCC: ``snapshot=True`` pins a fresh begin-timestamp snapshot
         # for the query's whole life; a Snapshot instance is used as-is
         # (caller owns its release); False/None read current state
@@ -129,26 +139,37 @@ class QueryExecution:
         """
         if self.done:
             return False
-        consumed = 0
-        vectorized = self._vectorized
-        while consumed < quantum:
-            try:
-                item = next(self._iterator)
-            except StopIteration:
-                self._finish()
-                return False
-            if item is PULSE:
-                consumed += 1
-                continue
-            if vectorized:
-                consumed += len(item) or 1
-                if self.collect:
-                    self.rows.extend(item)
-            else:
-                consumed += 1
-                if self.collect:
-                    self.rows.append(item)
-        return True
+        # Make this query's span current while its operators run, so I/O
+        # and device events recorded below nest under the right query
+        # even when several streams interleave cooperatively.
+        tracer = self._obs.tracer if self._obs is not None else None
+        pushed = tracer is not None and self.span is not None
+        if pushed:
+            tracer.push(self.span)
+        try:
+            consumed = 0
+            vectorized = self._vectorized
+            while consumed < quantum:
+                try:
+                    item = next(self._iterator)
+                except StopIteration:
+                    self._finish()
+                    return False
+                if item is PULSE:
+                    consumed += 1
+                    continue
+                if vectorized:
+                    consumed += len(item) or 1
+                    if self.collect:
+                        self.rows.extend(item)
+                else:
+                    consumed += 1
+                    if self.collect:
+                        self.rows.append(item)
+            return True
+        finally:
+            if pushed:
+                tracer.pop()
 
     def run_to_completion(self) -> None:
         while self.step(4096):
@@ -166,6 +187,10 @@ class QueryExecution:
         # and background accounting are complete when the result is read.
         self.db.storage.drain()
         self.finished_at = self.db.clock.now
+        if self._obs is not None:
+            self._obs.on_query_finish(
+                self.span, self.label, self.finished_at - self.started_at
+            )
 
     def result(self) -> QueryResult:
         if not self.done:
@@ -395,11 +420,31 @@ class Database:
             active = [ex for ex in active if ex.step(quantum)]
         return [ex.result() for ex in executions]
 
+    def explain_analyze(
+        self, plan_or_builder, label: str = "query", snapshot=None
+    ):
+        """Run one query with operator-level profiling (DESIGN.md §14).
+
+        Returns a :class:`~repro.obs.profile.QueryProfile`: per-node rows
+        in/out, batch counts, simulated CPU vs I/O self-time and buffer
+        pool hit/miss counters, with node self-times summing exactly to
+        the query's simulated elapsed time.  The profiled run is
+        bit-identical to a plain :meth:`run_query` of the same plan.
+        """
+        from repro.obs.profile import profile_query
+
+        return profile_query(self, plan_or_builder, label, snapshot=snapshot)
+
     # ---------------------------------------------------------------- admin
 
     @property
     def clock(self):
         return self.storage.clock
+
+    @property
+    def observer(self):
+        """The storage system's attached Observer, if any."""
+        return getattr(self.storage, "observer", None)
 
     def reset_measurements(self) -> None:
         """Zero clock and statistics (after loading, before an experiment)."""

@@ -82,6 +82,12 @@ class StorageManager:
         recovery = getattr(self.storage.backend, "recovery", None)
         if recovery is not None:
             summary["recovery"] = recovery.as_dict()
+            observer = getattr(self.storage, "observer", None)
+            if observer is not None and observer.enabled:
+                # Mirror the counters into registry gauges so `repro
+                # metrics` shows per-tier retry counts alongside the
+                # latency histograms.
+                observer.publish_recovery(recovery)
         scrubber = getattr(self.storage, "scrubber", None)
         if scrubber is not None:
             summary["scrubber"] = scrubber.summary()

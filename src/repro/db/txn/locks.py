@@ -92,6 +92,9 @@ class LockManager:
         self._waiting: dict[int, LockKey] = {}
         self._victims: set[int] = set()
         self.stats = LockStats()
+        self.observer = None
+        """Optional :class:`~repro.obs.Observer`; mirrors wait/deadlock
+        counts into the metrics registry (purely passive)."""
 
     # -------------------------------------------------------------- acquire
 
@@ -146,9 +149,16 @@ class LockManager:
     def _begin_wait(self, txid: int, key: LockKey) -> None:
         self._waiting[txid] = key
         self.stats.waits += 1
+        obs = self.observer
+        if obs is not None and not obs.enabled:
+            obs = None
+        if obs is not None:
+            obs.on_lock_wait()
         cycle = self._find_cycle(txid)
         if cycle is not None:
             self.stats.deadlocks += 1
+            if obs is not None:
+                obs.on_deadlock()
             victim = max(cycle)  # youngest transaction, deterministically
             self.stats.victims += 1
             self.cancel_wait(victim)

@@ -102,6 +102,7 @@ class TransactionManager:
         record that first dirtied the page since its last flush."""
         self.active: dict[int, Transaction] = {}
         self.locks = LockManager()
+        self.locks.observer = getattr(db.storage, "observer", None)
         self.mvcc = MVCCManager()
         self._next_txid = 1
         self._heaps: dict[int, HeapFile] = {}

@@ -444,6 +444,9 @@ class WriteAheadLog:
         needed = self._page_of(self._end_offset - 1) + 1
         while self.file.num_pages < needed:
             self.file.allocate_page(_LogPage())
+        obs = self._observer
+        if obs is not None:
+            obs.on_wal_append()
         return record
 
     # -------------------------------------------------------------- flushing
@@ -462,17 +465,27 @@ class WriteAheadLog:
         first_page = self._page_of(self._flushed_offset)
         last_page = self._page_of(end_offset - 1)
         pagenos = list(range(first_page, last_page + 1))
+        obs = self._observer
+        clock = self.storage_manager.storage.clock
+        before = clock.now
         self.storage_manager.write_pages_batch(
             self.file,
             pagenos,
             SemanticInfo.log_write(oid=WAL_OID, query_id=self.query_id),
             async_hint=False,
         )
+        if obs is not None:
+            obs.on_wal_flush(len(pagenos), clock.now - before)
         self.records_written += target - self._flushed_lsn
         self._flushed_lsn = target
         self._flushed_offset = end_offset
         self.flushes += 1
         return len(pagenos)
+
+    @property
+    def _observer(self):
+        obs = getattr(self.storage_manager.storage, "observer", None)
+        return obs if obs is not None and obs.enabled else None
 
     def _page_of(self, offset: int) -> int:
         return max(0, offset) // self.page_bytes

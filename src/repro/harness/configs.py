@@ -103,6 +103,11 @@ class StorageConfig:
     scrub: ScrubConfig | None = None
     """Optional background scrubber clockwork; ``None`` disables the
     integrity audit service."""
+    observer: object | None = None
+    """Optional :class:`~repro.obs.Observer` (DESIGN.md §14): one passive
+    telemetry hub threaded through the scheduler, tier chain and DBMS
+    layers.  ``None`` (the default) collects nothing; attaching one is
+    guaranteed not to change the simulation (bit-identity gate)."""
 
     def __post_init__(self) -> None:
         if self.kind not in EXTENDED_CONFIG_NAMES:
@@ -199,6 +204,7 @@ def build_storage(config: StorageConfig) -> tuple[StorageSystem, PolicyAssignmen
         placement=engine,
         faults=config.fault_plan,
         scrubber=scrubber,
+        observer=config.observer,
     )
     return system, assignment
 

@@ -80,7 +80,13 @@ class ExperimentRunner:
     def work_mem_rows(self, scale: float) -> int:
         return max(200, round(self.settings.work_mem_rows_per_scale * scale))
 
-    def config(self, kind: str, scale: float, throughput: bool = False) -> StorageConfig:
+    def config(
+        self,
+        kind: str,
+        scale: float,
+        throughput: bool = False,
+        observer=None,
+    ) -> StorageConfig:
         settings = self.settings
         pages = self.database_pages(scale)
         cache_fraction = (
@@ -100,13 +106,18 @@ class ExperimentRunner:
             policy_set=settings.policy_set,
             bufferpool_pages=max(32, round(pages * pool_fraction)),
             work_mem_rows=self.work_mem_rows(scale),
+            observer=observer,
         )
 
     def fresh_database(
-        self, kind: str, scale: float | None = None, throughput: bool = False
+        self,
+        kind: str,
+        scale: float | None = None,
+        throughput: bool = False,
+        observer=None,
     ) -> tuple[Database, TPCHMeta]:
         scale = self.settings.scale if scale is None else scale
-        db = build_database(self.config(kind, scale, throughput))
+        db = build_database(self.config(kind, scale, throughput, observer))
         meta = load_tpch(db, data=self.data(scale))
         return db, meta
 

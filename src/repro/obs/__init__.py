@@ -1,0 +1,31 @@
+"""Deterministic observability: tracing, metrics, profiling (DESIGN.md §14).
+
+Everything in this package is driven by the simulated clock and plain
+counters — no wall-clock reads, no randomness — so the same seed over the
+same workload produces byte-identical telemetry, and an attached
+:class:`Observer` never perturbs the simulation it watches (the
+bit-identity contract enforced by ``tests/test_observability_diff.py``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_lower_bound,
+)
+from repro.obs.observer import Observer
+from repro.obs.trace import Span, Tracer, validate_chrome
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "Tracer",
+    "bucket_index",
+    "bucket_lower_bound",
+]

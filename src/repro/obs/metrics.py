@@ -1,0 +1,196 @@
+"""Counters, gauges and log-bucket latency histograms (DESIGN.md §14).
+
+The histogram is an HdrHistogram-style log-linear scheme over *integer
+nanoseconds*: values below 16 ns land in unit-width buckets, every
+larger octave is split into 16 sub-buckets, so bucket boundaries are
+exact integers and relative quantization error stays below 1/16
+(~6.25 %).  Percentiles are computed from cumulative integer bucket
+counts — pure integer arithmetic over deterministic inputs, so the same
+run always reports the same p50/p95/p99, byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+_SUB_BUCKETS = 16
+_NS_PER_SECOND = 1_000_000_000
+
+
+def bucket_index(ns: int) -> int:
+    """Bucket index of an integer-nanosecond value.
+
+    ``ns < 16`` uses unit buckets 0..15; above that, octave ``o``
+    (``2**o <= ns < 2**(o+1)``) contributes 16 sub-buckets starting at
+    index ``(o - 3) * 16``.
+    """
+    if ns < _SUB_BUCKETS:
+        return ns
+    octave = ns.bit_length() - 1
+    return (octave - 3) * _SUB_BUCKETS + ((ns >> (octave - 4)) - _SUB_BUCKETS)
+
+
+def bucket_lower_bound(idx: int) -> int:
+    """Smallest integer nanosecond value mapping to bucket ``idx``."""
+    if idx < _SUB_BUCKETS:
+        return idx
+    return (_SUB_BUCKETS + idx % _SUB_BUCKETS) << (idx // _SUB_BUCKETS - 1)
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-log-bucket latency histogram over seconds.
+
+    ``observe`` truncates to integer nanoseconds and increments one
+    bucket; ``percentile`` walks the cumulative counts and returns the
+    matched bucket's exact lower bound (the true maximum for the final
+    rank), in seconds.  No interpolation, no floats in the ranking —
+    byte-identical across runs by construction.
+    """
+
+    __slots__ = ("buckets", "count", "sum_seconds", "max_ns", "min_ns")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_ns = 0
+        self.min_ns: int | None = None
+
+    def observe(self, seconds: float) -> None:
+        ns = int(seconds * _NS_PER_SECOND)
+        if ns < 0:
+            ns = 0
+        idx = bucket_index(ns)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.sum_seconds += seconds
+        if ns > self.max_ns:
+            self.max_ns = ns
+        if self.min_ns is None or ns < self.min_ns:
+            self.min_ns = ns
+
+    def merge(self, other: "Histogram") -> None:
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.count += other.count
+        self.sum_seconds += other.sum_seconds
+        if other.max_ns > self.max_ns:
+            self.max_ns = other.max_ns
+        if other.min_ns is not None and (
+            self.min_ns is None or other.min_ns < self.min_ns
+        ):
+            self.min_ns = other.min_ns
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile in seconds (bucket lower bound, exact)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        if rank >= self.count:
+            return self.max_ns / _NS_PER_SECOND
+        cumulative = 0
+        for idx in sorted(self.buckets):
+            cumulative += self.buckets[idx]
+            if cumulative >= rank:
+                return bucket_lower_bound(idx) / _NS_PER_SECOND
+        return self.max_ns / _NS_PER_SECOND  # pragma: no cover - unreachable
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum_seconds": self.sum_seconds,
+            "min": (self.min_ns or 0) / _NS_PER_SECOND,
+            "max": self.max_ns / _NS_PER_SECOND,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+def render_key(name: str, labels: dict) -> str:
+    """Canonical ``name{k=v,...}`` rendering with sorted label keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, gauges and histograms.
+
+    Instruments are keyed by name plus a sorted label set; iteration
+    orders everything by canonical key, so snapshots are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = render_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = render_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = render_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def histograms(self) -> list[tuple[str, Histogram]]:
+        """All histograms, sorted by canonical key."""
+        return sorted(self._histograms.items())
+
+    def snapshot(self) -> dict:
+        """Everything the registry holds, as a sorted plain-dict tree."""
+        return {
+            "counters": {
+                key: c.value for key, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                key: g.value for key, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                key: h.summary() for key, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

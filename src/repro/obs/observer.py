@@ -1,0 +1,277 @@
+"""The Observer: one passive telemetry hub for the whole stack.
+
+A single :class:`Observer` instance is threaded through
+``StorageConfig`` → ``StorageSystem`` → scheduler/tier chain and reached
+by the DBMS layers (buffer pool, WAL, lock manager, query engine)
+through their existing storage references.  Every hook is *purely
+passive*: it reads the simulated clock and increments registry
+instruments but never advances time, never touches statistics the
+simulation itself consumes, and never influences control flow — which is
+what makes observability-on runs bit-identical to observability-off runs
+(DESIGN.md §14, enforced differentially in
+``tests/test_observability_diff.py``).
+
+Instrumentation sites guard with ``obs is not None and obs.enabled`` so
+the default (no observer) costs one attribute read and a comparison.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _priority_label(policy) -> str:
+    """Stable QoS-class label for metric keys ("wb" = write buffer)."""
+    if policy is None:
+        return "none"
+    if getattr(policy, "write_buffer", False):
+        return "wb"
+    priority = getattr(policy, "priority", None)
+    return "none" if priority is None else str(priority)
+
+
+def _rtype_label(rtype) -> str:
+    return rtype.value if rtype is not None else "none"
+
+
+class Observer:
+    """Deterministic telemetry collector (metrics registry + tracer).
+
+    ``enabled`` gates every hook; flip it off around setup phases (data
+    loading) so telemetry covers only the measured window.  ``tracing``
+    selects whether a span :class:`Tracer` is attached at all —
+    metrics-only observers skip span bookkeeping entirely.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracing: bool = True,
+        trace_limit: int = 200_000,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(limit=trace_limit) if tracing else None
+        self.clock = None
+
+    def bind_clock(self, clock) -> None:
+        """Adopt the storage system's clock (first binding wins)."""
+        if self.clock is None:
+            self.clock = clock
+        if self.tracer is not None and self.tracer.clock is None:
+            self.tracer.clock = clock
+
+    def reset(self) -> None:
+        """Drop all collected telemetry (e.g. after a loading phase)."""
+        self.metrics.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
+
+    # -------------------------------------------------------- I/O scheduler
+
+    def on_dispatch(
+        self, request, sync_seconds: float, background_seconds: float,
+        queued: bool,
+    ) -> None:
+        """One scheduler dispatch reached the backend."""
+        op = request.op.value
+        rtype = _rtype_label(request.rtype)
+        priority = _priority_label(request.policy)
+        m = self.metrics
+        m.counter("io_dispatches", op=op, rtype=rtype).inc()
+        m.counter("io_dispatch_blocks", op=op, rtype=rtype).inc(
+            request.nblocks
+        )
+        m.histogram(
+            "io_dispatch_seconds", op=op, rtype=rtype, priority=priority
+        ).observe(sync_seconds)
+        if background_seconds:
+            m.histogram("io_background_seconds", op=op).observe(
+                background_seconds
+            )
+
+    def on_completion(self, request, outcomes, queued: bool) -> None:
+        """One original request fully served (possibly via a merge)."""
+        rtype = _rtype_label(request.rtype)
+        priority = _priority_label(request.policy)
+        m = self.metrics
+        m.counter("io_requests", rtype=rtype).inc(len(request.runs()))
+        m.counter("io_blocks", rtype=rtype).inc(request.nblocks)
+        hits = sum(1 for o in outcomes if o.hit)
+        if hits:
+            m.counter("cache_hits", priority=priority).inc(hits)
+        misses = len(outcomes) - hits
+        if misses:
+            m.counter("cache_misses", priority=priority).inc(misses)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"io:{request.op.value}",
+                cat="io",
+                lba=request.lba,
+                nblocks=request.nblocks,
+                rtype=rtype,
+                priority=priority,
+                hits=hits,
+                queued=queued,
+            )
+
+    # ----------------------------------------------------------- tier chain
+
+    def on_device_access(
+        self, tier: str, op: str, nblocks: int, seconds: float
+    ) -> None:
+        m = self.metrics
+        m.counter("tier_accesses", tier=tier, op=op).inc()
+        m.counter("tier_blocks", tier=tier, op=op).inc(nblocks)
+        m.histogram("device_access_seconds", tier=tier, op=op).observe(
+            seconds
+        )
+        if self.tracer is not None:
+            self.tracer.event(
+                f"dev:{tier}:{op}", cat="device", duration=seconds,
+                nblocks=nblocks,
+            )
+
+    def on_retry(self, tier: str, attempt: int, backoff: float) -> None:
+        self.metrics.counter("device_retries", tier=tier).inc()
+        if self.tracer is not None:
+            self.tracer.event(
+                f"retry:{tier}", cat="fault", duration=backoff,
+                attempt=attempt,
+            )
+
+    def on_failover(self, tier: str, blocks: int, seconds: float) -> None:
+        self.metrics.counter("tier_failovers", tier=tier).inc()
+        self.metrics.counter("failover_blocks", tier=tier).inc(blocks)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"failover:{tier}", cat="fault", duration=seconds,
+                blocks=blocks,
+            )
+
+    def on_corruption_detected(self, tier: str, lbn: int) -> None:
+        self.metrics.counter("corruptions_detected", tier=tier).inc()
+        if self.tracer is not None:
+            self.tracer.event(f"corrupt:{tier}", cat="fault", lbn=lbn)
+
+    def on_repair(self, tier: str, lbn: int, source: str) -> None:
+        self.metrics.counter("corruptions_repaired", tier=tier).inc()
+        if self.tracer is not None:
+            self.tracer.event(
+                f"repair:{tier}", cat="fault", lbn=lbn, source=source
+            )
+
+    def publish_recovery(self, recovery) -> None:
+        """Mirror a RecoveryStats object into registry gauges.
+
+        Called from ``StorageManager.recovery_summary`` so chaos runs
+        expose per-tier retry counts, not just chain-wide totals."""
+        g = self.metrics.gauge
+        g("recovery_retries").set(recovery.retries)
+        g("recovery_retry_backoff_seconds").set(
+            recovery.retry_backoff_seconds
+        )
+        g("recovery_corruptions_detected").set(recovery.corruptions_detected)
+        g("recovery_corruptions_repaired").set(recovery.corruptions_repaired)
+        g("recovery_unrepairable").set(recovery.unrepairable)
+        g("recovery_tier_failovers").set(recovery.tier_failovers)
+        g("recovery_blocks_remapped").set(recovery.blocks_remapped)
+        for tier, retries in sorted(recovery.retries_by_tier.items()):
+            g("recovery_retries", tier=tier).set(retries)
+
+    # ---------------------------------------------------------- buffer pool
+
+    def on_pool_hits(self, n: int) -> None:
+        self.metrics.counter("pool_hits").inc(n)
+
+    def on_pool_misses(self, n: int) -> None:
+        self.metrics.counter("pool_misses").inc(n)
+
+    def on_pool_evictions(self, n: int) -> None:
+        self.metrics.counter("pool_evictions").inc(n)
+
+    def on_pool_read_error(self) -> None:
+        self.metrics.counter("pool_read_errors").inc()
+
+    # ------------------------------------------------------------------ WAL
+
+    def on_wal_append(self) -> None:
+        self.metrics.counter("wal_appends").inc()
+
+    def on_wal_flush(self, pages: int, seconds: float) -> None:
+        self.metrics.counter("wal_flushes").inc()
+        self.metrics.counter("wal_pages_flushed").inc(pages)
+        self.metrics.histogram("wal_flush_seconds").observe(seconds)
+        if self.tracer is not None:
+            self.tracer.event(
+                "wal:flush", cat="wal", duration=seconds, pages=pages
+            )
+
+    # ---------------------------------------------------------------- locks
+
+    def on_lock_wait(self) -> None:
+        self.metrics.counter("lock_waits").inc()
+
+    def on_deadlock(self) -> None:
+        self.metrics.counter("lock_deadlocks").inc()
+
+    # -------------------------------------------------------------- queries
+
+    def on_query_start(self, label: str, query_id: int):
+        """Returns the query span (or None without a tracer)."""
+        self.metrics.counter("queries_started").inc()
+        if self.tracer is None:
+            return None
+        return self.tracer.start_span(
+            f"query:{label}", cat="query", parent=None, query_id=query_id
+        )
+
+    def on_query_finish(self, span, label: str, seconds: float) -> None:
+        self.metrics.counter("queries_finished").inc()
+        self.metrics.histogram("query_seconds", label=label).observe(seconds)
+        if self.tracer is not None:
+            self.tracer.finish_span(span)
+
+    # ----------------------------------------------- background clockwork
+
+    def on_migration_epoch(self, summary: dict) -> None:
+        g = self.metrics.gauge
+        g("migration_epochs").set(summary.get("epochs", 0))
+        g("migration_blocks_promoted").set(summary.get("blocks_promoted", 0))
+        g("migration_blocks_demoted").set(summary.get("blocks_demoted", 0))
+        g("migration_blocks_declined").set(summary.get("blocks_declined", 0))
+        g("migration_seconds").set(summary.get("migration_seconds", 0.0))
+        if self.tracer is not None:
+            self.tracer.event(
+                "migration:epoch", cat="background",
+                epochs=summary.get("epochs", 0),
+            )
+
+    def on_scrub_epoch(self, summary: dict) -> None:
+        g = self.metrics.gauge
+        g("scrub_epochs").set(summary.get("epochs", 0))
+        g("scrub_blocks_scrubbed").set(summary.get("blocks_scrubbed", 0))
+        g("scrub_repairs").set(summary.get("repairs", 0))
+        g("scrub_detections").set(summary.get("detections", 0))
+        g("scrub_seconds").set(summary.get("scrub_seconds", 0.0))
+        if self.tracer is not None:
+            self.tracer.event(
+                "scrub:epoch", cat="background",
+                epochs=summary.get("epochs", 0),
+            )
+
+    # ---------------------------------------------------------------- export
+
+    def telemetry(self) -> dict:
+        """Everything collected, as one JSON-serializable tree."""
+        out: dict = {"metrics": self.metrics.snapshot()}
+        if self.tracer is not None:
+            out["trace"] = self.tracer.to_dict()
+        return out
+
+    def telemetry_json(self) -> str:
+        """Canonical JSON rendering — the byte-identity fixture."""
+        return json.dumps(self.telemetry(), indent=2, sort_keys=True)

@@ -1,0 +1,280 @@
+"""Sim-clock span tracing with JSON and Chrome trace_event export.
+
+A :class:`Tracer` records nested :class:`Span`s whose start/end
+timestamps come from the simulated clock, never wall time.  Callers
+maintain an explicit current-span stack (``push``/``pop`` or the
+``span`` context manager), so the query engine can interleave several
+queries' spans correctly under cooperative scheduling.  Exports:
+
+* :meth:`Tracer.to_dict` — plain nested JSON;
+* :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` format
+  (``{"traceEvents": [...]}`` with ``"X"`` complete events, timestamps
+  in microseconds), loadable in Perfetto / ``chrome://tracing``.
+
+The tracer caps total span count (``limit``) and counts drops instead of
+growing without bound; dropping is deterministic (same workload, same
+drops) so telemetry stays byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_CURRENT = object()
+"""Sentinel: parent the new span under the tracer's current span."""
+
+
+class Span:
+    """One traced interval on the simulated timeline."""
+
+    __slots__ = ("sid", "name", "cat", "start", "end", "attrs", "children")
+
+    def __init__(
+        self, sid: int, name: str, cat: str, start: float, attrs: dict
+    ) -> None:
+        self.sid = sid
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+        }
+        if self.attrs:
+            out["attrs"] = {k: self.attrs[k] for k in sorted(self.attrs)}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.start:.6f}..{self.end})"
+
+
+class Tracer:
+    """Records spans against a simulated clock."""
+
+    def __init__(self, clock=None, limit: int = 200_000) -> None:
+        self.clock = clock
+        self.limit = limit
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._count = 0
+        self._next_sid = 1
+
+    # ------------------------------------------------------------- recording
+
+    def _now(self, at: float | None) -> float:
+        if at is not None:
+            return at
+        return self.clock.now if self.clock is not None else 0.0
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def start_span(
+        self,
+        name: str,
+        cat: str = "span",
+        parent=_CURRENT,
+        at: float | None = None,
+        **attrs,
+    ) -> Span | None:
+        """Open a span; returns None once the span budget is exhausted."""
+        if self._count >= self.limit:
+            self.dropped += 1
+            return None
+        self._count += 1
+        span = Span(self._next_sid, name, cat, self._now(at), attrs)
+        self._next_sid += 1
+        if parent is _CURRENT:
+            parent = self.current
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+        return span
+
+    def finish_span(self, span: Span | None, at: float | None = None) -> None:
+        if span is not None:
+            span.end = self._now(at)
+
+    def push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, cat: str = "span", **attrs):
+        span = self.start_span(name, cat, **attrs)
+        if span is not None:
+            self.push(span)
+        try:
+            yield span
+        finally:
+            if span is not None:
+                self.pop()
+                self.finish_span(span)
+
+    def event(
+        self,
+        name: str,
+        cat: str = "event",
+        duration: float = 0.0,
+        at: float | None = None,
+        **attrs,
+    ) -> Span | None:
+        """A leaf span of known duration under the current span."""
+        span = self.start_span(name, cat, at=at, **attrs)
+        if span is not None:
+            span.end = span.start + duration
+        return span
+
+    def add_span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span | None:
+        """Attach a span with explicit timestamps (post-hoc annotation)."""
+        span = self.start_span(name, cat, parent=parent, at=start, **attrs)
+        if span is not None:
+            span.end = end
+        return span
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+        self.dropped = 0
+        self._count = 0
+        self._next_sid = 1
+
+    # --------------------------------------------------------------- exports
+
+    def to_dict(self) -> dict:
+        return {
+            "spans": self._count,
+            "dropped": self.dropped,
+            "roots": [span.to_dict() for span in self.roots],
+        }
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` JSON (Perfetto / about:tracing)."""
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "repro-sim"},
+            }
+        ]
+
+        def emit(span: Span, tid: int) -> None:
+            end = span.end if span.end is not None else span.start
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": span.start * 1e6,
+                    "dur": (end - span.start) * 1e6,
+                    "args": {
+                        k: span.attrs[k] for k in sorted(span.attrs)
+                    },
+                }
+            )
+            for child in span.children:
+                emit(child, tid)
+
+        for root in self.roots:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": root.sid,
+                    "args": {"name": root.name},
+                }
+            )
+            emit(root, root.sid)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def render(self, max_children: int = 8, max_depth: int = 6) -> str:
+        """Indented span tree with durations, for terminals."""
+        lines: list[str] = [
+            f"trace: {self._count} span(s), {self.dropped} dropped"
+        ]
+
+        def walk(span: Span, depth: int) -> None:
+            pad = "  " * (depth + 1)
+            attrs = ""
+            if span.attrs:
+                inner = " ".join(
+                    f"{k}={span.attrs[k]}" for k in sorted(span.attrs)
+                )
+                attrs = f"  [{inner}]"
+            lines.append(
+                f"{pad}{span.name}  {span.duration * 1e3:.3f} ms{attrs}"
+            )
+            if depth + 1 >= max_depth and span.children:
+                lines.append(f"{pad}  ... ({len(span.children)} nested)")
+                return
+            for child in span.children[:max_children]:
+                walk(child, depth + 1)
+            hidden = len(span.children) - max_children
+            if hidden > 0:
+                lines.append(f"{pad}  ... ({hidden} more)")
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+def validate_chrome(data) -> list[str]:
+    """Minimal schema check of a Chrome trace_event document.
+
+    Returns a list of problems (empty = valid).  Accepts both the object
+    form (``{"traceEvents": [...]}``) and the bare array form.
+    """
+    problems: list[str] = []
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["traceEvents must be a list"]
+    elif isinstance(data, list):
+        events = data
+    else:
+        return ["top level must be an object or an array"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        if "name" not in event or "ph" not in event:
+            problems.append(f"event {i}: missing name/ph")
+            continue
+        if event["ph"] == "X":
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+    return problems

@@ -48,6 +48,16 @@ class SimClock:
         """Total background (asynchronous) device time in seconds."""
         return self._background
 
+    @property
+    def io_seconds(self) -> float:
+        """Foreground I/O service time alone (profiling breakdowns)."""
+        return self._now
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Foreground modelled-CPU time alone (profiling breakdowns)."""
+        return self._cpu
+
     def advance(self, seconds: float) -> None:
         """Advance foreground I/O time; ``seconds`` must be non-negative."""
         if seconds < 0:

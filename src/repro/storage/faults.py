@@ -193,10 +193,13 @@ class RecoveryStats:
     tier_failovers: int = 0
     blocks_remapped: int = 0
     failover_seconds: float = 0.0
+    retries_by_tier: dict = field(default_factory=dict)
+    """Transient-error retries broken down by device/tier name."""
 
     def as_dict(self) -> dict:
         return {
             "retries": self.retries,
+            "retries_by_tier": dict(sorted(self.retries_by_tier.items())),
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "corruptions_detected": self.corruptions_detected,
             "corruptions_repaired": self.corruptions_repaired,

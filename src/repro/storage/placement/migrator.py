@@ -216,9 +216,15 @@ class PlacementEngine:
             heat.record(request.lbas, write=request.is_write)
         clock = self.system.clock
         epoch_seconds = self.config.epoch_seconds
+        ran = False
         while clock.now >= self._next_epoch:
             self._run_epoch()
             self._next_epoch += epoch_seconds
+            ran = True
+        if ran:
+            obs = getattr(self.system, "observer", None)
+            if obs is not None and obs.enabled:
+                obs.on_migration_epoch(self.summary())
 
     def _run_epoch(self) -> None:
         self.epochs += 1

@@ -79,6 +79,9 @@ class IOScheduler:
             raise StorageConfigError("writeback queue depth must be >= 1")
         self.backend = backend
         self.depth = depth
+        self.observer = None
+        """Optional :class:`~repro.obs.Observer`; receives per-dispatch
+        latency observations (purely passive, DESIGN.md §14)."""
         self._queue: list[IORequest] = []
         self._queued_lbns: set[int] = set()
         # --- observability ---------------------------------------------
@@ -198,6 +201,9 @@ class IOScheduler:
         self.dispatches += 1
         self.blocks_dispatched += dispatch.nblocks
         sync, background, outcomes = self.backend.submit(dispatch)
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.on_dispatch(dispatch, sync, background, queued)
         result.sync_seconds += sync
         result.background_seconds += background
         by_lbn = dict(zip(dispatch.lbas, outcomes))

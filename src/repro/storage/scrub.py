@@ -93,9 +93,15 @@ class Scrubber:
             return
         clock = self.system.clock
         epoch_seconds = self.config.epoch_seconds
+        ran = False
         while clock.now >= self._next_epoch:
             self._run_epoch()
             self._next_epoch += epoch_seconds
+            ran = True
+        if ran:
+            obs = getattr(self.system, "observer", None)
+            if obs is not None and obs.enabled:
+                obs.on_scrub_epoch(self.summary())
 
     def _audit_set(self) -> list[int]:
         """This epoch's worklist: flagged blocks first, then the cursor's

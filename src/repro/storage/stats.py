@@ -99,9 +99,23 @@ class StatsCollector:
     outcomes; ``record`` does both for immediately-dispatched requests.
     """
 
-    def __init__(self) -> None:
+    DEFAULT_RETENTION = 1024
+
+    def __init__(self, max_tracked_queries: int | None = None) -> None:
         self.per_query: dict[int | None, QueryStats] = defaultdict(QueryStats)
         self.overall = QueryStats()
+        self.max_tracked_queries = (
+            max_tracked_queries
+            if max_tracked_queries is not None
+            else self.DEFAULT_RETENTION
+        )
+        """Retention cap on per-query entries.  Long-running workloads
+        (throughput loops, soak runs) previously grew ``per_query``
+        without bound; once the cap is exceeded the oldest finished
+        queries are evicted FIFO.  ``overall`` keeps every count, the
+        global bucket (``None``) and the query being recorded are never
+        evicted.  ``<= 0`` disables the cap."""
+        self.evicted_queries = 0
 
     def record(self, request: IORequest, outcomes: list[BlockOutcome]) -> None:
         hits = sum(1 for o in outcomes if o.hit)
@@ -146,12 +160,39 @@ class StatsCollector:
             ):
                 stats.by_priority[request.policy.priority].merge(delta)
 
+        self._enforce_retention(request.query_id)
+
+    def _enforce_retention(self, current: int | None) -> None:
+        cap = self.max_tracked_queries
+        if cap <= 0:
+            return
+        # The global ``None`` bucket is exempt and does not consume a
+        # slot; dict insertion order gives deterministic oldest-first
+        # eviction.
+        limit = cap + (1 if None in self.per_query else 0)
+        while len(self.per_query) > limit:
+            for query_id in self.per_query:
+                if query_id is None or query_id == current:
+                    continue
+                del self.per_query[query_id]
+                self.evicted_queries += 1
+                break
+            else:
+                return  # nothing evictable (only None/current remain)
+
+    def purge(self, query_id: int | None) -> None:
+        """Drop one query's per-query entry (its counts stay in
+        ``overall``).  Call when a result has been consumed and the
+        per-query breakdown is no longer needed."""
+        self.per_query.pop(query_id, None)
+
     def query(self, query_id: int | None) -> QueryStats:
         return self.per_query[query_id]
 
     def reset(self) -> None:
         self.per_query.clear()
         self.overall = QueryStats()
+        self.evicted_queries = 0
 
 
 def _fallback_type(request: IORequest) -> RequestType:

@@ -36,10 +36,18 @@ class StorageSystem:
         placement=None,
         faults=None,
         scrubber=None,
+        observer=None,
     ) -> None:
         self.backend = backend
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else StatsCollector()
+        self.observer = observer
+        """Optional :class:`~repro.obs.Observer`: passive telemetry hub
+        shared by the scheduler, tier chain and DBMS layers.  Purely
+        observational — attaching one never changes the simulation
+        (DESIGN.md §14)."""
+        if observer is not None:
+            observer.bind_clock(self.clock)
         self.placement = placement
         """Optional :class:`~repro.storage.placement.PlacementEngine`:
         observes every batch for temperature tracking and runs background
@@ -68,6 +76,12 @@ class StorageSystem:
         self.scheduler = scheduler
         if self.scheduler.backend is not backend:
             raise StorageConfigError("scheduler must dispatch onto the same backend")
+        if observer is not None:
+            # One hub for every layer: the scheduler reports dispatch
+            # latencies, the tier chain reports device accesses/retries.
+            self.scheduler.observer = observer
+            if hasattr(backend, "observer"):
+                backend.observer = observer
 
     def submit(self, request: IORequest) -> list[BlockOutcome]:
         """Serve one request; returns its per-block outcomes.
@@ -89,8 +103,17 @@ class StorageSystem:
                 # Queued writeback: the request exists now; cache outcomes
                 # are accounted when the elevator drains it.
                 self.stats.record_counts(request)
-        result = self.scheduler.submit_batch(requests)
-        self._apply(result)
+        obs = self.observer
+        if obs is not None and obs.enabled and obs.tracer is not None:
+            # One span per scheduler pass: dispatch, device-access and
+            # completion events recorded below nest inside it (and the
+            # whole thing under the running query's span, if any).
+            with obs.tracer.span("io:batch", cat="io", requests=len(requests)):
+                result = self.scheduler.submit_batch(requests)
+                self._apply(result)
+        else:
+            result = self.scheduler.submit_batch(requests)
+            self._apply(result)
         if self.placement is not None:
             self.placement.after_batch(requests)
         if self.scrubber is not None:
@@ -105,11 +128,18 @@ class StorageSystem:
         self.clock.advance(result.sync_seconds)
         if result.background_seconds:
             self.clock.charge_background(result.background_seconds)
+        obs = self.observer
+        if obs is not None and not obs.enabled:
+            obs = None
         for completion in result.completions:
             if completion.queued:
                 self.stats.record_hits(completion.request, completion.outcomes)
             else:
                 self.stats.record(completion.request, completion.outcomes)
+            if obs is not None:
+                obs.on_completion(
+                    completion.request, completion.outcomes, completion.queued
+                )
 
     @property
     def now(self) -> float:

@@ -142,6 +142,9 @@ class TierChain:
         self.policy_set = policy_set if policy_set is not None else PolicySet()
         self.retry = retry if retry is not None else RetryPolicy()
         self.recovery = RecoveryStats()
+        self.observer = None
+        """Optional :class:`~repro.obs.Observer`; receives device-access,
+        retry, repair and failover events (purely passive, DESIGN.md §14)."""
 
     # ----------------------------------------------------------- convenience
 
@@ -202,14 +205,19 @@ class TierChain:
         the caller answers with tier failover.
         """
         retry = self.retry
+        obs = self.observer
+        if obs is not None and not obs.enabled:
+            obs = None
         penalty = 0.0
         attempt = 0
         while True:
             attempt += 1
             try:
-                return device.access(lba, nblocks, write=write) + penalty
+                seconds = device.access(lba, nblocks, write=write) + penalty
             except TransientIOError:
                 self.recovery.retries += 1
+                by_tier = self.recovery.retries_by_tier
+                by_tier[device.name] = by_tier.get(device.name, 0) + 1
                 if attempt >= retry.max_attempts:
                     device.failed = True
                     raise DeviceFailedError(
@@ -222,6 +230,14 @@ class TierChain:
                 backoff = retry.backoff(attempt)
                 penalty += backoff
                 self.recovery.retry_backoff_seconds += backoff
+                if obs is not None:
+                    obs.on_retry(device.name, attempt, backoff)
+                continue
+            if obs is not None:
+                obs.on_device_access(
+                    device.name, "write" if write else "read", nblocks, seconds
+                )
+            return seconds
 
     def _fail_out(self, exc: DeviceFailedError) -> float:
         """Fail the tier owning a dead device out of the chain.
@@ -253,6 +269,9 @@ class TierChain:
         self.recovery.tier_failovers += 1
         self.recovery.blocks_remapped += len(victims)
         self.recovery.failover_seconds += cost
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.on_failover(tier.name, len(victims), cost)
         return cost
 
     # ------------------------------------------------------------------- API
@@ -407,6 +426,9 @@ class TierChain:
         tier = self.tiers[level]
         assert tier.cache is not None
         self.recovery.corruptions_detected += 1
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.on_corruption_detected(tier.name, lbn)
         known = tier.cache.dirty_of(lbn)
         dirty = True if known is None else known
         if dirty:
@@ -420,6 +442,8 @@ class TierChain:
         lower_s, lower_b = self._read_below(level + 1, lbn)
         rewrite = self._device_access(tier.device, lbn, write=True)
         self.recovery.corruptions_repaired += 1
+        if obs is not None and obs.enabled:
+            obs.on_repair(tier.name, lbn, "below")
         return lower_s + rewrite, lower_b
 
     def _read_below(self, level: int, lbn: int) -> tuple[float, float]:
@@ -735,9 +759,14 @@ class TierChain:
             backing_bad = lbn in backing.device.corrupt_lbns
         if not primary_bad and not backing_bad:
             return cost, CacheAction.SCRUB
+        obs = self.observer
+        if obs is not None and not obs.enabled:
+            obs = None
         repaired = False
         if primary_bad:
             self.recovery.corruptions_detected += 1
+            if obs is not None:
+                obs.on_corruption_detected(tier.name, lbn)
             if not tier.is_caching:
                 # The primary *is* the backing copy: nothing to heal from.
                 self.recovery.unrepairable += 1
@@ -754,9 +783,13 @@ class TierChain:
             cost += device.background_write(1)  # lay down a fresh frame
             self._clear_corrupt(device, lbn)
             self.recovery.corruptions_repaired += 1
+            if obs is not None:
+                obs.on_repair(tier.name, lbn, "backing")
             repaired = True
         if backing_bad:
             self.recovery.corruptions_detected += 1
+            if obs is not None:
+                obs.on_corruption_detected(backing.name, lbn)
             assert tier.cache is not None  # backing_bad implies cached above
             known = tier.cache.dirty_of(lbn)
             dirty = True if known is None else known
@@ -767,6 +800,8 @@ class TierChain:
                 cost += backing.device.background_write(1)
                 self._clear_corrupt(backing.device, lbn)
                 self.recovery.corruptions_repaired += 1
+                if obs is not None:
+                    obs.on_repair(backing.name, lbn, "cache")
                 repaired = True
             else:
                 # The dirty copy supersedes the rotten frame anyway; its

@@ -1,0 +1,67 @@
+"""Golden-format tests for the plain-text report helpers."""
+
+from __future__ import annotations
+
+from repro.harness.report import (
+    _fmt,
+    bullet_list,
+    format_ratio,
+    format_table,
+    percentage,
+)
+
+
+class TestFmt:
+    def test_none_is_dash(self):
+        assert _fmt(None) == "-"
+
+    def test_float_tiers(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(0.1234) == "0.123"
+        assert _fmt(12.34) == "12.3"
+        assert _fmt(1234.5) == "1,234"
+        assert _fmt(-2500.0) == "-2,500"
+
+    def test_int_gets_thousands_separator(self):
+        assert _fmt(1234567) == "1,234,567"
+
+    def test_string_passthrough(self):
+        assert _fmt("hdd") == "hdd"
+
+
+class TestFormatTable:
+    def test_golden(self):
+        table = format_table(
+            ["cfg", "time"],
+            [["hdd", 12.5], ["ssd", 1.25]],
+            title="Q6",
+        )
+        assert table == (
+            "Q6\n"
+            "cfg   time\n"
+            "---  -----\n"
+            "hdd   12.5\n"
+            "ssd  1.250"
+        )
+
+    def test_widths_follow_longest_cell(self):
+        table = format_table(["a"], [["longer-cell"]])
+        lines = table.split("\n")
+        assert lines[0] == "          a"
+        assert lines[1] == "-----------"
+        assert lines[2] == "longer-cell"
+
+
+class TestScalarFormats:
+    def test_format_ratio(self):
+        assert format_ratio(None) == "-"
+        assert format_ratio(2.5) == "2.50x"
+
+    def test_percentage(self):
+        assert percentage(1, 0) == "0%"
+        assert percentage(1, 3) == "33.3%"
+        assert percentage(2, 2) == "100.0%"
+
+    def test_bullet_list(self):
+        assert bullet_list(["a", "b"]) == "  * a\n  * b"
+        assert bullet_list([]) == ""

@@ -1,0 +1,65 @@
+"""Smoke tests for the experiment runner (sizing rules + plumbing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+from repro.obs import Observer
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(RunnerSettings(scale=SCALE, seed=11))
+
+
+class TestSizing:
+    def test_data_is_cached_per_scale(self, runner):
+        assert runner.data(SCALE) is runner.data(SCALE)
+
+    def test_work_mem_floor(self, runner):
+        assert runner.work_mem_rows(SCALE) == 200  # floor dominates tiny scales
+        assert runner.work_mem_rows(10.0) == 25_000
+
+    def test_config_ratios(self, runner):
+        pages = runner.database_pages(SCALE)
+        single = runner.config("hstorage", SCALE)
+        assert single.kind == "hstorage"
+        assert single.cache_blocks == max(64, round(pages * 0.70))
+        assert single.bufferpool_pages == max(32, round(pages * 0.045))
+        throughput = runner.config("hstorage", SCALE, throughput=True)
+        assert throughput.cache_blocks == max(64, round(pages * 0.25))
+        # The throughput cache is strictly smaller (paper Section 6.4),
+        # unless both hit the floor at tiny test scales.
+        assert throughput.cache_blocks <= single.cache_blocks
+
+    def test_observer_is_threaded_through(self, runner):
+        obs = Observer(tracing=False)
+        config = runner.config("hstorage", SCALE, observer=obs)
+        assert config.observer is obs
+
+
+class TestExecution:
+    def test_fresh_database_runs_a_query(self, runner):
+        from repro.tpch.queries import query_builder
+
+        obs = Observer(tracing=False)
+        db, meta = runner.fresh_database("hstorage", observer=obs)
+        assert db.storage.observer is obs
+        assert meta.counts["lineitem"] > 0
+        result = db.run_query(query_builder(6), label="Q6")
+        assert result.rows and result.sim_seconds > 0
+        assert obs.metrics.counter("queries_finished").value == 1
+
+    def test_run_single_covers_requested_kinds(self, runner):
+        results = runner.run_single(6, kinds=("hdd", "hstorage"))
+        assert set(results) == {"hdd", "hstorage"}
+        assert results["hdd"].rows == results["hstorage"].rows
+        # The paper's headline: hStorage-DB is no slower than the HDD
+        # baseline (at this tiny smoke scale they can tie, so allow
+        # float-rounding noise).
+        assert results["hstorage"].sim_seconds <= (
+            results["hdd"].sim_seconds * (1 + 1e-9)
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry (DESIGN.md §14).
+
+The histogram's log-linear bucket scheme is pure integer arithmetic:
+these tests pin the bucket boundaries, the exact-percentile contract and
+the deterministic snapshot ordering the byte-identity gate relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_lower_bound,
+    render_key,
+)
+
+
+class TestBucketScheme:
+    def test_unit_buckets_below_16ns(self):
+        for ns in range(16):
+            assert bucket_index(ns) == ns
+            assert bucket_lower_bound(ns) == ns
+
+    def test_sixteen_sub_buckets_per_octave(self):
+        # Octave [16, 32): 16 buckets of width 1.
+        assert bucket_index(16) == 16
+        assert bucket_index(31) == 31
+        # Octave [32, 64): 16 buckets of width 2.
+        assert bucket_index(32) == 32
+        assert bucket_index(33) == 32
+        assert bucket_index(34) == 33
+        assert bucket_index(63) == 47
+
+    def test_lower_bound_inverts_index(self):
+        for ns in [0, 1, 15, 16, 17, 100, 1023, 1024, 10**6, 10**9, 10**12]:
+            idx = bucket_index(ns)
+            low = bucket_lower_bound(idx)
+            assert low <= ns
+            # The value's whole bucket maps back to the same index.
+            assert bucket_index(low) == idx
+
+    def test_buckets_are_monotone(self):
+        previous = -1
+        for ns in range(0, 5000):
+            idx = bucket_index(ns)
+            assert idx >= previous
+            previous = idx
+
+    def test_relative_error_below_one_sixteenth(self):
+        for ns in [100, 999, 12_345, 5_000_000, 10**9]:
+            low = bucket_lower_bound(bucket_index(ns))
+            assert (ns - low) / ns <= 1 / 16 + 1e-12
+
+
+class TestHistogram:
+    def test_exact_percentiles_small_set(self):
+        h = Histogram()
+        for seconds in (0.001, 0.002, 0.003, 0.004):
+            h.observe(seconds)
+        assert h.count == 4
+        # p50 -> rank 2 -> second-smallest bucket's lower bound.
+        p50 = h.percentile(50)
+        assert p50 <= 0.002 < p50 * (1 + 1 / 8)
+        # The final rank returns the true maximum, exactly.
+        assert h.percentile(100) == pytest.approx(0.004, abs=2e-9)
+
+    def test_percentile_of_empty_is_zero(self):
+        assert Histogram().percentile(95) == 0.0
+
+    def test_negative_observations_clamp_to_zero(self):
+        h = Histogram()
+        h.observe(-1.0)
+        assert h.min_ns == 0
+        assert h.count == 1
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(0.010)
+        b.observe(0.0001)
+        a.merge(b)
+        assert a.count == 3
+        assert a.max_ns == 10_000_000
+        assert a.min_ns == 100_000
+        assert a.sum_seconds == pytest.approx(0.0111)
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.observe(0.5)
+        s = h.summary()
+        assert set(s) == {"count", "sum_seconds", "min", "max", "p50",
+                          "p95", "p99"}
+        assert s["count"] == 1
+        assert s["p50"] <= 0.5 <= s["max"]
+
+    def test_identical_streams_identical_summaries(self):
+        stream = [((i * 37) % 100) / 997.0 for i in range(500)]
+        a, b = Histogram(), Histogram()
+        for v in stream:
+            a.observe(v)
+            b.observe(v)
+        assert json.dumps(a.summary(), sort_keys=True) == json.dumps(
+            b.summary(), sort_keys=True
+        )
+
+
+class TestRegistry:
+    def test_counter_gauge_get_or_create(self):
+        r = MetricsRegistry()
+        c = r.counter("io", op="read")
+        c.inc(3)
+        assert r.counter("io", op="read") is c
+        assert isinstance(c, Counter) and c.value == 3
+        g = r.gauge("depth")
+        g.set(7.5)
+        assert isinstance(g, Gauge) and r.gauge("depth").value == 7.5
+
+    def test_render_key_sorts_labels(self):
+        assert render_key("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"
+        assert render_key("m", {}) == "m"
+
+    def test_label_order_is_canonical(self):
+        r = MetricsRegistry()
+        assert r.counter("x", a=1, b=2) is r.counter("x", b=2, a=1)
+
+    def test_snapshot_sorted_and_json_stable(self):
+        r = MetricsRegistry()
+        r.counter("z").inc()
+        r.counter("a", t="hdd").inc(2)
+        r.histogram("lat", op="read").observe(0.004)
+        snap = r.snapshot()
+        assert list(snap["counters"]) == ["a{t=hdd}", "z"]
+        # Stable canonical rendering: the byte-identity fixture.
+        assert json.dumps(snap, sort_keys=True) == json.dumps(
+            r.snapshot(), sort_keys=True
+        )
+
+    def test_reset_clears_everything(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.histogram("h").observe(1.0)
+        r.reset()
+        snap = r.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}

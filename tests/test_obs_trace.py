@@ -1,0 +1,97 @@
+"""Unit tests for the sim-clock span tracer and its Chrome export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, validate_chrome
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class TestTracer:
+    def test_nesting_follows_the_stack(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("query", cat="query") as q:
+            clock.now = 1.0
+            with tracer.span("operator") as op:
+                clock.now = 1.5
+                tracer.event("io", cat="io", duration=0.25)
+            clock.now = 2.0
+        assert tracer.roots == [q]
+        assert q.children == [op]
+        assert op.children[0].name == "io"
+        assert op.children[0].start == 1.5
+        assert op.children[0].end == 1.75
+        assert q.start == 0.0 and q.end == 2.0
+        assert op.duration == 0.5
+
+    def test_explicit_parent_and_add_span(self):
+        tracer = Tracer()
+        root = tracer.start_span("root", at=0.0)
+        child = tracer.add_span("late", "operator", 0.2, 0.7, parent=root,
+                                rows=3)
+        tracer.finish_span(root, at=1.0)
+        assert child in root.children
+        assert child.duration == pytest.approx(0.5)
+        assert root.to_dict()["children"][0]["attrs"] == {"rows": 3}
+
+    def test_limit_drops_deterministically(self):
+        tracer = Tracer(limit=3)
+        spans = [tracer.start_span(f"s{i}", at=float(i)) for i in range(5)]
+        assert [s is None for s in spans] == [False, False, False, True, True]
+        assert tracer.dropped == 2
+        # A context manager past the limit is a harmless no-op.
+        with tracer.span("extra") as extra:
+            assert extra is None
+        assert tracer.dropped == 3
+
+    def test_reset(self):
+        tracer = Tracer(limit=2)
+        tracer.start_span("a", at=0.0)
+        tracer.start_span("b", at=0.0)
+        tracer.start_span("c", at=0.0)
+        tracer.reset()
+        assert tracer.roots == [] and tracer.dropped == 0
+        assert isinstance(tracer.start_span("d", at=0.0), Span)
+
+    def test_render_mentions_counts_and_names(self):
+        tracer = Tracer()
+        with tracer.span("query", qid=6):
+            tracer.event("io", duration=0.001, at=0.0)
+        text = tracer.render()
+        assert "2 span(s), 0 dropped" in text
+        assert "query" in text and "io" in text and "qid=6" in text
+
+
+class TestChromeExport:
+    def _sample(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("query", cat="query"):
+            clock.now = 0.001
+            tracer.event("dev:ssd:read", cat="io", duration=0.0005)
+            clock.now = 0.002
+        return tracer
+
+    def test_export_is_valid(self):
+        data = self._sample().to_chrome()
+        assert validate_chrome(data) == []
+        xs = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"query", "dev:ssd:read"}
+        # Microsecond timestamps on the sim timeline.
+        io = next(e for e in xs if e["name"] == "dev:ssd:read")
+        assert io["ts"] == 1000.0 and io["dur"] == 500.0
+
+    def test_validator_rejects_garbage(self):
+        assert validate_chrome(42) != []
+        assert validate_chrome({"traceEvents": "nope"}) != []
+        assert validate_chrome([{"ph": "X"}]) != []
+        assert validate_chrome(
+            [{"name": "x", "ph": "X", "ts": -1, "dur": "z"}]
+        ) != []
+        assert validate_chrome([]) == []

@@ -1,0 +1,68 @@
+"""Retention behaviour of the per-query statistics map.
+
+The :class:`StatsCollector` previously grew ``per_query`` without bound
+over long workloads; PR 8 adds a FIFO retention cap plus an explicit
+``purge``.  The global ``None`` bucket and the query currently being
+recorded are never evicted, and ``overall`` keeps every count.
+"""
+
+from __future__ import annotations
+
+from repro.storage.requests import IOOp, IORequest, RequestType
+from repro.storage.stats import StatsCollector
+
+
+def _request(query_id: int | None, lba: int = 0) -> IORequest:
+    return IORequest(
+        lba=lba, nblocks=1, op=IOOp.READ, rtype=RequestType.RANDOM,
+        query_id=query_id,
+    )
+
+
+class TestRetention:
+    def test_default_cap(self):
+        assert StatsCollector().max_tracked_queries == 1024
+
+    def test_fifo_eviction_past_cap(self):
+        stats = StatsCollector(max_tracked_queries=3)
+        for qid in range(1, 6):
+            stats.record(_request(qid), [])
+        # Oldest finished queries went first; the three newest remain.
+        assert sorted(q for q in stats.per_query if q is not None) == [3, 4, 5]
+        assert stats.evicted_queries == 2
+        # Evicted counts are still in the global aggregate.
+        assert stats.overall.total.requests == 5
+
+    def test_none_bucket_and_current_query_exempt(self):
+        stats = StatsCollector(max_tracked_queries=1)
+        stats.record(_request(None), [])
+        stats.record(_request(1), [])
+        stats.record(_request(2), [])
+        assert None in stats.per_query
+        assert 2 in stats.per_query  # the query being recorded survives
+        assert 1 not in stats.per_query
+
+    def test_zero_cap_disables_retention(self):
+        stats = StatsCollector(max_tracked_queries=0)
+        for qid in range(50):
+            stats.record(_request(qid), [])
+        assert len(stats.per_query) == 50
+        assert stats.evicted_queries == 0
+
+    def test_purge_drops_one_query_only(self):
+        stats = StatsCollector()
+        stats.record(_request(1), [])
+        stats.record(_request(2), [])
+        stats.purge(1)
+        assert 1 not in stats.per_query and 2 in stats.per_query
+        assert stats.overall.total.requests == 2
+        stats.purge(99)  # absent id: no-op, no KeyError
+
+    def test_reset_clears_eviction_counter(self):
+        stats = StatsCollector(max_tracked_queries=1)
+        for qid in range(4):
+            stats.record(_request(qid), [])
+        assert stats.evicted_queries > 0
+        stats.reset()
+        assert stats.evicted_queries == 0
+        assert not stats.per_query
