@@ -1,0 +1,175 @@
+"""Serving front-end benchmark: determinism, fairness, QoS isolation
+(ISSUE 9).
+
+Three measurements of the multi-tenant serving layer (DESIGN.md §15):
+
+* **determinism** — the same :class:`~repro.serve.ServeConfig` (seed
+  included) on two freshly built databases must produce byte-identical
+  serving reports (gate ``serve_deterministic``, floor 1.0);
+* **weighted fairness** — under saturation (admission wide open, every
+  class always runnable) each class's share of scheduler quanta over the
+  all-classes-active window must land within 10 % of its weight share
+  (gate ``fair_share`` records ``1 - max relative deviation``, floor
+  0.9), and at least three QoS classes must collect real latency samples
+  (gate ``qos_classes``, floor 3);
+* **isolation** — under the same mixed load, the interactive class's p99
+  operation latency must sit strictly below the batch class's p99 (gate
+  ``interactive_isolation``, floor 1.0).
+
+Results go to results/serving.{txt,json}; full-fidelity runs also
+refresh the repo-root ``BENCH_PR9.json`` trajectory artifact, whose
+per-class and per-tenant latency blocks
+``benchmarks/check_trajectory.py`` schema-validates.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    BENCH_SCALE,
+    envelope,
+    publish,
+    publish_envelope,
+    write_trajectory,
+)
+
+from repro.harness.report import format_table
+from repro.serve import ClassSpec, ServeConfig, TenantSpec, run_serving
+
+SERVE_SCALE = max(0.02, round(0.05 * BENCH_SCALE, 3))
+SEED = 11
+OPS_PER_SESSION = 80
+"""Not shrunk for smoke runs: the fair-share gate needs a long enough
+all-classes-active window for quantum shares to resolve within 10 %
+(the run itself costs well under a second at any scale)."""
+SESSIONS_PER_TENANT = 2
+
+#: Saturated mix: rate limits and queue depths wide open so every class
+#: has runnable work until its sessions drain — the regime in which the
+#: stride scheduler's quantum shares must converge to the weights.
+CLASSES = tuple(
+    ClassSpec(
+        name=name,
+        weight=weight,
+        rate_ops_per_second=1e6,
+        burst_ops=1000,
+        max_inflight=64,
+        max_deferrals=1000,
+        think_seconds=1e-6,
+        op_kind=kind,
+    )
+    for name, weight, kind in (
+        ("interactive", 8.0, "point"),
+        ("batch", 2.0, "scan"),
+        ("background", 1.0, "sweep"),
+    )
+)
+TENANTS = tuple(
+    TenantSpec(
+        name=f"t-{spec.name}",
+        service_class=spec.name,
+        sessions=SESSIONS_PER_TENANT,
+        ops_per_session=OPS_PER_SESSION,
+    )
+    for spec in CLASSES
+)
+
+
+def _config() -> ServeConfig:
+    return ServeConfig(seed=SEED, classes=CLASSES, tenants=TENANTS)
+
+
+def _fairness(report) -> tuple[float, dict]:
+    """``1 - max relative deviation`` of quantum share vs weight share."""
+    shares = {
+        name: cls["saturated_quanta"] for name, cls in report.classes.items()
+    }
+    total = sum(shares.values())
+    weight_total = sum(cls["weight"] for cls in report.classes.values())
+    detail = {}
+    worst = 0.0
+    for name, cls in report.classes.items():
+        share = shares[name] / total if total else 0.0
+        expected = cls["weight"] / weight_total
+        deviation = abs(share - expected) / expected
+        worst = max(worst, deviation)
+        detail[name] = {
+            "quanta_share": share,
+            "weight_share": expected,
+            "relative_deviation": deviation,
+        }
+    return 1.0 - worst, detail
+
+
+def test_serving(benchmark):
+    def experiment():
+        first = run_serving(_config(), scale=SERVE_SCALE)
+        second = run_serving(_config(), scale=SERVE_SCALE)
+        return first, second.to_json()
+
+    report, replay_json = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    deterministic = report.to_json() == replay_json
+    fair_share, fairness = _fairness(report)
+    qos_classes = sum(
+        1
+        for cls in report.classes.values()
+        if cls["latency"]["count"] > 0
+    )
+    interactive_p99 = report.classes["interactive"]["latency"]["p99"]
+    batch_p99 = report.classes["batch"]["latency"]["p99"]
+    isolated = interactive_p99 < batch_p99
+
+    rows = [
+        [
+            name,
+            f"{cls['weight']:.0f}",
+            cls["saturated_quanta"],
+            f"{fairness[name]['quanta_share']:.3f}",
+            f"{fairness[name]['weight_share']:.3f}",
+            cls["ops_completed"],
+            f"{cls['latency']['p50'] * 1e3:.3f}",
+            f"{cls['latency']['p95'] * 1e3:.3f}",
+            f"{cls['latency']['p99'] * 1e3:.3f}",
+        ]
+        for name, cls in sorted(report.classes.items())
+    ]
+    publish(
+        "serving",
+        format_table(
+            ["class", "w", "quanta", "share", "target", "ops",
+             "p50 ms", "p95 ms", "p99 ms"],
+            rows,
+            "Serving QoS: saturated quantum shares vs weights "
+            f"(deterministic={deterministic}, "
+            f"interactive p99 {'<' if isolated else '>='} batch p99)",
+        ),
+    )
+
+    gates = {
+        "serve_deterministic": (1.0 if deterministic else 0.0, 1.0),
+        "qos_classes": (float(qos_classes), 3.0),
+        "fair_share": (fair_share, 0.9),
+        "interactive_isolation": (1.0 if isolated else 0.0, 1.0),
+    }
+    payload = {
+        "scale": SERVE_SCALE,
+        "seed": SEED,
+        "ops_per_session": OPS_PER_SESSION,
+        "sessions_per_tenant": SESSIONS_PER_TENANT,
+        "elapsed_seconds": report.elapsed_seconds,
+        "fairness": fairness,
+        "serving": {
+            "classes": report.classes,
+            "tenants": report.tenants,
+        },
+        "scheduler": report.scheduler,
+    }
+    env = envelope("serving", pr=9, payload=payload, gates=gates)
+    publish_envelope(env)
+    write_trajectory(env)
+
+    assert deterministic
+    assert qos_classes >= 3
+    assert fair_share >= 0.9
+    assert isolated

@@ -69,6 +69,8 @@ def check_envelope(path: pathlib.Path, data: dict, errors: list[str]) -> None:
     payload = data.get("payload")
     if isinstance(payload, dict) and "latency" in payload:
         check_latency_block(path, payload["latency"], errors)
+    if isinstance(payload, dict) and "serving" in payload:
+        check_serving_block(path, payload["serving"], errors)
 
 
 def check_latency_block(
@@ -104,6 +106,91 @@ def check_latency_block(
             ok += 1
     if ok:
         print(f"ok: {path.name} latency block ({ok} histogram(s))")
+
+
+def _check_latency_summary(where: str, key: str, summary, errors) -> bool:
+    """One histogram summary: numeric, non-negative, ordered percentiles."""
+    if not isinstance(summary, dict) or not {
+        "count", "p50", "p95", "p99"
+    } <= summary.keys():
+        errors.append(f"{where}: latency {key!r} needs count/p50/p95/p99")
+        return False
+    fields = [summary[f] for f in ("count", "p50", "p95", "p99")]
+    if not all(isinstance(x, (int, float)) for x in fields):
+        errors.append(f"{where}: latency {key!r} is not numeric")
+        return False
+    count, p50, p95, p99 = fields
+    if count < 0:
+        errors.append(f"{where}: latency {key!r} has negative count")
+        return False
+    if not 0 <= p50 <= p95 <= p99:
+        errors.append(
+            f"{where}: latency {key!r} percentiles unordered "
+            f"({p50!r} / {p95!r} / {p99!r})"
+        )
+        return False
+    return True
+
+
+def check_serving_block(
+    path: pathlib.Path, serving, errors: list[str]
+) -> None:
+    """Validate a serving bench payload: per-class and per-tenant QoS.
+
+    Every class entry needs a positive weight, non-negative quanta and an
+    ordered latency summary; every tenant entry needs its class name and
+    a latency summary of its own (the per-tenant percentile block PR 9
+    gates on).
+    """
+    where = str(path)
+    if not isinstance(serving, dict):
+        errors.append(f"{where}: serving block must be an object")
+        return
+    classes = serving.get("classes")
+    tenants = serving.get("tenants")
+    if not isinstance(classes, dict) or not classes:
+        errors.append(f"{where}: serving block needs non-empty classes")
+        return
+    ok = 0
+    for name, entry in classes.items():
+        if not isinstance(entry, dict) or "latency" not in entry:
+            errors.append(f"{where}: serving class {name!r} needs latency")
+            continue
+        weight = entry.get("weight")
+        quanta = entry.get("quanta")
+        if not isinstance(weight, (int, float)) or weight <= 0:
+            errors.append(
+                f"{where}: serving class {name!r} needs a positive weight"
+            )
+            continue
+        if not isinstance(quanta, int) or quanta < 0:
+            errors.append(
+                f"{where}: serving class {name!r} needs non-negative quanta"
+            )
+            continue
+        if _check_latency_summary(
+            where, f"class {name}", entry["latency"], errors
+        ):
+            ok += 1
+    if not isinstance(tenants, dict) or not tenants:
+        errors.append(f"{where}: serving block needs non-empty tenants")
+        return
+    for name, entry in tenants.items():
+        if not isinstance(entry, dict) or "latency" not in entry:
+            errors.append(f"{where}: serving tenant {name!r} needs latency")
+            continue
+        if entry.get("class") not in classes:
+            errors.append(
+                f"{where}: serving tenant {name!r} maps to unknown class "
+                f"{entry.get('class')!r}"
+            )
+            continue
+        _check_latency_summary(
+            where, f"tenant {name}", entry["latency"], errors
+        )
+    if ok:
+        print(f"ok: {path.name} serving block ({ok} class(es), "
+              f"{len(tenants)} tenant(s))")
 
 
 def check_trajectory(root: pathlib.Path, errors: list[str]) -> int:

@@ -9,6 +9,7 @@ Usage::
     python -m repro placement --mode hybrid --shifting --json
     python -m repro trace 6 --chrome q6_trace.json
     python -m repro metrics --queries 1 6
+    python -m repro --scale 0.05 serve --json
     python -m repro chaos --seed 3 --profile corrupt --json
 """
 
@@ -104,6 +105,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    "power-test order)")
     m.add_argument("--json", action="store_true",
                    help="emit the full telemetry snapshot as JSON")
+
+    v = sub.add_parser(
+        "serve",
+        help="run the deterministic multi-tenant serving front-end: "
+        "seeded sessions, admission control, weighted-fair QoS "
+        "(DESIGN.md §15)",
+    )
+    v.add_argument("--config", choices=("hstorage", "lru", "tier3"),
+                   default="hstorage")
+    v.add_argument("--sessions", type=int, default=2,
+                   help="sessions per tenant (default 2)")
+    v.add_argument("--ops", type=int, default=4,
+                   help="operations per session (default 4)")
+    v.add_argument("--quantum", type=int, default=64)
+    v.add_argument("--no-fair", action="store_true",
+                   help="disable weighted-fair dispatch in the I/O "
+                   "scheduler (admission control stays on)")
+    v.add_argument("--json", action="store_true",
+                   help="emit the full serving report as canonical JSON")
 
     c = sub.add_parser(
         "chaos",
@@ -310,6 +330,41 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, default_tenants, run_serving
+
+    config = ServeConfig(
+        seed=args.seed,
+        quantum=args.quantum,
+        fair=not args.no_fair,
+        tenants=default_tenants(sessions=args.sessions, ops=args.ops),
+    )
+    report = run_serving(config, kind=args.config, scale=args.scale)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(f"serving run: config={args.config} scale={args.scale} "
+          f"seed={args.seed} quantum={args.quantum} "
+          f"fair={'off' if args.no_fair else 'on'}")
+    print(f"  elapsed: {report.elapsed_seconds:.4f} simulated seconds")
+    print(f"  {'class':12s} {'w':>4s} {'quanta':>7s} {'done':>5s} "
+          f"{'defer':>6s} {'rej':>4s} {'p50':>10s} {'p95':>10s} "
+          f"{'p99':>10s}")
+    for name, cls in sorted(report.classes.items()):
+        lat = cls["latency"]
+        print(f"  {name:12s} {cls['weight']:4.0f} {cls['quanta']:7d} "
+              f"{cls['ops_completed']:5d} {cls['ops_deferred']:6d} "
+              f"{cls['ops_rejected']:4d} {lat['p50']:10.6f} "
+              f"{lat['p95']:10.6f} {lat['p99']:10.6f}")
+    for name, tenant in report.tenants.items():
+        adm = tenant["admission"]
+        print(f"  tenant {name:14s} class={tenant['class']:12s} "
+              f"ops={tenant['ops_completed']:4d} "
+              f"admitted={adm['admitted']:4d} deferred={adm['deferred']:4d} "
+              f"rejected={adm['rejected']:4d}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.harness.chaos import run_chaos
 
@@ -367,6 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         "placement": _cmd_placement,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "serve": _cmd_serve,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

@@ -24,13 +24,14 @@ from dataclasses import dataclass, field
 
 from repro.db.engine import Database, QueryResult
 from repro.harness.configs import CONFIG_NAMES, StorageConfig, build_database
+from repro.serve.driver import drive_round_robin
 from repro.sim.params import SimulationParameters
 from repro.storage.qos import PolicySet
 from repro.tpch.datagen import TPCHData, TPCHMeta, generate
 from repro.tpch.queries import query_builder, query_label
 from repro.tpch.refresh import rf1_builder, rf2_builder
 from repro.tpch.streams import POWER_ORDER, THROUGHPUT_ORDERS
-from repro.tpch.workload import load_tpch
+from repro.tpch.workload import database_page_count, load_tpch
 
 DEFAULT_SCALE = 1.0
 DEFAULT_SEED = 42
@@ -70,11 +71,18 @@ class ExperimentRunner:
         return self._data[scale]
 
     def database_pages(self, scale: float) -> int:
-        """Total heap+index pages at a scale (measured once via a probe)."""
+        """Total heap+index pages at a scale (derived, cached).
+
+        Computed from the generated row counts and the schema's page
+        arithmetic (:func:`~repro.tpch.workload.database_page_count`)
+        instead of building and loading a throwaway database per scale —
+        exact-identical to what a loaded probe would report.
+        """
         if scale not in self._pages:
-            probe = build_database(StorageConfig(kind="hdd"))
-            load_tpch(probe, data=self.data(scale))
-            self._pages[scale] = probe.database_pages()
+            self._pages[scale] = database_page_count(
+                self.data(scale),
+                block_size=self.settings.params.block_size,
+            )
         return self._pages[scale]
 
     def work_mem_rows(self, scale: float) -> int:
@@ -181,7 +189,7 @@ class ExperimentRunner:
         streams.append(update_stream)
 
         start = db.clock.now
-        per_stream = _interleave_streams(db, streams, quantum)
+        per_stream = drive_round_robin(db, streams, quantum)
         elapsed = db.clock.now - start
 
         query_results = [
@@ -221,32 +229,3 @@ class ThroughputResult:
             r.sim_seconds for r in self.query_results if r.label == label
         ]
         return sum(times) / len(times) if times else 0.0
-
-
-def _interleave_streams(
-    db: Database,
-    streams: list[list[tuple[str, object]]],
-    quantum: int,
-) -> list[list[QueryResult]]:
-    """Round-robin the streams; each runs its workload list sequentially."""
-    positions = [0] * len(streams)
-    active: list[object | None] = [None] * len(streams)
-    done: list[list[QueryResult]] = [[] for _ in streams]
-
-    remaining = len(streams)
-    while remaining:
-        remaining = 0
-        for i, stream in enumerate(streams):
-            execution = active[i]
-            if execution is None:
-                if positions[i] >= len(stream):
-                    continue
-                label, builder = stream[positions[i]]
-                positions[i] += 1
-                execution = db.start_query(builder, label, collect=False)
-                active[i] = execution
-            remaining += 1
-            if not execution.step(quantum):
-                done[i].append(execution.result())
-                active[i] = None
-    return done

@@ -235,6 +235,29 @@ class Observer:
         if self.tracer is not None:
             self.tracer.finish_span(span)
 
+    # -------------------------------------------------------------- serving
+
+    def on_admission(self, tenant: str, verdict: str) -> None:
+        """One admission decision of the serving front-end (§15)."""
+        self.metrics.counter(
+            "serve_admissions", tenant=tenant, verdict=verdict
+        ).inc()
+
+    def on_serve_op(
+        self, service_class: str, tenant: str, seconds: float
+    ) -> None:
+        """One tenant operation completed (latency includes admission
+        deferrals — measured from the op's first arrival)."""
+        self.metrics.counter("serve_ops", cls=service_class).inc()
+        self.metrics.histogram(
+            "serve_op_seconds", cls=service_class
+        ).observe(seconds)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"serve:{service_class}", cat="serve", duration=seconds,
+                tenant=tenant,
+            )
+
     # ----------------------------------------------- background clockwork
 
     def on_migration_epoch(self, summary: dict) -> None:

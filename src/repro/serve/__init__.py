@@ -1,0 +1,41 @@
+"""Deterministic multi-tenant serving front-end (DESIGN.md §15)."""
+
+from repro.serve.admission import (
+    ADMIT,
+    DEFER,
+    REJECT,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.serve.driver import drive_round_robin
+from repro.serve.frontend import (
+    ServeConfig,
+    ServingFrontend,
+    ServingReport,
+    run_serving,
+)
+from repro.serve.tenants import (
+    DEFAULT_CLASSES,
+    ClassSpec,
+    TenantSpec,
+    default_tenants,
+)
+
+__all__ = [
+    "ADMIT",
+    "DEFER",
+    "REJECT",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ClassSpec",
+    "DEFAULT_CLASSES",
+    "ServeConfig",
+    "ServingFrontend",
+    "ServingReport",
+    "TenantSpec",
+    "TokenBucket",
+    "default_tenants",
+    "drive_round_robin",
+    "run_serving",
+]

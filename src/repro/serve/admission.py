@@ -1,0 +1,150 @@
+"""Admission control: token buckets and queue-depth limits per tenant.
+
+Every operation a session wants to start passes through the
+:class:`AdmissionController` first.  The controller answers with one of
+three deterministic decisions (DESIGN.md §15):
+
+* **ADMIT** — a token was available and the tenant has spare queue
+  depth; the operation starts now and holds one in-flight slot until
+  :meth:`AdmissionController.release`.
+* **DEFER** — no token (or no slot) right now; the decision carries the
+  exact simulated time at which the session must retry.  Deferral is
+  *backpressure*, not loss: the operation's latency keeps accruing from
+  its original arrival.
+* **REJECT** — the operation has been deferred more than the class
+  allows; it is dropped and counted.  Rejection is the load-shedding
+  escape valve that keeps a saturated tenant from queueing unboundedly.
+
+Everything is driven by the simulated clock the caller passes in, so
+the same seed always produces the same admit/defer/reject sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import StorageConfigError
+from repro.serve.tenants import ClassSpec
+
+#: Retry spacing when an operation is deferred on queue depth (the
+#: bucket gives an exact refill time; a full queue does not, so the
+#: controller polls at this fixed deterministic interval).
+DEPTH_RETRY_SECONDS = 0.002
+
+ADMIT = "admit"
+DEFER = "defer"
+REJECT = "reject"
+
+
+class TokenBucket:
+    """A token bucket over simulated time (lazy refill, no timers)."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise StorageConfigError(f"bucket rate must be > 0, got {rate}")
+        if burst < 1:
+            raise StorageConfigError(f"bucket burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self.stamp = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self.stamp:
+            self.tokens = min(
+                float(self.burst), self.tokens + (now - self.stamp) * self.rate
+            )
+            self.stamp = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Take one token if available; never blocks."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def next_available(self, now: float) -> float:
+        """Earliest simulated time at which one token will exist."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return now
+        return now + (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict for one arrival."""
+
+    verdict: str
+    """One of :data:`ADMIT`, :data:`DEFER`, :data:`REJECT`."""
+    retry_at: float = 0.0
+    """Simulated time to retry (meaningful only when deferred)."""
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus queue-depth admission."""
+
+    def __init__(self, classes: dict[str, ClassSpec]) -> None:
+        self.classes = classes
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[str, int] = {}
+        self.admitted: dict[str, int] = {}
+        self.deferred: dict[str, int] = {}
+        self.rejected: dict[str, int] = {}
+
+    def _bucket(self, tenant: str, spec: ClassSpec) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                spec.rate_ops_per_second, spec.burst_ops
+            )
+        return bucket
+
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)
+
+    def request(
+        self, tenant: str, service_class: str, now: float, deferrals: int
+    ) -> AdmissionDecision:
+        """Decide one arrival.  ``deferrals`` counts this operation's
+        previous DEFER verdicts (the caller owns the retry loop)."""
+        spec = self.classes[service_class]
+        if deferrals > spec.max_deferrals:
+            self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+            return AdmissionDecision(REJECT)
+        if self.inflight(tenant) >= spec.max_inflight:
+            self.deferred[tenant] = self.deferred.get(tenant, 0) + 1
+            return AdmissionDecision(DEFER, retry_at=now + DEPTH_RETRY_SECONDS)
+        bucket = self._bucket(tenant, spec)
+        if not bucket.try_acquire(now):
+            self.deferred[tenant] = self.deferred.get(tenant, 0) + 1
+            return AdmissionDecision(DEFER, retry_at=bucket.next_available(now))
+        self._inflight[tenant] = self.inflight(tenant) + 1
+        self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+        return AdmissionDecision(ADMIT)
+
+    def release(self, tenant: str) -> None:
+        """An admitted operation finished; free its in-flight slot."""
+        count = self.inflight(tenant)
+        if count < 1:
+            raise StorageConfigError(
+                f"release without admission for tenant {tenant!r}"
+            )
+        self._inflight[tenant] = count - 1
+
+    def counters(self) -> dict:
+        """Per-tenant admit/defer/reject totals (sorted, JSON-ready)."""
+        tenants = sorted(
+            set(self.admitted) | set(self.deferred) | set(self.rejected)
+        )
+        return {
+            tenant: {
+                "admitted": self.admitted.get(tenant, 0),
+                "deferred": self.deferred.get(tenant, 0),
+                "rejected": self.rejected.get(tenant, 0),
+            }
+            for tenant in tenants
+        }

@@ -1,0 +1,52 @@
+"""Cooperative workload drivers over ``QueryExecution.step``.
+
+The round-robin driver below is the workload engine the throughput test
+(Section 6.4) has always used — it moved here verbatim from
+``harness.runner`` so the serving front-end and the classic harness
+share exactly one interleaving implementation.  Its call sequence
+(visit streams in index order, lazily start the next item, step one
+quantum, collect on exhaustion) is pinned bit-for-bit by the golden
+throughput fingerprint in ``tests/golden/throughput_ssd.json``.
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import Database, QueryResult
+
+
+def drive_round_robin(
+    db: Database,
+    streams: list[list[tuple[str, object]]],
+    quantum: int,
+) -> list[list[QueryResult]]:
+    """Round-robin the streams; each runs its workload list sequentially.
+
+    ``streams`` is a list of per-stream ``(label, builder)`` worklists.
+    Every round visits the streams in index order; a stream with no
+    active query lazily starts its next item, then each active query
+    advances by one ``quantum``.  A finished query's result is collected
+    immediately, and its stream starts its next item on the *following*
+    visit — the exact semantics the throughput numbers were measured
+    under since the seed.
+    """
+    positions = [0] * len(streams)
+    active: list[object | None] = [None] * len(streams)
+    done: list[list[QueryResult]] = [[] for _ in streams]
+
+    remaining = len(streams)
+    while remaining:
+        remaining = 0
+        for i, stream in enumerate(streams):
+            execution = active[i]
+            if execution is None:
+                if positions[i] >= len(stream):
+                    continue
+                label, builder = stream[positions[i]]
+                positions[i] += 1
+                execution = db.start_query(builder, label, collect=False)
+                active[i] = execution
+            remaining += 1
+            if not execution.step(quantum):
+                done[i].append(execution.result())
+                active[i] = None
+    return done

@@ -1,0 +1,197 @@
+"""Tenant and QoS-class specifications for the serving front-end.
+
+A *tenant* is one paying client of the multi-tenant front-end
+(DESIGN.md §15).  Every tenant belongs to exactly one *service class* —
+``interactive`` / ``batch`` / ``background`` by default — which fixes
+
+* the weight its I/O receives under weighted-fair dispatch,
+* the token-bucket rate limit and burst applied at admission,
+* how many of its operations may be in flight at once, and
+* the workload shape its sessions issue (point lookups vs scans).
+
+The class name travels with every block request as
+:attr:`~repro.storage.requests.IORequest.service_class`, so the
+:class:`~repro.storage.scheduler.IOScheduler` can account and order
+dispatches per class without ever touching non-serving traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.semantics import ContentType, SemanticInfo
+from repro.db.errors import StorageConfigError
+from repro.db.plan import ExecutionContext, PlanNode
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One QoS class: scheduling weight, admission limits, workload."""
+
+    name: str
+    weight: float
+    """Share of dispatch service under weighted-fair scheduling (also
+    the stride-scheduler weight of the session loop)."""
+    rate_ops_per_second: float
+    """Token-bucket refill rate for each tenant of this class, in
+    operations per simulated second."""
+    burst_ops: int
+    """Token-bucket capacity: operations a tenant may start back-to-back
+    after idling."""
+    max_inflight: int
+    """Queue-depth admission: operations of one tenant allowed in flight
+    simultaneously (further arrivals are deferred, then rejected)."""
+    max_deferrals: int
+    """Deferrals one operation tolerates before it is rejected."""
+    think_seconds: float
+    """Mean think time between a session's operations (exponential)."""
+    op_kind: str = "point"
+    """Workload shape: ``point`` (index lookups), ``scan`` (orders heap
+    scan) or ``sweep`` (lineitem heap scan)."""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise StorageConfigError(
+                f"class {self.name!r}: weight must be > 0"
+            )
+        if self.rate_ops_per_second <= 0:
+            raise StorageConfigError(
+                f"class {self.name!r}: rate must be > 0"
+            )
+        if self.burst_ops < 1:
+            raise StorageConfigError(
+                f"class {self.name!r}: burst must be >= 1"
+            )
+        if self.max_inflight < 1:
+            raise StorageConfigError(
+                f"class {self.name!r}: max_inflight must be >= 1"
+            )
+        if self.op_kind not in ("point", "scan", "sweep"):
+            raise StorageConfigError(
+                f"class {self.name!r}: unknown op kind {self.op_kind!r}"
+            )
+
+
+#: The stock three-class tier (interactive >> batch > background), the
+#: shape every serving benchmark and the CLI default to.
+DEFAULT_CLASSES: tuple[ClassSpec, ...] = (
+    ClassSpec(
+        name="interactive",
+        weight=8.0,
+        rate_ops_per_second=200.0,
+        burst_ops=8,
+        max_inflight=4,
+        max_deferrals=16,
+        think_seconds=0.002,
+        op_kind="point",
+    ),
+    ClassSpec(
+        name="batch",
+        weight=2.0,
+        rate_ops_per_second=50.0,
+        burst_ops=2,
+        max_inflight=2,
+        max_deferrals=8,
+        think_seconds=0.010,
+        op_kind="scan",
+    ),
+    ClassSpec(
+        name="background",
+        weight=1.0,
+        rate_ops_per_second=20.0,
+        burst_ops=1,
+        max_inflight=1,
+        max_deferrals=4,
+        think_seconds=0.050,
+        op_kind="sweep",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a named client with sessions in a service class."""
+
+    name: str
+    service_class: str
+    sessions: int = 1
+    ops_per_session: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise StorageConfigError(
+                f"tenant {self.name!r}: sessions must be >= 1"
+            )
+        if self.ops_per_session < 1:
+            raise StorageConfigError(
+                f"tenant {self.name!r}: ops_per_session must be >= 1"
+            )
+
+
+def default_tenants(sessions: int = 2, ops: int = 4) -> tuple[TenantSpec, ...]:
+    """One tenant per stock class — the smallest interesting mix."""
+    return tuple(
+        TenantSpec(
+            name=f"t-{spec.name}",
+            service_class=spec.name,
+            sessions=sessions,
+            ops_per_session=ops,
+        )
+        for spec in DEFAULT_CLASSES
+    )
+
+
+class PointLookups(PlanNode):
+    """An interactive operation: a handful of index point lookups.
+
+    ``fractions`` are pre-drawn uniforms in ``[0, 1)`` (one per lookup),
+    mapped onto live orderkeys at execution time — the session loop draws
+    them from its seeded generator, so the operation itself stays free of
+    randomness and the whole run is replayable from the serve seed.
+    """
+
+    def __init__(self, db, fractions: tuple[float, ...]) -> None:
+        super().__init__(label="PointLookups")
+        self.db = db
+        self.fractions = fractions
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        orders = self.db.catalog.relation("orders")
+        index = orders.index_on("o_orderkey")
+        read_sem = SemanticInfo.random_access(
+            ContentType.INDEX, index.oid, 0, query_id=ctx.query_id
+        )
+        fetch_sem = SemanticInfo.random_access(
+            ContentType.TABLE, orders.oid, 0, query_id=ctx.query_id
+        )
+        max_key = max(1, orders.row_count)
+        pool = ctx.pool
+        for u in self.fractions:
+            key = 1 + int(u * max_key)
+            for rid in index.btree.search(pool, key, read_sem):
+                row = orders.heap.fetch(pool, rid, fetch_sem)
+                if row is not None:
+                    yield (key, row[0])
+            ctx.cpu_tick(1)
+
+
+_SCAN_TABLES = {"scan": "orders", "sweep": "lineitem"}
+
+
+def op_builder(spec: ClassSpec, fractions: tuple[float, ...]):
+    """A ``db -> PlanNode`` builder for one operation of a class.
+
+    ``point`` turns the pre-drawn uniforms into index lookups; the scan
+    kinds ignore them (a scan has no random choices to make).
+    """
+    if spec.op_kind == "point":
+        return lambda db: PointLookups(db, fractions)
+    table = _SCAN_TABLES[spec.op_kind]
+
+    def build(db):
+        from repro.db.executor import SeqScan
+
+        return SeqScan(db.catalog.relation(table))
+
+    return build

@@ -84,9 +84,16 @@ class PolicySet:
                 self, "non_caching_threshold", self.n_priorities - 1
             )
         t = self.non_caching_threshold
-        if not 0 <= t <= self.n_priorities:
+        # A consistent tuple needs temp(1), at least one random priority
+        # below t, the non-caching non-eviction priority t itself, and
+        # the eviction priority N above it.  Anything else would make the
+        # named priorities disagree with the caching/admission decisions
+        # that key off t, so it is rejected loudly.
+        if not 3 <= t <= self.n_priorities - 1:
             raise StorageConfigError(
-                f"threshold t={t} out of range [0, {self.n_priorities}]"
+                f"threshold t={t} out of range [3, {self.n_priorities - 1}]: "
+                "needs a random priority below it and the eviction "
+                "priority N above it"
             )
         if not 0.0 <= self.write_buffer_fraction <= 1.0:
             raise StorageConfigError("write_buffer_fraction must be within [0, 1]")
@@ -100,8 +107,13 @@ class PolicySet:
 
     @property
     def non_caching_non_eviction(self) -> int:
-        """Priority ``N-1``: sequential requests; leaves the cache as-is."""
-        return self.n_priorities - 1
+        """Priority ``t``: sequential requests; leaves the cache as-is.
+
+        The paper fixes ``t = N - 1``, making this ``N-1``; a custom
+        threshold moves the named priority with it, so the named policy
+        constructors always agree with :meth:`is_cacheable`.
+        """
+        return self.non_caching_threshold
 
     @property
     def non_caching_eviction(self) -> int:
@@ -110,8 +122,13 @@ class PolicySet:
 
     @property
     def random_priority_range(self) -> tuple[int, int]:
-        """Inclusive ``[n1, n2]`` range available to random requests."""
-        return (2, self.n_priorities - 2)
+        """Inclusive ``[n1, n2]`` range available to random requests.
+
+        The caching priorities strictly between temp (1) and the
+        non-caching threshold ``t`` — ``(2, N-2)`` under the paper's
+        default ``t = N - 1``.
+        """
+        return (2, self.non_caching_threshold - 1)
 
     # --- policy constructors ------------------------------------------------
 

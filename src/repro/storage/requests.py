@@ -99,6 +99,14 @@ class IORequest:
     """True for writes that are off the critical path (dirty-page
     writeback by the DBMS background writer): their device time is charged
     to the background accumulator, but cache placement still happens."""
+    service_class: str | None = None
+    """Tenant QoS class of the issuing session (the serving front-end,
+    DESIGN.md §15): ``"interactive"`` / ``"batch"`` / ``"background"`` or
+    any custom class name.  ``None`` for everything outside a serving
+    session — legacy traffic is never reordered or re-accounted.  Stamped
+    by the :class:`~repro.storage.scheduler.IOScheduler` while a serving
+    quantum is active; carried through merges (requests of different
+    classes never share a dispatch)."""
     segments: tuple[tuple[int, int], ...] | None = None
     """Optional vectored payload: ordered ``(lba, nblocks)`` runs.  When
     set, ``lba``/``nblocks`` summarise the vector (first run start, total

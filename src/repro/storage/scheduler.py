@@ -51,12 +51,26 @@ class BatchResult:
     sync_seconds: float = 0.0
     background_seconds: float = 0.0
     completions: list[Completion] = field(default_factory=list)
+    _outcome_index: dict[int, list[BlockOutcome]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed: int = field(default=0, repr=False, compare=False)
 
     def outcomes_for(self, request: IORequest) -> list[BlockOutcome]:
-        for completion in self.completions:
-            if completion.request is request:
-                return completion.outcomes
-        return []
+        """Outcomes of one original request (identity lookup).
+
+        Indexed by ``id(request)`` so repeated lookups over a large
+        vectored batch stay O(1) instead of rescanning the completion
+        list; the index catches up lazily with completions appended
+        since the last call.
+        """
+        if self._indexed < len(self.completions):
+            for completion in self.completions[self._indexed :]:
+                self._outcome_index[id(completion.request)] = (
+                    completion.outcomes
+                )
+            self._indexed = len(self.completions)
+        return self._outcome_index.get(id(request), [])
 
 
 def _merge_key(request: IORequest):
@@ -68,6 +82,7 @@ def _merge_key(request: IORequest):
         request.oid,
         request.tag,
         request.async_hint,
+        request.service_class,
     )
 
 
@@ -84,6 +99,17 @@ class IOScheduler:
         latency observations (purely passive, DESIGN.md §14)."""
         self._queue: list[IORequest] = []
         self._queued_lbns: set[int] = set()
+        # --- multi-tenant QoS (serving front-end, DESIGN.md §15) -------
+        self.active_service_class: str | None = None
+        """Tenant QoS class stamped onto every request accepted while a
+        serving quantum runs (set via :meth:`begin_service_class`)."""
+        self.fair_weights: dict[str, float] | None = None
+        """Optional per-class weights for weighted-fair dispatch.  When
+        set, a flush whose merge groups span several service classes is
+        dispatched in virtual-finish-time order instead of submission
+        order.  ``None`` (the default) keeps submission order exactly —
+        the bit-identical legacy path."""
+        self._vtime: dict[str, float] = {}
         # --- observability ---------------------------------------------
         self.requests_accepted = 0
         self.dispatches = 0
@@ -91,8 +117,34 @@ class IOScheduler:
         self.requests_merged = 0
         """Requests that shared a dispatch with at least one other."""
         self.writeback_drains = 0
+        self.class_dispatches: dict[str, int] = {}
+        self.class_blocks: dict[str, int] = {}
+        self.class_sync_seconds: dict[str, float] = {}
+        """Per-service-class dispatch accounting (only requests carrying
+        a ``service_class`` contribute; legacy traffic is untouched)."""
 
     # ------------------------------------------------------------------ API
+
+    def begin_service_class(self, name: str) -> None:
+        """Stamp requests accepted from now on with a tenant QoS class."""
+        self.active_service_class = name
+
+    def end_service_class(self) -> None:
+        self.active_service_class = None
+
+    def configure_fair(self, weights: dict[str, float] | None) -> None:
+        """Install (or clear) weighted-fair dispatch across QoS classes."""
+        if weights is not None:
+            if not weights:
+                raise StorageConfigError("fair weights must not be empty")
+            for name, weight in weights.items():
+                if weight <= 0:
+                    raise StorageConfigError(
+                        f"fair weight for {name!r} must be > 0, got {weight}"
+                    )
+            weights = dict(weights)
+        self.fair_weights = weights
+        self._vtime = {}
 
     def submit(self, request: IORequest) -> BatchResult:
         """Accept one request; dispatch or queue it."""
@@ -107,6 +159,11 @@ class IOScheduler:
         never reorders a read behind a later write to the same block.
         """
         result = BatchResult()
+        cls = self.active_service_class
+        if cls is not None:
+            for request in requests:
+                if request.service_class is None:
+                    request.service_class = cls
         pending: list[IORequest] = []
         for request in requests:
             self.requests_accepted += 1
@@ -126,9 +183,55 @@ class IOScheduler:
     def _flush_pending(
         self, pending: list[IORequest], result: BatchResult
     ) -> None:
-        for group in self._merge(pending):
+        for group in self._fair_order(self._merge(pending)):
             self._dispatch_group(group, result, queued=False)
         pending.clear()
+
+    def _fair_order(
+        self, groups: list[list[IORequest]]
+    ) -> list[list[IORequest]]:
+        """Weighted-fair ordering of one flush's merge groups.
+
+        Virtual-time WFQ across service classes: each group's virtual
+        finish time is its class's running virtual time plus
+        ``blocks / weight``; groups dispatch in ascending finish order
+        (ties break on submission order).  Only active when fair weights
+        are configured AND the flush spans several classes AND no two
+        groups touch the same block — anything else keeps submission
+        order, so non-serving traffic is bit-identical to the legacy
+        scheduler.
+        """
+        if self.fair_weights is None or len(groups) < 2:
+            return groups
+        classes = {group[0].service_class for group in groups}
+        if len(classes) < 2:
+            return groups
+        seen: set[int] = set()
+        for group in groups:
+            lbns = {lbn for request in group for lbn in request.lbas}
+            if seen & lbns:
+                return groups  # overlapping blocks: order is semantics
+            seen |= lbns
+        # A class entering the fray starts at the current floor of the
+        # virtual clocks, so an idle class cannot bank service credit.
+        floor = min(
+            (self._vtime[c] for c in classes if c in self._vtime),
+            default=0.0,
+        )
+        vtime = {
+            c: max(self._vtime.get(c, floor), floor) for c in classes
+        }
+        keyed = []
+        for index, group in enumerate(groups):
+            cls = group[0].service_class
+            weight = self.fair_weights.get(cls, 1.0) if cls else 1.0
+            blocks = sum(request.nblocks for request in group)
+            finish = vtime[cls] + blocks / weight
+            vtime[cls] = finish
+            keyed.append((finish, index, group))
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        self._vtime.update(vtime)
+        return [group for _, _, group in keyed]
 
     def drain(self) -> BatchResult:
         """Flush the writeback queue (query end, checkpoint, barrier)."""
@@ -201,6 +304,15 @@ class IOScheduler:
         self.dispatches += 1
         self.blocks_dispatched += dispatch.nblocks
         sync, background, outcomes = self.backend.submit(dispatch)
+        cls = dispatch.service_class
+        if cls is not None:
+            self.class_dispatches[cls] = self.class_dispatches.get(cls, 0) + 1
+            self.class_blocks[cls] = (
+                self.class_blocks.get(cls, 0) + dispatch.nblocks
+            )
+            self.class_sync_seconds[cls] = (
+                self.class_sync_seconds.get(cls, 0.0) + sync
+            )
         obs = self.observer
         if obs is not None and obs.enabled:
             obs.on_dispatch(dispatch, sync, background, queued)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from repro.db.engine import Database
 from repro.tpch.datagen import TPCHData, TPCHMeta, generate
-from repro.tpch.schema import create_tpch_indexes, create_tpch_tables
+from repro.tpch.schema import (
+    TABLE3_INDEXES,
+    TABLE_SCHEMAS,
+    create_tpch_indexes,
+    create_tpch_tables,
+)
 
 #: Load order: referenced tables first (purely cosmetic; no FK enforcement).
 _LOAD_ORDER = [
@@ -44,3 +49,41 @@ def load_tpch(
         next_orderkey=source.next_orderkey,
         part_suppliers=source.part_suppliers,
     )
+
+
+def _btree_pages(n_entries: int, order: int) -> int:
+    """Pages a bottom-up bulk load allocates for ``n_entries`` pairs.
+
+    Mirrors :meth:`~repro.db.btree.BTree.bulk_load` exactly: ``order``
+    entries per leaf, then internal levels of ``order`` children each
+    until a single root remains; an empty tree keeps one empty leaf.
+    """
+    if n_entries == 0:
+        return 1
+    level = -(-n_entries // order)
+    total = level
+    while level > 1:
+        level = -(-level // order)
+        total += level
+    return total
+
+
+def database_page_count(
+    data: TPCHData, block_size: int = 8192, btree_order: int = 128
+) -> int:
+    """Heap + index pages a :func:`load_tpch` of ``data`` will allocate.
+
+    Derived purely from the generated row counts and the schema's
+    ``rows_per_page`` / B-tree fan-out arithmetic — no throwaway
+    database build.  Exact by construction: the heap loader packs rows
+    densely (``ceil(rows / rows_per_page)`` pages per table) and every
+    Table 3 index carries one entry per live row of its table.
+    """
+    pages = 0
+    for name, table_schema in TABLE_SCHEMAS.items():
+        rows = len(data.tables[name])
+        rpp = table_schema.rows_per_page(block_size)
+        pages += -(-rows // rpp)
+    for _, table, _ in TABLE3_INDEXES:
+        pages += _btree_pages(len(data.tables[table]), btree_order)
+    return pages

@@ -63,3 +63,33 @@ class TestExecution:
         assert results["hstorage"].sim_seconds <= (
             results["hdd"].sim_seconds * (1 + 1e-9)
         )
+
+
+class TestDerivedPageCount:
+    def test_derived_pages_match_probe_build(self, runner):
+        """database_pages no longer builds a throwaway database; the
+        analytic count must equal what a loaded probe reports."""
+        from repro.harness.configs import StorageConfig, build_database
+        from repro.tpch.workload import load_tpch
+
+        derived = runner.database_pages(SCALE)
+        probe = build_database(StorageConfig(kind="hdd"))
+        load_tpch(probe, data=runner.data(SCALE))
+        assert derived == probe.database_pages()
+
+    def test_pages_are_cached(self, runner):
+        first = runner.database_pages(SCALE)
+        assert runner.database_pages(SCALE) == first
+        assert runner._pages[SCALE] == first
+
+    def test_block_size_changes_the_count(self):
+        from repro.sim import SimulationParameters
+
+        small = ExperimentRunner(
+            RunnerSettings(
+                scale=SCALE, seed=11,
+                params=SimulationParameters(block_size=4096),
+            )
+        )
+        big = ExperimentRunner(RunnerSettings(scale=SCALE, seed=11))
+        assert small.database_pages(SCALE) > big.database_pages(SCALE)

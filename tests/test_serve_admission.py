@@ -1,0 +1,132 @@
+"""Unit tests for token buckets and the admission controller."""
+
+import pytest
+
+from repro.serve.admission import (
+    ADMIT,
+    DEFER,
+    REJECT,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.serve.tenants import ClassSpec
+
+SPEC = ClassSpec(
+    name="c",
+    weight=1.0,
+    rate_ops_per_second=10.0,
+    burst_ops=2,
+    max_inflight=2,
+    max_deferrals=3,
+    think_seconds=0.01,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_refill_over_simulated_time(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        # One token regenerates every 0.1 simulated seconds.
+        assert not bucket.try_acquire(0.05)
+        assert bucket.try_acquire(0.1 + 0.05)
+
+    def test_next_available_is_exact(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.next_available(0.0) == 0.0
+        bucket.try_acquire(0.0)
+        retry = bucket.next_available(0.0)
+        assert retry == pytest.approx(0.1)
+        assert not bucket.try_acquire(retry * 0.99)
+        assert bucket.try_acquire(retry)
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.try_acquire(0.0)
+        # A long idle period cannot bank more than the burst.
+        bucket._refill(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def make(self):
+        return AdmissionController({"c": SPEC})
+
+    def test_admit_within_burst(self):
+        ctl = self.make()
+        assert ctl.request("t", "c", 0.0, 0).verdict == ADMIT
+        assert ctl.request("t", "c", 0.0, 0).verdict == ADMIT
+        assert ctl.inflight("t") == 2
+
+    def test_defer_on_queue_depth_with_retry_time(self):
+        ctl = self.make()
+        ctl.request("t", "c", 0.0, 0)
+        ctl.request("t", "c", 0.0, 0)
+        decision = ctl.request("t", "c", 0.0, 0)
+        assert decision.verdict == DEFER
+        assert decision.retry_at > 0.0
+
+    def test_release_frees_a_slot(self):
+        ctl = self.make()
+        ctl.request("t", "c", 0.0, 0)
+        ctl.request("t", "c", 0.0, 0)
+        ctl.release("t")
+        # Slot free but the bucket is empty: still deferred, and the
+        # retry time is the bucket's exact refill instant.
+        decision = ctl.request("t", "c", 0.0, 0)
+        assert decision.verdict == DEFER
+        assert decision.retry_at == pytest.approx(0.1)
+        assert ctl.request("t", "c", decision.retry_at, 1).verdict == ADMIT
+
+    def test_reject_after_max_deferrals(self):
+        ctl = self.make()
+        decision = ctl.request("t", "c", 0.0, SPEC.max_deferrals + 1)
+        assert decision.verdict == REJECT
+
+    def test_release_without_admission_is_loud(self):
+        ctl = self.make()
+        with pytest.raises(ValueError):
+            ctl.release("t")
+
+    def test_counters_per_tenant(self):
+        ctl = self.make()
+        ctl.request("a", "c", 0.0, 0)
+        ctl.request("a", "c", 0.0, 0)
+        ctl.request("a", "c", 0.0, 0)  # deferred (depth)
+        ctl.request("b", "c", 0.0, SPEC.max_deferrals + 1)  # rejected
+        counters = ctl.counters()
+        assert counters["a"] == {"admitted": 2, "deferred": 1, "rejected": 0}
+        assert counters["b"] == {"admitted": 0, "deferred": 0, "rejected": 1}
+
+    def test_tenants_have_independent_buckets(self):
+        ctl = self.make()
+        ctl.request("a", "c", 0.0, 0)
+        ctl.request("a", "c", 0.0, 0)
+        # Tenant b still has its full burst despite a's consumption.
+        assert ctl.request("b", "c", 0.0, 0).verdict == ADMIT
+
+    def test_determinism_same_arrivals_same_verdicts(self):
+        arrivals = [0.0, 0.0, 0.01, 0.05, 0.2, 0.21, 0.5]
+        runs = []
+        for _ in range(2):
+            ctl = self.make()
+            verdicts = []
+            for now in arrivals:
+                decision = ctl.request("t", "c", now, 0)
+                verdicts.append((decision.verdict, decision.retry_at))
+                if decision.verdict == ADMIT:
+                    ctl.release("t")
+            runs.append(verdicts)
+        assert runs[0] == runs[1]

@@ -87,3 +87,54 @@ class TestPolicySet:
     def test_bad_threshold_rejected(self):
         with pytest.raises(ValueError):
             PolicySet(n_priorities=7, non_caching_threshold=9)
+
+
+class TestCustomThreshold:
+    """A custom t must move the named priorities with it (the old code
+    hardcoded N-1/N-2 and silently disagreed with is_cacheable)."""
+
+    def test_named_priorities_follow_threshold(self):
+        ps = PolicySet(n_priorities=9, non_caching_threshold=5)
+        assert ps.non_caching_non_eviction == 5
+        assert ps.non_caching_eviction == 9
+        assert ps.random_priority_range == (2, 4)
+
+    def test_sequential_policy_is_really_non_caching(self):
+        ps = PolicySet(n_priorities=9, non_caching_threshold=5)
+        assert not ps.is_cacheable(ps.sequential_policy())
+        assert not ps.is_cacheable(ps.eviction_policy())
+
+    def test_random_policies_are_all_cacheable(self):
+        ps = PolicySet(n_priorities=9, non_caching_threshold=5)
+        n1, n2 = ps.random_priority_range
+        for priority in range(n1, n2 + 1):
+            assert ps.is_cacheable(ps.random_policy(priority))
+
+    def test_admission_levels_key_off_threshold(self):
+        ps = PolicySet(n_priorities=9, non_caching_threshold=5)
+        assert ps.admission_level(ps.temp_policy()) == 0
+        assert ps.admission_level(ps.random_policy(2)) == 0
+        assert ps.admission_level(ps.random_policy(4)) == 1
+        assert ps.admission_level(ps.sequential_policy()) == 2
+        assert ps.admission_level(ps.eviction_policy()) == 2
+
+    def test_random_policy_outside_custom_range_rejected(self):
+        ps = PolicySet(n_priorities=9, non_caching_threshold=5)
+        with pytest.raises(ValueError):
+            ps.random_policy(5)  # the old hardcoded range allowed 7
+
+    def test_inconsistent_thresholds_rejected_loudly(self):
+        # t = N would leave no eviction priority above it; t < 3 leaves
+        # no random priority below it.
+        with pytest.raises(ValueError):
+            PolicySet(n_priorities=7, non_caching_threshold=7)
+        with pytest.raises(ValueError):
+            PolicySet(n_priorities=7, non_caching_threshold=2)
+        with pytest.raises(ValueError):
+            PolicySet(n_priorities=7, non_caching_threshold=0)
+
+    def test_default_still_matches_paper(self):
+        ps = PolicySet(n_priorities=7)
+        assert ps.non_caching_threshold == 6
+        assert ps.non_caching_non_eviction == 6
+        assert ps.random_priority_range == (2, 5)
