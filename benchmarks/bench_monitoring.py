@@ -1,0 +1,195 @@
+"""Monitoring benchmark: telemetry determinism, transparency, and the
+overload feedback loop (ISSUE 10).
+
+Three measurements of the monitoring stack (DESIGN.md §16):
+
+* **determinism** — the same monitored :class:`~repro.serve.ServeConfig`
+  on two freshly built databases must produce byte-identical dashboard
+  JSON exports — every ring-buffer series, SLO good/bad stream, and
+  alert transition (gate ``monitor_deterministic``, floor 1.0);
+* **transparency** — the monitored run's serving report must be
+  byte-identical to the same config run with monitoring off: sampling
+  only *reads* the clock and the registry (gate ``monitor_transparent``,
+  floor 1.0);
+* **overload feedback** (full fidelity only) — in the ~1000-session
+  overload experiment the interactive burn-rate alert must fire strictly
+  before the per-epoch REJECT rate peaks (gate ``alert_led_rejects``,
+  floor 1.0), and installing the :class:`~repro.serve.OverloadGovernor`
+  at equal offered load must improve interactive p99 (gate
+  ``governor_p99_gain`` records the off/on p99 ratio, floor 1.2).
+
+Smoke runs (``REPRO_BENCH_SCALE < 1``) shrink the overload session
+count; at that size the system never actually overloads (no alert, no
+rejects), so the feedback gates are recorded and asserted only at full
+fidelity — exactly the runs that refresh the repo-root
+``BENCH_PR10.json`` artifact, whose ``monitoring`` payload block
+``benchmarks/check_trajectory.py`` schema-validates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import (
+    BENCH_SCALE,
+    envelope,
+    publish,
+    publish_envelope,
+    write_trajectory,
+)
+
+from repro.harness.report import format_table
+from repro.obs.alerts import default_monitor_spec
+from repro.obs.export import dashboard_json
+from repro.serve import ServeConfig, build_frontend
+from repro.serve.overload import (
+    DEFAULT_OPS_PER_SESSION,
+    DEFAULT_OVERLOAD_SESSIONS,
+    run_overload_experiment,
+)
+from repro.serve.tenants import default_tenants
+
+MONITOR_SCALE = 0.02
+SEED = 11
+SESSIONS = 3
+OPS_PER_SESSION = 4
+
+FULL_FIDELITY = BENCH_SCALE >= 1.0
+OVERLOAD_SESSIONS = (
+    DEFAULT_OVERLOAD_SESSIONS
+    if FULL_FIDELITY
+    else max(50, int(DEFAULT_OVERLOAD_SESSIONS * BENCH_SCALE))
+)
+P99_GAIN_FLOOR = 1.2
+
+
+def _monitored_config() -> ServeConfig:
+    return ServeConfig(
+        seed=SEED,
+        tenants=default_tenants(SESSIONS, OPS_PER_SESSION),
+        monitor=default_monitor_spec(),
+    )
+
+
+def _run_monitored() -> tuple[str, str, object]:
+    """One monitored serving run on a fresh db.
+
+    Returns (dashboard bytes, report bytes, monitor) — the first is the
+    replay fixture, the second the transparency fixture.
+    """
+    frontend = build_frontend(_monitored_config(), scale=MONITOR_SCALE)
+    report = frontend.run()
+    assert frontend.monitor is not None
+    return (
+        dashboard_json(frontend.monitor, governor=frontend.governor),
+        report.to_json(),
+        frontend.monitor,
+    )
+
+
+def _slim_arm(arm: dict) -> dict:
+    """An overload arm without its nested governor action log."""
+    out = dict(arm)
+    gov = out.pop("governor", None)
+    if gov is not None:
+        out["governor_sheds"] = gov.get("sheds", 0)
+        out["governor_relaxes"] = gov.get("relaxes", 0)
+    return out
+
+
+def test_monitoring(benchmark):
+    def experiment():
+        dash_a, report_a, monitor = _run_monitored()
+        dash_b, _report_b, _ = _run_monitored()
+        plain_config = dataclasses.replace(_monitored_config(), monitor=None)
+        plain = build_frontend(plain_config, scale=MONITOR_SCALE).run()
+        overload = run_overload_experiment(
+            seed=42,
+            sessions=OVERLOAD_SESSIONS,
+            ops_per_session=DEFAULT_OPS_PER_SESSION,
+        )
+        return dash_a, dash_b, report_a, plain.to_json(), monitor, overload
+
+    dash_a, dash_b, report_a, plain_json, monitor, overload = (
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+    )
+
+    deterministic = dash_a == dash_b
+    transparent = report_a == plain_json
+    alert_led = bool(overload["alert_led_rejects"])
+    p99_gain = overload["p99_gain"]
+    off = overload["governor_off"]
+    on = overload["governor_on"]
+
+    rows = [
+        [
+            arm,
+            str(data["first_alert_epoch"]),
+            str(data["reject_peak_epoch"]),
+            data["interactive_rejects"],
+            f"{data['interactive_p50'] * 1e3:.3f}",
+            f"{data['interactive_p99'] * 1e3:.3f}",
+        ]
+        for arm, data in (("governor off", off), ("governor on", on))
+    ]
+    publish(
+        "monitoring",
+        format_table(
+            ["arm", "alert@", "reject peak@", "rejects", "p50 ms", "p99 ms"],
+            rows,
+            "Overload feedback: burn-rate alert vs admission damage "
+            f"({OVERLOAD_SESSIONS} sessions, "
+            f"deterministic={deterministic}, transparent={transparent}, "
+            f"p99 gain {p99_gain:.2f}x)",
+        ),
+    )
+
+    gates = {
+        "monitor_deterministic": (1.0 if deterministic else 0.0, 1.0),
+        "monitor_transparent": (1.0 if transparent else 0.0, 1.0),
+    }
+    if FULL_FIDELITY:
+        gates["alert_led_rejects"] = (1.0 if alert_led else 0.0, 1.0)
+        gates["governor_p99_gain"] = (p99_gain, P99_GAIN_FLOOR)
+
+    trackers = monitor.trackers
+    payload = {
+        "scale": MONITOR_SCALE,
+        "seed": SEED,
+        "sessions": SESSIONS,
+        "ops_per_session": OPS_PER_SESSION,
+        "dashboard_bytes": len(dash_a),
+        "monitoring": {
+            "interval_seconds": monitor.spec.interval_seconds,
+            "epochs": monitor.sampler.epoch,
+            "series": len(monitor.sampler.series_names()),
+            "alerts": monitor.log.as_dict(),
+            "slos": {
+                name: {
+                    "compliance": tracker.compliance(),
+                    "total_good": tracker.total_good,
+                    "total_bad": tracker.total_bad,
+                }
+                for name, tracker in sorted(trackers.items())
+            },
+            "overload": {
+                "seed": overload["seed"],
+                "sessions": overload["sessions"],
+                "ops_per_session": overload["ops_per_session"],
+                "alert_led_rejects": alert_led,
+                "p99_gain": p99_gain,
+                "governor_sheds": overload["governor_sheds"],
+                "governor_off": _slim_arm(off),
+                "governor_on": _slim_arm(on),
+            },
+        },
+    }
+    env = envelope("monitoring", pr=10, payload=payload, gates=gates)
+    publish_envelope(env)
+    write_trajectory(env)
+
+    assert deterministic
+    assert transparent
+    if FULL_FIDELITY:
+        assert alert_led
+        assert p99_gain >= P99_GAIN_FLOOR

@@ -16,7 +16,10 @@ whole trajectory honest:
   (must parse; enveloped ones are schema-validated the same way);
 * envelopes whose payload carries a ``latency`` block (the observability
   bench) get each histogram summary checked: numeric fields, a
-  non-negative count, and ordered percentiles (p50 <= p95 <= p99).
+  non-negative count, and ordered percentiles (p50 <= p95 <= p99);
+* envelopes whose payload carries a ``monitoring`` block (the PR 10
+  telemetry bench) get the sampled timeline, SLO compliance summary,
+  alert log, and overload-experiment arms schema-checked.
 
 Usage: ``python benchmarks/check_trajectory.py [--root PATH]
 [--results benchmarks/results]``
@@ -71,6 +74,8 @@ def check_envelope(path: pathlib.Path, data: dict, errors: list[str]) -> None:
         check_latency_block(path, payload["latency"], errors)
     if isinstance(payload, dict) and "serving" in payload:
         check_serving_block(path, payload["serving"], errors)
+    if isinstance(payload, dict) and "monitoring" in payload:
+        check_monitoring_block(path, payload["monitoring"], errors)
 
 
 def check_latency_block(
@@ -191,6 +196,141 @@ def check_serving_block(
     if ok:
         print(f"ok: {path.name} serving block ({ok} class(es), "
               f"{len(tenants)} tenant(s))")
+
+
+def check_monitoring_block(
+    path: pathlib.Path, monitoring, errors: list[str]
+) -> None:
+    """Validate a monitoring bench payload (PR 10).
+
+    The block carries the sampled timeline shape (positive epoch
+    interval, epoch/series counts), the per-SLO compliance summary
+    (fractions in [0, 1], non-negative integer event totals), the alert
+    log (integer epochs, sequence numbers strictly increasing from 0),
+    and the overload experiment's two arms with ordered numeric
+    percentiles.
+    """
+    where = str(path)
+    if not isinstance(monitoring, dict):
+        errors.append(f"{where}: monitoring block must be an object")
+        return
+    interval = monitoring.get("interval_seconds")
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        errors.append(f"{where}: monitoring needs a positive interval")
+        return
+    for field in ("epochs", "series"):
+        value = monitoring.get(field)
+        if not isinstance(value, int) or value < 0:
+            errors.append(
+                f"{where}: monitoring {field!r} must be a non-negative int"
+            )
+            return
+    slos = monitoring.get("slos")
+    if not isinstance(slos, dict) or not slos:
+        errors.append(f"{where}: monitoring needs non-empty slos")
+        return
+    for name, entry in slos.items():
+        if not isinstance(entry, dict) or not {
+            "compliance", "total_good", "total_bad"
+        } <= entry.keys():
+            errors.append(
+                f"{where}: monitoring slo {name!r} needs "
+                "compliance/total_good/total_bad"
+            )
+            continue
+        compliance = entry["compliance"]
+        good, bad = entry["total_good"], entry["total_bad"]
+        if not isinstance(compliance, (int, float)) or not (
+            0.0 <= compliance <= 1.0
+        ):
+            errors.append(
+                f"{where}: monitoring slo {name!r} compliance "
+                f"{compliance!r} outside [0, 1]"
+            )
+        if not all(isinstance(x, int) and x >= 0 for x in (good, bad)):
+            errors.append(
+                f"{where}: monitoring slo {name!r} event totals must be "
+                "non-negative ints"
+            )
+    alerts = monitoring.get("alerts")
+    if not isinstance(alerts, list):
+        errors.append(f"{where}: monitoring alerts must be a list")
+        return
+    for i, event in enumerate(alerts):
+        if not isinstance(event, dict) or not {
+            "seq", "epoch", "rule", "state"
+        } <= event.keys():
+            errors.append(
+                f"{where}: monitoring alert #{i} needs "
+                "seq/epoch/rule/state"
+            )
+            return
+        if event["seq"] != i:
+            errors.append(
+                f"{where}: monitoring alert #{i} has seq {event['seq']!r}"
+                " — the log must be densely numbered from 0"
+            )
+            return
+        if not isinstance(event["epoch"], int) or event["epoch"] < 0:
+            errors.append(
+                f"{where}: monitoring alert #{i} epoch must be a "
+                "non-negative int"
+            )
+            return
+        if event["state"] not in ("firing", "resolved"):
+            errors.append(
+                f"{where}: monitoring alert #{i} has unknown state "
+                f"{event['state']!r}"
+            )
+            return
+    overload = monitoring.get("overload")
+    if not isinstance(overload, dict):
+        errors.append(f"{where}: monitoring needs an overload block")
+        return
+    gain = overload.get("p99_gain")
+    if not isinstance(gain, (int, float)) or gain < 0:
+        errors.append(
+            f"{where}: monitoring overload p99_gain must be non-negative"
+        )
+        return
+    if not isinstance(overload.get("alert_led_rejects"), bool):
+        errors.append(
+            f"{where}: monitoring overload alert_led_rejects must be a bool"
+        )
+        return
+    arms = 0
+    for arm in ("governor_off", "governor_on"):
+        entry = overload.get(arm)
+        if not isinstance(entry, dict) or not {
+            "interactive_p50", "interactive_p99", "interactive_rejects"
+        } <= entry.keys():
+            errors.append(
+                f"{where}: monitoring overload arm {arm!r} needs "
+                "interactive p50/p99/rejects"
+            )
+            continue
+        p50, p99 = entry["interactive_p50"], entry["interactive_p99"]
+        rejects = entry["interactive_rejects"]
+        if not all(isinstance(x, (int, float)) for x in (p50, p99)) or not (
+            0 <= p50 <= p99
+        ):
+            errors.append(
+                f"{where}: monitoring overload arm {arm!r} percentiles "
+                f"unordered ({p50!r} / {p99!r})"
+            )
+            continue
+        if not isinstance(rejects, int) or rejects < 0:
+            errors.append(
+                f"{where}: monitoring overload arm {arm!r} rejects must "
+                "be a non-negative int"
+            )
+            continue
+        arms += 1
+    if arms == 2:
+        print(
+            f"ok: {path.name} monitoring block ({len(alerts)} alert(s), "
+            f"{len(slos)} slo(s), p99 gain {gain:.2f}x)"
+        )
 
 
 def check_trajectory(root: pathlib.Path, errors: list[str]) -> int:

@@ -288,6 +288,53 @@ def serving_demo() -> None:
     assert replay.to_json() == report.to_json()
     print("  replay with the same seed: byte-identical report")
 
+    monitor_demo()
+
+
+def monitor_demo() -> None:
+    """Time-series monitoring: an epoch sampler scrapes the serving
+    metrics into ring-buffer series, SLO trackers reduce each epoch to
+    good/bad events, and burn-rate rules watch the error budget — the
+    whole telemetry timeline replayable byte for byte (DESIGN.md §16)."""
+    print("\n--- Time-series telemetry and SLO monitoring (DESIGN.md §16) ---")
+    from repro.obs.alerts import default_monitor_spec
+    from repro.obs.export import dashboard_json
+    from repro.serve import ServeConfig, build_frontend, default_tenants
+
+    def run():
+        config = ServeConfig(
+            seed=7,
+            tenants=default_tenants(sessions=2, ops=4),
+            monitor=default_monitor_spec(),
+        )
+        frontend = build_frontend(config, scale=0.02)
+        frontend.run()
+        return frontend
+
+    frontend = run()
+    monitor = frontend.monitor
+    print(
+        f"  sampled {monitor.sampler.samples_taken} epochs "
+        f"({monitor.spec.interval_seconds * 1e3:.0f} ms each) into "
+        f"{len(monitor.sampler.series_names())} series"
+    )
+    for name, tracker in sorted(monitor.trackers.items()):
+        print(
+            f"  SLO {name}: compliance={tracker.compliance():.4f} "
+            f"(good={tracker.total_good} bad={tracker.total_bad})"
+        )
+    print(f"  alert transitions: {len(monitor.log.events)}")
+
+    # Same-seed replay: the dashboard export — every series sample,
+    # SLO window and alert transition — is byte-identical.
+    dash = dashboard_json(monitor, governor=frontend.governor)
+    replay = run()
+    assert dashboard_json(replay.monitor, governor=replay.governor) == dash
+    print(
+        f"  replay with the same seed: byte-identical dashboard "
+        f"({len(dash)} bytes)"
+    )
+
 
 if __name__ == "__main__":
     main()

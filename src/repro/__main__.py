@@ -10,6 +10,8 @@ Usage::
     python -m repro trace 6 --chrome q6_trace.json
     python -m repro metrics --queries 1 6
     python -m repro --scale 0.05 serve --json
+    python -m repro --scale 0.05 monitor --prometheus
+    python -m repro --scale 0.02 monitor --overload --json
     python -m repro chaos --seed 3 --profile corrupt --json
 """
 
@@ -124,6 +126,30 @@ def _build_parser() -> argparse.ArgumentParser:
                    "scheduler (admission control stays on)")
     v.add_argument("--json", action="store_true",
                    help="emit the full serving report as canonical JSON")
+
+    mon = sub.add_parser(
+        "monitor",
+        help="run a monitored serving window — time-series telemetry, "
+        "SLO burn-rate alerts, optional overload/governor experiment "
+        "(DESIGN.md §16)",
+    )
+    mon.add_argument("--config", choices=("hstorage", "lru", "tier3"),
+                     default="hstorage")
+    mon.add_argument("--sessions", type=int, default=3,
+                     help="sessions per tenant (default 3)")
+    mon.add_argument("--ops", type=int, default=4,
+                     help="operations per session (default 4)")
+    mon.add_argument("--overload", action="store_true",
+                     help="run the two-arm ~1000-session overload "
+                     "experiment (governor off vs on) instead of the "
+                     "small monitored window")
+    mon.add_argument("--overload-sessions", type=int, default=None,
+                     metavar="N", help="total sessions for --overload "
+                     "(default 1000)")
+    mon.add_argument("--prometheus", action="store_true",
+                     help="also print the Prometheus text exposition")
+    mon.add_argument("--json", action="store_true",
+                     help="emit the byte-deterministic dashboard JSON")
 
     c = sub.add_parser(
         "chaos",
@@ -365,6 +391,75 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from repro.obs import dashboard_json, prometheus_text
+    from repro.serve import ServeConfig, build_frontend, default_tenants
+    from repro.obs.alerts import default_monitor_spec
+
+    if args.overload:
+        from repro.serve.overload import (
+            DEFAULT_OVERLOAD_SESSIONS,
+            run_overload_experiment,
+        )
+
+        sessions = args.overload_sessions or DEFAULT_OVERLOAD_SESSIONS
+        exp = run_overload_experiment(
+            seed=args.seed, sessions=sessions,
+            kind=args.config, scale=args.scale,
+        )
+        if args.json:
+            print(json.dumps(exp, indent=2, sort_keys=True))
+            return 0
+        off, on = exp["governor_off"], exp["governor_on"]
+        print(f"overload experiment: {exp['sessions']} sessions x "
+              f"{exp['ops_per_session']} ops, seed={exp['seed']}, "
+              f"config={args.config}")
+        for label, arm in (("governor off", off), ("governor on", on)):
+            print(f"  {label:13s} p50={arm['interactive_p50']:.6f}s "
+                  f"p99={arm['interactive_p99']:.6f}s "
+                  f"rejects={arm['interactive_rejects']} "
+                  f"alert@{arm['first_alert_epoch']} "
+                  f"reject-peak@{arm['reject_peak_epoch']}")
+        print(f"  alert led rejects: {exp['alert_led_rejects']}")
+        print(f"  p99 gain (off/on): {exp['p99_gain']:.2f}x "
+              f"({exp['governor_sheds']} sheds)")
+        return 0
+
+    config = ServeConfig(
+        seed=args.seed,
+        tenants=default_tenants(sessions=args.sessions, ops=args.ops),
+        monitor=default_monitor_spec(),
+    )
+    frontend = build_frontend(config, kind=args.config, scale=args.scale)
+    report = frontend.run()
+    monitor = frontend.monitor
+    if args.json:
+        print(dashboard_json(monitor))
+        return 0
+    sampler = monitor.sampler
+    print(f"monitored serving run: config={args.config} "
+          f"scale={args.scale} seed={args.seed}")
+    print(f"  elapsed: {report.elapsed_seconds:.4f} simulated seconds, "
+          f"{sampler.samples_taken} epochs sampled "
+          f"(interval {monitor.spec.interval_seconds}s), "
+          f"{len(sampler.series_names())} series")
+    for name, tracker in sorted(monitor.trackers.items()):
+        print(f"  slo {name:28s} compliance={tracker.compliance():.4f} "
+              f"good={tracker.total_good} bad={tracker.total_bad}")
+    if monitor.log.events:
+        print("  alerts:")
+        for event in monitor.log.events:
+            print(f"    epoch {event.epoch:4d} {event.rule:32s} "
+                  f"{event.state:8s} fast={event.burn_fast:.2f} "
+                  f"slow={event.burn_slow:.2f}")
+    else:
+        print("  alerts: none fired")
+    if args.prometheus:
+        print()
+        print(prometheus_text(frontend.metrics), end="")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.harness.chaos import run_chaos
 
@@ -423,6 +518,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "serve": _cmd_serve,
+        "monitor": _cmd_monitor,
         "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)

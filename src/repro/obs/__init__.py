@@ -7,25 +7,61 @@ same workload produces byte-identical telemetry, and an attached
 bit-identity contract enforced by ``tests/test_observability_diff.py``).
 """
 
+from repro.obs.alerts import (
+    FIRING,
+    RESOLVED,
+    AlertEvent,
+    AlertLog,
+    BurnRateRule,
+    Monitor,
+    MonitorSpec,
+    default_monitor_spec,
+    default_serving_rules,
+    default_serving_slos,
+)
+from repro.obs.export import dashboard_dict, dashboard_json, prometheus_text
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSnapshot,
     MetricsRegistry,
     bucket_index,
     bucket_lower_bound,
 )
 from repro.obs.observer import Observer
+from repro.obs.slo import AvailabilitySLO, LatencySLO, SLOTracker
+from repro.obs.timeseries import Series, TimeSeriesSampler, epoch_of
 from repro.obs.trace import Span, Tracer, validate_chrome
 
 __all__ = [
+    "AlertEvent",
+    "AlertLog",
+    "AvailabilitySLO",
+    "BurnRateRule",
     "Counter",
+    "FIRING",
     "Gauge",
     "Histogram",
+    "HistogramSnapshot",
+    "LatencySLO",
     "MetricsRegistry",
+    "Monitor",
+    "MonitorSpec",
     "Observer",
+    "RESOLVED",
+    "SLOTracker",
+    "Series",
     "Span",
+    "TimeSeriesSampler",
     "Tracer",
     "bucket_index",
     "bucket_lower_bound",
+    "dashboard_dict",
+    "dashboard_json",
+    "default_monitor_spec",
+    "default_serving_rules",
+    "default_serving_slos",
+    "epoch_of",
+    "prometheus_text",
 ]

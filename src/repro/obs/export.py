@@ -1,0 +1,112 @@
+"""Telemetry exports: Prometheus text exposition + dashboard JSON (§16).
+
+Two render paths out of the monitoring stack:
+
+* :func:`prometheus_text` — the classic ``name{label="value"} value``
+  text exposition of a :class:`~repro.obs.metrics.MetricsRegistry`.
+  Counters render with a ``_total`` suffix, gauges as-is, histograms as
+  summaries (``_count``/``_sum`` plus ``quantile`` labels).  Keys are
+  emitted in canonical sorted order, so the same registry state always
+  renders the same bytes.
+* :func:`dashboard_dict` / :func:`dashboard_json` — the full monitoring
+  timeline (every ring-buffer series, SLO good/bad streams, alert log,
+  governor actions) as one ``repro-dash/v1`` tree.  ``dashboard_json``
+  is the byte-identity fixture the ``monitor_deterministic`` benchmark
+  gate compares across same-seed replays.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+
+DASHBOARD_SCHEMA = "repro-dash/v1"
+
+_QUANTILES = ((50, "0.5"), (95, "0.95"), (99, "0.99"))
+
+
+def split_key(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """Parse a canonical ``name{k=v,...}`` key into name + label pairs."""
+    if "{" not in key:
+        return key, []
+    name, _, inner = key.partition("{")
+    pairs = []
+    for part in inner.rstrip("}").split(","):
+        label, _, value = part.partition("=")
+        pairs.append((label, value))
+    return name, pairs
+
+
+def _render_labels(pairs: list[tuple[str, str]], extra: str = "") -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    if extra:
+        inner = f"{inner},{extra}" if inner else extra
+    return f"{{{inner}}}" if inner else ""
+
+
+def _fmt(value) -> str:
+    """Deterministic number rendering (repr floats, plain ints)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus-style text exposition of one registry's state."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def typeline(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, counter in registry.counters():
+        name, pairs = split_key(key)
+        typeline(f"{name}_total", "counter")
+        lines.append(
+            f"{name}_total{_render_labels(pairs)} {_fmt(counter.value)}"
+        )
+    for key, gauge in registry.gauges():
+        name, pairs = split_key(key)
+        typeline(name, "gauge")
+        lines.append(f"{name}{_render_labels(pairs)} {_fmt(gauge.value)}")
+    for key, hist in registry.histograms():
+        name, pairs = split_key(key)
+        typeline(name, "summary")
+        for p, quantile in _QUANTILES:
+            qlabel = f'quantile="{quantile}"'
+            lines.append(
+                f"{name}{_render_labels(pairs, qlabel)} "
+                f"{_fmt(hist.percentile(p))}"
+            )
+        lines.append(
+            f"{name}_count{_render_labels(pairs)} {_fmt(hist.count)}"
+        )
+        lines.append(
+            f"{name}_sum{_render_labels(pairs)} {_fmt(hist.sum_seconds)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def dashboard_dict(monitor, governor=None, extra: dict | None = None) -> dict:
+    """The full monitoring timeline as one JSON-serializable tree."""
+    out = {
+        "schema": DASHBOARD_SCHEMA,
+        "monitor": monitor.as_dict(),
+    }
+    if governor is not None:
+        out["governor"] = governor.as_dict()
+    if extra:
+        out["extra"] = extra
+    return out
+
+
+def dashboard_json(monitor, governor=None, extra: dict | None = None) -> str:
+    """Canonical rendering — the timeline byte-identity fixture."""
+    return json.dumps(
+        dashboard_dict(monitor, governor=governor, extra=extra),
+        indent=2,
+        sort_keys=True,
+    )

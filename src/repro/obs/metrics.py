@@ -12,6 +12,7 @@ run always reports the same p50/p95/p99, byte for byte.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 _SUB_BUCKETS = 16
 _NS_PER_SECOND = 1_000_000_000
@@ -61,6 +62,24 @@ class Gauge:
         self.value = value
 
 
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """An immutable cumulative copy of a histogram's integer state.
+
+    Taken with :meth:`Histogram.snapshot`; subtracted from a later state
+    with :meth:`Histogram.delta_since` to obtain the *window* histogram
+    between the two instants — the operation the time-series sampler
+    (DESIGN.md §16) performs once per epoch so windowed percentiles
+    never re-walk the full cumulative buckets.
+    """
+
+    buckets: dict
+    count: int
+    sum_ns: int
+    max_ns: int
+    min_ns: int | None
+
+
 class Histogram:
     """Fixed-log-bucket latency histogram over seconds.
 
@@ -68,15 +87,19 @@ class Histogram:
     bucket; ``percentile`` walks the cumulative counts and returns the
     matched bucket's exact lower bound (the true maximum for the final
     rank), in seconds.  No interpolation, no floats in the ranking —
-    byte-identical across runs by construction.
+    byte-identical across runs by construction.  ``sum`` and ``mean``
+    derive from an integer-nanosecond accumulator, so they carry the
+    same exactness guarantee as the bucket counts.
     """
 
-    __slots__ = ("buckets", "count", "sum_seconds", "max_ns", "min_ns")
+    __slots__ = ("buckets", "count", "sum_seconds", "sum_ns", "max_ns",
+                 "min_ns")
 
     def __init__(self) -> None:
         self.buckets: dict[int, int] = {}
         self.count = 0
         self.sum_seconds = 0.0
+        self.sum_ns = 0
         self.max_ns = 0
         self.min_ns: int | None = None
 
@@ -88,6 +111,7 @@ class Histogram:
         self.buckets[idx] = self.buckets.get(idx, 0) + 1
         self.count += 1
         self.sum_seconds += seconds
+        self.sum_ns += ns
         if ns > self.max_ns:
             self.max_ns = ns
         if self.min_ns is None or ns < self.min_ns:
@@ -98,12 +122,84 @@ class Histogram:
             self.buckets[idx] = self.buckets.get(idx, 0) + n
         self.count += other.count
         self.sum_seconds += other.sum_seconds
+        self.sum_ns += other.sum_ns
         if other.max_ns > self.max_ns:
             self.max_ns = other.max_ns
         if other.min_ns is not None and (
             self.min_ns is None or other.min_ns < self.min_ns
         ):
             self.min_ns = other.min_ns
+
+    @property
+    def sum(self) -> int:
+        """Total observed time as exact integer nanoseconds."""
+        return self.sum_ns
+
+    @property
+    def mean(self) -> float:
+        """Mean observation in seconds (from the integer accumulator)."""
+        if not self.count:
+            return 0.0
+        return self.sum_ns / self.count / _NS_PER_SECOND
+
+    def count_below(self, seconds: float) -> int:
+        """Observations in buckets strictly below ``seconds``'s bucket.
+
+        Pure integer arithmetic: every value counted is guaranteed to be
+        ``< seconds``; values sharing the threshold's bucket are excluded
+        (the quantization is at most one sub-bucket, ~6.25 %).  This is
+        the "good event" counter of latency SLOs (DESIGN.md §16).
+        """
+        threshold_ns = int(seconds * _NS_PER_SECOND)
+        if threshold_ns <= 0:
+            return 0
+        limit = bucket_index(threshold_ns)
+        return sum(n for idx, n in self.buckets.items() if idx < limit)
+
+    def snapshot(self) -> HistogramSnapshot:
+        """A cumulative copy for later :meth:`delta_since` subtraction."""
+        return HistogramSnapshot(
+            buckets=dict(self.buckets),
+            count=self.count,
+            sum_ns=self.sum_ns,
+            max_ns=self.max_ns,
+            min_ns=self.min_ns,
+        )
+
+    def delta_since(self, snap: HistogramSnapshot) -> "Histogram":
+        """The window histogram between ``snap`` and the current state.
+
+        Bucket-wise integer subtraction — only buckets touched since the
+        snapshot are visited, so per-epoch windows stay cheap on large
+        cumulative histograms.  The window's ``max_ns``/``min_ns`` are
+        exact when the cumulative extremes moved inside the window and
+        otherwise fall back to the outermost non-empty window bucket's
+        lower bound (deterministic either way).
+        """
+        delta = Histogram()
+        if self.count == snap.count:
+            return delta
+        for idx, n in self.buckets.items():
+            d = n - snap.buckets.get(idx, 0)
+            if d:
+                delta.buckets[idx] = d
+        delta.count = self.count - snap.count
+        delta.sum_ns = self.sum_ns - snap.sum_ns
+        delta.sum_seconds = delta.sum_ns / _NS_PER_SECOND
+        if delta.buckets:
+            top = max(delta.buckets)
+            bottom = min(delta.buckets)
+            delta.max_ns = (
+                self.max_ns if self.max_ns > snap.max_ns
+                else bucket_lower_bound(top)
+            )
+            if snap.min_ns is None or (
+                self.min_ns is not None and self.min_ns < snap.min_ns
+            ):
+                delta.min_ns = self.min_ns
+            else:
+                delta.min_ns = bucket_lower_bound(bottom)
+        return delta
 
     def percentile(self, p: float) -> float:
         """The p-th percentile in seconds (bucket lower bound, exact)."""
@@ -123,6 +219,7 @@ class Histogram:
         return {
             "count": self.count,
             "sum_seconds": self.sum_seconds,
+            "mean": self.mean,
             "min": (self.min_ns or 0) / _NS_PER_SECOND,
             "max": self.max_ns / _NS_PER_SECOND,
             "p50": self.percentile(50),
@@ -175,6 +272,14 @@ class MetricsRegistry:
     def histograms(self) -> list[tuple[str, Histogram]]:
         """All histograms, sorted by canonical key."""
         return sorted(self._histograms.items())
+
+    def counters(self) -> list[tuple[str, Counter]]:
+        """All counters, sorted by canonical key."""
+        return sorted(self._counters.items())
+
+    def gauges(self) -> list[tuple[str, Gauge]]:
+        """All gauges, sorted by canonical key."""
+        return sorted(self._gauges.items())
 
     def snapshot(self) -> dict:
         """Everything the registry holds, as a sorted plain-dict tree."""

@@ -56,6 +56,7 @@ class Observer:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(limit=trace_limit) if tracing else None
         self.clock = None
+        self._writeback_classes: dict[str, int] = {}
 
     def bind_clock(self, clock) -> None:
         """Adopt the storage system's clock (first binding wins)."""
@@ -67,6 +68,7 @@ class Observer:
     def reset(self) -> None:
         """Drop all collected telemetry (e.g. after a loading phase)."""
         self.metrics.reset()
+        self._writeback_classes.clear()
         if self.tracer is not None:
             self.tracer.reset()
 
@@ -92,6 +94,25 @@ class Observer:
             m.histogram("io_background_seconds", op=op).observe(
                 background_seconds
             )
+
+    def on_writeback_queue(
+        self, total: int, by_class: dict[str, int]
+    ) -> None:
+        """Scheduler writeback queue depth changed (total + per class).
+
+        Gauges, not counters: the monitor samples *current* depth each
+        epoch, so the time series shows queue build-up and drains.  A
+        class that drained to zero keeps its gauge (reset to 0) so the
+        label set only ever grows — deterministic exposition order."""
+        g = self.metrics.gauge
+        g("sched_writeback_queue_depth").set(total)
+        current = self._writeback_classes
+        current.update(by_class)
+        for name in current:
+            if name not in by_class:
+                current[name] = 0
+        for name, depth in sorted(current.items()):
+            g("sched_writeback_queue_depth", cls=name).set(depth)
 
     def on_completion(self, request, outcomes, queued: bool) -> None:
         """One original request fully served (possibly via a merge)."""

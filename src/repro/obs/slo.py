@@ -1,0 +1,163 @@
+"""Service-level objectives evaluated from the time-series layer (§16).
+
+An SLO turns raw telemetry into a per-epoch stream of *good* and *bad*
+events, from which error-budget burn rates are computed:
+
+* :class:`LatencySLO` — "``target`` fraction of operations complete in
+  under ``threshold_seconds``".  Good/bad counts come from the sampler's
+  per-epoch histogram windows via exact integer bucket arithmetic
+  (:meth:`~repro.obs.metrics.Histogram.count_below`), so evaluation is
+  byte-deterministic by construction.
+* :class:`AvailabilitySLO` — "``target`` fraction of admission decisions
+  are not REJECTs" (availability = 1 − reject rate).  Good/bad counts
+  come from per-epoch counter deltas.
+
+A :class:`SLOTracker` accumulates each objective's good/bad series in
+the same ring-buffer form the sampler uses and answers windowed
+*burn-rate* queries: ``burn = bad_fraction / (1 - target)`` over the
+last N epochs — 1.0 means the error budget is being spent exactly at the
+rate that exhausts it at the SLO horizon, higher means faster.  The
+multi-window alerting rules in :mod:`repro.obs.alerts` are built on
+exactly these queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import StorageConfigError
+from repro.obs.timeseries import Series, TimeSeriesSampler
+
+
+def _check_target(name: str, target: float) -> None:
+    if not 0.0 < target < 1.0:
+        raise StorageConfigError(
+            f"slo {name!r}: target must be in (0, 1), got {target}"
+        )
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """``target`` fraction of ops under ``threshold_seconds`` latency."""
+
+    name: str
+    histogram: str
+    """Canonical registry key of the latency histogram to watch, e.g.
+    ``serve_latency_seconds{cls=interactive}``."""
+    threshold_seconds: float
+    target: float
+
+    def __post_init__(self) -> None:
+        _check_target(self.name, self.target)
+        if self.threshold_seconds <= 0:
+            raise StorageConfigError(
+                f"slo {self.name!r}: threshold must be > 0"
+            )
+
+    def events(self, sampler: TimeSeriesSampler) -> tuple[int, int]:
+        """(good, bad) counts of the sampler's current epoch window."""
+        delta = sampler.hist_deltas.get(self.histogram)
+        if delta is None or not delta.count:
+            return 0, 0
+        good = delta.count_below(self.threshold_seconds)
+        return good, delta.count - good
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "latency",
+            "name": self.name,
+            "histogram": self.histogram,
+            "threshold_seconds": self.threshold_seconds,
+            "target": self.target,
+        }
+
+
+@dataclass(frozen=True)
+class AvailabilitySLO:
+    """``target`` fraction of counted events land on the good side."""
+
+    name: str
+    good_counters: tuple[str, ...]
+    """Registry counter keys whose deltas count as good events (e.g.
+    the ADMIT and DEFER admission outcomes)."""
+    bad_counters: tuple[str, ...]
+    """Counter keys whose deltas count as bad events (e.g. REJECT)."""
+    target: float
+
+    def __post_init__(self) -> None:
+        _check_target(self.name, self.target)
+        if not self.good_counters or not self.bad_counters:
+            raise StorageConfigError(
+                f"slo {self.name!r}: needs good and bad counters"
+            )
+
+    def events(self, sampler: TimeSeriesSampler) -> tuple[int, int]:
+        deltas = sampler.counter_deltas
+        good = sum(deltas.get(key, 0) for key in self.good_counters)
+        bad = sum(deltas.get(key, 0) for key in self.bad_counters)
+        return good, bad
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": "availability",
+            "name": self.name,
+            "good_counters": list(self.good_counters),
+            "bad_counters": list(self.bad_counters),
+            "target": self.target,
+        }
+
+
+class SLOTracker:
+    """Per-epoch good/bad accounting and windowed burn rates for one SLO."""
+
+    def __init__(self, slo, capacity: int = 4096) -> None:
+        self.slo = slo
+        self.good = Series(f"slo:{slo.name}:good", capacity)
+        self.bad = Series(f"slo:{slo.name}:bad", capacity)
+        self.total_good = 0
+        self.total_bad = 0
+
+    def record(self, epoch: int, sampler: TimeSeriesSampler) -> None:
+        """Fold the sampler's freshly sampled epoch into the tracker."""
+        good, bad = self.slo.events(sampler)
+        self.good.append(epoch, good)
+        self.bad.append(epoch, bad)
+        self.total_good += good
+        self.total_bad += bad
+
+    def burn_rate(self, window_epochs: int) -> float:
+        """Error-budget burn over the last ``window_epochs`` samples.
+
+        1.0 = spending the budget exactly at the rate that exhausts it
+        at the horizon; 0.0 when the window saw no events at all.
+        """
+        good = self.good.window_sum(window_epochs)
+        bad = self.bad.window_sum(window_epochs)
+        total = good + bad
+        if not total:
+            return 0.0
+        return (bad / total) / (1.0 - self.slo.target)
+
+    def window_events(self, window_epochs: int) -> int:
+        """Good + bad events in the last ``window_epochs`` samples —
+        the traffic floor burn-rate rules gate on before firing."""
+        return self.good.window_sum(window_epochs) + self.bad.window_sum(
+            window_epochs
+        )
+
+    def compliance(self) -> float:
+        """Overall good fraction across the whole run (1.0 when idle)."""
+        total = self.total_good + self.total_bad
+        if not total:
+            return 1.0
+        return self.total_good / total
+
+    def as_dict(self) -> dict:
+        return {
+            "slo": self.slo.as_dict(),
+            "total_good": self.total_good,
+            "total_bad": self.total_bad,
+            "compliance": self.compliance(),
+            "good": self.good.as_dict(),
+            "bad": self.bad.as_dict(),
+        }

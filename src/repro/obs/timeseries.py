@@ -1,0 +1,211 @@
+"""Deterministic time-series telemetry over sim-clock epochs (§16).
+
+PR 8 gave the stack *point-in-time* observability; this module observes
+*change over time*.  A :class:`TimeSeriesSampler` scrapes a
+:class:`~repro.obs.metrics.MetricsRegistry` into fixed-capacity
+ring-buffer :class:`Series` once per *epoch* — an integer index derived
+from the simulated clock (``epoch = t_ns // interval_ns``, pure integer
+arithmetic).  Nothing here reads wall clocks or draws randomness, and
+sampling is strictly passive (it reads the clock and the registry and
+never advances either), so the full timeline of a seeded run is
+byte-identical across replays — the ``monitor_deterministic`` gate of
+``benchmarks/bench_monitoring.py``.
+
+Per epoch the sampler records
+
+* every counter's cumulative value **and** its per-epoch delta
+  (``<key>:delta``) — rates without re-walking history;
+* every gauge's current value;
+* every histogram's windowed ``count``/``p50``/``p95``/``p99`` derived
+  by *snapshot-delta subtraction*
+  (:meth:`~repro.obs.metrics.Histogram.delta_since`) — only buckets
+  touched since the previous epoch are visited.
+
+Samples are taken at the first tick at-or-after each epoch boundary, so
+activity between a boundary and the next tick attributes to the
+boundary's epoch; callers tick once per event-loop iteration, keeping
+that skew below one loop step.  Idle gaps are filled with zero-delta
+samples so the timeline has no holes.
+"""
+
+from __future__ import annotations
+
+from repro.db.errors import StorageConfigError
+from repro.obs.metrics import Histogram, HistogramSnapshot, MetricsRegistry
+
+NS_PER_SECOND = 1_000_000_000
+
+DEFAULT_INTERVAL_SECONDS = 0.05
+DEFAULT_CAPACITY = 4096
+
+
+def epoch_of(now_seconds: float, interval_ns: int) -> int:
+    """Epoch index containing a simulated instant (integer floor)."""
+    return int(now_seconds * NS_PER_SECOND) // interval_ns
+
+
+class Series:
+    """A fixed-capacity ring buffer of ``(epoch, value)`` samples.
+
+    Epochs are integers; values are whatever the scrape recorded (ints
+    for counters/deltas, floats for gauges and derived percentiles).
+    When capacity is reached the oldest sample is dropped and counted,
+    so exports state their truncation instead of hiding it.
+    """
+
+    __slots__ = ("name", "capacity", "epochs", "values", "dropped")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise StorageConfigError(
+                f"series capacity must be >= 1, got {capacity}"
+            )
+        self.name = name
+        self.capacity = capacity
+        self.epochs: list[int] = []
+        self.values: list = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def append(self, epoch: int, value) -> None:
+        if len(self.epochs) >= self.capacity:
+            del self.epochs[0]
+            del self.values[0]
+            self.dropped += 1
+        self.epochs.append(epoch)
+        self.values.append(value)
+
+    def last(self):
+        """Latest value, or ``None`` on an empty series."""
+        return self.values[-1] if self.values else None
+
+    def window(self, n: int) -> list:
+        """The last ``n`` values (fewer if the series is shorter)."""
+        return self.values[-n:] if n > 0 else []
+
+    def window_sum(self, n: int):
+        """Sum of the last ``n`` values (0 on an empty window)."""
+        return sum(self.window(n))
+
+    def samples(self) -> list[list]:
+        """``[[epoch, value], ...]`` pairs, oldest first (JSON-ready)."""
+        return [
+            [epoch, value]
+            for epoch, value in zip(self.epochs, self.values)
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "samples": self.samples(),
+        }
+
+
+class TimeSeriesSampler:
+    """Scrapes a registry into ring-buffer series on sim-clock epochs.
+
+    Drive it with :meth:`advance_to` from an event loop; every epoch
+    boundary crossed since the previous call is sampled exactly once
+    (intervening idle epochs get zero-delta samples), and the freshly
+    sampled epoch indices are returned so downstream consumers (SLO
+    trackers, burn-rate rules) evaluate each epoch exactly once.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise StorageConfigError(
+                f"sample interval must be > 0, got {interval_seconds}"
+            )
+        self.registry = registry
+        self.interval_ns = int(round(interval_seconds * NS_PER_SECOND))
+        if self.interval_ns < 1:
+            raise StorageConfigError(
+                f"sample interval {interval_seconds!r} is below 1 ns"
+            )
+        self.capacity = capacity
+        self.epoch = -1
+        """Latest epoch sampled (-1 before the first sample)."""
+        self.samples_taken = 0
+        self._series: dict[str, Series] = {}
+        self._counter_prev: dict[str, int] = {}
+        self._hist_prev: dict[str, HistogramSnapshot] = {}
+        self.counter_deltas: dict[str, int] = {}
+        """Per-counter delta of the most recently sampled epoch."""
+        self.hist_deltas: dict[str, Histogram] = {}
+        """Per-histogram window of the most recently sampled epoch."""
+
+    # ------------------------------------------------------------- sampling
+
+    def advance_to(self, now_seconds: float) -> list[int]:
+        """Sample every epoch boundary crossed up to ``now_seconds``."""
+        target = epoch_of(now_seconds, self.interval_ns)
+        sampled: list[int] = []
+        while self.epoch < target:
+            self.epoch += 1
+            self._sample(self.epoch)
+            sampled.append(self.epoch)
+        return sampled
+
+    def _get(self, name: str) -> Series:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(name, self.capacity)
+        return series
+
+    def _sample(self, epoch: int) -> None:
+        self.samples_taken += 1
+        self.counter_deltas = {}
+        self.hist_deltas = {}
+        for key, counter in self.registry.counters():
+            value = counter.value
+            previous = self._counter_prev.get(key, 0)
+            self._counter_prev[key] = value
+            delta = value - previous
+            self.counter_deltas[key] = delta
+            self._get(key).append(epoch, value)
+            self._get(f"{key}:delta").append(epoch, delta)
+        for key, gauge in self.registry.gauges():
+            self._get(key).append(epoch, gauge.value)
+        for key, hist in self.registry.histograms():
+            previous = self._hist_prev.get(key, _EMPTY_SNAPSHOT)
+            delta = hist.delta_since(previous)
+            self._hist_prev[key] = hist.snapshot()
+            self.hist_deltas[key] = delta
+            self._get(f"{key}:count").append(epoch, delta.count)
+            self._get(f"{key}:p50").append(epoch, delta.percentile(50))
+            self._get(f"{key}:p95").append(epoch, delta.percentile(95))
+            self._get(f"{key}:p99").append(epoch, delta.percentile(99))
+
+    # ------------------------------------------------------------ accessors
+
+    def series(self, name: str) -> Series | None:
+        return self._series.get(name)
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def as_dict(self) -> dict:
+        """The full timeline, sorted by series name (JSON-ready)."""
+        return {
+            "interval_ns": self.interval_ns,
+            "epochs_sampled": self.samples_taken,
+            "latest_epoch": self.epoch,
+            "series": {
+                name: self._series[name].as_dict()
+                for name in sorted(self._series)
+            },
+        }
+
+
+_EMPTY_SNAPSHOT = Histogram().snapshot()
+"""Shared zero snapshot: the implicit "previous state" of a histogram
+seen for the first time, so its whole history lands in that epoch."""

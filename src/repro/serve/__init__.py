@@ -1,4 +1,4 @@
-"""Deterministic multi-tenant serving front-end (DESIGN.md §15)."""
+"""Deterministic multi-tenant serving front-end (DESIGN.md §15–§16)."""
 
 from repro.serve.admission import (
     ADMIT,
@@ -13,7 +13,14 @@ from repro.serve.frontend import (
     ServeConfig,
     ServingFrontend,
     ServingReport,
+    build_frontend,
     run_serving,
+)
+from repro.serve.governor import GovernorConfig, OverloadGovernor
+from repro.serve.overload import (
+    OverloadResult,
+    overload_config,
+    run_overload_experiment,
 )
 from repro.serve.tenants import (
     DEFAULT_CLASSES,
@@ -30,12 +37,18 @@ __all__ = [
     "AdmissionDecision",
     "ClassSpec",
     "DEFAULT_CLASSES",
+    "GovernorConfig",
+    "OverloadGovernor",
+    "OverloadResult",
     "ServeConfig",
     "ServingFrontend",
     "ServingReport",
     "TenantSpec",
     "TokenBucket",
+    "build_frontend",
     "default_tenants",
     "drive_round_robin",
+    "overload_config",
+    "run_overload_experiment",
     "run_serving",
 ]

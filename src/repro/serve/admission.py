@@ -58,6 +58,18 @@ class TokenBucket:
             )
             self.stamp = now
 
+    def set_rate(self, rate: float, now: float) -> None:
+        """Change the refill rate from ``now`` on (overload governor).
+
+        Tokens accrued so far are settled at the *old* rate first, so a
+        rate change never rewrites history — the bucket state stays a
+        pure function of the (deterministic) sequence of calls.
+        """
+        if rate <= 0:
+            raise StorageConfigError(f"bucket rate must be > 0, got {rate}")
+        self._refill(now)
+        self.rate = rate
+
     def try_acquire(self, now: float) -> bool:
         """Take one token if available; never blocks."""
         self._refill(now)
@@ -85,12 +97,33 @@ class AdmissionDecision:
 
 
 class AdmissionController:
-    """Per-tenant token buckets plus queue-depth admission."""
+    """Per-tenant token buckets plus queue-depth admission.
 
-    def __init__(self, classes: dict[str, ClassSpec]) -> None:
+    With a ``metrics`` registry attached, every decision also flows
+    through registry counters (``admission_decisions{cls=,verdict=}``)
+    and per-class in-flight gauges (``admission_inflight{cls=}``) — the
+    stream the time-series monitor (DESIGN.md §16) samples; the private
+    per-tenant dicts stay authoritative for :meth:`counters`.
+
+    The per-class *throttles* are the overload governor's lever: a
+    throttled class's tenants see a scaled token-bucket rate and a
+    scaled queue-depth limit, so background/batch load can be shed
+    while an interactive SLO burns.  Throttles default to 1.0 and
+    nothing touches them unless a governor is installed, which keeps
+    governor-off runs bit-identical to PR 9.
+    """
+
+    def __init__(
+        self, classes: dict[str, ClassSpec], metrics=None
+    ) -> None:
         self.classes = classes
+        self.metrics = metrics
         self._buckets: dict[str, TokenBucket] = {}
         self._inflight: dict[str, int] = {}
+        self._inflight_class: dict[str, int] = {}
+        self._tenant_class: dict[str, str] = {}
+        self._rate_throttle: dict[str, float] = {}
+        self._inflight_throttle: dict[str, float] = {}
         self.admitted: dict[str, int] = {}
         self.deferred: dict[str, int] = {}
         self.rejected: dict[str, int] = {}
@@ -98,13 +131,81 @@ class AdmissionController:
     def _bucket(self, tenant: str, spec: ClassSpec) -> TokenBucket:
         bucket = self._buckets.get(tenant)
         if bucket is None:
+            rate = spec.rate_ops_per_second * self._rate_throttle.get(
+                spec.name, 1.0
+            )
             bucket = self._buckets[tenant] = TokenBucket(
-                spec.rate_ops_per_second, spec.burst_ops
+                rate, spec.burst_ops
             )
         return bucket
 
     def inflight(self, tenant: str) -> int:
         return self._inflight.get(tenant, 0)
+
+    def class_inflight(self, service_class: str) -> int:
+        """Admitted operations currently in flight across a class."""
+        return self._inflight_class.get(service_class, 0)
+
+    # ------------------------------------------------- governor throttles
+
+    def set_throttle(
+        self,
+        service_class: str,
+        rate_factor: float = 1.0,
+        inflight_factor: float = 1.0,
+        now: float = 0.0,
+    ) -> None:
+        """Scale a class's admission limits (1.0 = the spec's values).
+
+        Existing tenant buckets are re-rated at ``now``; buckets created
+        later inherit the factor.  Both factors must be > 0 — shedding
+        never silences a class entirely, it only slows it down.
+        """
+        if rate_factor <= 0 or inflight_factor <= 0:
+            raise StorageConfigError(
+                f"throttle factors for {service_class!r} must be > 0"
+            )
+        spec = self.classes[service_class]
+        self._rate_throttle[service_class] = rate_factor
+        self._inflight_throttle[service_class] = inflight_factor
+        for tenant, cls in self._tenant_class.items():
+            if cls == service_class and tenant in self._buckets:
+                self._buckets[tenant].set_rate(
+                    spec.rate_ops_per_second * rate_factor, now
+                )
+
+    def throttles(self) -> dict:
+        """Current per-class (rate, inflight) factors (sorted)."""
+        names = sorted(
+            set(self._rate_throttle) | set(self._inflight_throttle)
+        )
+        return {
+            name: {
+                "rate_factor": self._rate_throttle.get(name, 1.0),
+                "inflight_factor": self._inflight_throttle.get(name, 1.0),
+            }
+            for name in names
+        }
+
+    def _effective_inflight(self, spec: ClassSpec) -> int:
+        factor = self._inflight_throttle.get(spec.name, 1.0)
+        if factor == 1.0:
+            return spec.max_inflight
+        return max(1, int(spec.max_inflight * factor))
+
+    # ------------------------------------------------------------ decisions
+
+    def _publish(self, service_class: str, verdict: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "admission_decisions", cls=service_class, verdict=verdict
+            ).inc()
+
+    def _set_inflight_gauge(self, service_class: str) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "admission_inflight", cls=service_class
+            ).set(self._inflight_class.get(service_class, 0))
 
     def request(
         self, tenant: str, service_class: str, now: float, deferrals: int
@@ -112,18 +213,27 @@ class AdmissionController:
         """Decide one arrival.  ``deferrals`` counts this operation's
         previous DEFER verdicts (the caller owns the retry loop)."""
         spec = self.classes[service_class]
+        self._tenant_class[tenant] = service_class
         if deferrals > spec.max_deferrals:
             self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+            self._publish(service_class, REJECT)
             return AdmissionDecision(REJECT)
-        if self.inflight(tenant) >= spec.max_inflight:
+        if self.inflight(tenant) >= self._effective_inflight(spec):
             self.deferred[tenant] = self.deferred.get(tenant, 0) + 1
+            self._publish(service_class, DEFER)
             return AdmissionDecision(DEFER, retry_at=now + DEPTH_RETRY_SECONDS)
         bucket = self._bucket(tenant, spec)
         if not bucket.try_acquire(now):
             self.deferred[tenant] = self.deferred.get(tenant, 0) + 1
+            self._publish(service_class, DEFER)
             return AdmissionDecision(DEFER, retry_at=bucket.next_available(now))
         self._inflight[tenant] = self.inflight(tenant) + 1
+        self._inflight_class[service_class] = (
+            self._inflight_class.get(service_class, 0) + 1
+        )
         self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+        self._publish(service_class, ADMIT)
+        self._set_inflight_gauge(service_class)
         return AdmissionDecision(ADMIT)
 
     def release(self, tenant: str) -> None:
@@ -134,6 +244,12 @@ class AdmissionController:
                 f"release without admission for tenant {tenant!r}"
             )
         self._inflight[tenant] = count - 1
+        service_class = self._tenant_class.get(tenant)
+        if service_class is not None:
+            self._inflight_class[service_class] = (
+                self._inflight_class.get(service_class, 1) - 1
+            )
+            self._set_inflight_gauge(service_class)
 
     def counters(self) -> dict:
         """Per-tenant admit/defer/reject totals (sorted, JSON-ready)."""

@@ -26,8 +26,10 @@ from random import Random
 
 from repro.db.engine import Database
 from repro.db.errors import StorageConfigError
+from repro.obs.alerts import Monitor, MonitorSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import ADMIT, REJECT, AdmissionController
+from repro.serve.governor import GovernorConfig, OverloadGovernor
 from repro.serve.tenants import (
     DEFAULT_CLASSES,
     ClassSpec,
@@ -57,6 +59,13 @@ class ServeConfig:
     """Install weighted-fair dispatch in the I/O scheduler."""
     classes: tuple[ClassSpec, ...] = DEFAULT_CLASSES
     tenants: tuple[TenantSpec, ...] = field(default_factory=default_tenants)
+    monitor: MonitorSpec | None = None
+    """Optional time-series monitoring pipeline (DESIGN.md §16).
+    ``None`` (the default) attaches nothing: no sampler, no SLOs, no
+    alerts — the bit-identical PR 9 path."""
+    governor: GovernorConfig | None = None
+    """Optional overload governor closing the alert → admission loop.
+    Requires ``monitor``; off by default (purely passive monitoring)."""
 
     def class_map(self) -> dict[str, ClassSpec]:
         mapping = {spec.name: spec for spec in self.classes}
@@ -147,8 +156,29 @@ class ServingFrontend:
         self.db = db
         self.config = config
         self.class_map = config.class_map()
-        self.admission = AdmissionController(self.class_map)
         self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(
+            self.class_map, metrics=self.metrics
+        )
+        self.monitor: Monitor | None = None
+        self.governor: OverloadGovernor | None = None
+        if config.monitor is not None:
+            self.monitor = Monitor(
+                self.metrics,
+                spec=config.monitor,
+                collectors=(self._collect_runtime_gauges,),
+            )
+            if config.governor is not None:
+                self.governor = OverloadGovernor(
+                    self.admission,
+                    config.governor,
+                    interval_seconds=config.monitor.interval_seconds,
+                )
+                self.monitor.subscribe(self.governor.on_alert)
+        elif config.governor is not None:
+            raise StorageConfigError(
+                "a governor needs a monitor to drive it"
+            )
         self.quanta: dict[str, int] = {name: 0 for name in self.class_map}
         self.saturated_quanta: dict[str, int] | None = None
         """Snapshot of per-class quanta at the moment the first class ran
@@ -184,8 +214,14 @@ class ServingFrontend:
                 {name: spec.weight for name, spec in self.class_map.items()}
             )
         start = db.clock.now
+        monitor = self.monitor
         while True:
             now = db.clock.now
+            if monitor is not None:
+                # Purely passive unless a governor listener acts: the
+                # monitor reads the clock and the registry, never the
+                # reverse (DESIGN.md §16).
+                monitor.tick(now)
             runnable = [
                 name
                 for name in sorted(self.class_map)
@@ -223,9 +259,27 @@ class ServingFrontend:
                 self.saturated_quanta = dict(self.quanta)
         if self.saturated_quanta is None:
             self.saturated_quanta = dict(self.quanta)
+        if monitor is not None:
+            monitor.tick(db.clock.now)  # close the final epoch
         if self.config.fair:
             scheduler.configure_fair(None)
         return self._report(db.clock.now - start)
+
+    def _collect_runtime_gauges(self) -> None:
+        """Mirror scheduler queue depths and per-class in-flight counts
+        into the scraped registry right before an epoch sample."""
+        scheduler = self.db.storage.scheduler
+        g = self.metrics.gauge
+        g("sched_queued_writebacks").set(scheduler.queued_writebacks)
+        by_class = scheduler.queued_by_class()
+        for name in sorted(set(by_class) | set(self.class_map)):
+            g("sched_queued_writebacks", cls=name).set(
+                by_class.get(name, 0)
+            )
+        for name in sorted(self.class_map):
+            g("admission_inflight", cls=name).set(
+                self.admission.class_inflight(name)
+            )
 
     def _pick_session(self, name: str, now: float) -> _Session:
         group = self.sessions[name]
@@ -380,13 +434,18 @@ class ServingFrontend:
         )
 
 
-def run_serving(
+def build_frontend(
     config: ServeConfig | None = None,
     kind: str = "hstorage",
     scale: float = 0.02,
     db: Database | None = None,
-) -> ServingReport:
-    """Build a loaded database (unless given one) and run the front-end."""
+) -> ServingFrontend:
+    """Build a loaded database (unless given one) and a front-end on it.
+
+    Callers that need the monitoring pipeline after the run (dashboard
+    exports, governor action logs) keep the returned frontend; plain
+    serving runs use :func:`run_serving`.
+    """
     from repro.harness.configs import StorageConfig, build_database
     from repro.tpch.workload import load_tpch
 
@@ -399,4 +458,14 @@ def run_serving(
         db = build_database(storage)
         load_tpch(db, scale=scale, seed=config.seed)
         db.reset_measurements()
-    return ServingFrontend(db, config).run()
+    return ServingFrontend(db, config)
+
+
+def run_serving(
+    config: ServeConfig | None = None,
+    kind: str = "hstorage",
+    scale: float = 0.02,
+    db: Database | None = None,
+) -> ServingReport:
+    """Build a loaded database (unless given one) and run the front-end."""
+    return build_frontend(config, kind=kind, scale=scale, db=db).run()

@@ -1,0 +1,138 @@
+"""Overload governor: SLO burn alerts feed back into admission (§16).
+
+The serving front-end's monitoring pipeline turns telemetry into alert
+events; the :class:`OverloadGovernor` turns those events back into
+*control*.  Subscribed as a :class:`~repro.obs.alerts.Monitor` listener,
+it watches a configured set of burn-rate rules (by default every rule
+protecting an interactive SLO) and
+
+* **sheds** when the first watched rule fires: every class named in
+  ``shed_classes`` gets its token-bucket rate and queue-depth limit
+  scaled down through
+  :meth:`~repro.serve.admission.AdmissionController.set_throttle`, so
+  background/batch load drains and the interactive class recovers;
+* **relaxes** back to the spec limits once all watched rules resolve.
+
+Every transition is recorded as an integer-epoch action, so governor
+behaviour is as replayable as the alerts that drive it.  The governor is
+strictly opt-in (``ServeConfig.governor``); without one, nothing ever
+touches the admission throttles and serving runs are bit-identical to
+ungoverned ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import StorageConfigError
+from repro.obs.alerts import FIRING, AlertEvent
+from repro.serve.admission import AdmissionController
+
+DEFAULT_WATCHED_RULES = (
+    "interactive-latency-burn",
+    "interactive-availability-burn",
+)
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """How the governor sheds load while an interactive SLO burns."""
+
+    shed_classes: tuple[str, ...] = ("batch", "background")
+    rate_factor: float = 0.25
+    """Token-bucket rate multiplier applied to shed classes."""
+    inflight_factor: float = 0.5
+    """Queue-depth (max_inflight) multiplier applied to shed classes."""
+    rules: tuple[str, ...] = DEFAULT_WATCHED_RULES
+    """Burn-rate rule names whose FIRING state triggers shedding."""
+
+    def __post_init__(self) -> None:
+        if not self.shed_classes:
+            raise StorageConfigError("governor needs shed classes")
+        if not self.rules:
+            raise StorageConfigError("governor needs rules to watch")
+        if not 0 < self.rate_factor <= 1 or not 0 < self.inflight_factor <= 1:
+            raise StorageConfigError(
+                "governor shed factors must be in (0, 1]"
+            )
+
+
+class OverloadGovernor:
+    """Sheds background/batch admission while watched alerts fire."""
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        config: GovernorConfig,
+        interval_seconds: float = 0.0,
+    ) -> None:
+        self.admission = admission
+        self.config = config
+        self.interval_seconds = interval_seconds
+        """The monitor's epoch length: bucket re-rates anchor to the
+        triggering alert's epoch boundary (``epoch * interval``)."""
+        self._firing: set[str] = set()
+        self.shedding = False
+        self.sheds = 0
+        self.relaxes = 0
+        self.actions: list[dict] = []
+        """Replayable record: one entry per shed/relax transition."""
+
+    def on_alert(self, event: AlertEvent) -> None:
+        """Monitor listener: track watched rules, shed or relax."""
+        if event.rule not in self.config.rules:
+            return
+        if event.state == FIRING:
+            self._firing.add(event.rule)
+        else:
+            self._firing.discard(event.rule)
+        should_shed = bool(self._firing)
+        if should_shed and not self.shedding:
+            self._apply(event, shed=True)
+        elif not should_shed and self.shedding:
+            self._apply(event, shed=False)
+
+    def _apply(self, event: AlertEvent, *, shed: bool) -> None:
+        self.shedding = shed
+        rate = self.config.rate_factor if shed else 1.0
+        inflight = self.config.inflight_factor if shed else 1.0
+        # The alert's epoch anchors the action record; the bucket
+        # re-rate settles at the event epoch's boundary instant, both
+        # pure functions of the alert stream.
+        now = event.epoch * self.interval_seconds
+        for name in self.config.shed_classes:
+            if name in self.admission.classes:
+                self.admission.set_throttle(
+                    name,
+                    rate_factor=rate,
+                    inflight_factor=inflight,
+                    now=now,
+                )
+        if shed:
+            self.sheds += 1
+        else:
+            self.relaxes += 1
+        self.actions.append(
+            {
+                "epoch": event.epoch,
+                "action": "shed" if shed else "relax",
+                "rule": event.rule,
+                "rate_factor": rate,
+                "inflight_factor": inflight,
+            }
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "config": {
+                "shed_classes": list(self.config.shed_classes),
+                "rate_factor": self.config.rate_factor,
+                "inflight_factor": self.config.inflight_factor,
+                "rules": list(self.config.rules),
+            },
+            "shedding": self.shedding,
+            "sheds": self.sheds,
+            "relaxes": self.relaxes,
+            "actions": list(self.actions),
+            "throttles": self.admission.throttles(),
+        }

@@ -1,0 +1,315 @@
+"""The overload experiment: a thousand sessions vs the governor (§16).
+
+This module builds the stress scenario the monitoring pipeline exists
+for: ~1000 client sessions — interactive point-lookup tenants sharing
+the machine with batch/background tenants whose table sweeps eat most
+of the engine's quanta.  Interactive weight alone cannot protect the
+premium class here (the sweep classes hold a combined stride share and
+each of their quanta advances the clock by far more than a point
+lookup), so interactive latency degrades, deferral budgets exhaust,
+and REJECT verdicts ramp up.
+
+Run without a governor, the monitor merely *watches* the overload —
+and the burn-rate alert must fire before the per-epoch interactive
+REJECT rate peaks (detection leads the damage).  Run with the
+:class:`~repro.serve.governor.OverloadGovernor` installed, the same
+offered load is *managed*: batch/background admission is shed while
+the interactive SLO burns, which is worth a multiple in interactive
+tail latency at equal offered load.  Both arms are pure functions of
+the seed; the experiment dict they produce is what
+``benchmarks/bench_monitoring.py`` gates on.
+
+Scenario-shape notes (all deliberate):
+
+* ``quantum`` is coarse (256 work units) so one sweep quantum costs
+  real simulated time — the interference the governor removes must
+  dominate the ~2 ms depth-retry queueing noise interactive inflicts
+  on itself, or shedding cannot move the tail.
+* batch/background deferral budgets are small, so shed load *leaves*
+  (rejects, thinks, returns later) instead of piling up in 2 ms retry
+  loops that stampede back in the instant the governor relaxes.
+* the latency SLO threshold (2 ms) is a *queueing detector*: one depth
+  deferral already busts it, so the burn rule fires while rejects are
+  still building toward their peak.
+* the database is pre-warmed (one sweep per table + index touches), so
+  the alert reacts to overload, not to cold-cache noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.engine import Database
+from repro.obs.alerts import (
+    MonitorSpec,
+    default_serving_rules,
+    default_serving_slos,
+)
+from repro.serve.frontend import ServeConfig, ServingReport, build_frontend
+from repro.serve.governor import GovernorConfig
+from repro.serve.tenants import ClassSpec, TenantSpec
+
+#: Monitoring epoch length for the overload runs — shorter than the
+#: serving default so the burst's rise and fall spans many epochs.
+OVERLOAD_INTERVAL_SECONDS = 0.01
+
+#: Latency SLO threshold: 2 ms flags any operation that waited through
+#: even one depth-deferral retry, making the burn rule a queueing
+#: detector rather than a post-mortem.
+OVERLOAD_LATENCY_THRESHOLD = 0.002
+
+#: Engine quantum for the overload arms (see module docstring).
+OVERLOAD_QUANTUM = 256
+
+#: Interactive REJECT-rate series key (the "damage" the alert must
+#: anticipate) as canonicalised by the metrics registry.
+REJECT_DELTA_SERIES = (
+    "admission_decisions{cls=interactive,verdict=reject}:delta"
+)
+
+OVERLOAD_CLASSES: tuple[ClassSpec, ...] = (
+    ClassSpec(
+        name="interactive",
+        weight=2.0,
+        rate_ops_per_second=2000.0,
+        burst_ops=64,
+        max_inflight=8,
+        max_deferrals=12,
+        think_seconds=0.06,
+        op_kind="point",
+    ),
+    ClassSpec(
+        name="batch",
+        weight=2.0,
+        rate_ops_per_second=1000.0,
+        burst_ops=32,
+        max_inflight=16,
+        max_deferrals=8,
+        think_seconds=0.01,
+        op_kind="sweep",
+    ),
+    ClassSpec(
+        name="background",
+        weight=1.0,
+        rate_ops_per_second=400.0,
+        burst_ops=8,
+        max_inflight=8,
+        max_deferrals=6,
+        think_seconds=0.02,
+        op_kind="sweep",
+    ),
+)
+
+#: Session mix: fractions of the total session count per tenant.
+_TENANT_MIX: tuple[tuple[str, str, float], ...] = (
+    ("int-a", "interactive", 0.15),
+    ("int-b", "interactive", 0.15),
+    ("int-c", "interactive", 0.15),
+    ("int-d", "interactive", 0.15),
+    ("batch-a", "batch", 0.15),
+    ("batch-b", "batch", 0.15),
+    ("bg-a", "background", 0.10),
+)
+
+DEFAULT_OVERLOAD_SESSIONS = 1000
+DEFAULT_OPS_PER_SESSION = 12
+
+
+def overload_tenants(
+    sessions: int = DEFAULT_OVERLOAD_SESSIONS,
+    ops_per_session: int = DEFAULT_OPS_PER_SESSION,
+) -> tuple[TenantSpec, ...]:
+    """The overload tenant mix, scaled to a total session count."""
+    return tuple(
+        TenantSpec(
+            name=name,
+            service_class=cls,
+            sessions=max(1, round(sessions * fraction)),
+            ops_per_session=ops_per_session,
+        )
+        for name, cls, fraction in _TENANT_MIX
+    )
+
+
+def overload_monitor_spec() -> MonitorSpec:
+    return MonitorSpec(
+        interval_seconds=OVERLOAD_INTERVAL_SECONDS,
+        slos=default_serving_slos(
+            latency_threshold=OVERLOAD_LATENCY_THRESHOLD
+        ),
+        rules=default_serving_rules(),
+    )
+
+
+def overload_config(
+    seed: int = 42,
+    sessions: int = DEFAULT_OVERLOAD_SESSIONS,
+    ops_per_session: int = DEFAULT_OPS_PER_SESSION,
+    governor: bool = False,
+) -> ServeConfig:
+    """A :class:`ServeConfig` for one overload arm (governed or not).
+
+    Both arms share identical tenants, classes, seed, quantum, and
+    monitoring spec — the governor flag is the *only* difference, which
+    is what makes the p99 comparison an equal-offered-load experiment.
+    """
+    return ServeConfig(
+        seed=seed,
+        quantum=OVERLOAD_QUANTUM,
+        classes=OVERLOAD_CLASSES,
+        tenants=overload_tenants(sessions, ops_per_session),
+        monitor=overload_monitor_spec(),
+        governor=GovernorConfig() if governor else None,
+    )
+
+
+def build_overload_db(
+    seed: int = 42, kind: str = "hstorage", scale: float = 0.02
+) -> Database:
+    """A loaded *and pre-warmed* database for one overload arm.
+
+    The warmup (one sweep per served table, a spread of index lookups)
+    is itself deterministic, and all telemetry is reset afterwards so
+    the monitored window starts clean — the alerts in the experiment
+    react to overload, not to first-touch I/O.
+    """
+    from repro.db.executor import SeqScan
+    from repro.harness.configs import StorageConfig, build_database
+    from repro.serve.tenants import PointLookups
+    from repro.tpch.workload import load_tpch
+
+    storage = StorageConfig(
+        kind=kind, cache_blocks=2048, bufferpool_pages=128
+    )
+    db = build_database(storage)
+    load_tpch(db, scale=scale, seed=seed)
+    for table in ("orders", "lineitem"):
+        db.run_query(
+            SeqScan(db.catalog.relation(table)), label="warmup"
+        )
+    db.run_query(
+        PointLookups(db, tuple(i / 40 for i in range(40))), label="warmup"
+    )
+    db.reset_measurements()
+    return db
+
+
+@dataclass(frozen=True)
+class OverloadResult:
+    """One overload arm, reduced to the numbers the benchmark gates on."""
+
+    report: ServingReport
+    monitor: dict
+    governor: dict | None
+    first_alert_epoch: int | None
+    """Epoch of the earliest FIRING burn-rate transition."""
+    reject_peak_epoch: int | None
+    """Epoch of the (first) maximum per-epoch interactive REJECT count."""
+    reject_peak_delta: int
+    interactive_p50: float
+    interactive_p99: float
+    """Full-run interactive latency percentiles, seconds."""
+    interactive_rejects: int
+
+    def alert_led_rejects(self) -> bool:
+        """Did detection lead the damage?  (An alert fired, strictly
+        before the interactive REJECT rate peaked.)"""
+        return (
+            self.first_alert_epoch is not None
+            and self.reject_peak_epoch is not None
+            and self.first_alert_epoch < self.reject_peak_epoch
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "first_alert_epoch": self.first_alert_epoch,
+            "reject_peak_epoch": self.reject_peak_epoch,
+            "reject_peak_delta": self.reject_peak_delta,
+            "alert_led_rejects": self.alert_led_rejects(),
+            "interactive_p50": self.interactive_p50,
+            "interactive_p99": self.interactive_p99,
+            "interactive_rejects": self.interactive_rejects,
+            "governor": self.governor,
+        }
+
+
+def run_overload(
+    config: ServeConfig,
+    kind: str = "hstorage",
+    scale: float = 0.02,
+    db: Database | None = None,
+) -> OverloadResult:
+    """Run one overload arm and reduce it to an :class:`OverloadResult`."""
+    if db is None:
+        db = build_overload_db(config.seed, kind=kind, scale=scale)
+    frontend = build_frontend(config, kind=kind, scale=scale, db=db)
+    report = frontend.run()
+    monitor = frontend.monitor
+    assert monitor is not None  # overload_config always installs one
+    series = monitor.sampler.series(REJECT_DELTA_SERIES)
+    peak_epoch: int | None = None
+    peak_delta = 0
+    if series is not None:
+        for epoch, delta in zip(series.epochs, series.values):
+            if delta > peak_delta:
+                peak_epoch, peak_delta = epoch, delta
+    hist = frontend.metrics.histogram(
+        "serve_latency_seconds", cls="interactive"
+    )
+    rejects = report.classes["interactive"]["ops_rejected"]
+    return OverloadResult(
+        report=report,
+        monitor=monitor.as_dict(),
+        governor=(
+            frontend.governor.as_dict()
+            if frontend.governor is not None
+            else None
+        ),
+        first_alert_epoch=monitor.log.first_firing_epoch(),
+        reject_peak_epoch=peak_epoch,
+        reject_peak_delta=peak_delta,
+        interactive_p50=hist.percentile(50),
+        interactive_p99=hist.percentile(99),
+        interactive_rejects=rejects,
+    )
+
+
+def run_overload_experiment(
+    seed: int = 42,
+    sessions: int = DEFAULT_OVERLOAD_SESSIONS,
+    ops_per_session: int = DEFAULT_OPS_PER_SESSION,
+    kind: str = "hstorage",
+    scale: float = 0.02,
+) -> dict:
+    """Both arms at equal offered load: governor off, then governor on.
+
+    Returns the comparison dict the monitoring benchmark (and the CLI's
+    ``monitor --overload``) reports: per-arm reductions plus the two
+    derived gates — ``alert_led_rejects`` from the ungoverned arm and
+    ``p99_gain`` (off/on, > 1.0 means the governor helped the tail).
+    """
+    off = run_overload(
+        overload_config(seed, sessions, ops_per_session, governor=False),
+        kind=kind,
+        scale=scale,
+    )
+    on = run_overload(
+        overload_config(seed, sessions, ops_per_session, governor=True),
+        kind=kind,
+        scale=scale,
+    )
+    p99_gain = (
+        off.interactive_p99 / on.interactive_p99
+        if on.interactive_p99 > 0
+        else 0.0
+    )
+    return {
+        "seed": seed,
+        "sessions": sessions,
+        "ops_per_session": ops_per_session,
+        "governor_off": off.as_dict(),
+        "governor_on": on.as_dict(),
+        "alert_led_rejects": off.alert_led_rejects(),
+        "p99_gain": p99_gain,
+        "governor_sheds": (on.governor or {}).get("sheds", 0),
+    }

@@ -122,6 +122,10 @@ class IOScheduler:
         self.class_sync_seconds: dict[str, float] = {}
         """Per-service-class dispatch accounting (only requests carrying
         a ``service_class`` contribute; legacy traffic is untouched)."""
+        self._class_queued: dict[str, int] = {}
+        """Queued writeback requests per service class (``none`` for
+        legacy traffic) — the queue-depth gauge the time-series monitor
+        samples (DESIGN.md §16)."""
 
     # ------------------------------------------------------------------ API
 
@@ -243,11 +247,27 @@ class IOScheduler:
     def queued_writebacks(self) -> int:
         return len(self._queue)
 
+    def queued_by_class(self) -> dict[str, int]:
+        """Current writeback queue depth per service class (sorted)."""
+        return {
+            name: depth
+            for name, depth in sorted(self._class_queued.items())
+            if depth
+        }
+
     # ------------------------------------------------------------ internals
+
+    def _queue_depth_changed(self) -> None:
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.on_writeback_queue(len(self._queue), self.queued_by_class())
 
     def _enqueue(self, request: IORequest) -> None:
         self._queue.append(request)
         self._queued_lbns.update(request.lbas)
+        cls = request.service_class or "none"
+        self._class_queued[cls] = self._class_queued.get(cls, 0) + 1
+        self._queue_depth_changed()
 
     def _overlaps_queue(self, requests: list[IORequest]) -> bool:
         if not self._queued_lbns:
@@ -266,6 +286,8 @@ class IOScheduler:
         queue = sorted(self._queue, key=lambda r: r.lba)
         self._queue.clear()
         self._queued_lbns.clear()
+        self._class_queued.clear()
+        self._queue_depth_changed()
         for group in self._merge(queue):
             self._dispatch_group(group, result, queued=True)
 

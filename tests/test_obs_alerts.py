@@ -1,0 +1,224 @@
+"""Unit tests for SLO burn-rate math and multi-window alerting (§16).
+
+Covers the good/bad event extraction of both SLO kinds, the tracker's
+windowed burn-rate arithmetic, and the Monitor's rule state machine:
+fire only when fast AND slow windows burn past the threshold AND the
+traffic floor is met; resolve when the fast window recovers; every
+transition logged with dense sequence numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db.errors import StorageConfigError
+from repro.obs.alerts import (
+    FIRING,
+    RESOLVED,
+    BurnRateRule,
+    Monitor,
+    MonitorSpec,
+    default_monitor_spec,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import AvailabilitySLO, LatencySLO, SLOTracker
+from repro.obs.timeseries import TimeSeriesSampler
+
+INTERVAL = 0.01
+
+
+def _availability_slo(target=0.9):
+    return AvailabilitySLO(
+        name="avail",
+        good_counters=("ok",),
+        bad_counters=("bad",),
+        target=target,
+    )
+
+
+class TestSLOs:
+    def test_latency_slo_counts_bucket_exact(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, interval_seconds=INTERVAL)
+        hist = registry.histogram("lat", cls="interactive")
+        for seconds in (0.0001, 0.0002, 0.0100):
+            hist.observe(seconds)
+        sampler.advance_to(0.0)
+        slo = LatencySLO(
+            name="lat",
+            histogram="lat{cls=interactive}",
+            threshold_seconds=0.002,
+            target=0.95,
+        )
+        good, bad = slo.events(sampler)
+        assert (good, bad) == (2, 1)
+
+    def test_latency_slo_idle_window_is_zero(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, interval_seconds=INTERVAL)
+        sampler.advance_to(0.0)
+        slo = LatencySLO(
+            name="lat", histogram="missing", threshold_seconds=0.01,
+            target=0.9,
+        )
+        assert slo.events(sampler) == (0, 0)
+
+    def test_availability_slo_sums_counter_deltas(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, interval_seconds=INTERVAL)
+        registry.counter("ok").inc(8)
+        registry.counter("bad").inc(2)
+        sampler.advance_to(0.0)
+        assert _availability_slo().events(sampler) == (8, 2)
+
+    def test_target_validation(self):
+        with pytest.raises(StorageConfigError):
+            LatencySLO(name="x", histogram="h", threshold_seconds=0.01,
+                       target=1.0)
+        with pytest.raises(StorageConfigError):
+            AvailabilitySLO(name="x", good_counters=(), bad_counters=("b",),
+                            target=0.9)
+
+
+class TestTracker:
+    def _tracked(self, pairs):
+        """A tracker fed one (good, bad) pair per epoch."""
+        tracker = SLOTracker(_availability_slo(target=0.9))
+        for epoch, (good, bad) in enumerate(pairs):
+            tracker.good.append(epoch, good)
+            tracker.bad.append(epoch, bad)
+            tracker.total_good += good
+            tracker.total_bad += bad
+        return tracker
+
+    def test_burn_rate_math(self):
+        # 20% bad against a 10% budget: burn = 0.2 / 0.1 = 2.0.
+        tracker = self._tracked([(8, 2)])
+        assert tracker.burn_rate(1) == pytest.approx(2.0)
+        # A clean epoch dilutes the window to 10% bad: burn 1.0.
+        tracker.good.append(1, 10)
+        tracker.bad.append(1, 0)
+        assert tracker.burn_rate(2) == pytest.approx(1.0)
+
+    def test_burn_rate_empty_window_is_zero(self):
+        assert self._tracked([]).burn_rate(5) == 0.0
+        assert self._tracked([(0, 0)]).burn_rate(1) == 0.0
+
+    def test_window_events_and_compliance(self):
+        tracker = self._tracked([(8, 2), (9, 1)])
+        assert tracker.window_events(1) == 10
+        assert tracker.window_events(2) == 20
+        assert tracker.compliance() == pytest.approx(17 / 20)
+        assert SLOTracker(_availability_slo()).compliance() == 1.0
+
+
+def _monitor(min_events=0, threshold=2.0):
+    registry = MetricsRegistry()
+    spec = MonitorSpec(
+        interval_seconds=INTERVAL,
+        slos=(_availability_slo(target=0.9),),
+        rules=(
+            BurnRateRule(
+                name="burn",
+                slo="avail",
+                fast_window=2,
+                slow_window=4,
+                threshold=threshold,
+                min_events=min_events,
+            ),
+        ),
+    )
+    return registry, Monitor(registry, spec)
+
+
+class TestMonitor:
+    def test_rule_validation(self):
+        with pytest.raises(StorageConfigError):
+            BurnRateRule(name="r", slo="s", fast_window=5, slow_window=3)
+        with pytest.raises(StorageConfigError):
+            BurnRateRule(name="r", slo="s", threshold=0.0)
+        with pytest.raises(StorageConfigError):
+            BurnRateRule(name="r", slo="s", min_events=-1)
+        with pytest.raises(StorageConfigError):
+            MonitorSpec(
+                slos=(), rules=(BurnRateRule(name="r", slo="ghost"),)
+            ).validate()
+
+    def test_fire_and_resolve_transitions(self):
+        registry, monitor = _monitor()
+        ok, bad = registry.counter("ok"), registry.counter("bad")
+        # Four epochs of 50% bad (burn 5.0 >> 2.0): must fire once.
+        events = []
+        for epoch in range(4):
+            ok.inc(5)
+            bad.inc(5)
+            events += monitor.tick(epoch * INTERVAL)
+        assert [e.state for e in events] == [FIRING]
+        assert monitor.firing("burn")
+        # Two clean epochs empty the fast window: resolve.
+        for epoch in range(4, 6):
+            ok.inc(10)
+            events += monitor.tick(epoch * INTERVAL)
+        assert [e.state for e in events] == [FIRING, RESOLVED]
+        assert not monitor.firing("burn")
+        # Dense sequence numbers, integer epochs.
+        assert [e.seq for e in monitor.log.events] == [0, 1]
+        assert monitor.log.first_firing_epoch() == 0
+
+    def test_slow_window_filters_blips(self):
+        registry, monitor = _monitor()
+        ok, bad = registry.counter("ok"), registry.counter("bad")
+        # One bad epoch surrounded by clean ones: fast window burns but
+        # the slow window stays below threshold -> no alert.
+        for epoch in range(6):
+            if epoch == 2:
+                bad.inc(3)
+                ok.inc(7)
+            else:
+                ok.inc(10)
+            monitor.tick(epoch * INTERVAL)
+        assert monitor.log.events == []
+
+    def test_min_events_traffic_floor(self):
+        registry, monitor = _monitor(min_events=20)
+        bad = registry.counter("bad")
+        registry.counter("ok")
+        # 100% bad but only 4 events in the slow window: floored.
+        for epoch in range(4):
+            bad.inc(1)
+            monitor.tick(epoch * INTERVAL)
+        assert monitor.log.events == []
+        # Same burn with real traffic clears the floor and fires.
+        for epoch in range(4, 6):
+            bad.inc(10)
+            monitor.tick(epoch * INTERVAL)
+        assert [e.state for e in monitor.log.events] == [FIRING]
+
+    def test_listener_receives_events(self):
+        registry, monitor = _monitor()
+        seen = []
+        monitor.subscribe(seen.append)
+        registry.counter("bad").inc(10)
+        registry.counter("ok")
+        monitor.tick(0.0)
+        # Four idle epochs empty the fast window again: resolve too —
+        # and the listener saw both transitions, in order.
+        monitor.tick(4 * INTERVAL)
+        assert [e.state for e in seen] == [FIRING, RESOLVED]
+
+    def test_alert_log_replay_determinism(self):
+        def run() -> str:
+            registry, monitor = _monitor()
+            ok, bad = registry.counter("ok"), registry.counter("bad")
+            for epoch in range(12):
+                ok.inc(6)
+                bad.inc(4 if epoch % 5 else 0)
+                monitor.tick(epoch * INTERVAL)
+            return json.dumps(monitor.as_dict(), sort_keys=True)
+
+        assert run() == run()
+
+    def test_default_spec_validates(self):
+        default_monitor_spec().validate()

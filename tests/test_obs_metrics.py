@@ -91,13 +91,89 @@ class TestHistogram:
         assert a.min_ns == 100_000
         assert a.sum_seconds == pytest.approx(0.0111)
 
+    def test_merge_sum_mean_exact_integers(self):
+        # Sub-16ns observations land in unit buckets, so every quantity
+        # here is exact integer arithmetic — no approx anywhere.
+        a, b = Histogram(), Histogram()
+        for ns in (3, 5, 7):
+            a.observe(ns / 1e9)
+        for ns in (2, 11):
+            b.observe(ns / 1e9)
+        a.merge(b)
+        assert a.count == 5
+        assert a.sum == 3 + 5 + 7 + 2 + 11
+        assert a.mean == 28 / 5 / 1e9
+        assert a.buckets == {2: 1, 3: 1, 5: 1, 7: 1, 11: 1}
+        assert a.min_ns == 2
+        assert a.max_ns == 11
+
+    def test_merge_into_empty_adopts_extremes(self):
+        a, b = Histogram(), Histogram()
+        b.observe(6 / 1e9)
+        a.merge(b)
+        assert (a.count, a.sum, a.min_ns, a.max_ns) == (1, 6, 6, 6)
+
+    def test_sum_and_mean_of_empty(self):
+        h = Histogram()
+        assert h.sum == 0
+        assert h.mean == 0.0
+
+    def test_count_below_excludes_threshold_bucket(self):
+        h = Histogram()
+        for ns in (1, 2, 3, 10):
+            h.observe(ns / 1e9)
+        # Buckets strictly below the threshold's bucket: 1 and 2.
+        assert h.count_below(3 / 1e9) == 2
+        assert h.count_below(0.0) == 0
+        assert h.count_below(100 / 1e9) == 4
+
+    def test_delta_since_exact_subtraction(self):
+        h = Histogram()
+        h.observe(4 / 1e9)
+        h.observe(8 / 1e9)
+        snap = h.snapshot()
+        h.observe(2 / 1e9)
+        h.observe(8 / 1e9)
+        h.observe(12 / 1e9)
+        delta = h.delta_since(snap)
+        assert delta.count == 3
+        assert delta.sum == 2 + 8 + 12
+        assert delta.buckets == {2: 1, 8: 1, 12: 1}
+        # Both extremes moved inside the window, so they are exact.
+        assert delta.max_ns == 12
+        assert delta.min_ns == 2
+        # The cumulative histogram is untouched by the subtraction.
+        assert h.count == 5
+        assert h.sum == 4 + 8 + 2 + 8 + 12
+
+    def test_delta_since_no_change_is_empty(self):
+        h = Histogram()
+        h.observe(1 / 1e9)
+        delta = h.delta_since(h.snapshot())
+        assert delta.count == 0
+        assert delta.buckets == {}
+        assert delta.sum == 0
+
+    def test_delta_extremes_fall_back_to_bucket_bounds(self):
+        h = Histogram()
+        h.observe(2 / 1e9)
+        h.observe(100 / 1e9)
+        snap = h.snapshot()
+        h.observe(50 / 1e9)  # inside [2, 100]: neither extreme moves
+        delta = h.delta_since(snap)
+        assert delta.count == 1
+        idx = bucket_index(50)
+        assert delta.max_ns == bucket_lower_bound(idx)
+        assert delta.min_ns == bucket_lower_bound(idx)
+
     def test_summary_keys(self):
         h = Histogram()
         h.observe(0.5)
         s = h.summary()
-        assert set(s) == {"count", "sum_seconds", "min", "max", "p50",
-                          "p95", "p99"}
+        assert set(s) == {"count", "sum_seconds", "mean", "min", "max",
+                          "p50", "p95", "p99"}
         assert s["count"] == 1
+        assert s["mean"] == pytest.approx(0.5)
         assert s["p50"] <= 0.5 <= s["max"]
 
     def test_identical_streams_identical_summaries(self):

@@ -1,0 +1,162 @@
+"""Unit tests for the time-series sampling layer (DESIGN.md §16).
+
+Pins the epoch arithmetic, the ring buffer's drop accounting, and the
+sampler's scrape semantics: cumulative + delta counter series, gauge
+passthrough, histogram snapshot-delta windows, and zero-delta gap fill
+across idle epochs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db.errors import StorageConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    NS_PER_SECOND,
+    Series,
+    TimeSeriesSampler,
+    epoch_of,
+)
+
+INTERVAL = 0.01
+INTERVAL_NS = 10_000_000
+
+
+class TestEpochOf:
+    def test_integer_floor(self):
+        assert epoch_of(0.0, INTERVAL_NS) == 0
+        assert epoch_of(0.0099999, INTERVAL_NS) == 0
+        assert epoch_of(0.01, INTERVAL_NS) == 1
+        assert epoch_of(0.025, INTERVAL_NS) == 2
+
+    def test_pure_function_of_nanoseconds(self):
+        ns = 123_456_789
+        assert epoch_of(ns / NS_PER_SECOND, INTERVAL_NS) == ns // INTERVAL_NS
+
+
+class TestSeries:
+    def test_append_and_window(self):
+        s = Series("x", capacity=8)
+        for epoch, value in enumerate((3, 1, 4, 1, 5)):
+            s.append(epoch, value)
+        assert len(s) == 5
+        assert s.last() == 5
+        assert s.window(3) == [4, 1, 5]
+        assert s.window_sum(3) == 10
+        assert s.window(0) == []
+        assert s.window_sum(100) == 14
+
+    def test_empty_series(self):
+        s = Series("x", capacity=4)
+        assert s.last() is None
+        assert s.window_sum(5) == 0
+        assert s.samples() == []
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        s = Series("x", capacity=3)
+        for epoch in range(5):
+            s.append(epoch, epoch * 10)
+        assert len(s) == 3
+        assert s.dropped == 2
+        assert s.samples() == [[2, 20], [3, 30], [4, 40]]
+        assert s.as_dict()["dropped"] == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageConfigError):
+            Series("x", capacity=0)
+
+
+class TestSampler:
+    def _sampler(self, registry=None, capacity=64):
+        return TimeSeriesSampler(
+            registry if registry is not None else MetricsRegistry(),
+            interval_seconds=INTERVAL,
+            capacity=capacity,
+        )
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(StorageConfigError):
+            TimeSeriesSampler(MetricsRegistry(), interval_seconds=0.0)
+
+    def test_counter_cumulative_and_delta_series(self):
+        registry = MetricsRegistry()
+        sampler = self._sampler(registry)
+        counter = registry.counter("ops", cls="a")
+        counter.inc(3)
+        assert sampler.advance_to(0.0) == [0]
+        counter.inc(2)
+        assert sampler.advance_to(0.011) == [1]
+        key = "ops{cls=a}"
+        assert sampler.series(key).samples() == [[0, 3], [1, 5]]
+        assert sampler.series(f"{key}:delta").samples() == [[0, 3], [1, 2]]
+        assert sampler.counter_deltas[key] == 2
+
+    def test_idle_gap_filled_with_zero_deltas(self):
+        registry = MetricsRegistry()
+        sampler = self._sampler(registry)
+        registry.counter("ops").inc()
+        sampler.advance_to(0.0)
+        # Jump four epochs ahead: 1..4 all sampled, deltas 0.
+        assert sampler.advance_to(0.045) == [1, 2, 3, 4]
+        assert sampler.series("ops:delta").samples() == [
+            [0, 1], [1, 0], [2, 0], [3, 0], [4, 0]
+        ]
+
+    def test_same_epoch_not_resampled(self):
+        sampler = self._sampler()
+        assert sampler.advance_to(0.0) == [0]
+        assert sampler.advance_to(0.005) == []
+        assert sampler.samples_taken == 1
+
+    def test_gauge_passthrough(self):
+        registry = MetricsRegistry()
+        sampler = self._sampler(registry)
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        sampler.advance_to(0.0)
+        gauge.set(2)
+        sampler.advance_to(0.01)
+        assert sampler.series("depth").samples() == [[0, 7], [1, 2]]
+
+    def test_histogram_window_via_snapshot_delta(self):
+        registry = MetricsRegistry()
+        sampler = self._sampler(registry)
+        hist = registry.histogram("lat")
+        hist.observe(0.001)
+        hist.observe(0.001)
+        sampler.advance_to(0.0)
+        hist.observe(0.004)
+        sampler.advance_to(0.01)
+        counts = sampler.series("lat:count").samples()
+        assert counts == [[0, 2], [1, 1]]
+        # The epoch-1 window holds only the 4 ms observation.
+        p50 = sampler.series("lat:p50").values[-1]
+        assert p50 == pytest.approx(0.004, rel=0.07)
+        assert sampler.hist_deltas["lat"].count == 1
+
+    def test_timeline_byte_identity(self):
+        def run() -> str:
+            registry = MetricsRegistry()
+            sampler = self._sampler(registry)
+            counter = registry.counter("ops")
+            hist = registry.histogram("lat")
+            for step in range(25):
+                counter.inc(step % 3)
+                hist.observe((step % 7 + 1) / 1e4)
+                sampler.advance_to(step * 0.004)
+            return json.dumps(sampler.as_dict(), sort_keys=True)
+
+        assert run() == run()
+
+    def test_series_names_sorted(self):
+        registry = MetricsRegistry()
+        sampler = self._sampler(registry)
+        registry.counter("zz").inc()
+        registry.gauge("aa").set(1)
+        sampler.advance_to(0.0)
+        names = sampler.series_names()
+        assert names == sorted(names)
+        assert "zz:delta" in names

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.serve import (
@@ -168,6 +170,67 @@ class TestAdmissionBehaviour:
         blocks = report.scheduler["class_blocks"]
         assert blocks  # at least one class dispatched real I/O
         assert set(blocks) <= {"interactive", "batch", "background"}
+
+
+class TestReportEdgeCases:
+    def test_class_with_no_tenants_reports_zero_samples(self):
+        # Only the interactive class gets traffic; the other two stock
+        # classes must still render, with empty latency summaries.
+        config = ServeConfig(
+            seed=3,
+            tenants=(
+                TenantSpec(
+                    name="solo", service_class="interactive",
+                    sessions=1, ops_per_session=3,
+                ),
+            ),
+        )
+        report = run_serving(config, scale=SCALE)
+        assert set(report.classes) == {
+            "interactive", "batch", "background"
+        }
+        for idle in ("batch", "background"):
+            cls = report.classes[idle]
+            assert cls["ops_completed"] == 0
+            assert cls["latency"]["count"] == 0
+            assert cls["latency"]["p99"] == 0.0
+        assert report.classes["interactive"]["ops_completed"] == 3
+        # The canonical rendering stays valid JSON with zero samples.
+        assert json.loads(report.to_json())["classes"]["batch"]
+
+    def test_single_tenant_report(self):
+        config = ServeConfig(
+            seed=3,
+            tenants=(
+                TenantSpec(
+                    name="solo", service_class="interactive",
+                    sessions=2, ops_per_session=2,
+                ),
+            ),
+        )
+        report = run_serving(config, scale=SCALE)
+        assert list(report.tenants) == ["solo"]
+        tenant = report.tenants["solo"]
+        assert tenant["class"] == "interactive"
+        assert tenant["ops_completed"] == 4
+        assert tenant["latency"]["count"] > 0
+
+    def test_cross_run_byte_equality_with_runtime_gauges(self):
+        # The §16 runtime gauge collectors (scheduler queue depths,
+        # admission in-flight) must not leak nondeterminism into the
+        # report even when monitoring samples them every epoch.
+        from repro.obs.alerts import default_monitor_spec
+
+        def run() -> str:
+            config = ServeConfig(
+                seed=13,
+                tenants=tenants_for(saturated_classes(), sessions=1, ops=4),
+                classes=saturated_classes(),
+                monitor=default_monitor_spec(),
+            )
+            return run_serving(config, scale=SCALE).to_json()
+
+        assert run() == run()
 
 
 class TestConfigValidation:

@@ -1,0 +1,189 @@
+"""Monitored serving: transparency, replayability, governor feedback
+(DESIGN.md §16).
+
+The monitoring pipeline must be a pure *observer* of the serving run —
+attaching it cannot change a single byte of the serving report — while
+its own outputs (dashboard JSON, alert log, governor actions) must be
+byte-identical across same-seed replays.  The governor closes the loop
+the other way, so it is tested both as a unit (synthetic alert stream
+against a real admission controller) and through the config validation
+that keeps it opt-in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.db.errors import StorageConfigError
+from repro.obs.alerts import FIRING, RESOLVED, AlertEvent, default_monitor_spec
+from repro.obs.export import dashboard_json, prometheus_text
+from repro.obs.observer import Observer
+from repro.serve import (
+    GovernorConfig,
+    OverloadGovernor,
+    ServeConfig,
+    build_frontend,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.tenants import DEFAULT_CLASSES, default_tenants
+
+SCALE = 0.02
+
+
+def monitored_config(seed: int = 7, governor: bool = False) -> ServeConfig:
+    return ServeConfig(
+        seed=seed,
+        tenants=default_tenants(sessions=2, ops=4),
+        monitor=default_monitor_spec(),
+        governor=GovernorConfig() if governor else None,
+    )
+
+
+class TestTransparency:
+    def test_monitoring_does_not_change_the_report(self):
+        monitored = build_frontend(monitored_config(), scale=SCALE)
+        monitored_report = monitored.run()
+        plain_config = dataclasses.replace(monitored_config(), monitor=None)
+        plain = build_frontend(plain_config, scale=SCALE)
+        plain_report = plain.run()
+        assert monitored_report.to_json() == plain_report.to_json()
+        assert monitored.db.clock.now == plain.db.clock.now
+
+    def test_monitor_off_attaches_nothing(self):
+        frontend = build_frontend(
+            ServeConfig(tenants=default_tenants(1, 2)), scale=SCALE
+        )
+        assert frontend.monitor is None
+        assert frontend.governor is None
+
+
+class TestReplayability:
+    def test_same_seed_dashboard_byte_identical(self):
+        def run() -> str:
+            frontend = build_frontend(monitored_config(), scale=SCALE)
+            frontend.run()
+            return dashboard_json(
+                frontend.monitor, governor=frontend.governor
+            )
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) > 1000  # a real timeline, not an empty shell
+
+    def test_prometheus_text_byte_identical(self):
+        def run() -> str:
+            frontend = build_frontend(monitored_config(), scale=SCALE)
+            frontend.run()
+            return prometheus_text(frontend.metrics)
+
+        assert run() == run()
+
+    def test_monitor_samples_runtime_gauges(self):
+        frontend = build_frontend(monitored_config(), scale=SCALE)
+        frontend.run()
+        names = frontend.monitor.sampler.series_names()
+        assert "sched_queued_writebacks" in names
+        assert any(n.startswith("admission_inflight{cls=") for n in names)
+        assert any(
+            n.startswith("serve_latency_seconds{cls=") for n in names
+        )
+
+
+class TestObserverQueueGauges:
+    def test_writeback_queue_gauges_zero_vanished_classes(self):
+        obs = Observer(enabled=True)
+        obs.on_writeback_queue(3, {"batch": 2, "interactive": 1})
+        obs.on_writeback_queue(1, {"batch": 1})
+        gauges = dict(obs.metrics.gauges())
+        assert gauges["sched_writeback_queue_depth"].value == 1
+        assert gauges["sched_writeback_queue_depth{cls=batch}"].value == 1
+        # A class that drained out of the queue reads 0, not stale 1.
+        assert (
+            gauges["sched_writeback_queue_depth{cls=interactive}"].value == 0
+        )
+
+
+def _event(seq: int, rule: str, state: str, epoch: int = 5) -> AlertEvent:
+    return AlertEvent(
+        seq=seq,
+        epoch=epoch,
+        rule=rule,
+        slo="interactive-latency",
+        state=state,
+        burn_fast=4.0,
+        burn_slow=3.0,
+    )
+
+
+class TestGovernorUnit:
+    def _governed(self):
+        classes = {spec.name: spec for spec in DEFAULT_CLASSES}
+        admission = AdmissionController(classes)
+        governor = OverloadGovernor(
+            admission, GovernorConfig(), interval_seconds=0.05
+        )
+        return admission, governor
+
+    def test_shed_on_fire_relax_on_resolve(self):
+        admission, governor = self._governed()
+        governor.on_alert(_event(0, "interactive-latency-burn", FIRING))
+        assert governor.shedding
+        throttles = admission.throttles()
+        assert throttles["batch"]["rate_factor"] == 0.25
+        assert throttles["background"]["inflight_factor"] == 0.5
+        # Interactive is never shed.
+        assert "interactive" not in throttles
+        governor.on_alert(
+            _event(1, "interactive-latency-burn", RESOLVED, epoch=9)
+        )
+        assert not governor.shedding
+        throttles = admission.throttles()
+        assert throttles["batch"] == {
+            "rate_factor": 1.0, "inflight_factor": 1.0,
+        }
+        assert (governor.sheds, governor.relaxes) == (1, 1)
+        assert [a["action"] for a in governor.actions] == ["shed", "relax"]
+        assert [a["epoch"] for a in governor.actions] == [5, 9]
+
+    def test_stays_shed_while_any_watched_rule_fires(self):
+        _admission, governor = self._governed()
+        governor.on_alert(_event(0, "interactive-latency-burn", FIRING))
+        governor.on_alert(
+            _event(1, "interactive-availability-burn", FIRING)
+        )
+        governor.on_alert(
+            _event(2, "interactive-latency-burn", RESOLVED)
+        )
+        assert governor.shedding  # availability still burning
+        assert governor.sheds == 1  # no double-shed
+        governor.on_alert(
+            _event(3, "interactive-availability-burn", RESOLVED)
+        )
+        assert not governor.shedding
+
+    def test_unwatched_rules_are_ignored(self):
+        _admission, governor = self._governed()
+        governor.on_alert(_event(0, "some-other-burn", FIRING))
+        assert not governor.shedding
+        assert governor.actions == []
+
+    def test_config_validation(self):
+        with pytest.raises(StorageConfigError):
+            GovernorConfig(shed_classes=())
+        with pytest.raises(StorageConfigError):
+            GovernorConfig(rules=())
+        with pytest.raises(StorageConfigError):
+            GovernorConfig(rate_factor=0.0)
+        with pytest.raises(StorageConfigError):
+            GovernorConfig(inflight_factor=1.5)
+
+
+class TestGovernorConfigWiring:
+    def test_governor_without_monitor_rejected(self):
+        config = ServeConfig(
+            tenants=default_tenants(1, 2), governor=GovernorConfig()
+        )
+        with pytest.raises(StorageConfigError):
+            build_frontend(config, scale=SCALE)
