@@ -251,7 +251,12 @@ class Monitor:
         self.listeners: list = []
 
     def subscribe(self, listener) -> None:
-        """Register a callable receiving every AlertEvent appended."""
+        """Register a callable receiving ``(event, now_seconds)`` for
+        every AlertEvent appended — ``now_seconds`` is the simulated
+        time of the tick that produced the event, so listeners that act
+        on the clock (the overload governor re-rating token buckets)
+        settle state at the actual sim instant, not a stale epoch
+        boundary."""
         self.listeners.append(listener)
 
     def firing(self, rule: str) -> bool:
@@ -266,16 +271,23 @@ class Monitor:
         for collect in self.collectors:
             collect()
         events: list[AlertEvent] = []
-        for epoch in self.sampler.advance_to(now_seconds):
+
+        def on_epoch(epoch: int) -> None:
+            # Runs inside the sampling loop, while the sampler's
+            # counter_deltas/hist_deltas still describe `epoch`: a tick
+            # that crosses several boundaries must fold each epoch's
+            # own windows into the trackers, not the last epoch's.
             for tracker in self.trackers.values():
                 tracker.record(epoch, self.sampler)
             for rule in self.rules:
                 event = self._evaluate(rule, epoch)
                 if event is not None:
                     events.append(event)
+
+        self.sampler.advance_to(now_seconds, on_epoch)
         for event in events:
             for listener in self.listeners:
-                listener(event)
+                listener(event, now_seconds)
         return events
 
     def _evaluate(self, rule: BurnRateRule, epoch: int) -> AlertEvent | None:

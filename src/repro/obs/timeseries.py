@@ -110,9 +110,12 @@ class TimeSeriesSampler:
 
     Drive it with :meth:`advance_to` from an event loop; every epoch
     boundary crossed since the previous call is sampled exactly once
-    (intervening idle epochs get zero-delta samples), and the freshly
-    sampled epoch indices are returned so downstream consumers (SLO
-    trackers, burn-rate rules) evaluate each epoch exactly once.
+    (intervening idle epochs get zero-delta samples).  Downstream
+    consumers of the per-epoch deltas (SLO trackers, burn-rate rules)
+    evaluate each epoch through the ``on_epoch`` callback, which runs
+    while that epoch's windows are still current — :attr:`counter_deltas`
+    and :attr:`hist_deltas` only ever describe the most recently sampled
+    epoch.
     """
 
     def __init__(
@@ -145,13 +148,24 @@ class TimeSeriesSampler:
 
     # ------------------------------------------------------------- sampling
 
-    def advance_to(self, now_seconds: float) -> list[int]:
-        """Sample every epoch boundary crossed up to ``now_seconds``."""
+    def advance_to(self, now_seconds: float, on_epoch=None) -> list[int]:
+        """Sample every epoch boundary crossed up to ``now_seconds``.
+
+        ``on_epoch`` (optional) is called with each epoch index right
+        after it is sampled, while :attr:`counter_deltas` and
+        :attr:`hist_deltas` still hold *that* epoch's windows.  Any
+        consumer of the per-epoch deltas must run here: when one call
+        crosses several boundaries, the deltas are overwritten by each
+        subsequent sample, so reading them after ``advance_to`` returns
+        sees only the last epoch's (usually zero) windows.
+        """
         target = epoch_of(now_seconds, self.interval_ns)
         sampled: list[int] = []
         while self.epoch < target:
             self.epoch += 1
             self._sample(self.epoch)
+            if on_epoch is not None:
+                on_epoch(self.epoch)
             sampled.append(self.epoch)
         return sampled
 

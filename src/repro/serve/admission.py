@@ -121,6 +121,10 @@ class AdmissionController:
         self._buckets: dict[str, TokenBucket] = {}
         self._inflight: dict[str, int] = {}
         self._inflight_class: dict[str, int] = {}
+        self._held: dict[str, dict[str, int]] = {}
+        """Per-tenant map of service class -> in-flight slots admitted
+        under that class, so :meth:`release` always credits the class
+        the slot was taken from even if the tenant switches classes."""
         self._tenant_class: dict[str, str] = {}
         self._rate_throttle: dict[str, float] = {}
         self._inflight_throttle: dict[str, float] = {}
@@ -231,25 +235,48 @@ class AdmissionController:
         self._inflight_class[service_class] = (
             self._inflight_class.get(service_class, 0) + 1
         )
+        held = self._held.setdefault(tenant, {})
+        held[service_class] = held.get(service_class, 0) + 1
         self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
         self._publish(service_class, ADMIT)
         self._set_inflight_gauge(service_class)
         return AdmissionDecision(ADMIT)
 
-    def release(self, tenant: str) -> None:
-        """An admitted operation finished; free its in-flight slot."""
+    def release(self, tenant: str, service_class: str | None = None) -> None:
+        """An admitted operation finished; free its in-flight slot.
+
+        ``service_class`` names the class the operation was admitted
+        under.  It may be omitted while the tenant holds slots in a
+        single class (the common 1:1 tenant-to-class setup); a tenant
+        holding slots under several classes must say which one, so the
+        per-class in-flight accounting never credits the wrong class.
+        """
         count = self.inflight(tenant)
         if count < 1:
             raise StorageConfigError(
                 f"release without admission for tenant {tenant!r}"
             )
-        self._inflight[tenant] = count - 1
-        service_class = self._tenant_class.get(tenant)
-        if service_class is not None:
-            self._inflight_class[service_class] = (
-                self._inflight_class.get(service_class, 1) - 1
+        held = self._held.get(tenant, {})
+        if service_class is None:
+            classes = [cls for cls, n in held.items() if n > 0]
+            if len(classes) != 1:
+                raise StorageConfigError(
+                    f"tenant {tenant!r} holds in-flight slots under "
+                    f"{len(classes)} classes; release(service_class=...) "
+                    "must name the operation's class"
+                )
+            service_class = classes[0]
+        elif held.get(service_class, 0) < 1:
+            raise StorageConfigError(
+                f"tenant {tenant!r} holds no in-flight slot under class "
+                f"{service_class!r}"
             )
-            self._set_inflight_gauge(service_class)
+        self._inflight[tenant] = count - 1
+        held[service_class] -= 1
+        self._inflight_class[service_class] = (
+            self._inflight_class.get(service_class, 1) - 1
+        )
+        self._set_inflight_gauge(service_class)
 
     def counters(self) -> dict:
         """Per-tenant admit/defer/reject totals (sorted, JSON-ready)."""

@@ -170,9 +170,7 @@ class ServingFrontend:
             )
             if config.governor is not None:
                 self.governor = OverloadGovernor(
-                    self.admission,
-                    config.governor,
-                    interval_seconds=config.monitor.interval_seconds,
+                    self.admission, config.governor
                 )
                 self.monitor.subscribe(self.governor.on_alert)
         elif config.governor is not None:
@@ -343,7 +341,7 @@ class ServingFrontend:
         session.execution = None
         name = session.spec.name
         tenant = session.tenant.name
-        self.admission.release(tenant)
+        self.admission.release(tenant, name)
         latency = self.db.clock.now - session.op_arrival
         self.metrics.counter("serve_ops", cls=name).inc()
         self.metrics.histogram("serve_latency_seconds", cls=name).observe(

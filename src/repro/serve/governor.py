@@ -64,13 +64,9 @@ class OverloadGovernor:
         self,
         admission: AdmissionController,
         config: GovernorConfig,
-        interval_seconds: float = 0.0,
     ) -> None:
         self.admission = admission
         self.config = config
-        self.interval_seconds = interval_seconds
-        """The monitor's epoch length: bucket re-rates anchor to the
-        triggering alert's epoch boundary (``epoch * interval``)."""
         self._firing: set[str] = set()
         self.shedding = False
         self.sheds = 0
@@ -78,8 +74,13 @@ class OverloadGovernor:
         self.actions: list[dict] = []
         """Replayable record: one entry per shed/relax transition."""
 
-    def on_alert(self, event: AlertEvent) -> None:
-        """Monitor listener: track watched rules, shed or relax."""
+    def on_alert(self, event: AlertEvent, now_seconds: float) -> None:
+        """Monitor listener: track watched rules, shed or relax.
+
+        ``now_seconds`` is the simulated time of the tick that produced
+        the event — the instant at which token buckets settle their
+        accrued tokens at the old rate before the new rate applies.
+        """
         if event.rule not in self.config.rules:
             return
         if event.state == FIRING:
@@ -88,25 +89,23 @@ class OverloadGovernor:
             self._firing.discard(event.rule)
         should_shed = bool(self._firing)
         if should_shed and not self.shedding:
-            self._apply(event, shed=True)
+            self._apply(event, now_seconds, shed=True)
         elif not should_shed and self.shedding:
-            self._apply(event, shed=False)
+            self._apply(event, now_seconds, shed=False)
 
-    def _apply(self, event: AlertEvent, *, shed: bool) -> None:
+    def _apply(
+        self, event: AlertEvent, now_seconds: float, *, shed: bool
+    ) -> None:
         self.shedding = shed
         rate = self.config.rate_factor if shed else 1.0
         inflight = self.config.inflight_factor if shed else 1.0
-        # The alert's epoch anchors the action record; the bucket
-        # re-rate settles at the event epoch's boundary instant, both
-        # pure functions of the alert stream.
-        now = event.epoch * self.interval_seconds
         for name in self.config.shed_classes:
             if name in self.admission.classes:
                 self.admission.set_throttle(
                     name,
                     rate_factor=rate,
                     inflight_factor=inflight,
-                    now=now,
+                    now=now_seconds,
                 )
         if shed:
             self.sheds += 1

@@ -199,14 +199,46 @@ class TestMonitor:
     def test_listener_receives_events(self):
         registry, monitor = _monitor()
         seen = []
-        monitor.subscribe(seen.append)
+        monitor.subscribe(lambda event, now: seen.append((event, now)))
         registry.counter("bad").inc(10)
         registry.counter("ok")
         monitor.tick(0.0)
         # Four idle epochs empty the fast window again: resolve too —
-        # and the listener saw both transitions, in order.
+        # and the listener saw both transitions, in order, each tagged
+        # with the sim time of the tick that produced it.
         monitor.tick(4 * INTERVAL)
-        assert [e.state for e in seen] == [FIRING, RESOLVED]
+        assert [e.state for e, _ in seen] == [FIRING, RESOLVED]
+        assert [now for _, now in seen] == [0.0, 4 * INTERVAL]
+
+    def test_multi_epoch_tick_attributes_deltas_to_first_epoch(self):
+        # One tick crossing several boundaries: all activity since the
+        # last tick belongs to the *first* crossed epoch, and the later
+        # idle epochs record zeros — the tracker must fold each epoch's
+        # own deltas, not the last sampled epoch's (which are zero).
+        registry, monitor = _monitor()
+        registry.counter("ok").inc(6)
+        registry.counter("bad").inc(4)
+        monitor.tick(3 * INTERVAL)  # samples epochs 0..3 at once
+        tracker = monitor.trackers["avail"]
+        assert tracker.good.samples() == [[0, 6], [1, 0], [2, 0], [3, 0]]
+        assert tracker.bad.samples() == [[0, 4], [1, 0], [2, 0], [3, 0]]
+        assert (tracker.total_good, tracker.total_bad) == (6, 4)
+
+    def test_multi_epoch_tick_fires_and_resolves_like_single_steps(self):
+        # Sustained burn observed through coarse ticks still fires, and
+        # an idle multi-epoch tick resolves: the rule evaluates every
+        # epoch even when one tick crosses many boundaries.
+        registry, monitor = _monitor()
+        ok, bad = registry.counter("ok"), registry.counter("bad")
+        for step in range(2):
+            ok.inc(5)
+            bad.inc(5)
+            monitor.tick(2 * step * INTERVAL)  # epochs {0}, then {1, 2}
+        assert [e.state for e in monitor.log.events] == [FIRING]
+        assert monitor.firing("burn")
+        monitor.tick(7 * INTERVAL)  # four idle epochs in one tick
+        assert [e.state for e in monitor.log.events] == [FIRING, RESOLVED]
+        assert not monitor.firing("burn")
 
     def test_alert_log_replay_determinism(self):
         def run() -> str:

@@ -100,6 +100,38 @@ class TestAdmissionController:
         with pytest.raises(ValueError):
             ctl.release("t")
 
+    def test_release_accounts_the_admitted_class(self):
+        # A tenant admitted under two classes: release must credit the
+        # class each operation was admitted under, not the class of the
+        # tenant's most recent request.
+        other = ClassSpec(
+            name="d",
+            weight=1.0,
+            rate_ops_per_second=10.0,
+            burst_ops=2,
+            max_inflight=2,
+            max_deferrals=3,
+            think_seconds=0.01,
+        )
+        ctl = AdmissionController({"c": SPEC, "d": other})
+        assert ctl.request("t", "c", 0.0, 0).verdict == ADMIT
+        assert ctl.request("t", "d", 0.0, 0).verdict == ADMIT
+        ctl.release("t", "c")
+        assert ctl.class_inflight("c") == 0
+        assert ctl.class_inflight("d") == 1
+        # Releasing a class the tenant holds no slot under is loud.
+        with pytest.raises(ValueError):
+            ctl.release("t", "c")
+        # Ambiguity is loud too: with slots under several classes the
+        # caller must name one, so nothing is silently mis-counted.
+        assert ctl.request("t", "c", 0.5, 0).verdict == ADMIT
+        with pytest.raises(ValueError):
+            ctl.release("t")
+        ctl.release("t", "d")
+        ctl.release("t", "c")
+        assert ctl.inflight("t") == 0
+        assert ctl.class_inflight("d") == 0
+
     def test_counters_per_tenant(self):
         ctl = self.make()
         ctl.request("a", "c", 0.0, 0)

@@ -121,14 +121,12 @@ class TestGovernorUnit:
     def _governed(self):
         classes = {spec.name: spec for spec in DEFAULT_CLASSES}
         admission = AdmissionController(classes)
-        governor = OverloadGovernor(
-            admission, GovernorConfig(), interval_seconds=0.05
-        )
+        governor = OverloadGovernor(admission, GovernorConfig())
         return admission, governor
 
     def test_shed_on_fire_relax_on_resolve(self):
         admission, governor = self._governed()
-        governor.on_alert(_event(0, "interactive-latency-burn", FIRING))
+        governor.on_alert(_event(0, "interactive-latency-burn", FIRING), 0.25)
         assert governor.shedding
         throttles = admission.throttles()
         assert throttles["batch"]["rate_factor"] == 0.25
@@ -136,7 +134,7 @@ class TestGovernorUnit:
         # Interactive is never shed.
         assert "interactive" not in throttles
         governor.on_alert(
-            _event(1, "interactive-latency-burn", RESOLVED, epoch=9)
+            _event(1, "interactive-latency-burn", RESOLVED, epoch=9), 0.46
         )
         assert not governor.shedding
         throttles = admission.throttles()
@@ -149,23 +147,41 @@ class TestGovernorUnit:
 
     def test_stays_shed_while_any_watched_rule_fires(self):
         _admission, governor = self._governed()
-        governor.on_alert(_event(0, "interactive-latency-burn", FIRING))
+        governor.on_alert(_event(0, "interactive-latency-burn", FIRING), 0.25)
         governor.on_alert(
-            _event(1, "interactive-availability-burn", FIRING)
+            _event(1, "interactive-availability-burn", FIRING), 0.26
         )
         governor.on_alert(
-            _event(2, "interactive-latency-burn", RESOLVED)
+            _event(2, "interactive-latency-burn", RESOLVED), 0.31
         )
         assert governor.shedding  # availability still burning
         assert governor.sheds == 1  # no double-shed
         governor.on_alert(
-            _event(3, "interactive-availability-burn", RESOLVED)
+            _event(3, "interactive-availability-burn", RESOLVED), 0.36
         )
         assert not governor.shedding
 
+    def test_shed_settles_buckets_at_the_tick_time(self):
+        admission, governor = self._governed()
+        # Materialise a batch bucket and drain one token at t=0.
+        admission.request("b", "batch", 0.0, 0)
+        bucket = admission._buckets["b"]
+        assert bucket.tokens == pytest.approx(1.0)
+        # The alert arrives on a tick at t=0.5 — possibly well past the
+        # event's epoch boundary.  The re-rate must settle tokens
+        # accrued at the *old* rate up to that instant (here: back to
+        # burst) before the shed rate applies, so set_rate's contract
+        # actually holds instead of being skipped by the refill guard.
+        governor.on_alert(
+            _event(0, "interactive-latency-burn", FIRING), 0.5
+        )
+        assert bucket.stamp == 0.5
+        assert bucket.tokens == pytest.approx(2.0)  # refilled to burst
+        assert bucket.rate == pytest.approx(50.0 * 0.25)
+
     def test_unwatched_rules_are_ignored(self):
         _admission, governor = self._governed()
-        governor.on_alert(_event(0, "some-other-burn", FIRING))
+        governor.on_alert(_event(0, "some-other-burn", FIRING), 0.25)
         assert not governor.shedding
         assert governor.actions == []
 
